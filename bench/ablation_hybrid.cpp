@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (paper §VII future work): multiscale / hybrid ordering engines.
+ *
+ * Sweeps the intra-community sub-scheme of the hybrid engine (natural /
+ * degree / rcm / bfs) against the paper's grappolo, grappolo-rcm and rcm
+ * baselines on three structure classes, reporting all three gap measures.
+ * Also quantifies footnote 1: CDFS (RCM without the per-level degree
+ * sort) versus RCM.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "la/gap_measures.hpp"
+#include "order/cdfs.hpp"
+#include "order/hybrid.hpp"
+#include "order/rcm.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header("Ablation", "hybrid multiscale ordering engine", opt);
+
+    Table t("gap measures per (instance, engine)");
+    t.header({"instance", "engine", "xi_hat", "beta", "beta_hat"});
+    for (const char* name : {"pgp", "cora-citation", "us-powergrid"}) {
+        const auto g = dataset_by_name(name).make(1.0);
+        auto add = [&](const std::string& label, const Permutation& pi) {
+            const auto m = compute_gap_metrics(g, pi);
+            t.row({name, label, Table::num(m.avg_gap, 1),
+                   Table::num(std::uint64_t{m.bandwidth}),
+                   Table::num(m.avg_bandwidth, 1)});
+        };
+        add("grappolo", scheme_by_name("grappolo").run(g, opt.seed));
+        add("grappolo-rcm",
+            scheme_by_name("grappolo-rcm").run(g, opt.seed));
+        add("rcm", rcm_order(g));
+        add("cdfs", cdfs_order(g));
+        for (IntraScheme intra :
+             {IntraScheme::Natural, IntraScheme::Degree, IntraScheme::Rcm,
+              IntraScheme::Bfs}) {
+            HybridOptions hopt;
+            hopt.intra = intra;
+            add(std::string("hybrid/") + intra_scheme_name(intra),
+                hybrid_order(g, hopt));
+        }
+    }
+    t.print();
+    std::printf("expected shape: hybrid/rcm matches grappolo-rcm on "
+                "xi_hat while\nimproving beta_hat (intra-community RCM "
+                "tightens local bandwidth);\ncdfs tracks rcm closely on "
+                "meshes, trails it on skewed graphs.\n");
+    return 0;
+}

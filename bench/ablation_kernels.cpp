@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation: the "standard suite of prototypical graph operations" the
+ * paper contrasts itself with (§VI: prior ordering studies evaluated
+ * PageRank, SSSP and Betweenness Centrality).  This bench applies the
+ * paper's methodology to that suite: for each kernel and each application
+ * ordering it reports runtime and the simulated memory behaviour of the
+ * kernel's hot loop, plus the packing-factor amenability metric of
+ * Balaji & Lucia.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/permutation.hpp"
+#include "kernels/bc.hpp"
+#include "kernels/packing.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+#include "memsim/cache.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header("Ablation",
+                 "prototypical kernels (pagerank / sssp / bc) under "
+                 "reordering",
+                 opt);
+
+    // Two contrasting instances: a hub-heavy social graph and a road
+    // network (the two poles of reordering amenability).
+    const auto cache_cfg =
+        CacheHierarchyConfig::cascade_lake_scaled(opt.large_scale / 4.0);
+    for (const char* inst : {"youtube", "ca-roadnet"}) {
+        const auto g = dataset_by_name(inst).make(opt.large_scale);
+
+        Table t(std::string("kernels on ") + inst);
+        t.header({"ordering", "packing", "pr iter(s)", "pr lat(cyc)",
+                  "sssp(s)", "sssp lat(cyc)", "bc(s)", "bc lat(cyc)"});
+        for (const auto& s : application_schemes()) {
+            std::fprintf(stderr, "[kernels] %s / %s ...\n", inst,
+                         s.name.c_str());
+            const auto pi = s.run(g, opt.seed);
+            const auto h = apply_permutation(g, pi);
+            const auto pack =
+                packing_analysis(g, pi); // layout metric, pre-apply
+
+            // PageRank: timed untraced run + traced run for latency.
+            PageRankOptions popt;
+            const auto pr = pagerank(h, popt);
+            CacheTracer pr_tracer(cache_cfg);
+            PageRankOptions popt_traced;
+            popt_traced.tracer = &pr_tracer;
+            popt_traced.max_iterations = 3;
+            pagerank(h, popt_traced);
+
+            // SSSP from vertex 0 (same source in every layout via rank).
+            const vid_t src = pi.rank(0);
+            const auto ss = sssp_dijkstra(h, src);
+            CacheTracer ss_tracer(cache_cfg);
+            sssp_dijkstra(h, src, &ss_tracer);
+
+            // Sampled BC.
+            BcOptions bopt;
+            bopt.num_sources = 16;
+            bopt.seed = opt.seed;
+            const auto bc = betweenness_centrality(h, bopt);
+            CacheTracer bc_tracer(cache_cfg);
+            BcOptions bopt_traced = bopt;
+            bopt_traced.num_sources = 4;
+            bopt_traced.tracer = &bc_tracer;
+            betweenness_centrality(h, bopt_traced);
+
+            t.row({s.name, Table::num(pack.packing_factor, 1),
+                   Table::num(pr.time_per_iteration_s(), 4),
+                   Table::num(pr_tracer.metrics().avg_load_latency(), 1),
+                   Table::num(ss.total_time_s, 3),
+                   Table::num(ss_tracer.metrics().avg_load_latency(), 1),
+                   Table::num(bc.total_time_s, 3),
+                   Table::num(bc_tracer.metrics().avg_load_latency(), 1)});
+        }
+        t.print();
+    }
+    std::printf("expected shape (Balaji & Lucia via the paper): hub-heavy "
+                "graphs (high packing\nfactor under natural order) gain "
+                "from degree/hub packing; road networks do not.\n");
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace graphorder::bench {
+
+BenchOptions
+parse_args(int argc, char** argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--scale" && i + 1 < argc) {
+            opt.large_scale = std::atof(argv[++i]);
+            if (opt.large_scale < 1.0)
+                fatal("--scale must be >= 1");
+        } else if (a == "--seed" && i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--quick") {
+            opt.quick = true;
+            opt.large_scale = 256.0;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("usage: %s [--scale S] [--seed N] [--quick]\n",
+                        argv[0]);
+            std::exit(0);
+        } else {
+            fatal("unknown argument: " + a);
+        }
+    }
+    return opt;
+}
+
+std::vector<Instance>
+make_small_instances()
+{
+    std::vector<Instance> out;
+    for (const auto& d : small_datasets())
+        out.push_back({&d, d.make(1.0)});
+    return out;
+}
+
+std::vector<Instance>
+make_large_instances(const BenchOptions& opt)
+{
+    std::vector<Instance> out;
+    for (const auto& d : large_datasets())
+        out.push_back({&d, d.make(opt.large_scale)});
+    return out;
+}
+
+void
+print_profile(const std::string& title, const PerfProfile& profile)
+{
+    Table t(title);
+    std::vector<double> taus{1.0, 1.5, 2.0, 3.0, 5.0, 8.0,
+                             12.0, 20.0, 40.0};
+    std::vector<std::string> head{"scheme"};
+    for (double tau : taus)
+        head.push_back("rho(" + Table::num(tau, 1) + ")");
+    head.push_back("mean_log2_ratio");
+    t.header(head);
+    for (std::size_t s = 0; s < profile.curves.size(); ++s) {
+        std::vector<std::string> row{profile.curves[s].scheme};
+        for (double tau : taus)
+            row.push_back(Table::num(profile.fraction_within(s, tau), 2));
+        row.push_back(Table::num(profile.mean_log2_ratio(s), 2));
+        t.row(row);
+    }
+    t.print();
+    std::printf("max ratio-to-best across table: %.1fx\n\n",
+                profile.max_ratio());
+}
+
+void
+print_header(const std::string& figure, const std::string& what,
+             const BenchOptions& opt)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), what.c_str());
+    std::printf("large-instance scale divisor: %.0f  seed: %llu\n",
+                opt.large_scale,
+                static_cast<unsigned long long>(opt.seed));
+    std::printf("==========================================================\n\n");
+}
+
+ProfileInput
+cost_matrix(const std::vector<Instance>& instances,
+            const std::vector<OrderingScheme>& schemes,
+            const MetricFn& metric, std::uint64_t seed)
+{
+    ProfileInput in;
+    for (const auto& s : schemes)
+        in.schemes.push_back(s.name);
+    for (const auto& inst : instances)
+        in.problems.push_back(inst.spec->name);
+    in.costs.resize(schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        for (const auto& inst : instances) {
+            const auto pi = schemes[s].run(inst.graph, seed);
+            in.costs[s].push_back(metric(inst.graph, pi));
+        }
+    }
+    return in;
+}
+
+} // namespace graphorder::bench

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction binaries.
+ *
+ * Every bench accepts:
+ *   --scale S   divisor applied to the 9 large instances (default 64;
+ *               1 = paper scale, needs a very large machine)
+ *   --seed  N   base RNG seed (default 2020)
+ *   --quick     even smaller large-instance scale (256) for smoke runs
+ *
+ * The 25 small qualitative instances are always generated at full paper
+ * scale (they are small).  All output is plain text: a Table per figure
+ * plus performance-profile CSV where the paper shows profile plots.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.hpp"
+#include "graph/csr.hpp"
+#include "order/scheme.hpp"
+#include "util/perf_profile.hpp"
+#include "util/table.hpp"
+
+namespace graphorder::bench {
+
+/** Parsed common command-line options. */
+struct BenchOptions
+{
+    double large_scale = 64.0;
+    std::uint64_t seed = 2020;
+    bool quick = false;
+};
+
+/** Parse the common flags; unrecognized flags are fatal. */
+BenchOptions parse_args(int argc, char** argv);
+
+/** A generated instance with its registry entry. */
+struct Instance
+{
+    const Dataset* spec;
+    Csr graph;
+};
+
+/** Generate all 25 small instances (paper scale). */
+std::vector<Instance> make_small_instances();
+
+/** Generate all 9 large instances at opt.large_scale. */
+std::vector<Instance> make_large_instances(const BenchOptions& opt);
+
+/**
+ * Print a performance profile the way the paper's figures read: one row
+ * per scheme with rho(tau) at a standard tau grid, plus the mean
+ * log2(ratio-to-best) ranking column.
+ */
+void print_profile(const std::string& title, const PerfProfile& profile);
+
+/** Banner for a bench binary. */
+void print_header(const std::string& figure, const std::string& what,
+                  const BenchOptions& opt);
+
+/** Metric extracted from one (graph, ordering) pair; lower is better. */
+using MetricFn =
+    std::function<double(const Csr&, const Permutation&)>;
+
+/**
+ * Evaluate every scheme on every instance and collect the cost matrix
+ * feeding a performance profile (the computation behind Figures 1, 5,
+ * 6a, 6b and 7).
+ */
+ProfileInput cost_matrix(const std::vector<Instance>& instances,
+                         const std::vector<OrderingScheme>& schemes,
+                         const MetricFn& metric, std::uint64_t seed);
+
+} // namespace graphorder::bench

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 4: performance profile of reordering *compute time* for the four
+ * representative C/C++ schemes — RCM, Degree Sort, Grappolo, METIS-32 —
+ * over the 9 large instances.
+ *
+ * Paper finding: Degree Sort and RCM are the cheap schemes; Grappolo and
+ * METIS are substantially more expensive but comparable to each other.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/timer.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header("Figure 4",
+                 "reordering compute-time profile (rcm/degree/grappolo/"
+                 "metis-32)",
+                 opt);
+
+    const std::vector<OrderingScheme> schemes = {
+        scheme_by_name("rcm"),
+        scheme_by_name("degree"),
+        scheme_by_name("grappolo"),
+        scheme_by_name("metis-32"),
+    };
+    const auto instances = make_large_instances(opt);
+
+    ProfileInput in;
+    for (const auto& s : schemes)
+        in.schemes.push_back(s.name);
+    for (const auto& inst : instances)
+        in.problems.push_back(inst.spec->name);
+    in.costs.resize(schemes.size());
+
+    Table raw("reorder wall time (seconds)");
+    {
+        std::vector<std::string> head{"instance", "gen|E|"};
+        for (const auto& s : schemes)
+            head.push_back(s.name);
+        raw.header(head);
+    }
+    for (std::size_t p = 0; p < instances.size(); ++p) {
+        const auto& inst = instances[p];
+        std::fprintf(stderr, "[fig4] %s ...\n", inst.spec->name.c_str());
+        std::vector<std::string> row{
+            inst.spec->name, Table::num(std::uint64_t{
+                                 inst.graph.num_edges()})};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            Timer t;
+            t.start();
+            const auto pi = schemes[s].run(inst.graph, opt.seed);
+            const double secs = t.elapsed_s();
+            std::fprintf(stderr, "[fig4]   %s: %.2fs\n",
+                         schemes[s].name.c_str(), secs);
+            if (!pi.is_valid())
+                std::fprintf(stderr, "invalid permutation from %s\n",
+                             schemes[s].name.c_str());
+            in.costs[s].push_back(std::max(secs, 1e-6));
+            row.push_back(Table::num(secs, 3));
+        }
+        raw.row(row);
+    }
+    raw.print();
+    print_profile("compute-time profile over 9 large inputs",
+                  build_profile(in));
+    return 0;
+}

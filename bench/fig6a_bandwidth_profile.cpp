@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 6a: profile of relative performance of graph bandwidth (beta).
+ *
+ * Paper finding: RCM clearly outperforms all other schemes; everything
+ * else is roughly 2-22x worse.
+ */
+#include "bench_common.hpp"
+#include "la/gap_measures.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header("Figure 6a",
+                 "relative performance profile of graph bandwidth (beta)",
+                 opt);
+    const auto in = cost_matrix(
+        make_small_instances(), paper_schemes(),
+        [](const Csr& g, const Permutation& pi) {
+            return static_cast<double>(
+                compute_gap_metrics(g, pi).bandwidth);
+        },
+        opt.seed);
+    print_profile("beta profile over 25 inputs", build_profile(in));
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Figure 6b: profile of relative performance of the average graph
+ * bandwidth (beta_hat).
+ *
+ * Paper finding: no clear winner — most schemes comparable for most
+ * inputs, attributed to the skew of real degree distributions.
+ */
+#include "bench_common.hpp"
+#include "la/gap_measures.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header(
+        "Figure 6b",
+        "relative performance profile of average bandwidth (beta_hat)",
+        opt);
+    const auto in = cost_matrix(
+        make_small_instances(), paper_schemes(),
+        [](const Csr& g, const Permutation& pi) {
+            return compute_gap_metrics(g, pi).avg_bandwidth;
+        },
+        opt.seed);
+    print_profile("beta_hat profile over 25 inputs", build_profile(in));
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 7: profile of the average gap (xi_hat) of the METIS-style
+ * ordering for different partition counts, 8..256, over the 25 small
+ * instances.
+ *
+ * Paper finding: 32 partitions perform best; this sweep is the paper's
+ * justification for metis-32 as the representative configuration.
+ */
+#include "bench_common.hpp"
+#include "la/gap_measures.hpp"
+#include "order/partition_order.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header("Figure 7", "METIS-style ordering partition-count sweep",
+                 opt);
+
+    std::vector<OrderingScheme> configs;
+    for (vid_t k : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        configs.push_back({"metis-" + std::to_string(k),
+                           SchemeCategory::Partitioning,
+                           [k](const Csr& g, std::uint64_t seed) {
+                               PartitionOptions popt;
+                               popt.seed = seed;
+                               return metis_style_order(g, k, popt);
+                           },
+                           true});
+    }
+    const auto in = cost_matrix(
+        make_small_instances(), configs,
+        [](const Csr& g, const Permutation& pi) {
+            return compute_gap_metrics(g, pi).avg_gap;
+        },
+        opt.seed);
+    const auto profile = build_profile(in);
+    print_profile("xi_hat profile by partition count", profile);
+
+    // Scalar ranking: which k wins overall (paper: 32).
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < configs.size(); ++s)
+        if (profile.mean_log2_ratio(s) < profile.mean_log2_ratio(best))
+            best = s;
+    std::printf("best configuration by mean log2 ratio: %s (paper: "
+                "metis-32)\n",
+                configs[best].name.c_str());
+    return 0;
+}

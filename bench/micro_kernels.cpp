@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the library's primitives: CSR
+ * neighbor streaming under different orderings, gap-metric evaluation,
+ * reordering-scheme costs, cache-simulator throughput, Louvain iteration
+ * and RRR sampling.  These are the kernel-level counterparts of the
+ * figure benches and are handy when tuning the implementation.
+ */
+#include <benchmark/benchmark.h>
+
+#include "community/louvain.hpp"
+#include "gen/generators.hpp"
+#include "influence/imm.hpp"
+#include "la/gap_measures.hpp"
+#include "memsim/cache.hpp"
+#include "order/scheme.hpp"
+#include "util/rng.hpp"
+
+using namespace graphorder;
+
+namespace {
+
+const Csr&
+social_graph()
+{
+    static const Csr g = gen_rmat(1 << 14, 1 << 17, 0.57, 0.19, 0.19, 1);
+    return g;
+}
+
+const Csr&
+mesh_graph()
+{
+    static const Csr g = gen_mesh(1 << 14, 0, 2);
+    return g;
+}
+
+void
+BM_CsrNeighborScan(benchmark::State& state)
+{
+    const auto& g = social_graph();
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        for (vid_t v = 0; v < g.num_vertices(); ++v)
+            for (vid_t u : g.neighbors(v))
+                acc += u;
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(g.num_arcs()));
+}
+BENCHMARK(BM_CsrNeighborScan);
+
+void
+BM_GapMetrics(benchmark::State& state)
+{
+    const auto& g = social_graph();
+    const auto pi = Permutation::identity(g.num_vertices());
+    for (auto _ : state) {
+        auto m = compute_gap_metrics(g, pi);
+        benchmark::DoNotOptimize(m.avg_gap);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GapMetrics);
+
+void
+BM_Reorder(benchmark::State& state, const char* scheme_name,
+           const Csr& g)
+{
+    const auto& scheme = scheme_by_name(scheme_name);
+    for (auto _ : state) {
+        auto pi = scheme.run(g, 7);
+        benchmark::DoNotOptimize(pi.ranks().data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK_CAPTURE(BM_Reorder, degree_social, "degree", social_graph());
+BENCHMARK_CAPTURE(BM_Reorder, rcm_mesh, "rcm", mesh_graph());
+BENCHMARK_CAPTURE(BM_Reorder, hubsort_social, "hubsort", social_graph());
+BENCHMARK_CAPTURE(BM_Reorder, rabbit_social, "rabbit", social_graph());
+
+void
+BM_ApplyPermutation(benchmark::State& state)
+{
+    const auto& g = social_graph();
+    Rng rng(3);
+    const auto pi = random_permutation(g.num_vertices(), rng);
+    for (auto _ : state) {
+        auto h = apply_permutation(g, pi);
+        benchmark::DoNotOptimize(h.num_arcs());
+    }
+}
+BENCHMARK(BM_ApplyPermutation);
+
+void
+BM_CacheSimulator(benchmark::State& state)
+{
+    CacheHierarchy cache(CacheHierarchyConfig::cascade_lake());
+    Rng rng(5);
+    std::vector<std::uint64_t> addrs(1 << 16);
+    for (auto& a : addrs)
+        a = rng.next_below(1ULL << 28);
+    for (auto _ : state) {
+        for (auto a : addrs)
+            cache.load(a);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_CacheSimulator);
+
+void
+BM_LouvainFirstPhase(benchmark::State& state)
+{
+    const auto g = gen_sbm(1 << 13, 1 << 16, 32, 0.85, 9);
+    for (auto _ : state) {
+        LouvainOptions opt;
+        opt.max_phases = 1;
+        auto res = louvain(g, opt);
+        benchmark::DoNotOptimize(res.modularity);
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_LouvainFirstPhase);
+
+void
+BM_RrrSampling(benchmark::State& state)
+{
+    const auto& g = social_graph();
+    ImmOptions opt;
+    opt.edge_probability = 0.05;
+    for (auto _ : state) {
+        std::vector<std::vector<vid_t>> sets;
+        sample_rrr_sets(g, opt, 256, sets);
+        benchmark::DoNotOptimize(sets.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_RrrSampling);
+
+} // namespace
+
+BENCHMARK_MAIN();

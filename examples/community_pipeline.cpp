@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Scenario: speeding up community detection with vertex reordering — the
+ * paper's §VI-B use case as a user-facing pipeline.
+ *
+ * A data analyst has a social network and wants Louvain communities
+ * faster.  The pipeline: run Grappolo-style Louvain once on a (cheap)
+ * ordering to *derive* a community-aware ordering, relabel, and run the
+ * real analysis on the reordered graph, comparing instrumented phase
+ * metrics against the degree-sorted baseline.
+ *
+ * Run:  ./build/examples/community_pipeline [scale]
+ */
+#include <cstdio>
+
+#include "community/louvain.hpp"
+#include "gen/datasets.hpp"
+#include "graph/permutation.hpp"
+#include "order/scheme.hpp"
+#include "util/table.hpp"
+
+using namespace graphorder;
+
+namespace {
+
+void
+report(const char* label, const LouvainResult& res)
+{
+    const auto& p0 = res.phases.front();
+    std::printf("%-10s phase %.3fs  %2d iterations  %.4fs/iter  "
+                "work/edge %.2f  work%% %.0f  Q=%.3f  (%u communities)\n",
+                label, p0.phase_time_s, p0.iterations,
+                p0.avg_iteration_time_s(), p0.work_per_edge,
+                100 * p0.work_fraction, res.modularity,
+                res.num_communities);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 64.0;
+    std::printf("community-detection pipeline on the youtube stand-in "
+                "(scale 1/%.0f)\n\n",
+                scale);
+    const Csr g = dataset_by_name("youtube").make(scale);
+
+    // Baseline analyses on natural and degree-sorted layouts.
+    report("natural", louvain(g));
+    {
+        const auto pi = scheme_by_name("degree").run(g, 7);
+        report("degree", louvain(apply_permutation(g, pi)));
+    }
+
+    // Reordering pipeline: derive a community-aware ordering, relabel,
+    // and run the real analysis on the reordered graph.
+    const auto pi = scheme_by_name("grappolo").run(g, 7);
+    const Csr reordered = apply_permutation(g, pi);
+    report("grappolo", louvain(reordered));
+
+    std::printf("\nExpected shape (paper Fig. 9): grappolo ordering has "
+                "the fastest iterations,\nbest parallel efficiency and "
+                "lowest work/edge; modularity barely moves.\n");
+    return 0;
+}

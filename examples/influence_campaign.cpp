@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Scenario: planning a viral-marketing campaign with influence
+ * maximization — the paper's §VI-C use case as a user-facing pipeline.
+ *
+ * A marketer wants the 15 accounts whose seeding maximizes expected
+ * cascade size under the Independent Cascade model, and wants to know
+ * whether reordering the graph first is worth it (the paper's answer:
+ * only marginally).  The example runs IMM on the natural and
+ * grappolo-reordered layouts, reports seeds, throughput, and verifies
+ * the seed quality with Monte-Carlo forward simulation.
+ *
+ * Run:  ./build/examples/influence_campaign [scale]
+ */
+#include <cstdio>
+
+#include "gen/datasets.hpp"
+#include "graph/permutation.hpp"
+#include "influence/imm.hpp"
+#include "order/scheme.hpp"
+
+using namespace graphorder;
+
+int
+main(int argc, char** argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 64.0;
+    std::printf("influence campaign on the livemocha stand-in "
+                "(scale 1/%.0f), IC model p=0.1, k=15\n\n",
+                scale);
+    const Csr g = dataset_by_name("livemocha").make(scale);
+
+    ImmOptions opt;
+    opt.num_seeds = 15;
+    opt.edge_probability = 0.1;
+    opt.epsilon = 1.0;
+    opt.max_samples = 20000;
+
+    // Natural layout.
+    const auto nat = imm(g, opt);
+    std::printf("natural  : %6.2fs total, %8.0f RRR/s, est. spread %.0f "
+                "of %u\n",
+                nat.stats.total_time_s, nat.stats.sampling_throughput(),
+                nat.stats.estimated_spread, g.num_vertices());
+
+    // Grappolo-reordered layout; map the seeds back to original ids.
+    const auto pi = scheme_by_name("grappolo").run(g, 3);
+    const auto re = imm(apply_permutation(g, pi), opt);
+    const auto inv = pi.inverse();
+    std::vector<vid_t> re_seeds;
+    for (vid_t s : re.seeds)
+        re_seeds.push_back(inv.rank(s));
+    std::printf("grappolo : %6.2fs total, %8.0f RRR/s, est. spread %.0f\n",
+                re.stats.total_time_s, re.stats.sampling_throughput(),
+                re.stats.estimated_spread);
+
+    // Ground-truth check of both seed sets by forward simulation.
+    const double sim_nat = simulate_ic_spread(g, nat.seeds, 0.1, 200, 9);
+    const double sim_re = simulate_ic_spread(g, re_seeds, 0.1, 200, 9);
+    std::printf("\nsimulated spread: natural seeds %.0f, reordered seeds "
+                "%.0f (should agree closely)\n",
+                sim_nat, sim_re);
+
+    std::printf("\ncampaign seeds (original ids): ");
+    for (vid_t s : nat.seeds)
+        std::printf("%u ", s);
+    std::printf("\n\nExpected shape (paper Fig. 11): ordering moves "
+                "sampling throughput a little,\nbut total time and seed "
+                "quality are essentially unchanged.\n");
+    return 0;
+}

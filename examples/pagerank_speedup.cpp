@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scenario: accelerating an iterative ranking service — the prototypical
+ * use case of the lightweight-reordering literature the paper builds on
+ * (Balaji & Lucia 2018; Wei et al. 2016).
+ *
+ * A service recomputes PageRank over a social graph on every refresh and
+ * wants to know (a) whether the graph is *amenable* to cheap reordering
+ * (packing factor), (b) which scheme to use, and (c) what it buys in
+ * iteration time and simulated memory behaviour.
+ *
+ * Run:  ./build/examples/pagerank_speedup [scale]
+ */
+#include <cstdio>
+
+#include "gen/datasets.hpp"
+#include "graph/permutation.hpp"
+#include "kernels/packing.hpp"
+#include "kernels/pagerank.hpp"
+#include "memsim/cache.hpp"
+#include "order/scheme.hpp"
+#include "util/table.hpp"
+
+using namespace graphorder;
+
+int
+main(int argc, char** argv)
+{
+    const double scale = argc > 1 ? std::atof(argv[1]) : 64.0;
+    std::printf("PageRank acceleration study on the skitter stand-in "
+                "(scale 1/%.0f)\n\n",
+                scale);
+    const Csr g = dataset_by_name("skitter").make(scale);
+
+    // (a) Amenability: packing factor of the natural layout.
+    const auto natural_pack =
+        packing_analysis(g, Permutation::identity(g.num_vertices()));
+    std::printf("natural-layout packing factor: %.1f (hubs carry %.0f%% "
+                "of traffic)\n",
+                natural_pack.packing_factor,
+                100.0 * natural_pack.hub_arc_fraction);
+    std::printf("rule of thumb: factor >> 1 with hot hubs => lightweight "
+                "reordering should pay.\n\n");
+
+    // (b)+(c): sweep candidate schemes.
+    const auto cache_cfg =
+        CacheHierarchyConfig::cascade_lake_scaled(scale / 4.0);
+    Table t("PageRank under candidate orderings");
+    t.header({"scheme", "iter time (s)", "iters", "sim latency (cyc)",
+              "packing"});
+    for (const char* name :
+         {"natural", "degree", "hubsort", "hubcluster", "grappolo",
+          "rcm"}) {
+        const auto pi = scheme_by_name(name).run(g, 11);
+        const auto h = apply_permutation(g, pi);
+
+        const auto pr = pagerank(h);
+        CacheTracer tracer(cache_cfg);
+        PageRankOptions traced;
+        traced.tracer = &tracer;
+        traced.max_iterations = 3;
+        pagerank(h, traced);
+
+        const auto pack = packing_analysis(g, pi);
+        t.row({name, Table::num(pr.time_per_iteration_s(), 5),
+               Table::num(std::uint64_t(pr.iterations)),
+               Table::num(tracer.metrics().avg_load_latency(), 1),
+               Table::num(pack.packing_factor, 1)});
+    }
+    t.print();
+    std::printf("reading: community/degree schemes drop the pull loop's "
+                "simulated latency;\niteration count is "
+                "ordering-invariant (same math, same tolerance).\n");
+    return 0;
+}

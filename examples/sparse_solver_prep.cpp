@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Scenario: preparing a sparse matrix for a banded direct solver — the
+ * classic fill-reducing use of vertex reordering (paper §III-E).
+ *
+ * An engineer has a finite-element mesh whose stiffness matrix will be
+ * factorized with a banded Cholesky solver: the cost is O(n * beta^2), so
+ * the graph bandwidth beta is the number to minimize.  The example
+ * compares RCM (the bandwidth specialist), nested dissection, and the
+ * community schemes, reports beta and the implied banded-storage size,
+ * and shows why the paper finds RCM the clear winner on this metric.
+ *
+ * Run:  ./build/examples/sparse_solver_prep
+ */
+#include <cstdio>
+
+#include "gen/datasets.hpp"
+#include "la/gap_measures.hpp"
+#include "order/scheme.hpp"
+#include "util/table.hpp"
+
+using namespace graphorder;
+
+int
+main()
+{
+    std::printf("bandwidth reduction for banded factorization on the "
+                "delaunay_n14 mesh stand-in\n\n");
+    const Csr g = dataset_by_name("delaunay_n14").make(1.0);
+    const double n = g.num_vertices();
+
+    Table t("ordering choices for a banded solver");
+    t.header({"scheme", "beta (bandwidth)", "banded storage (MB, "
+              "8B/entry)", "est. factor flops (n*beta^2)"});
+    double best_beta = 1e300;
+    std::string best;
+    for (const char* name :
+         {"natural", "random", "rcm", "nd", "metis-32", "grappolo-rcm",
+          "degree"}) {
+        const auto pi = scheme_by_name(name).run(g, 5);
+        const auto m = compute_gap_metrics(g, pi);
+        const double beta = m.bandwidth;
+        t.row({name, Table::num(std::uint64_t{m.bandwidth}),
+               Table::num(n * beta * 8 / 1e6, 1),
+               Table::num(n * beta * beta, 0)});
+        if (beta < best_beta) {
+            best_beta = beta;
+            best = name;
+        }
+    }
+    t.print();
+    std::printf("winner: %s (paper Fig. 6a: RCM clearly outperforms all "
+                "other schemes on beta)\n",
+                best.c_str());
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "community/coloring.hpp"
+
+#include <algorithm>
+
+namespace graphorder {
+
+std::vector<std::vector<vid_t>>
+Coloring::classes() const
+{
+    std::vector<std::vector<vid_t>> out(num_colors);
+    for (vid_t v = 0; v < color.size(); ++v)
+        out[color[v]].push_back(v);
+    return out;
+}
+
+Coloring
+greedy_coloring(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    Coloring c;
+    c.color.assign(n, kNoVertex);
+    std::vector<vid_t> forbidden; // color -> last vertex that forbade it
+    for (vid_t v = 0; v < n; ++v) {
+        for (vid_t u : g.neighbors(v)) {
+            const vid_t cu = u < v ? c.color[u] : kNoVertex;
+            if (cu != kNoVertex) {
+                if (cu >= forbidden.size())
+                    forbidden.resize(cu + 1, kNoVertex);
+                forbidden[cu] = v;
+            }
+        }
+        vid_t pick = 0;
+        while (pick < forbidden.size() && forbidden[pick] == v)
+            ++pick;
+        c.color[v] = pick;
+        c.num_colors = std::max(c.num_colors, pick + 1);
+    }
+    return c;
+}
+
+bool
+is_proper_coloring(const Csr& g, const std::vector<vid_t>& color)
+{
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t u : g.neighbors(v))
+            if (color[u] == color[v])
+                return false;
+    return true;
+}
+
+} // namespace graphorder

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Distance-1 greedy graph coloring.
+ *
+ * Grappolo's signature parallelization device (Lu, Halappanavar,
+ * Kalyanaraman 2015): vertices of one color class share no edge, so a
+ * Louvain iteration can process a whole color class in parallel without
+ * stale-neighbor races.  The Louvain driver exposes this as an optional
+ * "color-synchronized" mode.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/** Result of a coloring. */
+struct Coloring
+{
+    std::vector<vid_t> color; ///< color[v] in [0, num_colors)
+    vid_t num_colors = 0;
+
+    /** Vertices grouped by color (computed on demand). */
+    std::vector<std::vector<vid_t>> classes() const;
+};
+
+/**
+ * Greedy first-fit coloring in natural order; uses at most maxdeg + 1
+ * colors.
+ */
+Coloring greedy_coloring(const Csr& g);
+
+/** True iff no edge connects two vertices of the same color. */
+bool is_proper_coloring(const Csr& g, const std::vector<vid_t>& color);
+
+} // namespace graphorder

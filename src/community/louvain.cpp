@@ -1,0 +1,325 @@
+#include "community/louvain.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "community/coloring.hpp"
+#include "graph/coarsen.hpp"
+#include "memsim/cache.hpp"
+#include "util/timer.hpp"
+
+namespace graphorder {
+
+double
+modularity(const Csr& g, const std::vector<vid_t>& community)
+{
+    const vid_t n = g.num_vertices();
+    const double two_m = g.total_arc_weight();
+    if (two_m == 0)
+        return 0.0;
+    vid_t k = 0;
+    for (vid_t c : community)
+        k = std::max(k, static_cast<vid_t>(c + 1));
+    std::vector<double> in(k, 0.0), tot(k, 0.0);
+    for (vid_t v = 0; v < n; ++v) {
+        const auto nbrs = g.neighbors(v);
+        const auto ws = g.neighbor_weights(v);
+        tot[community[v]] += g.weighted_degree(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            if (community[nbrs[i]] == community[v])
+                in[community[v]] += ws.empty() ? 1.0 : ws[i];
+        }
+    }
+    double q = 0.0;
+    for (vid_t c = 0; c < k; ++c) {
+        q += in[c] / two_m;
+        const double frac = tot[c] / two_m;
+        q -= frac * frac;
+    }
+    return q;
+}
+
+namespace {
+
+/** One level of the Louvain hierarchy. */
+struct LouvainLevel
+{
+    Csr graph;
+    std::vector<weight_t> self_loop; ///< collapsed internal weight per vertex
+};
+
+/** Exact modularity of the level graph under assignment @p comm. */
+double
+level_modularity(const LouvainLevel& lvl, const std::vector<vid_t>& comm,
+                 double two_m)
+{
+    const vid_t n = lvl.graph.num_vertices();
+    std::vector<double> in_c, tot_c;
+    vid_t k = 0;
+    for (vid_t c : comm)
+        k = std::max(k, static_cast<vid_t>(c + 1));
+    in_c.assign(k, 0.0);
+    tot_c.assign(k, 0.0);
+    for (vid_t v = 0; v < n; ++v) {
+        const double kv =
+            lvl.graph.weighted_degree(v) + 2.0 * lvl.self_loop[v];
+        tot_c[comm[v]] += kv;
+        in_c[comm[v]] += 2.0 * lvl.self_loop[v];
+        const auto nbrs = lvl.graph.neighbors(v);
+        const auto ws = lvl.graph.neighbor_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            if (comm[nbrs[i]] == comm[v])
+                in_c[comm[v]] += ws.empty() ? 1.0 : ws[i];
+    }
+    double q = 0.0;
+    for (vid_t c = 0; c < k; ++c) {
+        q += in_c[c] / two_m;
+        const double f = tot_c[c] / two_m;
+        q -= f * f;
+    }
+    return q;
+}
+
+/**
+ * Run one Louvain phase on @p lvl.
+ *
+ * @param[out] comm final community of each level vertex (dense ids after
+ *             return).
+ * @return stats for the phase.
+ */
+LouvainPhaseStats
+run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
+          std::vector<vid_t>& comm, AccessTracer* tracer)
+{
+    const Csr& g = lvl.graph;
+    const vid_t n = g.num_vertices();
+    LouvainPhaseStats stats;
+    stats.num_vertices = n;
+
+    const double two_m = g.total_arc_weight()
+        + 2.0 * std::accumulate(lvl.self_loop.begin(), lvl.self_loop.end(),
+                                weight_t{0});
+    if (two_m == 0) {
+        comm.resize(n);
+        std::iota(comm.begin(), comm.end(), vid_t{0});
+        stats.num_communities = n;
+        return stats;
+    }
+
+    // Initial singleton communities.
+    comm.resize(n);
+    std::iota(comm.begin(), comm.end(), vid_t{0});
+    std::vector<double> k_v(n), tot(n);
+    for (vid_t v = 0; v < n; ++v) {
+        k_v[v] = g.weighted_degree(v) + 2.0 * lvl.self_loop[v];
+        tot[v] = k_v[v];
+    }
+
+    const int threads = opt.num_threads > 0 ? opt.num_threads : 0;
+    const bool traced = tracer != nullptr;
+
+    std::vector<std::uint8_t> active(n, 1), next_active(n, 0);
+    std::uint64_t hot_loads = 0;
+    double busy_time = 0.0;
+    int used_threads = 1;
+
+    stats.modularity_before = level_modularity(lvl, comm, two_m);
+    double q_prev = stats.modularity_before;
+
+    // Vertex visit schedule: one segment in the default (Grappolo's
+    // vertex-parallel) mode; one segment per color class in the
+    // color-synchronized mode, where intra-segment vertices share no
+    // edge and therefore never read a stale neighbor community.
+    std::vector<vid_t> visit(n);
+    std::iota(visit.begin(), visit.end(), vid_t{0});
+    std::vector<std::pair<vid_t, vid_t>> segments; // [begin, end) in visit
+    if (opt.use_coloring && n > 0) {
+        const auto coloring = greedy_coloring(g);
+        std::size_t pos = 0;
+        for (const auto& cls : coloring.classes()) {
+            const auto begin = static_cast<vid_t>(pos);
+            for (vid_t v : cls)
+                visit[pos++] = v;
+            segments.emplace_back(begin, static_cast<vid_t>(pos));
+        }
+    } else {
+        segments.emplace_back(0, n);
+    }
+
+    Timer phase_timer;
+    phase_timer.start();
+
+    for (int iter = 0; iter < opt.max_iterations; ++iter) {
+        Timer iter_timer;
+        iter_timer.start();
+        std::uint64_t iter_loads = 0;
+        std::uint64_t moves = 0;
+        std::fill(next_active.begin(), next_active.end(), 0);
+
+        for (const auto& [seg_begin, seg_end] : segments) {
+        #pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads()) \
+            reduction(+ : iter_loads, moves, busy_time) if (!traced)
+        {
+            #pragma omp single
+            { used_threads = omp_get_num_threads(); }
+
+            const double t_in = omp_get_wtime();
+            // Per-thread scratch: community -> accumulated edge weight.
+            std::vector<double> acc(n, 0.0);
+            std::vector<vid_t> touched;
+            touched.reserve(64);
+
+            #pragma omp for schedule(dynamic, 256)
+            for (vid_t vi = seg_begin; vi < seg_end; ++vi) {
+                const vid_t v = visit[vi];
+                if (!active[v])
+                    continue;
+                const vid_t cur = comm[v];
+                const auto nbrs = g.neighbors(v);
+                const auto ws = g.neighbor_weights(v);
+
+                // Hot routine: gather neighboring community weights.
+                // Loads counted: adjacency entry, comm[], acc slot.
+                for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                    const vid_t u = nbrs[i];
+                    const vid_t cu = comm[u];
+                    const double w = ws.empty() ? 1.0 : ws[i];
+                    if (traced) {
+                        tracer->load(&nbrs[i], sizeof(vid_t));
+                        tracer->load(&comm[u], sizeof(vid_t));
+                        tracer->load(&acc[cu], sizeof(double));
+                    }
+                    if (acc[cu] == 0.0)
+                        touched.push_back(cu);
+                    acc[cu] += w;
+                }
+                iter_loads += 3 * nbrs.size();
+
+                // Best destination community.
+                const double e_cur = acc[cur];
+                double best_score = e_cur - k_v[v] * (tot[cur] - k_v[v])
+                    / two_m;
+                vid_t best = cur;
+                for (vid_t c : touched) {
+                    if (c == cur)
+                        continue;
+                    if (traced)
+                        tracer->load(&tot[c], sizeof(double));
+                    const double score =
+                        acc[c] - k_v[v] * tot[c] / two_m;
+                    if (score > best_score + 1e-12
+                        || (score > best_score - 1e-12 && c < best)) {
+                        best_score = score;
+                        best = c;
+                    }
+                }
+                iter_loads += touched.size();
+
+                for (vid_t c : touched)
+                    acc[c] = 0.0;
+                touched.clear();
+
+                if (best != cur) {
+                    #pragma omp atomic
+                    tot[cur] -= k_v[v];
+                    #pragma omp atomic
+                    tot[best] += k_v[v];
+                    comm[v] = best;
+                    ++moves;
+                    next_active[v] = 1;
+                    for (vid_t u : nbrs)
+                        next_active[u] = 1;
+                }
+            }
+            busy_time += omp_get_wtime() - t_in;
+        }
+        } // segments
+
+        hot_loads += iter_loads;
+        stats.iteration_times_s.push_back(iter_timer.elapsed_s());
+        ++stats.iterations;
+        active.swap(next_active);
+
+        const double q_now = level_modularity(lvl, comm, two_m);
+        const double gain = q_now - q_prev;
+        q_prev = q_now;
+        if (moves == 0 || gain < opt.min_gain)
+            break;
+    }
+
+    stats.phase_time_s = phase_timer.elapsed_s();
+    stats.modularity_after = q_prev;
+    stats.work_per_edge = g.num_arcs() && stats.iterations
+        ? static_cast<double>(hot_loads)
+            / static_cast<double>(g.num_arcs())
+            / static_cast<double>(stats.iterations)
+        : 0.0;
+    stats.work_fraction = stats.phase_time_s > 0
+        ? busy_time / (stats.phase_time_s * used_threads)
+        : 0.0;
+
+    std::vector<vid_t> dense = comm;
+    stats.num_communities = densify_labels(dense);
+    comm = std::move(dense);
+    return stats;
+}
+
+} // namespace
+
+LouvainResult
+louvain(const Csr& g, const LouvainOptions& opt)
+{
+    LouvainResult result;
+    const vid_t n = g.num_vertices();
+    result.community.resize(n);
+    std::iota(result.community.begin(), result.community.end(), vid_t{0});
+    if (n == 0)
+        return result;
+
+    Timer total;
+    total.start();
+
+    LouvainLevel lvl;
+    lvl.graph = g;
+    lvl.self_loop.assign(n, 0.0);
+
+    for (int phase = 0; phase < opt.max_phases; ++phase) {
+        std::vector<vid_t> comm;
+        // Only the first phase sees the input ordering; tracing later
+        // phases would measure a derivative graph (paper's footnote).
+        AccessTracer* tracer = phase == 0 ? opt.tracer : nullptr;
+        auto stats = run_phase(lvl, opt, comm, tracer);
+        const vid_t k = stats.num_communities;
+        result.phases.push_back(stats);
+
+        // Map the level communities back to original vertices.
+        for (vid_t v = 0; v < n; ++v)
+            result.community[v] = comm[result.community[v]];
+        result.num_communities = k;
+
+        const bool contracted = k < lvl.graph.num_vertices();
+        const bool improved =
+            stats.modularity_after > stats.modularity_before + opt.min_gain;
+        if (!contracted || (!improved && phase > 0))
+            break;
+
+        // Contract communities into the next level's vertices.
+        auto coarse = coarsen_by_groups(lvl.graph, comm, k);
+        std::vector<weight_t> new_self(k, 0.0);
+        for (vid_t v = 0; v < lvl.graph.num_vertices(); ++v)
+            new_self[comm[v]] += lvl.self_loop[v];
+        for (vid_t c = 0; c < k; ++c)
+            new_self[c] += coarse.self_weight[c];
+        lvl.graph = std::move(coarse.graph);
+        lvl.self_loop = std::move(new_self);
+    }
+
+    result.modularity = modularity(g, result.community);
+    result.total_time_s = total.elapsed_s();
+    return result;
+}
+
+} // namespace graphorder

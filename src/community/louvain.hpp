@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parallel Louvain community detection — a re-implementation of Grappolo
+ * (Lu, Halappanavar, Kalyanaraman, Parallel Computing 2015), the tool the
+ * paper both benchmarks (§VI-B) and repurposes as an ordering generator
+ * (§III-D).
+ *
+ * The algorithm runs in *phases*; each phase performs *iterations* over
+ * all vertices, greedily moving each vertex to the neighboring community
+ * with the best modularity gain, until the per-iteration modularity gain
+ * drops below a threshold.  The phase then contracts communities into
+ * vertices and the next phase runs on the coarser graph.
+ *
+ * Instrumentation mirrors the paper's Figure 9 heat maps: per-phase and
+ * per-iteration wall time, iteration counts, modularity, parallel work
+ * efficiency ("Work%") and loads-per-edge of the hot routine (which uses
+ * a per-thread map from community id to accumulated edge weight, exactly
+ * the auxiliary structure the paper blames for extra memory traffic).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/** Tuning and instrumentation knobs. */
+struct LouvainOptions
+{
+    /** A phase stops when an iteration improves Q by less than this. */
+    double min_gain = 1e-4;
+    /** Hard cap on iterations per phase. */
+    int max_iterations = 500;
+    /** Hard cap on phases. */
+    int max_phases = 12;
+    /** OpenMP threads (0 = runtime default). */
+    int num_threads = 0;
+    /**
+     * Color-synchronized iterations: process greedy-coloring classes one
+     * after another (vertices within a class share no edge), removing
+     * the stale-neighbor races of the default vertex-parallel schedule —
+     * Grappolo's coloring mode.
+     */
+    bool use_coloring = false;
+    /**
+     * Optional memory tracer: when set, the *first phase's* hot-routine
+     * loads (adjacency, community ids, community weights, scratch map) are
+     * replayed into it.  Tracing forces single-threaded execution so the
+     * address stream is well defined.
+     */
+    AccessTracer* tracer = nullptr;
+};
+
+/** Counters for one phase (the paper reports phase 1). */
+struct LouvainPhaseStats
+{
+    double phase_time_s = 0;
+    std::vector<double> iteration_times_s;
+    int iterations = 0;
+    double modularity_before = 0;
+    double modularity_after = 0;
+    /** Loads in the hot routine divided by number of arcs. */
+    double work_per_edge = 0;
+    /** Parallel efficiency: busy thread time / (threads * wall). */
+    double work_fraction = 0;
+    vid_t num_vertices = 0;
+    vid_t num_communities = 0;
+
+    double avg_iteration_time_s() const
+    {
+        return iterations ? phase_time_s / iterations : 0.0;
+    }
+};
+
+/** Full result of a Louvain run. */
+struct LouvainResult
+{
+    /** Final community of each original vertex, ids dense in [0, k). */
+    std::vector<vid_t> community;
+    vid_t num_communities = 0;
+    double modularity = 0;
+    std::vector<LouvainPhaseStats> phases;
+    double total_time_s = 0;
+};
+
+/** Run parallel Louvain on an undirected (optionally weighted) graph. */
+LouvainResult louvain(const Csr& g, const LouvainOptions& opt = {});
+
+/**
+ * Modularity of a community assignment on @p g (Newman 2006):
+ * Q = sum_c [ in_c / 2m - (tot_c / 2m)^2 ], with in_c twice the internal
+ * edge weight of c.
+ */
+double modularity(const Csr& g, const std::vector<vid_t>& community);
+
+} // namespace graphorder

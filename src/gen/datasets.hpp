@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Registry of the paper's 34 input instances (Table I), realized as
+ * synthetic stand-ins (see DESIGN.md §2 for the substitution rationale).
+ *
+ * Each entry records the paper's reported |V|, |E| and the generator used
+ * to mimic the instance's structural family.  The 25 "small" qualitative
+ * instances are generated at full paper scale; the 9 "large" application
+ * instances accept a down-scale divisor so the application benches finish
+ * on modest machines (the paper used a 224-core, 6 TB node).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/** Structural family of an instance, driving the generator choice. */
+enum class GraphFamily
+{
+    Road,      ///< road / power-grid style sparse lattices
+    Mesh,      ///< finite-element / Delaunay meshes
+    Social,    ///< power-law social networks (R-MAT / BA)
+    HubForest, ///< ego-network dumps dominated by a few huge hubs
+    Community, ///< modular graphs with planted communities (SBM)
+    Web,       ///< internet/web topologies (skewed R-MAT)
+};
+
+/** One Table I instance. */
+struct Dataset
+{
+    std::string name;      ///< paper's instance name (lowercased)
+    GraphFamily family;
+    vid_t paper_vertices;  ///< Table I column 1
+    eid_t paper_edges;     ///< Table I column 2
+    bool large = false;    ///< one of the 9 application instances
+
+    /**
+     * Build the stand-in graph.
+     * @param scale divisor applied to |V| and |E| (1 = paper scale).
+     */
+    std::function<Csr(double scale)> make;
+};
+
+/** The 25 qualitative-analysis instances, in Table I order. */
+const std::vector<Dataset>& small_datasets();
+
+/** The 9 application-analysis instances, in Table I order. */
+const std::vector<Dataset>& large_datasets();
+
+/** Lookup by name across both sets; throws std::out_of_range if absent. */
+const Dataset& dataset_by_name(const std::string& name);
+
+/** Human-readable family name. */
+const char* family_name(GraphFamily f);
+
+} // namespace graphorder

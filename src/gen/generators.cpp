@@ -1,0 +1,377 @@
+#include "gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace graphorder {
+
+namespace {
+
+/** Pick grid dimensions W*H >= n with W/H near 1. */
+std::pair<vid_t, vid_t>
+grid_dims(vid_t n)
+{
+    auto w = static_cast<vid_t>(std::ceil(std::sqrt(double(n))));
+    const vid_t h = (n + w - 1) / w;
+    return {w, h};
+}
+
+} // namespace
+
+Csr
+gen_road(vid_t n, eid_t target_edges, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto [w, h] = grid_dims(n);
+    auto id = [&, w = w](vid_t x, vid_t y) { return y * w + x; };
+
+    // Candidate grid edges among the first n cells.
+    std::vector<Edge> candidates;
+    for (vid_t y = 0; y < h; ++y) {
+        for (vid_t x = 0; x < w; ++x) {
+            const vid_t v = id(x, y);
+            if (v >= n)
+                continue;
+            if (x + 1 < w && id(x + 1, y) < n)
+                candidates.push_back({v, id(x + 1, y), 1.0});
+            if (y + 1 < h && id(x, y + 1) < n)
+                candidates.push_back({v, id(x, y + 1), 1.0});
+        }
+    }
+    shuffle(candidates.begin(), candidates.end(), rng);
+
+    // Kruskal-style spanning tree over shuffled candidates -> random maze.
+    std::vector<vid_t> parent(n);
+    std::iota(parent.begin(), parent.end(), vid_t{0});
+    std::vector<vid_t> rank_uf(n, 0);
+    std::function<vid_t(vid_t)> find = [&](vid_t v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    auto unite = [&](vid_t a, vid_t b) {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return false;
+        if (rank_uf[a] < rank_uf[b])
+            std::swap(a, b);
+        parent[b] = a;
+        if (rank_uf[a] == rank_uf[b])
+            ++rank_uf[a];
+        return true;
+    };
+
+    GraphBuilder b(n);
+    std::vector<Edge> leftovers;
+    for (const auto& e : candidates) {
+        if (unite(e.u, e.v))
+            b.add_edge(e.u, e.v);
+        else
+            leftovers.push_back(e);
+    }
+    // Top up with unused grid edges toward the target count.
+    for (const auto& e : leftovers) {
+        if (b.num_raw_edges() >= target_edges)
+            break;
+        b.add_edge(e.u, e.v);
+    }
+    return b.finalize();
+}
+
+Csr
+gen_mesh(vid_t n, int extra_rings, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto [w, h] = grid_dims(n);
+    auto id = [&, w = w](vid_t x, vid_t y) { return y * w + x; };
+
+    GraphBuilder b(n);
+    for (vid_t y = 0; y < h; ++y) {
+        for (vid_t x = 0; x < w; ++x) {
+            const vid_t v = id(x, y);
+            if (v >= n)
+                continue;
+            if (x + 1 < w && id(x + 1, y) < n)
+                b.add_edge(v, id(x + 1, y));
+            if (y + 1 < h && id(x, y + 1) < n)
+                b.add_edge(v, id(x, y + 1));
+            if (extra_rings >= 0 && x + 1 < w && y + 1 < h) {
+                // One random diagonal per cell: a valid triangulation of
+                // the quad, jittered so the mesh is not perfectly regular.
+                if (rng.next_bool(0.5)) {
+                    if (id(x + 1, y + 1) < n)
+                        b.add_edge(v, id(x + 1, y + 1));
+                } else if (id(x + 1, y) < n && id(x, y + 1) < n) {
+                    b.add_edge(id(x + 1, y), id(x, y + 1));
+                }
+            }
+            // Optional 2-hop stiffeners for denser FE meshes.
+            for (int r = 1; r <= extra_rings; ++r) {
+                const vid_t step = static_cast<vid_t>(r + 1);
+                if (x + step < w && id(x + step, y) < n)
+                    b.add_edge(v, id(x + step, y));
+                if (y + step < h && id(x, y + step) < n)
+                    b.add_edge(v, id(x, y + step));
+            }
+        }
+    }
+    return b.finalize();
+}
+
+Csr
+gen_rmat(vid_t n, eid_t target_edges, double a, double b_, double c,
+         std::uint64_t seed)
+{
+    Rng rng(seed);
+    int scale = 0;
+    while ((vid_t{1} << scale) < n)
+        ++scale;
+
+    GraphBuilder b(n);
+    const eid_t attempts_cap = target_edges * 8; // rejection safety valve
+    eid_t attempts = 0;
+    while (b.num_raw_edges() < target_edges && attempts < attempts_cap) {
+        ++attempts;
+        vid_t u = 0, v = 0;
+        for (int bit = scale - 1; bit >= 0; --bit) {
+            const double r = rng.next_double();
+            if (r < a) {
+                // top-left quadrant: no bits set
+            } else if (r < a + b_) {
+                v |= vid_t{1} << bit;
+            } else if (r < a + b_ + c) {
+                u |= vid_t{1} << bit;
+            } else {
+                u |= vid_t{1} << bit;
+                v |= vid_t{1} << bit;
+            }
+        }
+        if (u >= n || v >= n || u == v)
+            continue;
+        b.add_edge(u, v);
+    }
+    return b.finalize();
+}
+
+Csr
+gen_barabasi_albert(vid_t n, vid_t edges_per_vertex, std::uint64_t seed)
+{
+    Rng rng(seed);
+    const vid_t m0 = std::max<vid_t>(edges_per_vertex, 2);
+    GraphBuilder b(n);
+
+    // Repeated-endpoints list implements preferential attachment in O(1)
+    // per draw.
+    std::vector<vid_t> targets;
+    targets.reserve(static_cast<std::size_t>(n) * edges_per_vertex * 2);
+
+    // Seed clique over the first m0 vertices.
+    for (vid_t u = 0; u < m0 && u < n; ++u) {
+        for (vid_t v = u + 1; v < m0 && v < n; ++v) {
+            b.add_edge(u, v);
+            targets.push_back(u);
+            targets.push_back(v);
+        }
+    }
+    for (vid_t v = m0; v < n; ++v) {
+        for (vid_t e = 0; e < edges_per_vertex; ++e) {
+            const vid_t u = targets.empty()
+                ? static_cast<vid_t>(rng.next_below(v))
+                : targets[rng.next_below(targets.size())];
+            if (u == v)
+                continue;
+            b.add_edge(u, v);
+            targets.push_back(u);
+            targets.push_back(v);
+        }
+    }
+    return b.finalize();
+}
+
+Csr
+gen_watts_strogatz(vid_t n, vid_t k, double beta, std::uint64_t seed)
+{
+    Rng rng(seed);
+    GraphBuilder b(n);
+    const vid_t half = std::max<vid_t>(k / 2, 1);
+    for (vid_t v = 0; v < n; ++v) {
+        for (vid_t j = 1; j <= half; ++j) {
+            vid_t w = (v + j) % n;
+            if (rng.next_bool(beta)) {
+                w = static_cast<vid_t>(rng.next_below(n));
+                if (w == v)
+                    w = (v + j) % n;
+            }
+            b.add_edge(v, w);
+        }
+    }
+    return b.finalize();
+}
+
+Csr
+gen_erdos_renyi(vid_t n, eid_t num_edges, std::uint64_t seed)
+{
+    Rng rng(seed);
+    GraphBuilder b(n);
+    const eid_t cap = num_edges * 4;
+    eid_t tries = 0;
+    while (b.num_raw_edges() < num_edges && tries < cap) {
+        ++tries;
+        const auto u = static_cast<vid_t>(rng.next_below(n));
+        const auto v = static_cast<vid_t>(rng.next_below(n));
+        if (u != v)
+            b.add_edge(u, v);
+    }
+    return b.finalize();
+}
+
+Csr
+gen_sbm(vid_t n, eid_t target_edges, vid_t num_blocks, double intra,
+        std::uint64_t seed)
+{
+    Rng rng(seed);
+    num_blocks = std::max<vid_t>(num_blocks, 1);
+
+    // Power-law block sizes: size_i ~ (i+1)^-0.8, normalized to n.
+    std::vector<double> raw(num_blocks);
+    for (vid_t i = 0; i < num_blocks; ++i)
+        raw[i] = std::pow(double(i + 1), -0.8);
+    const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+    std::vector<vid_t> block_of(n);
+    std::vector<std::vector<vid_t>> members(num_blocks);
+    {
+        vid_t v = 0;
+        for (vid_t i = 0; i < num_blocks && v < n; ++i) {
+            auto sz = static_cast<vid_t>(
+                std::max(1.0, std::round(raw[i] / total * n)));
+            for (vid_t j = 0; j < sz && v < n; ++j, ++v) {
+                block_of[v] = i;
+                members[i].push_back(v);
+            }
+        }
+        for (; v < n; ++v) { // remainder into the last block
+            block_of[v] = num_blocks - 1;
+            members[num_blocks - 1].push_back(v);
+        }
+    }
+
+    // Chung-Lu style intra-block endpoint pick: position j inside a block
+    // is chosen with weight ~ (j+1)^-0.5, giving degree skew inside
+    // communities.
+    auto pick_in_block = [&](vid_t blk) {
+        const auto& mem = members[blk];
+        const double u = rng.next_double();
+        const auto j = static_cast<std::size_t>(
+            (std::pow(u, 2.0)) * static_cast<double>(mem.size()));
+        return mem[std::min(j, mem.size() - 1)];
+    };
+
+    GraphBuilder b(n);
+    const eid_t cap = target_edges * 6;
+    eid_t tries = 0;
+    while (b.num_raw_edges() < target_edges && tries < cap) {
+        ++tries;
+        if (rng.next_bool(intra)) {
+            // Intra edge: block chosen proportional to its size.
+            const vid_t v = static_cast<vid_t>(rng.next_below(n));
+            const vid_t blk = block_of[v];
+            if (members[blk].size() < 2)
+                continue;
+            const vid_t u = pick_in_block(blk);
+            const vid_t w = pick_in_block(blk);
+            if (u != w)
+                b.add_edge(u, w);
+        } else {
+            const auto u = static_cast<vid_t>(rng.next_below(n));
+            const auto w = static_cast<vid_t>(rng.next_below(n));
+            if (u != w)
+                b.add_edge(u, w);
+        }
+    }
+    return b.finalize();
+}
+
+Csr
+gen_social(vid_t n, eid_t target_edges, std::uint64_t seed)
+{
+    Rng rng(seed ^ 0x5CA1AB1E5CA1AB1EULL);
+    // Community backbone.
+    const vid_t blocks = std::max<vid_t>(
+        8, static_cast<vid_t>(std::sqrt(static_cast<double>(n)) / 2.0));
+    const Csr backbone =
+        gen_sbm(n, target_edges * 4 / 5, blocks, 0.85, seed);
+
+    GraphBuilder b(n);
+    for (vid_t v = 0; v < n; ++v)
+        for (vid_t u : backbone.neighbors(v))
+            if (v < u)
+                b.add_edge(v, u);
+
+    // Hub overlay: a handful of celebrities with fans across the graph.
+    const vid_t num_hubs = std::max<vid_t>(2, n / 2000);
+    std::vector<vid_t> hubs;
+    for (vid_t i = 0; i < num_hubs; ++i)
+        hubs.push_back(static_cast<vid_t>(rng.next_below(n)));
+    const eid_t hub_edges = target_edges * 3 / 20;
+    for (eid_t e = 0; e < hub_edges; ++e) {
+        const vid_t hub = hubs[rng.next_below(hubs.size())];
+        const auto fan = static_cast<vid_t>(rng.next_below(n));
+        if (hub != fan)
+            b.add_edge(hub, fan);
+    }
+    // Random long-range noise.
+    const eid_t cap = target_edges * 3;
+    eid_t tries = 0;
+    while (b.num_raw_edges() < target_edges && tries < cap) {
+        ++tries;
+        const auto u = static_cast<vid_t>(rng.next_below(n));
+        const auto v = static_cast<vid_t>(rng.next_below(n));
+        if (u != v)
+            b.add_edge(u, v);
+    }
+    return b.finalize();
+}
+
+Csr
+gen_hub_forest(vid_t n, eid_t target_edges, vid_t num_hubs,
+               std::uint64_t seed)
+{
+    Rng rng(seed);
+    num_hubs = std::max<vid_t>(num_hubs, 1);
+    GraphBuilder b(n);
+
+    // Scatter hub ids across the range (ego dumps have hubs anywhere).
+    std::vector<vid_t> hubs;
+    for (vid_t i = 0; i < num_hubs; ++i)
+        hubs.push_back(static_cast<vid_t>(rng.next_below(n)));
+
+    // ~75% of edges fan out of hubs (geometric split over hubs), rest
+    // random noise.
+    const eid_t fan_edges = target_edges * 3 / 4;
+    for (eid_t e = 0; e < fan_edges; ++e) {
+        const vid_t hub = hubs[rng.next_below(hubs.size())];
+        const auto leaf = static_cast<vid_t>(rng.next_below(n));
+        if (hub != leaf)
+            b.add_edge(hub, leaf);
+    }
+    const eid_t cap = target_edges * 6;
+    eid_t tries = 0;
+    while (b.num_raw_edges() < target_edges && tries < cap) {
+        ++tries;
+        const auto u = static_cast<vid_t>(rng.next_below(n));
+        const auto v = static_cast<vid_t>(rng.next_below(n));
+        if (u != v)
+            b.add_edge(u, v);
+    }
+    return b.finalize();
+}
+
+} // namespace graphorder

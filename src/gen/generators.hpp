@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic synthetic graph generators.
+ *
+ * The paper evaluates on 34 real graphs from KONECT and the DIMACS-10
+ * collection.  Those files are not redistributable here, so each instance
+ * is replaced by a generator from the same structural family (see
+ * DESIGN.md §2).  All generators take an explicit seed and produce the
+ * same graph on every platform.  Generated graphs are undirected and
+ * simple; generators aim at a target edge count but may land a few percent
+ * off after deduplication (real RMAT behaves the same way).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+
+/**
+ * Road-network-like graph: a W x H grid thinned to a connected skeleton.
+ * A random spanning tree of the grid guarantees connectivity; remaining
+ * grid edges are added at random until ~target_edges.  Produces the long
+ * paths / tiny degrees / huge diameters characteristic of road networks.
+ */
+Csr gen_road(vid_t num_vertices, eid_t target_edges, std::uint64_t seed);
+
+/**
+ * Finite-element-style triangulated mesh on a jittered W x H grid:
+ * 4-neighbor grid edges plus one diagonal per cell (degree <= 6), then
+ * @p extra_rings of 2-hop "stiffening" edges to reach denser meshes like
+ * wing_nodal.  extra_rings = -1 drops the diagonals (quad mesh, deg ~4,
+ * like cs4).
+ */
+Csr gen_mesh(vid_t num_vertices, int extra_rings, std::uint64_t seed);
+
+/**
+ * R-MAT (Chakrabarti et al.) power-law graph over the smallest 2^k >= n,
+ * with edges touching ids >= n rejected.  Partition probabilities (a,b,c)
+ * control skew; (0.57,0.19,0.19) is the Graph500 social-network setting.
+ */
+Csr gen_rmat(vid_t num_vertices, eid_t target_edges, double a, double b,
+             double c, std::uint64_t seed);
+
+/** Barabási–Albert preferential attachment with @p edges_per_vertex. */
+Csr gen_barabasi_albert(vid_t num_vertices, vid_t edges_per_vertex,
+                        std::uint64_t seed);
+
+/** Watts–Strogatz small world: ring of degree @p k, rewire prob @p beta. */
+Csr gen_watts_strogatz(vid_t num_vertices, vid_t k, double beta,
+                       std::uint64_t seed);
+
+/** Erdős–Rényi G(n, m): m distinct uniform edges. */
+Csr gen_erdos_renyi(vid_t num_vertices, eid_t num_edges, std::uint64_t seed);
+
+/**
+ * Community-rich graph: a stochastic block model whose block sizes follow
+ * a power law and whose intra-block endpoints are drawn Chung-Lu style
+ * (degree skew inside communities).  Fraction @p intra of edges falls
+ * inside blocks — the structure Louvain/Grappolo/Rabbit exploit.
+ */
+Csr gen_sbm(vid_t num_vertices, eid_t target_edges, vid_t num_blocks,
+            double intra, std::uint64_t seed);
+
+/**
+ * Star-forest-plus-noise: a few huge hubs with leaf fans plus random
+ * edges — mimics ego-network dumps (Facebook NIPS, Google+) whose max
+ * degree is a large fraction of n.
+ */
+Csr gen_hub_forest(vid_t num_vertices, eid_t target_edges, vid_t num_hubs,
+                   std::uint64_t seed);
+
+/**
+ * Social network: SBM community backbone (~80% of edges, power-law block
+ * sizes) overlaid with a hub fan-out (~15%) and random noise (~5%).
+ * Real social graphs (YouTube, LiveJournal, Orkut) combine exactly these
+ * two traits — strong modularity (Louvain Q ~ 0.6-0.7) *and* extreme
+ * degree skew — which neither pure R-MAT nor pure SBM reproduces.
+ */
+Csr gen_social(vid_t num_vertices, eid_t target_edges, std::uint64_t seed);
+
+} // namespace graphorder

@@ -1,0 +1,86 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphorder {
+
+GraphBuilder::GraphBuilder(vid_t num_vertices) : n_(num_vertices) {}
+
+void
+GraphBuilder::add_edge(vid_t u, vid_t v, weight_t w)
+{
+    if (u >= n_ || v >= n_)
+        throw std::out_of_range("GraphBuilder::add_edge: vertex id >= n");
+    if (u == v)
+        return; // simple graphs only
+    edges_.push_back({u, v, w});
+}
+
+bool
+GraphBuilder::has_edge_slow(vid_t u, vid_t v) const
+{
+    for (const auto& e : edges_)
+        if ((e.u == u && e.v == v) || (e.u == v && e.v == u))
+            return true;
+    return false;
+}
+
+Csr
+GraphBuilder::finalize(bool weighted) const
+{
+    // Symmetrize into directed arcs, normalizing each undirected edge so
+    // duplicates collapse after sorting.
+    struct Arc
+    {
+        vid_t src, dst;
+        weight_t w;
+    };
+    std::vector<Arc> arcs;
+    arcs.reserve(edges_.size() * 2);
+    for (const auto& e : edges_) {
+        arcs.push_back({e.u, e.v, e.w});
+        arcs.push_back({e.v, e.u, e.w});
+    }
+    std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
+        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    // Deduplicate keeping the first weight.
+    std::vector<Arc> dedup;
+    dedup.reserve(arcs.size());
+    for (const auto& a : arcs) {
+        if (!dedup.empty() && dedup.back().src == a.src
+            && dedup.back().dst == a.dst) {
+            continue;
+        }
+        dedup.push_back(a);
+    }
+
+    std::vector<eid_t> offsets(n_ + 1, 0);
+    for (const auto& a : dedup)
+        ++offsets[a.src + 1];
+    for (vid_t v = 0; v < n_; ++v)
+        offsets[v + 1] += offsets[v];
+
+    std::vector<vid_t> adjacency(dedup.size());
+    std::vector<weight_t> weights;
+    if (weighted)
+        weights.resize(dedup.size());
+    for (std::size_t i = 0; i < dedup.size(); ++i) {
+        adjacency[i] = dedup[i].dst;
+        if (weighted)
+            weights[i] = dedup[i].w;
+    }
+    return Csr(std::move(offsets), std::move(adjacency), std::move(weights));
+}
+
+Csr
+build_csr(vid_t num_vertices, const std::vector<Edge>& edges, bool weighted)
+{
+    GraphBuilder b(num_vertices);
+    for (const auto& e : edges)
+        b.add_edge(e.u, e.v, e.w);
+    return b.finalize(weighted);
+}
+
+} // namespace graphorder

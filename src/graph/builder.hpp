@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Edge-list accumulation and conversion to CSR.
+ *
+ * Generators and file loaders emit (u, v[, w]) tuples in arbitrary order;
+ * the builder deduplicates, symmetrizes and drops self loops, matching the
+ * preprocessing the paper applies (undirected simple graphs).
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+/** A single undirected edge with optional weight. */
+struct Edge
+{
+    vid_t u = 0;
+    vid_t v = 0;
+    weight_t w = 1.0;
+};
+
+/** Mutable edge accumulator; finalize() produces an immutable Csr. */
+class GraphBuilder
+{
+  public:
+    /** @param num_vertices fixed vertex-count of the graph under build. */
+    explicit GraphBuilder(vid_t num_vertices);
+
+    vid_t num_vertices() const { return n_; }
+
+    /** Number of raw (possibly duplicate) edges added so far. */
+    std::size_t num_raw_edges() const { return edges_.size(); }
+
+    /**
+     * Add an undirected edge; self loops are silently dropped, duplicates
+     * are removed at finalize() (keeping the first weight seen).
+     */
+    void add_edge(vid_t u, vid_t v, weight_t w = 1.0);
+
+    /** True if (u,v) was already added (linear in edges added; test use). */
+    bool has_edge_slow(vid_t u, vid_t v) const;
+
+    /**
+     * Build the CSR: symmetrize, sort neighbor lists, deduplicate.
+     * @param weighted keep weights (otherwise an unweighted Csr is built).
+     */
+    Csr finalize(bool weighted = false) const;
+
+  private:
+    vid_t n_;
+    std::vector<Edge> edges_;
+};
+
+/** Convenience: build an unweighted CSR straight from an edge vector. */
+Csr build_csr(vid_t num_vertices, const std::vector<Edge>& edges,
+              bool weighted = false);
+
+} // namespace graphorder

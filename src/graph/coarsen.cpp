@@ -1,0 +1,85 @@
+#include "graph/coarsen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace graphorder {
+
+vid_t
+densify_labels(std::vector<vid_t>& labels)
+{
+    std::unordered_map<vid_t, vid_t> remap;
+    remap.reserve(labels.size());
+    vid_t next = 0;
+    for (auto& l : labels) {
+        auto [it, inserted] = remap.emplace(l, next);
+        if (inserted)
+            ++next;
+        l = it->second;
+    }
+    return next;
+}
+
+CoarseGraph
+coarsen_by_groups(const Csr& g, const std::vector<vid_t>& group,
+                  vid_t num_groups)
+{
+    const vid_t n = g.num_vertices();
+    if (group.size() != n)
+        throw std::invalid_argument("coarsen: group map size mismatch");
+
+    CoarseGraph out;
+    out.self_weight.assign(num_groups, 0);
+    out.group_size.assign(num_groups, 0);
+    for (vid_t v = 0; v < n; ++v) {
+        if (group[v] >= num_groups)
+            throw std::invalid_argument("coarsen: group id out of range");
+        ++out.group_size[group[v]];
+    }
+
+    // Accumulate inter-group weights group by group using a scratch map
+    // keyed by destination group; avoids a full hash of (src,dst) pairs.
+    std::vector<std::vector<vid_t>> members(num_groups);
+    for (vid_t v = 0; v < n; ++v)
+        members[group[v]].push_back(v);
+
+    std::vector<eid_t> offsets(num_groups + 1, 0);
+    std::vector<vid_t> adjacency;
+    std::vector<weight_t> weights;
+    std::unordered_map<vid_t, weight_t> acc;
+
+    for (vid_t gc = 0; gc < num_groups; ++gc) {
+        acc.clear();
+        for (vid_t v : members[gc]) {
+            const auto nbrs = g.neighbors(v);
+            const auto ws = g.neighbor_weights(v);
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const weight_t w = ws.empty() ? 1.0 : ws[i];
+                const vid_t dg = group[nbrs[i]];
+                if (dg == gc)
+                    out.self_weight[gc] += w; // both arc directions counted
+                else
+                    acc[dg] += w;
+            }
+        }
+        std::vector<std::pair<vid_t, weight_t>> sorted(acc.begin(),
+                                                       acc.end());
+        std::sort(sorted.begin(), sorted.end());
+        for (const auto& [dg, w] : sorted) {
+            adjacency.push_back(dg);
+            weights.push_back(w);
+        }
+        offsets[gc + 1] = adjacency.size();
+    }
+    // Intra-group weight was accumulated once per arc; halve to undirected
+    // convention (w(e) per undirected internal edge counted twice).
+    for (auto& w : out.self_weight)
+        w /= 2.0;
+
+    out.graph =
+        Csr(std::move(offsets), std::move(adjacency), std::move(weights));
+    return out;
+}
+
+} // namespace graphorder

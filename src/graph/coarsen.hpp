@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Graph contraction by a vertex->group map.
+ *
+ * Used in three places that mirror the paper: Louvain's phase compaction
+ * (communities become vertices of the next-level graph), the Grappolo-RCM
+ * ordering (RCM runs on the community coarsened graph), and the multilevel
+ * partitioner (matching-based coarsening).
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+/** Result of contracting a graph by a group map. */
+struct CoarseGraph
+{
+    /** Weighted graph over groups; self-loop weight excluded. */
+    Csr graph;
+    /** Total internal (intra-group) edge weight per group (self loops). */
+    std::vector<weight_t> self_weight;
+    /** Number of fine vertices in each group. */
+    std::vector<vid_t> group_size;
+};
+
+/**
+ * Contract @p g by @p group (vertex -> group id, ids must be dense in
+ * [0, num_groups)).  Parallel edges between groups are merged with weights
+ * accumulated; intra-group weight is reported separately in self_weight
+ * (Louvain needs it for modularity bookkeeping).
+ */
+CoarseGraph coarsen_by_groups(const Csr& g, const std::vector<vid_t>& group,
+                              vid_t num_groups);
+
+/**
+ * Renumber an arbitrary labeling to dense ids [0, k); returns k.
+ * Label order of first appearance is preserved.
+ */
+vid_t densify_labels(std::vector<vid_t>& labels);
+
+} // namespace graphorder

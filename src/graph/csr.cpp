@@ -1,0 +1,68 @@
+#include "graph/csr.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace graphorder {
+
+Csr::Csr(std::vector<eid_t> offsets, std::vector<vid_t> adjacency,
+         std::vector<weight_t> weights)
+    : offsets_(std::move(offsets)),
+      adjacency_(std::move(adjacency)),
+      weights_(std::move(weights))
+{
+    if (offsets_.empty())
+        throw std::invalid_argument("Csr: offsets must have >= 1 entry");
+    if (offsets_.front() != 0)
+        throw std::invalid_argument("Csr: offsets[0] != 0");
+    if (offsets_.back() != adjacency_.size())
+        throw std::invalid_argument("Csr: offsets.back() != |adjacency|");
+    if (!weights_.empty() && weights_.size() != adjacency_.size())
+        throw std::invalid_argument("Csr: |weights| != |adjacency|");
+}
+
+weight_t
+Csr::total_arc_weight() const
+{
+    if (weights_.empty())
+        return static_cast<weight_t>(adjacency_.size());
+    return std::accumulate(weights_.begin(), weights_.end(), weight_t{0});
+}
+
+weight_t
+Csr::weighted_degree(vid_t v) const
+{
+    if (weights_.empty())
+        return static_cast<weight_t>(degree(v));
+    weight_t acc = 0;
+    for (eid_t e = offsets_[v]; e < offsets_[v + 1]; ++e)
+        acc += weights_[e];
+    return acc;
+}
+
+bool
+Csr::has_edge(vid_t u, vid_t v) const
+{
+    // Scan the shorter adjacency list.
+    if (degree(u) > degree(v))
+        std::swap(u, v);
+    for (vid_t w : neighbors(u))
+        if (w == v)
+            return true;
+    return false;
+}
+
+bool
+Csr::check_invariants() const
+{
+    const vid_t n = num_vertices();
+    for (vid_t v = 0; v < n; ++v)
+        if (offsets_[v + 1] < offsets_[v])
+            return false;
+    for (vid_t w : adjacency_)
+        if (w >= n)
+            return false;
+    return true;
+}
+
+} // namespace graphorder

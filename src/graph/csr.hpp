@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Immutable compressed-sparse-row (CSR) graph.
+ *
+ * This is the data structure whose memory layout the whole paper is about:
+ * reordering vertices permutes both the index array and the adjacency
+ * array, which changes the spatial locality of neighbor scans.  The graph
+ * is undirected and stored symmetrically (each edge appears in both
+ * endpoints' adjacency lists); |E| counts undirected edges, so the
+ * adjacency array has 2|E| entries.
+ */
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+/** Immutable undirected graph in CSR form, optionally edge-weighted. */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /**
+     * Construct from raw CSR arrays.
+     *
+     * @param offsets size n+1, offsets[0] == 0, non-decreasing.
+     * @param adjacency size offsets[n]; neighbor lists need not be sorted.
+     * @param weights empty (unweighted) or same size as adjacency.
+     */
+    Csr(std::vector<eid_t> offsets, std::vector<vid_t> adjacency,
+        std::vector<weight_t> weights = {});
+
+    /** Number of vertices. */
+    vid_t num_vertices() const
+    {
+        return offsets_.empty()
+            ? 0 : static_cast<vid_t>(offsets_.size() - 1);
+    }
+
+    /** Number of undirected edges (adjacency entries / 2). */
+    eid_t num_edges() const { return adjacency_.size() / 2; }
+
+    /** Number of directed adjacency entries (2|E|). */
+    eid_t num_arcs() const { return adjacency_.size(); }
+
+    /** Degree of vertex @p v. */
+    vid_t degree(vid_t v) const
+    {
+        return static_cast<vid_t>(offsets_[v + 1] - offsets_[v]);
+    }
+
+    /** Neighbors of @p v as a read-only span. */
+    std::span<const vid_t> neighbors(vid_t v) const
+    {
+        return {adjacency_.data() + offsets_[v],
+                adjacency_.data() + offsets_[v + 1]};
+    }
+
+    /** Edge weights parallel to neighbors(v); empty if unweighted. */
+    std::span<const weight_t> neighbor_weights(vid_t v) const
+    {
+        if (weights_.empty())
+            return {};
+        return {weights_.data() + offsets_[v],
+                weights_.data() + offsets_[v + 1]};
+    }
+
+    bool weighted() const { return !weights_.empty(); }
+
+    /** Sum of weights of all adjacency entries (2x total edge weight). */
+    weight_t total_arc_weight() const;
+
+    /** Weighted degree of @p v (= degree if unweighted). */
+    weight_t weighted_degree(vid_t v) const;
+
+    /** Raw arrays, for kernels that stream them directly. */
+    const std::vector<eid_t>& offsets() const { return offsets_; }
+    const std::vector<vid_t>& adjacency() const { return adjacency_; }
+    const std::vector<weight_t>& weights() const { return weights_; }
+
+    /** True if @p u and @p v are adjacent (linear scan of shorter list). */
+    bool has_edge(vid_t u, vid_t v) const;
+
+    /** Verify structural invariants; returns false on corruption. */
+    bool check_invariants() const;
+
+  private:
+    std::vector<eid_t> offsets_;
+    std::vector<vid_t> adjacency_;
+    std::vector<weight_t> weights_;
+};
+
+} // namespace graphorder

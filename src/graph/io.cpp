@@ -1,0 +1,119 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.hpp"
+
+namespace graphorder {
+
+Csr
+read_edge_list(std::istream& in, bool weighted)
+{
+    std::vector<Edge> edges;
+    std::unordered_map<std::uint64_t, vid_t> compact;
+    auto intern = [&](std::uint64_t raw) {
+        auto [it, fresh] =
+            compact.emplace(raw, static_cast<vid_t>(compact.size()));
+        (void)fresh;
+        return it->second;
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t u, v;
+        if (!(ls >> u >> v))
+            continue;
+        double w = 1.0;
+        if (weighted)
+            ls >> w;
+        const vid_t cu = intern(u);
+        const vid_t cv = intern(v);
+        if (cu != cv)
+            edges.push_back({cu, cv, w});
+    }
+    return build_csr(static_cast<vid_t>(compact.size()), edges, weighted);
+}
+
+Csr
+load_edge_list(const std::string& path, bool weighted)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open edge list: " + path);
+    return read_edge_list(in, weighted);
+}
+
+void
+write_edge_list(std::ostream& out, const Csr& g)
+{
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t w : g.neighbors(v))
+            if (v < w)
+                out << v << ' ' << w << '\n';
+}
+
+Csr
+read_metis(std::istream& in)
+{
+    std::string line;
+    // Header: skip comments (%).
+    do {
+        if (!std::getline(in, line))
+            throw std::runtime_error("metis: missing header");
+    } while (!line.empty() && line[0] == '%');
+
+    std::istringstream hs(line);
+    std::uint64_t n = 0, m = 0;
+    if (!(hs >> n >> m))
+        throw std::runtime_error("metis: bad header");
+    std::uint64_t fmt = 0;
+    hs >> fmt;
+    if (fmt != 0)
+        throw std::runtime_error("metis: only fmt 0 supported");
+
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::uint64_t v = 0; v < n; ++v) {
+        if (!std::getline(in, line))
+            throw std::runtime_error("metis: truncated file");
+        if (!line.empty() && line[0] == '%') {
+            --v; // comment line does not consume a vertex
+            continue;
+        }
+        std::istringstream ls(line);
+        std::uint64_t w;
+        while (ls >> w) {
+            if (w == 0 || w > n)
+                throw std::runtime_error("metis: neighbor id out of range");
+            if (v < w - 1)
+                edges.push_back({static_cast<vid_t>(v),
+                                 static_cast<vid_t>(w - 1), 1.0});
+        }
+    }
+    return build_csr(static_cast<vid_t>(n), edges, false);
+}
+
+void
+write_metis(std::ostream& out, const Csr& g)
+{
+    out << g.num_vertices() << ' ' << g.num_edges() << '\n';
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        bool first = true;
+        for (vid_t w : g.neighbors(v)) {
+            if (!first)
+                out << ' ';
+            out << (w + 1);
+            first = false;
+        }
+        out << '\n';
+    }
+}
+
+} // namespace graphorder

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text I/O for graphs: whitespace-separated edge lists (the common format
+ * of KONECT / SNAP dumps) and the METIS graph format used by the DIMACS
+ * challenge instances.  Lets users run the harness on real downloads of
+ * the paper's datasets when available.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/**
+ * Parse an edge list: one "u v [w]" pair per line, '#' or '%' comments.
+ * Vertex ids may be arbitrary non-negative integers; they are compacted
+ * to [0, n).  Graph is treated as undirected and simple.
+ */
+Csr read_edge_list(std::istream& in, bool weighted = false);
+
+/** Load an edge list from a file path. @throws std::runtime_error. */
+Csr load_edge_list(const std::string& path, bool weighted = false);
+
+/** Write "u v" per undirected edge (u < v). */
+void write_edge_list(std::ostream& out, const Csr& g);
+
+/**
+ * Parse METIS .graph format: header "n m [fmt]", then line i holds the
+ * 1-based neighbors of vertex i.  Only unweighted (fmt 0) is supported.
+ */
+Csr read_metis(std::istream& in);
+
+/** Write METIS .graph format. */
+void write_metis(std::ostream& out, const Csr& g);
+
+} // namespace graphorder

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Vertex permutations (orderings) and their application to graphs.
+ *
+ * Following the paper's notation, an ordering Pi maps each vertex id to its
+ * *rank* (new id) in [0, n).  The natural order is the identity.  Applying
+ * Pi to a graph relabels every vertex v as Pi(v) and rebuilds the CSR so
+ * that subsequent computations see the reordered memory layout.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+class Rng;
+
+/** A bijection V -> [0, n): rank(v) is the new id of old vertex v. */
+class Permutation
+{
+  public:
+    Permutation() = default;
+
+    /** Identity permutation over @p n vertices. */
+    static Permutation identity(vid_t n);
+
+    /** From an explicit rank vector (old id -> new id). */
+    static Permutation from_ranks(std::vector<vid_t> ranks);
+
+    /**
+     * From an order vector: order[k] is the old id placed at rank k.
+     * This is the inverse representation of ranks.
+     */
+    static Permutation from_order(const std::vector<vid_t>& order);
+
+    vid_t size() const { return static_cast<vid_t>(ranks_.size()); }
+
+    /** New id (rank) of old vertex @p v. */
+    vid_t rank(vid_t v) const { return ranks_[v]; }
+
+    /** Whole rank vector. */
+    const std::vector<vid_t>& ranks() const { return ranks_; }
+
+    /** order()[k] = old id at rank k (computed on demand). */
+    std::vector<vid_t> order() const;
+
+    /** Inverse permutation (rank -> old id becomes old id -> rank). */
+    Permutation inverse() const;
+
+    /** Composition: result.rank(v) == outer.rank(this->rank(v)). */
+    Permutation then(const Permutation& outer) const;
+
+    /** True iff ranks form a bijection onto [0, n). */
+    bool is_valid() const;
+
+  private:
+    std::vector<vid_t> ranks_;
+};
+
+/** Rebuild @p g with vertex v relabeled to pi.rank(v); weights preserved. */
+Csr apply_permutation(const Csr& g, const Permutation& pi);
+
+/** Uniformly random permutation (the paper's "random" scheme). */
+Permutation random_permutation(vid_t n, Rng& rng);
+
+} // namespace graphorder

@@ -1,0 +1,113 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "graph/traversal.hpp"
+
+namespace graphorder {
+
+std::uint64_t
+count_triangles(const Csr& g)
+{
+    // Orient edges from lower-degree to higher-degree endpoint (ties by
+    // id) and intersect forward-neighbor lists: the standard
+    // degree-ordered counting that visits each triangle exactly once.
+    const vid_t n = g.num_vertices();
+    auto precedes = [&](vid_t a, vid_t b) {
+        const vid_t da = g.degree(a), db = g.degree(b);
+        return da != db ? da < db : a < b;
+    };
+    std::vector<std::vector<vid_t>> fwd(n);
+    for (vid_t v = 0; v < n; ++v) {
+        for (vid_t w : g.neighbors(v))
+            if (precedes(v, w))
+                fwd[v].push_back(w);
+        std::sort(fwd[v].begin(), fwd[v].end());
+    }
+    std::uint64_t count = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        for (vid_t w : fwd[v]) {
+            // |fwd[v] ∩ fwd[w]| by sorted merge.
+            auto it1 = fwd[v].begin();
+            auto it2 = fwd[w].begin();
+            while (it1 != fwd[v].end() && it2 != fwd[w].end()) {
+                if (*it1 < *it2) {
+                    ++it1;
+                } else if (*it2 < *it1) {
+                    ++it2;
+                } else {
+                    ++count;
+                    ++it1;
+                    ++it2;
+                }
+            }
+        }
+    }
+    return count;
+}
+
+GraphStats
+compute_stats(const Csr& g, bool with_triangles)
+{
+    GraphStats s;
+    s.num_vertices = g.num_vertices();
+    s.num_edges = g.num_edges();
+
+    const vid_t n = g.num_vertices();
+    double sum = 0.0, sum2 = 0.0;
+    for (vid_t v = 0; v < n; ++v) {
+        const double d = g.degree(v);
+        s.max_degree = std::max(s.max_degree, g.degree(v));
+        sum += d;
+        sum2 += d * d;
+    }
+    if (n > 0) {
+        s.mean_degree = sum / n;
+        const double var = sum2 / n - s.mean_degree * s.mean_degree;
+        s.degree_stddev = std::sqrt(std::max(var, 0.0));
+    }
+
+    connected_components(g, &s.num_components);
+
+    if (with_triangles && n > 0) {
+        s.triangles = count_triangles(g);
+        // Average local clustering: for each vertex, triangles through it
+        // over deg*(deg-1)/2.  Recomputed per vertex with a marker array.
+        std::vector<std::uint8_t> mark(n, 0);
+        double acc = 0.0;
+        for (vid_t v = 0; v < n; ++v) {
+            const auto nbrs = g.neighbors(v);
+            if (nbrs.size() < 2)
+                continue;
+            for (vid_t w : nbrs)
+                mark[w] = 1;
+            std::uint64_t links = 0;
+            for (vid_t w : nbrs)
+                for (vid_t x : g.neighbors(w))
+                    if (x != v && mark[x])
+                        ++links;
+            for (vid_t w : nbrs)
+                mark[w] = 0;
+            const double d = static_cast<double>(nbrs.size());
+            acc += static_cast<double>(links) / (d * (d - 1.0));
+        }
+        s.avg_clustering = acc / n;
+    }
+    return s;
+}
+
+std::string
+to_string(const GraphStats& s)
+{
+    std::ostringstream os;
+    os << "n=" << s.num_vertices << " m=" << s.num_edges
+       << " maxdeg=" << s.max_degree << " meandeg=" << s.mean_degree
+       << " sd=" << s.degree_stddev << " tri=" << s.triangles
+       << " cc=" << s.avg_clustering << " comps=" << s.num_components;
+    return os.str();
+}
+
+} // namespace graphorder

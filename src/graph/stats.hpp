@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Whole-graph statistics reported in Table I of the paper: vertex/edge
+ * counts, maximum degree, standard deviation of degrees, plus the
+ * connectivity indicators the paper mentions (triangle count, average
+ * clustering coefficient).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/** Table I style statistics for a graph. */
+struct GraphStats
+{
+    vid_t num_vertices = 0;
+    eid_t num_edges = 0;
+    vid_t max_degree = 0;       ///< Delta in Table I
+    double mean_degree = 0.0;
+    double degree_stddev = 0.0; ///< "Std Dev" column in Table I
+    std::uint64_t triangles = 0;
+    double avg_clustering = 0.0;
+    vid_t num_components = 0;
+};
+
+/**
+ * Compute statistics.
+ * @param with_triangles triangle counting is O(sum deg^1.5-ish); disable
+ *        for very large graphs when only degree stats are needed.
+ */
+GraphStats compute_stats(const Csr& g, bool with_triangles = true);
+
+/** Count triangles (each counted once) by sorted-adjacency merge. */
+std::uint64_t count_triangles(const Csr& g);
+
+/** Render one stats row: "n=... m=... maxdeg=... sd=...". */
+std::string to_string(const GraphStats& s);
+
+} // namespace graphorder

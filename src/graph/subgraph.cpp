@@ -1,0 +1,70 @@
+#include "graph/subgraph.hpp"
+
+#include <stdexcept>
+
+namespace graphorder {
+
+namespace {
+
+Subgraph
+extract(const Csr& g, const std::vector<vid_t>& members,
+        std::vector<vid_t>& to_sub)
+{
+    Subgraph sg;
+    sg.to_parent = members;
+    const vid_t ns = static_cast<vid_t>(members.size());
+    for (vid_t sv = 0; sv < ns; ++sv) {
+        if (to_sub[members[sv]] != kNoVertex)
+            throw std::invalid_argument("induced_subgraph: duplicate id");
+        to_sub[members[sv]] = sv;
+    }
+
+    const bool weighted = g.weighted();
+    std::vector<eid_t> offsets(ns + 1, 0);
+    std::vector<vid_t> adjacency;
+    std::vector<weight_t> weights;
+    for (vid_t sv = 0; sv < ns; ++sv) {
+        const vid_t v = members[sv];
+        const auto nbrs = g.neighbors(v);
+        const auto ws = g.neighbor_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const vid_t su = to_sub[nbrs[i]];
+            if (su == kNoVertex)
+                continue;
+            adjacency.push_back(su);
+            if (weighted)
+                weights.push_back(ws[i]);
+        }
+        offsets[sv + 1] = adjacency.size();
+    }
+    // Reset the scratch map for the caller.
+    for (vid_t v : members)
+        to_sub[v] = kNoVertex;
+    sg.graph =
+        Csr(std::move(offsets), std::move(adjacency), std::move(weights));
+    return sg;
+}
+
+} // namespace
+
+Subgraph
+induced_subgraph(const Csr& g, const std::vector<std::uint8_t>& keep)
+{
+    if (keep.size() != g.num_vertices())
+        throw std::invalid_argument("induced_subgraph: mask size");
+    std::vector<vid_t> members;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        if (keep[v])
+            members.push_back(v);
+    std::vector<vid_t> to_sub(g.num_vertices(), kNoVertex);
+    return extract(g, members, to_sub);
+}
+
+Subgraph
+induced_subgraph(const Csr& g, const std::vector<vid_t>& members)
+{
+    std::vector<vid_t> to_sub(g.num_vertices(), kNoVertex);
+    return extract(g, members, to_sub);
+}
+
+} // namespace graphorder

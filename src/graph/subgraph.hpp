@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Induced-subgraph extraction.
+ *
+ * Used by recursive bisection, nested dissection and the hybrid ordering
+ * engine, and part of the public API (community-wise analysis needs it).
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+/** A subgraph together with its mapping back to the parent ids. */
+struct Subgraph
+{
+    Csr graph;
+    /** to_parent[sub id] = parent id. */
+    std::vector<vid_t> to_parent;
+};
+
+/**
+ * Extract the subgraph induced by the vertices with @p keep[v] != 0.
+ * Edge weights are preserved when the parent graph is weighted.
+ * Sub ids follow parent-id order.
+ */
+Subgraph induced_subgraph(const Csr& g,
+                          const std::vector<std::uint8_t>& keep);
+
+/** Extract the subgraph induced by an explicit member list (parent-id
+ *  order is taken from the list, which must be duplicate-free). */
+Subgraph induced_subgraph(const Csr& g, const std::vector<vid_t>& members);
+
+} // namespace graphorder

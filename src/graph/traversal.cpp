@@ -1,0 +1,101 @@
+#include "graph/traversal.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace graphorder {
+
+BfsResult
+bfs(const Csr& g, vid_t source)
+{
+    const vid_t n = g.num_vertices();
+    BfsResult r;
+    r.distance.assign(n, BfsResult::kUnreached);
+    r.visit_order.reserve(64);
+
+    std::deque<vid_t> queue;
+    queue.push_back(source);
+    r.distance[source] = 0;
+    while (!queue.empty()) {
+        const vid_t v = queue.front();
+        queue.pop_front();
+        r.visit_order.push_back(v);
+        r.max_distance = std::max(r.max_distance, r.distance[v]);
+        for (vid_t w : g.neighbors(v)) {
+            if (r.distance[w] == BfsResult::kUnreached) {
+                r.distance[w] = r.distance[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return r;
+}
+
+std::vector<vid_t>
+connected_components(const Csr& g, vid_t* num_components)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> comp(n, kNoVertex);
+    vid_t next = 0;
+    std::vector<vid_t> stack;
+    for (vid_t s = 0; s < n; ++s) {
+        if (comp[s] != kNoVertex)
+            continue;
+        comp[s] = next;
+        stack.push_back(s);
+        while (!stack.empty()) {
+            const vid_t v = stack.back();
+            stack.pop_back();
+            for (vid_t w : g.neighbors(v)) {
+                if (comp[w] == kNoVertex) {
+                    comp[w] = next;
+                    stack.push_back(w);
+                }
+            }
+        }
+        ++next;
+    }
+    if (num_components)
+        *num_components = next;
+    return comp;
+}
+
+std::vector<vid_t>
+component_sizes(const std::vector<vid_t>& comp, vid_t num_components)
+{
+    std::vector<vid_t> sizes(num_components, 0);
+    for (vid_t c : comp)
+        ++sizes[c];
+    return sizes;
+}
+
+vid_t
+pseudo_peripheral_vertex(const Csr& g, vid_t start)
+{
+    vid_t current = start;
+    auto r = bfs(g, current);
+    vid_t ecc = r.max_distance;
+    for (int iter = 0; iter < 16; ++iter) { // converges in a few rounds
+        // Among the last BFS level, take a minimum-degree vertex.
+        vid_t best = kNoVertex;
+        for (vid_t v : r.visit_order) {
+            if (r.distance[v] != ecc)
+                continue;
+            if (best == kNoVertex || g.degree(v) < g.degree(best))
+                best = v;
+        }
+        if (best == kNoVertex)
+            break;
+        auto r2 = bfs(g, best);
+        if (r2.max_distance <= ecc) {
+            current = best;
+            break;
+        }
+        current = best;
+        ecc = r2.max_distance;
+        r = std::move(r2);
+    }
+    return current;
+}
+
+} // namespace graphorder

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Graph traversal primitives: BFS, connected components, and the
+ * pseudo-peripheral vertex heuristic (George & Liu) used as the RCM and
+ * nested-dissection start-vertex selector.
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+/** Result of a BFS from a single source. */
+struct BfsResult
+{
+    /** distance[v] = hops from source, or kUnreached. */
+    std::vector<vid_t> distance;
+    /** Vertices in visit order. */
+    std::vector<vid_t> visit_order;
+    /** Eccentricity of the source within its component. */
+    vid_t max_distance = 0;
+
+    static constexpr vid_t kUnreached = kNoVertex;
+};
+
+/** Breadth-first search from @p source. */
+BfsResult bfs(const Csr& g, vid_t source);
+
+/**
+ * Connected components via repeated BFS.
+ * @return component id per vertex, ids in [0, num_components).
+ */
+std::vector<vid_t> connected_components(const Csr& g,
+                                        vid_t* num_components = nullptr);
+
+/** Sizes of each component given the labeling from connected_components. */
+std::vector<vid_t> component_sizes(const std::vector<vid_t>& comp,
+                                   vid_t num_components);
+
+/**
+ * Pseudo-peripheral vertex of the component containing @p start:
+ * repeatedly BFS to the farthest minimum-degree vertex in the last level
+ * until eccentricity stops growing.
+ */
+vid_t pseudo_peripheral_vertex(const Csr& g, vid_t start);
+
+} // namespace graphorder

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fundamental integer types for graph entities.
+ *
+ * Vertices are 32-bit (the paper's largest instance, Orkut, has 3.07M
+ * vertices; 32 bits leave ample headroom), edge offsets are 64-bit so CSR
+ * index arrays never overflow even for multi-billion-edge graphs.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace graphorder {
+
+/** Vertex identifier, in [0, n). */
+using vid_t = std::uint32_t;
+
+/** Edge offset / edge count. */
+using eid_t = std::uint64_t;
+
+/** Edge weight. */
+using weight_t = double;
+
+/** Sentinel for "no vertex". */
+inline constexpr vid_t kNoVertex = static_cast<vid_t>(-1);
+
+} // namespace graphorder

@@ -1,0 +1,287 @@
+#include "influence/imm.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "memsim/cache.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace graphorder {
+
+namespace {
+
+/**
+ * One RRR set: stochastic reverse BFS from @p root.  On an undirected
+ * graph reverse reachability equals forward reachability, so this is a
+ * BFS where, under IC, each edge is crossed with probability p, and under
+ * LT each visited vertex follows exactly one uniformly random neighbor.
+ */
+void
+generate_rrr(const Csr& g, const ImmOptions& opt, vid_t root, Rng& rng,
+             std::vector<vid_t>& out, std::vector<std::uint32_t>& visited,
+             std::uint32_t stamp, AccessTracer* tracer)
+{
+    out.clear();
+    if (opt.model == DiffusionModel::LinearThreshold) {
+        // Random walk until a repeat: each step picks one in-neighbor.
+        vid_t cur = root;
+        visited[cur] = stamp;
+        out.push_back(cur);
+        while (true) {
+            const auto nbrs = g.neighbors(cur);
+            if (tracer)
+                tracer->load(&visited[cur], sizeof(std::uint32_t));
+            if (nbrs.empty())
+                break;
+            const vid_t nxt = nbrs[rng.next_below(nbrs.size())];
+            if (tracer)
+                tracer->load(&nbrs[0], sizeof(vid_t));
+            if (visited[nxt] == stamp)
+                break;
+            visited[nxt] = stamp;
+            out.push_back(nxt);
+            cur = nxt;
+        }
+        return;
+    }
+
+    // Independent Cascade: probabilistic BFS.
+    std::size_t head = 0;
+    visited[root] = stamp;
+    out.push_back(root);
+    while (head < out.size()) {
+        const vid_t v = out[head++];
+        const auto nbrs = g.neighbors(v);
+        if (tracer)
+            tracer->load(nbrs.data(), sizeof(vid_t));
+        for (const vid_t u : nbrs) {
+            if (tracer) {
+                tracer->load(&u, sizeof(vid_t));
+                tracer->load(&visited[u], sizeof(std::uint32_t));
+            }
+            if (visited[u] == stamp)
+                continue;
+            if (rng.next_double() < opt.edge_probability) {
+                visited[u] = stamp;
+                out.push_back(u);
+            }
+        }
+    }
+}
+
+double
+log_binomial(double n, double k)
+{
+    return std::lgamma(n + 1) - std::lgamma(k + 1) - std::lgamma(n - k + 1);
+}
+
+} // namespace
+
+void
+sample_rrr_sets(const Csr& g, const ImmOptions& opt, std::uint64_t count,
+                std::vector<std::vector<vid_t>>& sets,
+                std::uint64_t stream_offset)
+{
+    const vid_t n = g.num_vertices();
+    if (n == 0 || count == 0)
+        return;
+    const std::size_t base = sets.size();
+    sets.resize(base + count);
+
+    const bool traced = opt.tracer != nullptr;
+    const int threads = traced
+        ? 1
+        : (opt.num_threads > 0 ? opt.num_threads : omp_get_max_threads());
+
+    #pragma omp parallel num_threads(threads)
+    {
+        // Per-thread deterministic stream: sample index keys the RNG, so
+        // results are independent of scheduling and thread count.
+        std::vector<std::uint32_t> visited(n, 0);
+        std::uint32_t stamp = 0;
+        std::vector<vid_t> scratch;
+
+        #pragma omp for schedule(dynamic, 64)
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Rng rng(opt.seed ^ (0x9E3779B97F4A7C15ULL
+                                * (stream_offset + i + 1)));
+            ++stamp;
+            if (stamp == 0) { // wrapped: reset the stamp array
+                std::fill(visited.begin(), visited.end(), 0);
+                stamp = 1;
+            }
+            const vid_t root = static_cast<vid_t>(rng.next_below(n));
+            generate_rrr(g, opt, root, rng, scratch, visited, stamp,
+                         opt.tracer);
+            sets[base + i] = scratch;
+        }
+    }
+}
+
+std::vector<vid_t>
+greedy_max_coverage(vid_t num_vertices,
+                    const std::vector<std::vector<vid_t>>& sets, vid_t k,
+                    double* covered_fraction)
+{
+    // Inverted index: vertex -> ids of RRR sets containing it.
+    std::vector<std::uint32_t> count(num_vertices, 0);
+    for (const auto& s : sets)
+        for (vid_t v : s)
+            ++count[v];
+    std::vector<std::vector<std::uint32_t>> index(num_vertices);
+    for (std::uint32_t si = 0; si < sets.size(); ++si)
+        for (vid_t v : sets[si])
+            index[v].push_back(si);
+
+    std::vector<std::uint8_t> set_covered(sets.size(), 0);
+    std::vector<vid_t> seeds;
+    std::uint64_t covered = 0;
+    for (vid_t round = 0; round < k && round < num_vertices; ++round) {
+        vid_t best = 0;
+        for (vid_t v = 1; v < num_vertices; ++v)
+            if (count[v] > count[best])
+                best = v;
+        seeds.push_back(best);
+        for (std::uint32_t si : index[best]) {
+            if (set_covered[si])
+                continue;
+            set_covered[si] = 1;
+            ++covered;
+            for (vid_t u : sets[si])
+                --count[u];
+        }
+    }
+    if (covered_fraction) {
+        *covered_fraction = sets.empty()
+            ? 0.0
+            : static_cast<double>(covered)
+                / static_cast<double>(sets.size());
+    }
+    return seeds;
+}
+
+ImmResult
+imm(const Csr& g, const ImmOptions& opt)
+{
+    ImmResult result;
+    const vid_t n = g.num_vertices();
+    if (n == 0)
+        return result;
+    const vid_t k = std::min<vid_t>(std::max<vid_t>(opt.num_seeds, 1), n);
+
+    Timer total;
+    total.start();
+
+    const double dn = static_cast<double>(n);
+    const double eps = opt.epsilon;
+    const double eps_p = eps * std::sqrt(2.0);
+    const double log_n = std::log(dn);
+    const double log_nk = log_binomial(dn, k);
+
+    // lambda' of Tang et al. (Eq. 9), driving the LB estimation rounds.
+    const double lambda_p = (2.0 + 2.0 / 3.0 * eps_p)
+        * (log_nk + opt.ell * log_n + std::log(std::max(
+               1.0, std::log2(dn))))
+        * dn / (eps_p * eps_p);
+
+    std::vector<std::vector<vid_t>> sets;
+    double lb = 1.0;
+    Timer sampling;
+    sampling.start();
+    double sampling_time = 0.0;
+
+    const int max_rounds =
+        std::max(1, static_cast<int>(std::log2(std::max(2.0, dn))) - 1);
+    for (int i = 1; i <= max_rounds; ++i) {
+        const double x = dn / std::pow(2.0, i);
+        const auto theta_i = static_cast<std::uint64_t>(
+            std::min(static_cast<double>(opt.max_samples),
+                     std::ceil(lambda_p / x)));
+        if (sets.size() < theta_i) {
+            sampling.start();
+            sample_rrr_sets(g, opt, theta_i - sets.size(), sets,
+                            sets.size());
+            sampling_time += sampling.elapsed_s();
+        }
+        double frac = 0.0;
+        greedy_max_coverage(n, sets, k, &frac);
+        if (dn * frac >= (1.0 + eps_p) * x) {
+            lb = dn * frac / (1.0 + eps_p);
+            break;
+        }
+        lb = std::max(lb, x / 2.0); // loop exhausted: fall back to x
+    }
+
+    // lambda* of Tang et al. (Eq. 6): final sample count theta.
+    const double e_const = std::exp(1.0);
+    const double alpha = std::sqrt(opt.ell * log_n + std::log(2.0));
+    const double beta = std::sqrt(
+        (1.0 - 1.0 / e_const) * (log_nk + opt.ell * log_n + std::log(2.0)));
+    const double lambda_star = 2.0 * dn
+        * std::pow((1.0 - 1.0 / e_const) * alpha + beta, 2.0)
+        / (eps * eps);
+    const auto theta = static_cast<std::uint64_t>(
+        std::min(static_cast<double>(opt.max_samples),
+                 std::ceil(lambda_star / lb)));
+    if (sets.size() < theta) {
+        sampling.start();
+        sample_rrr_sets(g, opt, theta - sets.size(), sets, sets.size());
+        sampling_time += sampling.elapsed_s();
+    }
+
+    Timer selection;
+    selection.start();
+    double frac = 0.0;
+    result.seeds = greedy_max_coverage(n, sets, k, &frac);
+    result.stats.selection_time_s = selection.elapsed_s();
+
+    result.stats.num_rrr_sets = sets.size();
+    for (const auto& s : sets)
+        result.stats.total_visited += s.size();
+    result.stats.sampling_time_s = sampling_time;
+    result.stats.estimated_spread = dn * frac;
+    result.stats.total_time_s = total.elapsed_s();
+    return result;
+}
+
+double
+simulate_ic_spread(const Csr& g, const std::vector<vid_t>& seeds, double p,
+                   int trials, std::uint64_t seed)
+{
+    const vid_t n = g.num_vertices();
+    if (n == 0 || seeds.empty() || trials <= 0)
+        return 0.0;
+    Rng rng(seed);
+    std::vector<std::uint32_t> visited(n, 0);
+    std::uint32_t stamp = 0;
+    std::vector<vid_t> frontier;
+    double total = 0.0;
+    for (int t = 0; t < trials; ++t) {
+        ++stamp;
+        frontier.clear();
+        for (vid_t s : seeds) {
+            if (visited[s] != stamp) {
+                visited[s] = stamp;
+                frontier.push_back(s);
+            }
+        }
+        std::size_t head = 0;
+        while (head < frontier.size()) {
+            const vid_t v = frontier[head++];
+            for (vid_t u : g.neighbors(v)) {
+                if (visited[u] != stamp && rng.next_double() < p) {
+                    visited[u] = stamp;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        total += static_cast<double>(frontier.size());
+    }
+    return total / trials;
+}
+
+} // namespace graphorder

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Influence maximization via IMM (Tang, Shi, Xiao — SIGMOD 2015), the
+ * algorithm behind Ripples, the application profiled in §VI-C of the
+ * paper.
+ *
+ * The core computational task — and the paper's profiling hotspot — is
+ * Sampling: generating a large collection of Reverse Reachability (RRR)
+ * sets by running stochastic BFS traversals from random roots.  Under the
+ * Independent Cascade model each edge is crossed with probability p (the
+ * paper reports p = 0.25); under the Linear Threshold model each step
+ * follows a single uniformly chosen neighbor.  Seeds are then selected by
+ * greedy maximum coverage over the RRR sets, with IMM's martingale-based
+ * stopping rule deciding how many sets are needed.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/** Diffusion process simulated during sampling. */
+enum class DiffusionModel
+{
+    IndependentCascade, ///< each edge activates independently with prob. p
+    LinearThreshold,    ///< uniform edge weights 1/deg(v)
+};
+
+/** IMM options. */
+struct ImmOptions
+{
+    vid_t num_seeds = 20;          ///< k, size of the seed set
+    double epsilon = 0.5;          ///< approximation slack of IMM
+    double ell = 1.0;              ///< failure-probability exponent (n^-ell)
+    double edge_probability = 0.25;///< IC activation probability
+    DiffusionModel model = DiffusionModel::IndependentCascade;
+    int num_threads = 0;           ///< 0 = OpenMP default
+    std::uint64_t seed = 2020;
+    /** Cap on RRR sets (safety valve for tiny epsilon on big graphs). */
+    std::uint64_t max_samples = 1ULL << 22;
+    /**
+     * Optional tracer replaying the RRR-generation hotspot loads
+     * (frontier pops, adjacency scans, visited-flag probes) into the
+     * cache simulator; forces single-threaded sampling.
+     */
+    AccessTracer* tracer = nullptr;
+};
+
+/** Counters matching the paper's Figures 11/12 measurements. */
+struct ImmStats
+{
+    std::uint64_t num_rrr_sets = 0;
+    std::uint64_t total_visited = 0;  ///< sum of RRR set sizes
+    double sampling_time_s = 0;
+    double selection_time_s = 0;
+    double total_time_s = 0;
+    double estimated_spread = 0;      ///< expected influence of the seeds
+
+    /** RRR sets generated per second — the paper's throughput metric. */
+    double sampling_throughput() const
+    {
+        return sampling_time_s > 0 ? num_rrr_sets / sampling_time_s : 0.0;
+    }
+};
+
+/** Result of an IMM run. */
+struct ImmResult
+{
+    std::vector<vid_t> seeds;
+    ImmStats stats;
+};
+
+/** Run IMM on an undirected graph. */
+ImmResult imm(const Csr& g, const ImmOptions& opt = {});
+
+/**
+ * Generate @p count RRR sets (appended to @p sets); exposed for tests and
+ * for throughput-only benchmarking without the full IMM loop.
+ */
+void sample_rrr_sets(const Csr& g, const ImmOptions& opt,
+                     std::uint64_t count,
+                     std::vector<std::vector<vid_t>>& sets,
+                     std::uint64_t stream_offset = 0);
+
+/**
+ * Greedy maximum coverage: pick @p k vertices covering the most RRR sets.
+ * @param[out] covered_fraction fraction of sets covered by the result.
+ */
+std::vector<vid_t> greedy_max_coverage(
+    vid_t num_vertices, const std::vector<std::vector<vid_t>>& sets,
+    vid_t k, double* covered_fraction = nullptr);
+
+/**
+ * Monte-Carlo forward simulation of the IC process — ground truth for
+ * tests: expected number of vertices activated by @p seeds.
+ */
+double simulate_ic_spread(const Csr& g, const std::vector<vid_t>& seeds,
+                          double p, int trials, std::uint64_t seed);
+
+} // namespace graphorder

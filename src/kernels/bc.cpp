@@ -1,0 +1,87 @@
+#include "kernels/bc.hpp"
+
+#include <algorithm>
+
+#include "memsim/cache.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace graphorder {
+
+BcResult
+betweenness_centrality(const Csr& g, const BcOptions& opt)
+{
+    const vid_t n = g.num_vertices();
+    BcResult res;
+    res.centrality.assign(n, 0.0);
+    if (n == 0)
+        return res;
+
+    Timer timer;
+    timer.start();
+
+    // Source selection: all vertices (exact) or a random sample.
+    std::vector<vid_t> sources;
+    if (opt.num_sources == 0 || opt.num_sources >= n) {
+        sources.resize(n);
+        for (vid_t v = 0; v < n; ++v)
+            sources[v] = v;
+    } else {
+        Rng rng(opt.seed);
+        std::vector<vid_t> all(n);
+        for (vid_t v = 0; v < n; ++v)
+            all[v] = v;
+        shuffle(all.begin(), all.end(), rng);
+        sources.assign(all.begin(), all.begin() + opt.num_sources);
+    }
+
+    std::vector<vid_t> order;           // BFS visit order (the "stack")
+    std::vector<std::int64_t> dist(n, -1);
+    std::vector<double> sigma(n, 0.0);  // shortest-path counts
+    std::vector<double> delta(n, 0.0);  // dependencies
+    AccessTracer* tracer = opt.tracer;
+
+    for (vid_t s : sources) {
+        order.clear();
+        std::fill(dist.begin(), dist.end(), -1);
+        std::fill(sigma.begin(), sigma.end(), 0.0);
+        std::fill(delta.begin(), delta.end(), 0.0);
+
+        dist[s] = 0;
+        sigma[s] = 1.0;
+        order.push_back(s);
+        for (std::size_t head = 0; head < order.size(); ++head) {
+            const vid_t v = order[head];
+            for (const vid_t u : g.neighbors(v)) {
+                if (tracer) {
+                    tracer->load(&u, sizeof(vid_t));
+                    tracer->load(&dist[u], sizeof(std::int64_t));
+                }
+                ++res.edges_traversed;
+                if (dist[u] < 0) {
+                    dist[u] = dist[v] + 1;
+                    order.push_back(u);
+                }
+                if (dist[u] == dist[v] + 1)
+                    sigma[u] += sigma[v];
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        for (std::size_t i = order.size(); i-- > 1;) {
+            const vid_t w = order[i];
+            for (const vid_t v : g.neighbors(w)) {
+                if (dist[v] == dist[w] - 1 && sigma[w] > 0) {
+                    delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+                }
+            }
+            res.centrality[w] += delta[w];
+        }
+    }
+    // Undirected graphs count each path twice.
+    for (auto& c : res.centrality)
+        c /= 2.0;
+    res.total_time_s = timer.elapsed_s();
+    return res;
+}
+
+} // namespace graphorder

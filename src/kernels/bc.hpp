@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Betweenness centrality (Brandes' algorithm) — third member of the
+ * prototypical kernel suite of the lightweight-reordering studies cited
+ * by the paper (§VI).
+ *
+ * Exact BC is O(nm); for the ordering benches a sampled variant (BFS +
+ * dependency accumulation from K random sources) gives the same access
+ * pattern at bounded cost, which is the standard practice in the
+ * reordering literature.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/** Betweenness-centrality options. */
+struct BcOptions
+{
+    /** Number of source samples (0 = exact, all sources). */
+    vid_t num_sources = 32;
+    std::uint64_t seed = 1;
+    AccessTracer* tracer = nullptr;
+};
+
+/** Result of a BC run. */
+struct BcResult
+{
+    std::vector<double> centrality;
+    double total_time_s = 0;
+    std::uint64_t edges_traversed = 0;
+};
+
+/** Brandes BC on an unweighted graph (sampled when num_sources > 0). */
+BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {});
+
+} // namespace graphorder

@@ -1,0 +1,42 @@
+#include "kernels/packing.hpp"
+
+#include <unordered_set>
+
+namespace graphorder {
+
+PackingAnalysis
+packing_analysis(const Csr& g, const Permutation& pi, unsigned entry_bytes,
+                 unsigned line_bytes, double degree_threshold)
+{
+    PackingAnalysis out;
+    const vid_t n = g.num_vertices();
+    if (n == 0)
+        return out;
+    const double cut = degree_threshold > 0.0
+        ? degree_threshold
+        : static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+    const unsigned per_line = std::max(1u, line_bytes / entry_bytes);
+
+    std::unordered_set<std::uint64_t> lines;
+    eid_t hub_arcs = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        if (static_cast<double>(g.degree(v)) > cut) {
+            ++out.num_hubs;
+            hub_arcs += g.degree(v);
+            lines.insert(pi.rank(v) / per_line);
+        }
+    }
+    out.hub_fraction = static_cast<double>(out.num_hubs) / n;
+    out.lines_touched = lines.size();
+    out.lines_packed = (out.num_hubs + per_line - 1) / per_line;
+    out.packing_factor = out.lines_packed
+        ? static_cast<double>(out.lines_touched)
+            / static_cast<double>(out.lines_packed)
+        : 0.0;
+    out.hub_arc_fraction = g.num_arcs()
+        ? static_cast<double>(hub_arcs) / static_cast<double>(g.num_arcs())
+        : 0.0;
+    return out;
+}
+
+} // namespace graphorder

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Packing-factor analysis (Balaji & Lucia, IISWC 2018), the amenability
+ * criterion the paper cites for the lightweight hub schemes (§III-B:
+ * lightweight techniques help "provided the input graph is amenable to
+ * Degree Sort reordering (satisfies certain characteristics like
+ * 'Packing Factor')").
+ *
+ * The packing factor of a layout is the ratio between the number of
+ * cache lines that hold at least one hub vertex's data under that layout
+ * and the minimum number of lines the hubs would occupy if packed
+ * contiguously.  A high packing factor means hub data is scattered —
+ * exactly the situation Hub Sort / Hub Clustering fix.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Result of a packing analysis. */
+struct PackingAnalysis
+{
+    vid_t num_hubs = 0;
+    double hub_fraction = 0;        ///< hubs / n
+    std::uint64_t lines_touched = 0;///< lines holding >= 1 hub
+    std::uint64_t lines_packed = 0; ///< ceil(hubs * entry / line)
+    double packing_factor = 0;      ///< touched / packed (>= 1)
+    /** Fraction of all arc endpoints that point at hubs — how "hot" the
+     *  hub working set is. */
+    double hub_arc_fraction = 0;
+};
+
+/**
+ * Analyze the hub layout of @p g under ordering @p pi.
+ * @param entry_bytes per-vertex payload size (8 = one double).
+ * @param line_bytes cache line size.
+ * @param degree_threshold hub cutoff (0 = average degree).
+ */
+PackingAnalysis packing_analysis(const Csr& g, const Permutation& pi,
+                                 unsigned entry_bytes = 8,
+                                 unsigned line_bytes = 64,
+                                 double degree_threshold = 0.0);
+
+} // namespace graphorder

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PageRank — one of the "standard suite of prototypical graph operations"
+ * (paper §VI) on which prior reordering studies (Balaji & Lucia 2018;
+ * Faldu et al. 2019; Wei et al. 2016) are based.  Included so this
+ * repository can reproduce the lightweight-reordering methodology of
+ * those studies alongside the paper's two applications.
+ *
+ * Pull-based power iteration: rank'(v) = (1-d)/n + d * sum_u rank(u)/deg(u)
+ * over in-neighbors u (in == out for undirected graphs).  The pull loop's
+ * rank[u] indirection is exactly the access pattern vertex reordering is
+ * meant to tame, and can be traced into the cache simulator.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/** PageRank options. */
+struct PageRankOptions
+{
+    double damping = 0.85;
+    double tolerance = 1e-8; ///< L1 change per vertex to stop
+    int max_iterations = 100;
+    AccessTracer* tracer = nullptr; ///< trace the pull loop's loads
+};
+
+/** PageRank result with iteration statistics. */
+struct PageRankResult
+{
+    std::vector<double> rank;
+    int iterations = 0;
+    double total_time_s = 0;
+    double time_per_iteration_s() const
+    {
+        return iterations ? total_time_s / iterations : 0.0;
+    }
+};
+
+/** Run pull-based PageRank on an undirected graph. */
+PageRankResult pagerank(const Csr& g, const PageRankOptions& opt = {});
+
+} // namespace graphorder

@@ -1,0 +1,128 @@
+#include "kernels/sssp.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "memsim/cache.hpp"
+#include "util/timer.hpp"
+
+namespace graphorder {
+
+namespace {
+
+inline double
+edge_weight(const Csr& g, vid_t v, std::size_t i)
+{
+    const auto ws = g.neighbor_weights(v);
+    return ws.empty() ? 1.0 : ws[i];
+}
+
+} // namespace
+
+SsspResult
+sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
+{
+    const vid_t n = g.num_vertices();
+    SsspResult res;
+    res.distance.assign(n, SsspResult::kInf);
+    if (n == 0)
+        return res;
+
+    Timer timer;
+    timer.start();
+    using Entry = std::pair<double, vid_t>; // (distance, vertex)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    res.distance[source] = 0.0;
+    heap.emplace(0.0, source);
+    while (!heap.empty()) {
+        const auto [dist, v] = heap.top();
+        heap.pop();
+        if (dist > res.distance[v])
+            continue; // stale entry
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const vid_t u = nbrs[i];
+            const double cand = dist + edge_weight(g, v, i);
+            if (tracer) {
+                tracer->load(&u, sizeof(vid_t));
+                tracer->load(&res.distance[u], sizeof(double));
+            }
+            ++res.edges_relaxed;
+            if (cand < res.distance[u]) {
+                res.distance[u] = cand;
+                heap.emplace(cand, u);
+            }
+        }
+    }
+    res.total_time_s = timer.elapsed_s();
+    return res;
+}
+
+SsspResult
+sssp_delta_stepping(const Csr& g, vid_t source, double delta,
+                    AccessTracer* tracer)
+{
+    const vid_t n = g.num_vertices();
+    SsspResult res;
+    res.distance.assign(n, SsspResult::kInf);
+    if (n == 0)
+        return res;
+
+    if (delta <= 0.0) {
+        // Default: mean edge weight (1.0 for unweighted graphs).
+        delta = g.num_arcs()
+            ? g.total_arc_weight() / static_cast<double>(g.num_arcs())
+            : 1.0;
+        if (delta <= 0.0)
+            delta = 1.0;
+    }
+
+    Timer timer;
+    timer.start();
+    std::vector<std::vector<vid_t>> buckets(1);
+    auto bucket_of = [&](double d) {
+        return static_cast<std::size_t>(d / delta);
+    };
+    auto push = [&](vid_t v, double d) {
+        const std::size_t b = bucket_of(d);
+        if (b >= buckets.size())
+            buckets.resize(b + 1);
+        buckets[b].push_back(v);
+    };
+
+    res.distance[source] = 0.0;
+    push(source, 0.0);
+    std::vector<vid_t> current;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        // Re-scan the bucket until it stops refilling (light edges can
+        // re-insert into the current bucket).
+        while (!buckets[b].empty()) {
+            current.swap(buckets[b]);
+            buckets[b].clear();
+            for (vid_t v : current) {
+                const double dv = res.distance[v];
+                if (bucket_of(dv) != b)
+                    continue; // settled in an earlier bucket since
+                const auto nbrs = g.neighbors(v);
+                for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                    const vid_t u = nbrs[i];
+                    const double cand = dv + edge_weight(g, v, i);
+                    if (tracer) {
+                        tracer->load(&u, sizeof(vid_t));
+                        tracer->load(&res.distance[u], sizeof(double));
+                    }
+                    ++res.edges_relaxed;
+                    if (cand < res.distance[u]) {
+                        res.distance[u] = cand;
+                        push(u, cand);
+                    }
+                }
+            }
+            current.clear();
+        }
+    }
+    res.total_time_s = timer.elapsed_s();
+    return res;
+}
+
+} // namespace graphorder

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Single-source shortest paths — second member of the prototypical
+ * kernel suite used by the lightweight-reordering studies the paper
+ * builds on (paper §VI: "PageRank, Single Source Shortest Paths, and
+ * Betweenness Centrality").
+ *
+ * Two algorithms:
+ *  - Dijkstra with a binary heap (weighted graphs; unit weights when the
+ *    graph is unweighted), and
+ *  - delta-stepping (bucketed relaxation) — the parallel-friendly variant
+ *    used by high-performance frameworks; here it serves as an
+ *    alternative access pattern for the ordering study.
+ */
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/** Result of an SSSP run. */
+struct SsspResult
+{
+    std::vector<double> distance; ///< +inf for unreachable
+    std::uint64_t edges_relaxed = 0;
+    double total_time_s = 0;
+
+    static constexpr double kInf = std::numeric_limits<double>::infinity();
+};
+
+/** Dijkstra with a binary heap. @p tracer sees the relaxation loads. */
+SsspResult sssp_dijkstra(const Csr& g, vid_t source,
+                         AccessTracer* tracer = nullptr);
+
+/** Delta-stepping. @p delta bucket width (0 = mean edge weight). */
+SsspResult sssp_delta_stepping(const Csr& g, vid_t source,
+                               double delta = 0.0,
+                               AccessTracer* tracer = nullptr);
+
+} // namespace graphorder

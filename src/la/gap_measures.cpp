@@ -1,0 +1,94 @@
+#include "la/gap_measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace graphorder {
+
+vid_t
+edge_gap(const Permutation& pi, vid_t i, vid_t j)
+{
+    const vid_t ri = pi.rank(i);
+    const vid_t rj = pi.rank(j);
+    return ri > rj ? ri - rj : rj - ri;
+}
+
+GapMetrics
+compute_gap_metrics(const Csr& g, const Permutation& pi)
+{
+    const vid_t n = g.num_vertices();
+    if (pi.size() != n)
+        throw std::invalid_argument("gap metrics: permutation size");
+
+    GapMetrics m;
+    double sum_gap = 0.0, sum_log = 0.0, sum_bw = 0.0, envelope = 0.0;
+    vid_t max_gap = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        vid_t bw_v = 0;
+        const vid_t rv = pi.rank(v);
+        vid_t leftmost = rv;
+        for (vid_t w : g.neighbors(v)) {
+            const vid_t gap = edge_gap(pi, v, w);
+            bw_v = std::max(bw_v, gap);
+            leftmost = std::min(leftmost, pi.rank(w));
+            if (v < w) { // count each undirected edge once
+                sum_gap += gap;
+                sum_log += std::log2(1.0 + gap);
+            }
+        }
+        envelope += static_cast<double>(rv - leftmost);
+        sum_bw += bw_v;
+        max_gap = std::max(max_gap, bw_v);
+    }
+    m.envelope = envelope;
+    const double me = static_cast<double>(std::max<eid_t>(g.num_edges(), 1));
+    m.total_gap = sum_gap;
+    m.avg_gap = sum_gap / me;
+    m.log_gap = sum_log / me;
+    m.bandwidth = max_gap;
+    m.avg_bandwidth = n ? sum_bw / static_cast<double>(n) : 0.0;
+    return m;
+}
+
+GapMetrics
+compute_gap_metrics(const Csr& g)
+{
+    return compute_gap_metrics(g, Permutation::identity(g.num_vertices()));
+}
+
+std::vector<double>
+gap_profile(const Csr& g, const Permutation& pi)
+{
+    std::vector<double> gaps;
+    gaps.reserve(g.num_edges());
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t w : g.neighbors(v))
+            if (v < w)
+                gaps.push_back(static_cast<double>(edge_gap(pi, v, w)));
+    return gaps;
+}
+
+std::vector<vid_t>
+vertex_bandwidths(const Csr& g, const Permutation& pi)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> bw(n, 0);
+    for (vid_t v = 0; v < n; ++v)
+        for (vid_t w : g.neighbors(v))
+            bw[v] = std::max(bw[v], edge_gap(pi, v, w));
+    return bw;
+}
+
+GapDistribution
+gap_distribution(const Csr& g, const Permutation& pi)
+{
+    GapDistribution d;
+    auto gaps = gap_profile(g, pi);
+    for (double x : gaps)
+        d.histogram.add(x);
+    d.summary = summarize(std::move(gaps));
+    return d;
+}
+
+} // namespace graphorder

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Linear-arrangement "gap" measures (paper §II-A).
+ *
+ * For an ordering Pi of an undirected graph G=(V,E):
+ *
+ *  - gap of an edge (i,j):        xi(i,j) = |Pi(i) - Pi(j)|
+ *  - average gap profile:         xi_hat  = (1/|E|) * sum_E xi(i,j)
+ *  - vertex bandwidth:            beta_i  = max_{j in N(i)} xi(i,j)
+ *  - graph bandwidth:             beta    = max_E xi(i,j)
+ *  - average graph bandwidth:     beta_hat= (1/|V|) * sum_V beta_v
+ *  - log-gap (MinLogA objective): (1/|E|) * sum_E log2(1 + xi(i,j))
+ *
+ * Lower is better for all of them.  RCM targets beta; partition/community
+ * schemes target xi_hat; MinLogA matters for compression.
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+#include "util/stats.hpp"
+
+namespace graphorder {
+
+/** All global gap metrics for one (graph, ordering) pair. */
+struct GapMetrics
+{
+    double avg_gap = 0.0;       ///< xi_hat, average linear arrangement gap
+    vid_t bandwidth = 0;        ///< beta, graph bandwidth (max gap)
+    double avg_bandwidth = 0.0; ///< beta_hat, mean vertex bandwidth
+    double log_gap = 0.0;       ///< MinLogA-style mean log2(1+gap)
+    double total_gap = 0.0;     ///< sum of gaps (MinLA objective)
+    /**
+     * Matrix envelope (a.k.a. profile): sum over vertices of the
+     * distance from each row's diagonal to its leftmost nonzero,
+     * sum_v max(0, rank(v) - min_{u in N(v)} rank(u)).  The storage cost
+     * of an envelope/skyline Cholesky factorization — the quantity RCM
+     * was originally built to shrink (George & Liu 1981).
+     */
+    double envelope = 0.0;
+};
+
+/** Gap of a single edge under @p pi. */
+vid_t edge_gap(const Permutation& pi, vid_t i, vid_t j);
+
+/** Compute all global gap metrics of @p g under @p pi. */
+GapMetrics compute_gap_metrics(const Csr& g, const Permutation& pi);
+
+/** Metrics of the natural (identity) order of @p g. */
+GapMetrics compute_gap_metrics(const Csr& g);
+
+/**
+ * Full per-edge gap profile (one entry per undirected edge) — the sample
+ * behind the violin plots of Fig. 8.
+ */
+std::vector<double> gap_profile(const Csr& g, const Permutation& pi);
+
+/** Per-vertex bandwidths beta_v. */
+std::vector<vid_t> vertex_bandwidths(const Csr& g, const Permutation& pi);
+
+/**
+ * Violin-plot substitute: summary + log10 histogram of the gap profile
+ * (counts per decade), capturing the multi-modality / lognormal tails the
+ * paper reads off the violins.
+ */
+struct GapDistribution
+{
+    Summary summary;
+    LogHistogram histogram{10.0};
+};
+
+GapDistribution gap_distribution(const Csr& g, const Permutation& pi);
+
+} // namespace graphorder

@@ -1,0 +1,215 @@
+#include "memsim/cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace graphorder {
+
+CacheHierarchyConfig
+CacheHierarchyConfig::cascade_lake()
+{
+    CacheHierarchyConfig c;
+    c.line_bytes = 64;
+    c.levels = {
+        {"L1", 32ULL * 1024, 8, 4},
+        {"L2", 1ULL * 1024 * 1024, 16, 14},
+        {"L3", 38ULL * 1024 * 1024 + 512 * 1024, 11, 60},
+    };
+    c.dram_latency_cycles = 200;
+    return c;
+}
+
+CacheHierarchyConfig
+CacheHierarchyConfig::tiny_test()
+{
+    CacheHierarchyConfig c;
+    c.line_bytes = 64;
+    c.levels = {
+        {"L1", 4ULL * 64, 1, 1},   // 4 lines, direct mapped
+        {"L2", 16ULL * 64, 2, 10}, // 16 lines, 2-way
+    };
+    c.dram_latency_cycles = 100;
+    return c;
+}
+
+CacheHierarchyConfig
+CacheHierarchyConfig::cascade_lake_scaled(double divisor)
+{
+    auto c = cascade_lake();
+    divisor = std::max(divisor, 1.0);
+    for (auto& l : c.levels) {
+        const std::uint64_t floor_bytes =
+            4ULL * c.line_bytes * l.associativity;
+        l.size_bytes = std::max<std::uint64_t>(
+            floor_bytes,
+            static_cast<std::uint64_t>(
+                static_cast<double>(l.size_bytes) / divisor));
+    }
+    return c;
+}
+
+double
+MemoryMetrics::avg_load_latency() const
+{
+    return loads == 0
+        ? 0.0
+        : static_cast<double>(total_cycles) / static_cast<double>(loads);
+}
+
+double
+MemoryMetrics::bound_fraction(std::size_t i) const
+{
+    if (total_cycles == 0 || i >= level_hits.size())
+        return 0.0;
+    const double cycles = static_cast<double>(level_hits[i])
+        * static_cast<double>(level_latency[i]);
+    return cycles / static_cast<double>(total_cycles);
+}
+
+double
+MemoryMetrics::miss_ratio(std::size_t i) const
+{
+    if (i >= level_lookups.size() || level_lookups[i] == 0)
+        return 0.0;
+    return 1.0
+        - static_cast<double>(level_hits[i])
+        / static_cast<double>(level_lookups[i]);
+}
+
+CacheHierarchy::CacheHierarchy(CacheHierarchyConfig config)
+    : config_(std::move(config))
+{
+    if (config_.line_bytes == 0 || (config_.line_bytes & (config_.line_bytes - 1)))
+        throw std::invalid_argument("cache: line size must be a power of 2");
+    for (const auto& lc : config_.levels) {
+        Level l;
+        l.assoc = std::max(1u, lc.associativity);
+        const std::uint64_t lines = lc.size_bytes / config_.line_bytes;
+        l.num_sets = std::max<std::uint64_t>(1, lines / l.assoc);
+        l.latency = lc.latency_cycles;
+        l.ways.assign(l.num_sets * l.assoc, Way{});
+        levels_.push_back(std::move(l));
+        metrics_.level_names.push_back(lc.name);
+        metrics_.level_latency.push_back(lc.latency_cycles);
+    }
+    metrics_.level_names.push_back("DRAM");
+    metrics_.level_latency.push_back(config_.dram_latency_cycles);
+    metrics_.level_hits.assign(levels_.size() + 1, 0);
+    metrics_.level_lookups.assign(levels_.size() + 1, 0);
+}
+
+std::size_t
+CacheHierarchy::access_line(std::uint64_t line_addr)
+{
+    std::size_t hit_level = levels_.size(); // DRAM by default
+    for (std::size_t li = 0; li < levels_.size(); ++li) {
+        Level& l = levels_[li];
+        ++metrics_.level_lookups[li];
+        const std::uint64_t set = line_addr % l.num_sets;
+        Way* base = &l.ways[set * l.assoc];
+        bool hit = false;
+        for (unsigned w = 0; w < l.assoc; ++w) {
+            if (base[w].valid && base[w].tag == line_addr) {
+                base[w].lru = ++l.tick;
+                hit = true;
+                break;
+            }
+        }
+        if (hit) {
+            hit_level = li;
+            break;
+        }
+    }
+    ++metrics_.level_lookups[levels_.size()];
+    if (hit_level == levels_.size())
+        ++metrics_.level_hits[levels_.size()];
+    else
+        ++metrics_.level_hits[hit_level];
+
+    // Install the line in every level above (and including) the miss path.
+    install_line(line_addr, std::min(hit_level, levels_.size()));
+
+    // Next-line prefetch on a demand miss past L1.
+    if (config_.next_line_prefetch && hit_level > 0) {
+        install_line(line_addr + 1, std::min(hit_level, levels_.size()));
+        ++prefetches_;
+    }
+    return hit_level;
+}
+
+void
+CacheHierarchy::install_line(std::uint64_t line_addr, std::size_t upto)
+{
+    for (std::size_t li = 0; li < upto; ++li) {
+        Level& l = levels_[li];
+        const std::uint64_t set = line_addr % l.num_sets;
+        Way* base = &l.ways[set * l.assoc];
+        // Skip install if already present (prefetch of a resident line).
+        bool present = false;
+        for (unsigned w = 0; w < l.assoc; ++w) {
+            if (base[w].valid && base[w].tag == line_addr) {
+                present = true;
+                break;
+            }
+        }
+        if (present)
+            continue;
+        Way* victim = base;
+        for (unsigned w = 0; w < l.assoc; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lru < victim->lru)
+                victim = &base[w];
+        }
+        victim->valid = true;
+        victim->tag = line_addr;
+        victim->lru = ++l.tick;
+    }
+}
+
+void
+CacheHierarchy::load(std::uint64_t addr, unsigned bytes)
+{
+    const std::uint64_t first = addr / config_.line_bytes;
+    const std::uint64_t last =
+        (addr + std::max(1u, bytes) - 1) / config_.line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line) {
+        const std::size_t lvl = access_line(line);
+        ++metrics_.loads;
+        metrics_.total_cycles += metrics_.level_latency[lvl];
+    }
+}
+
+void
+CacheHierarchy::flush()
+{
+    for (auto& l : levels_)
+        for (auto& w : l.ways)
+            w.valid = false;
+}
+
+void
+CacheHierarchy::reset_stats()
+{
+    metrics_.loads = 0;
+    metrics_.total_cycles = 0;
+    std::fill(metrics_.level_hits.begin(), metrics_.level_hits.end(), 0);
+    std::fill(metrics_.level_lookups.begin(), metrics_.level_lookups.end(),
+              0);
+}
+
+CacheTracer::CacheTracer(CacheHierarchyConfig config, unsigned sample)
+    : cache_(std::move(config)), sample_(std::max(1u, sample))
+{}
+
+void
+CacheTracer::load(const void* addr, unsigned bytes)
+{
+    if (sample_ > 1 && (++counter_ % sample_) != 0)
+        return;
+    cache_.load_ptr(addr, bytes);
+}
+
+} // namespace graphorder

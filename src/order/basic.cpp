@@ -1,0 +1,63 @@
+#include "order/basic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/traversal.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+
+Permutation
+natural_order(const Csr& g)
+{
+    return Permutation::identity(g.num_vertices());
+}
+
+Permutation
+random_order(const Csr& g, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return random_permutation(g.num_vertices(), rng);
+}
+
+Permutation
+degree_sort_order(const Csr& g, bool descending)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> order(n);
+    std::iota(order.begin(), order.end(), vid_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+        return descending ? g.degree(a) > g.degree(b)
+                          : g.degree(a) < g.degree(b);
+    });
+    return Permutation::from_order(order);
+}
+
+Permutation
+bfs_order(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> order;
+    order.reserve(n);
+    std::vector<std::uint8_t> seen(n, 0);
+    for (vid_t s = 0; s < n; ++s) {
+        if (seen[s])
+            continue;
+        const vid_t start = pseudo_peripheral_vertex(g, s);
+        auto r = bfs(g, start);
+        for (vid_t v : r.visit_order) {
+            if (!seen[v]) {
+                seen[v] = 1;
+                order.push_back(v);
+            }
+        }
+        if (!seen[s]) { // isolated or unreachable corner cases
+            seen[s] = 1;
+            order.push_back(s);
+        }
+    }
+    return Permutation::from_order(order);
+}
+
+} // namespace graphorder

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Baseline and degree-based orderings (paper §III-B):
+ * natural, random, degree sort, and a plain BFS order (extension).
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** The input order itself (identity permutation). */
+Permutation natural_order(const Csr& g);
+
+/** Uniformly random shuffle of the ids. */
+Permutation random_order(const Csr& g, std::uint64_t seed);
+
+/**
+ * Degree Sort: stable sort of vertices by degree.
+ * @param descending non-increasing degree when true (the common variant).
+ */
+Permutation degree_sort_order(const Csr& g, bool descending = true);
+
+/** Plain BFS numbering from a pseudo-peripheral start (extension). */
+Permutation bfs_order(const Csr& g);
+
+} // namespace graphorder

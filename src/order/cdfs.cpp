@@ -1,0 +1,48 @@
+#include "order/cdfs.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/traversal.hpp"
+
+namespace graphorder {
+
+Permutation
+cdfs_order(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> order;
+    order.reserve(n);
+    std::vector<std::uint8_t> visited(n, 0);
+
+    // Component starts by smallest degree, as in RCM.
+    std::vector<vid_t> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](vid_t a, vid_t b) {
+                         return g.degree(a) < g.degree(b);
+                     });
+    for (vid_t cand : by_degree) {
+        if (visited[cand])
+            continue;
+        const vid_t start = pseudo_peripheral_vertex(g, cand);
+        std::size_t head = order.size();
+        visited[start] = 1;
+        order.push_back(start);
+        while (head < order.size()) {
+            const vid_t v = order[head++];
+            // The relaxation: neighbors appended in adjacency (natural)
+            // order, no degree sort.
+            for (vid_t u : g.neighbors(v)) {
+                if (!visited[u]) {
+                    visited[u] = 1;
+                    order.push_back(u);
+                }
+            }
+        }
+    }
+    std::reverse(order.begin(), order.end());
+    return Permutation::from_order(order);
+}
+
+} // namespace graphorder

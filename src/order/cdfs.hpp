@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Children Depth-First Search ordering (Banerjee et al. 1988), cited by
+ * the paper (§III-E, footnote 1) as "a relaxation [of RCM] where the
+ * renumbering of unvisited neighbors follows an arbitrary order at every
+ * level" — i.e. RCM without the per-level degree sort.  Included as an
+ * extension so the ablation bench can quantify what the degree sort buys.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** CDFS: reversed BFS numbering with arbitrary (natural) neighbor order. */
+Permutation cdfs_order(const Csr& g);
+
+} // namespace graphorder

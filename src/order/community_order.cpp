@@ -1,0 +1,46 @@
+#include "order/community_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/coarsen.hpp"
+#include "order/rcm.hpp"
+
+namespace graphorder {
+
+Permutation
+order_by_communities(const std::vector<vid_t>& community,
+                     const std::vector<vid_t>& community_rank, vid_t n)
+{
+    std::vector<vid_t> order(n);
+    std::iota(order.begin(), order.end(), vid_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+        return community_rank[community[a]] < community_rank[community[b]];
+    });
+    return Permutation::from_order(order);
+}
+
+Permutation
+grappolo_order(const Csr& g, const LouvainOptions& opt)
+{
+    auto res = louvain(g, opt);
+    // Identity rank: communities in first-appearance (arbitrary) order.
+    std::vector<vid_t> rank(res.num_communities);
+    std::iota(rank.begin(), rank.end(), vid_t{0});
+    return order_by_communities(res.community, rank, g.num_vertices());
+}
+
+Permutation
+grappolo_rcm_order(const Csr& g, const LouvainOptions& opt)
+{
+    auto res = louvain(g, opt);
+    auto coarse =
+        coarsen_by_groups(g, res.community, res.num_communities);
+    const Permutation pi_c = rcm_order(coarse.graph);
+    std::vector<vid_t> rank(res.num_communities);
+    for (vid_t c = 0; c < res.num_communities; ++c)
+        rank[c] = pi_c.rank(c);
+    return order_by_communities(res.community, rank, g.num_vertices());
+}
+
+} // namespace graphorder

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Community-detection-based orderings (paper §III-D).
+ *
+ * "Grappolo": run (our re-implementation of) the parallel Louvain tool,
+ * then label each community's vertices contiguously; the communities
+ * themselves appear in arbitrary (first-appearance) order.
+ *
+ * "Grappolo-RCM": additionally coarsen the graph to one vertex per
+ * community and order the *communities* by RCM on that coarse graph, so
+ * adjacent communities receive nearby label blocks.
+ */
+#pragma once
+
+#include "community/louvain.hpp"
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Order by (community, natural id), communities in arbitrary order. */
+Permutation grappolo_order(const Csr& g, const LouvainOptions& opt = {});
+
+/** Order by (RCM rank of community, natural id). */
+Permutation grappolo_rcm_order(const Csr& g, const LouvainOptions& opt = {});
+
+/** Shared helper: order vertices by a community map + community ranks. */
+Permutation order_by_communities(const std::vector<vid_t>& community,
+                                 const std::vector<vid_t>& community_rank,
+                                 vid_t n);
+
+} // namespace graphorder

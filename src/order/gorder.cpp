@@ -1,0 +1,147 @@
+#include "order/gorder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace graphorder {
+
+namespace {
+
+/** Lazy max-heap keyed by an external key array. */
+class LazyMaxHeap
+{
+  public:
+    explicit LazyMaxHeap(vid_t n) : key_(n, 0), placed_(n, 0) {}
+
+    void bump(vid_t v, int delta)
+    {
+        key_[v] += delta;
+        if (!placed_[v] && delta > 0)
+            heap_.emplace(key_[v], v);
+        // Decrements leave stale (too-high) entries; pops re-check.
+    }
+
+    void mark_placed(vid_t v) { placed_[v] = 1; }
+    bool placed(vid_t v) const { return placed_[v]; }
+    int key(vid_t v) const { return key_[v]; }
+
+    /** Pop the unplaced vertex with the highest current key, or kNoVertex. */
+    vid_t pop_max()
+    {
+        while (!heap_.empty()) {
+            const auto [k, v] = heap_.top();
+            if (placed_[v] || k != key_[v]) {
+                heap_.pop();
+                continue; // stale
+            }
+            heap_.pop();
+            return v;
+        }
+        return kNoVertex;
+    }
+
+  private:
+    std::vector<int> key_;
+    std::vector<std::uint8_t> placed_;
+    std::priority_queue<std::pair<int, vid_t>> heap_;
+};
+
+} // namespace
+
+Permutation
+gorder_order(const Csr& g, const GorderOptions& opt)
+{
+    const vid_t n = g.num_vertices();
+    const vid_t w = std::max<vid_t>(opt.window, 1);
+    LazyMaxHeap heap(n);
+
+    // Apply GScore key updates caused by @p v entering/leaving the window.
+    auto window_event = [&](vid_t v, int delta) {
+        for (vid_t u : g.neighbors(v)) {
+            heap.bump(u, delta); // S_n: direct edge to v
+            if (opt.hub_cutoff && g.degree(u) > opt.hub_cutoff)
+                continue; // bound hub fan-out (see header)
+            for (vid_t s : g.neighbors(u))
+                if (s != v)
+                    heap.bump(s, delta); // S_s: shares neighbor u with v
+        }
+    };
+
+    std::vector<vid_t> order;
+    order.reserve(n);
+    std::deque<vid_t> window;
+
+    // Seed order for fresh starts: by decreasing degree (Wei et al. start
+    // from the max-degree vertex).
+    std::vector<vid_t> by_degree(n);
+    for (vid_t v = 0; v < n; ++v)
+        by_degree[v] = v;
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](vid_t a, vid_t b) {
+                         return g.degree(a) > g.degree(b);
+                     });
+    std::size_t seed_scan = 0;
+
+    while (order.size() < n) {
+        vid_t next = heap.pop_max();
+        if (next == kNoVertex) {
+            while (seed_scan < n && heap.placed(by_degree[seed_scan]))
+                ++seed_scan;
+            if (seed_scan >= n)
+                break;
+            next = by_degree[seed_scan];
+        }
+        heap.mark_placed(next);
+        order.push_back(next);
+        window.push_back(next);
+        window_event(next, +1);
+        if (window.size() > w) {
+            window_event(window.front(), -1);
+            window.pop_front();
+        }
+    }
+    return Permutation::from_order(order);
+}
+
+double
+gscore(const Csr& g, const Permutation& pi, vid_t window)
+{
+    const auto order = pi.order();
+    const vid_t n = static_cast<vid_t>(order.size());
+    double total = 0;
+
+    std::unordered_set<vid_t> nbrs_of;
+    for (vid_t i = 0; i < n; ++i) {
+        const vid_t v = order[i];
+        nbrs_of.clear();
+        for (vid_t u : g.neighbors(v))
+            nbrs_of.insert(u);
+        const vid_t lo = i >= window ? i - window : 0;
+        for (vid_t j = lo; j < i; ++j) {
+            const vid_t u = order[j];
+            // S_n: edge between u and v.
+            if (nbrs_of.count(u))
+                total += 1.0;
+            // S_s: common neighbors (scan the cheaper list).
+            const vid_t probe =
+                g.degree(u) <= g.degree(v) ? u : v;
+            const vid_t other = probe == u ? v : u;
+            for (vid_t x : g.neighbors(probe)) {
+                if (x == u || x == v)
+                    continue;
+                for (vid_t y : g.neighbors(other)) {
+                    if (y == x) {
+                        total += 1.0;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace graphorder

@@ -1,0 +1,62 @@
+#include "order/hub.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphorder {
+
+namespace {
+
+double
+effective_threshold(const Csr& g, double threshold)
+{
+    if (threshold > 0.0)
+        return threshold;
+    const vid_t n = g.num_vertices();
+    return n == 0
+        ? 0.0
+        : static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+}
+
+Permutation
+hub_pack(const Csr& g, double threshold, bool sort_hubs)
+{
+    const vid_t n = g.num_vertices();
+    const double cut = effective_threshold(g, threshold);
+
+    std::vector<vid_t> hubs, rest;
+    hubs.reserve(n / 8);
+    rest.reserve(n);
+    for (vid_t v = 0; v < n; ++v) {
+        if (static_cast<double>(g.degree(v)) > cut)
+            hubs.push_back(v);
+        else
+            rest.push_back(v);
+    }
+    if (sort_hubs) {
+        std::stable_sort(hubs.begin(), hubs.end(), [&](vid_t a, vid_t b) {
+            return g.degree(a) > g.degree(b);
+        });
+    }
+    std::vector<vid_t> order;
+    order.reserve(n);
+    order.insert(order.end(), hubs.begin(), hubs.end());
+    order.insert(order.end(), rest.begin(), rest.end());
+    return Permutation::from_order(order);
+}
+
+} // namespace
+
+Permutation
+hub_sort_order(const Csr& g, double degree_threshold)
+{
+    return hub_pack(g, degree_threshold, true);
+}
+
+Permutation
+hub_cluster_order(const Csr& g, double degree_threshold)
+{
+    return hub_pack(g, degree_threshold, false);
+}
+
+} // namespace graphorder

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Hub-based lightweight orderings (paper §III-B).
+ *
+ * Hub Sort (Zhang et al. 2016) packs the high-degree "hub" vertices first,
+ * sorted by non-increasing degree; the remaining vertices keep their
+ * natural relative order.  Hub Clustering (Balaji & Lucia 2018) is the
+ * cheaper variant that packs hubs contiguously *without* sorting them.
+ * The hub threshold is the average degree, as in the original papers.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/**
+ * Hub Sort.
+ * @param degree_threshold vertices with degree > threshold are hubs;
+ *        0 = use average degree.
+ */
+Permutation hub_sort_order(const Csr& g, double degree_threshold = 0.0);
+
+/** Hub Clustering: hubs first in natural relative order. */
+Permutation hub_cluster_order(const Csr& g, double degree_threshold = 0.0);
+
+} // namespace graphorder

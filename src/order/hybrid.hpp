@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Hybrid / multiscale ordering engine — the paper's "future research"
+ * direction (§VII: "potential use of coarsening to explore the benefits
+ * of a multiscale and/or hybrid ordering engines") made concrete.
+ *
+ * The engine decomposes ordering into two scales:
+ *   - *inter*-community: communities (from Louvain) are ordered by RCM on
+ *     the community-coarsened graph, as in Grappolo-RCM;
+ *   - *intra*-community: vertices inside each community are ordered by a
+ *     configurable sub-scheme applied to the community's induced
+ *     subgraph (natural, degree sort, RCM, or BFS).
+ *
+ * Grappolo-RCM is the special case with the natural intra scheme.
+ */
+#pragma once
+
+#include "community/louvain.hpp"
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Intra-community sub-ordering choices. */
+enum class IntraScheme
+{
+    Natural, ///< keep natural relative order (== grappolo-rcm)
+    Degree,  ///< non-increasing degree inside each community
+    Rcm,     ///< RCM on the community's induced subgraph
+    Bfs,     ///< BFS from the community's max-degree vertex
+};
+
+/** Configuration of the hybrid engine. */
+struct HybridOptions
+{
+    IntraScheme intra = IntraScheme::Rcm;
+    LouvainOptions louvain;
+};
+
+/** Run the hybrid ordering. */
+Permutation hybrid_order(const Csr& g, const HybridOptions& opt = {});
+
+/** Name of an intra scheme (for tables). */
+const char* intra_scheme_name(IntraScheme s);
+
+} // namespace graphorder

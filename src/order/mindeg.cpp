@@ -1,0 +1,63 @@
+#include "order/mindeg.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace graphorder {
+
+Permutation
+min_degree_order(const Csr& g, vid_t fill_cap)
+{
+    const vid_t n = g.num_vertices();
+
+    // Elimination graph as hash-set adjacency (fill edges get added).
+    std::vector<std::unordered_set<vid_t>> adj(n);
+    for (vid_t v = 0; v < n; ++v)
+        for (vid_t u : g.neighbors(v))
+            adj[v].insert(u);
+
+    // Lazy min-heap keyed by current degree.
+    using Entry = std::pair<vid_t, vid_t>; // (degree, vertex)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::vector<std::uint8_t> eliminated(n, 0);
+    for (vid_t v = 0; v < n; ++v)
+        heap.emplace(static_cast<vid_t>(adj[v].size()), v);
+
+    std::vector<vid_t> order;
+    order.reserve(n);
+    while (!heap.empty()) {
+        const auto [deg, v] = heap.top();
+        heap.pop();
+        if (eliminated[v] || deg != adj[v].size())
+            continue; // stale
+        eliminated[v] = 1;
+        order.push_back(v);
+
+        // Turn v's remaining neighborhood into a clique (bounded: very
+        // large neighborhoods skip fill tracking — the heap keys then
+        // under-estimate, which only affects tie quality, not validity).
+        std::vector<vid_t> nbrs(adj[v].begin(), adj[v].end());
+        for (vid_t u : nbrs)
+            adj[u].erase(v);
+        if (nbrs.size() <= fill_cap) {
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+                    const vid_t a = nbrs[i], b = nbrs[j];
+                    if (eliminated[a] || eliminated[b])
+                        continue;
+                    if (adj[a].insert(b).second)
+                        adj[b].insert(a);
+                }
+            }
+        }
+        for (vid_t u : nbrs)
+            if (!eliminated[u])
+                heap.emplace(static_cast<vid_t>(adj[u].size()), u);
+        adj[v].clear();
+    }
+    return Permutation::from_order(order);
+}
+
+} // namespace graphorder

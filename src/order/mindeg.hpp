@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Greedy minimum-degree ordering — the classic fill-reducing family the
+ * paper cites alongside RCM and ND (§III-E: "Multiple minimum degree
+ * (MMD) and approximate minimum degree (AMD) are two such examples").
+ *
+ * The textbook algorithm: repeatedly eliminate a vertex of minimum
+ * degree in the *elimination graph* (the graph where each eliminated
+ * vertex's neighborhood has been turned into a clique).  Exact and
+ * simple rather than MMD/AMD-fast: intended for the qualitative study's
+ * small instances (extension scheme, not in the paper's roster).
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/**
+ * Minimum-degree elimination ordering (ranks in elimination order).
+ * @param fill_cap abort fill-in tracking per vertex beyond this many
+ *        neighbors (degrades to degree order; keeps dense graphs safe).
+ */
+Permutation min_degree_order(const Csr& g, vid_t fill_cap = 4096);
+
+} // namespace graphorder

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Simulated-annealing heuristic for Minimum Linear Arrangement (extension).
+ *
+ * The paper (§III-A) notes that MinLA is NP-hard and that simulated
+ * annealing heuristics exist but "are considered expensive in practice".
+ * This module makes that claim testable: it anneals the total-gap (MinLA)
+ * objective with rank-swap moves so the ablation bench can compare its
+ * quality/cost against the practical schemes.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Annealing schedule parameters. */
+struct MinLaSaOptions
+{
+    /** Moves attempted per temperature step. */
+    std::uint64_t moves_per_step = 0; ///< 0 = 4 * |V|
+    /** Number of temperature steps. */
+    int steps = 60;
+    /** Geometric cooling factor per step. */
+    double cooling = 0.9;
+    /** Initial temperature as a multiple of the average gap. */
+    double initial_temp_factor = 2.0;
+    std::uint64_t seed = 7;
+};
+
+/**
+ * Anneal from @p start (e.g. natural or RCM) toward lower total gap.
+ * Returns the best permutation found.
+ */
+Permutation minla_sa_order(const Csr& g, const Permutation& start,
+                           const MinLaSaOptions& opt = {});
+
+} // namespace graphorder

@@ -1,0 +1,35 @@
+#include "order/partition_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "part/separator.hpp"
+
+namespace graphorder {
+
+Permutation
+order_from_partition(const std::vector<vid_t>& part, vid_t n)
+{
+    std::vector<vid_t> order(n);
+    std::iota(order.begin(), order.end(), vid_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
+        return part[a] < part[b]; // stable keeps natural order inside parts
+    });
+    return Permutation::from_order(order);
+}
+
+Permutation
+metis_style_order(const Csr& g, vid_t k, const PartitionOptions& opt)
+{
+    auto p = partition_kway(g, k, opt);
+    return order_from_partition(p.part, g.num_vertices());
+}
+
+Permutation
+nested_dissection_ordering(const Csr& g, const PartitionOptions& opt)
+{
+    return Permutation::from_order(
+        nested_dissection_order(g, 32, opt));
+}
+
+} // namespace graphorder

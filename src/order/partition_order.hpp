@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Partitioning-based orderings (paper §III-D).
+ *
+ * The METIS-style scheme partitions V into k balanced parts minimizing the
+ * edge cut and numbers vertices part by part (vertices inside a part keep
+ * natural relative order).  The paper sweeps k from 8 to 256 and finds
+ * k = 32 best (Figure 7); 32 is the default here too.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+#include "part/partition.hpp"
+
+namespace graphorder {
+
+/** Order by a precomputed partition: (part id, natural id). */
+Permutation order_from_partition(const std::vector<vid_t>& part, vid_t n);
+
+/** METIS-style ordering with @p k parts. */
+Permutation metis_style_order(const Csr& g, vid_t k = 32,
+                              const PartitionOptions& opt = {});
+
+/** Nested-dissection ordering (paper §III-E), via src/part/separator. */
+Permutation nested_dissection_ordering(const Csr& g,
+                                       const PartitionOptions& opt = {});
+
+} // namespace graphorder

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Rabbit Order (Arai et al., IPDPS 2016; paper §III-D).
+ *
+ * Two steps: (1) *incremental aggregation* — vertices are scanned in
+ * increasing degree order and each is merged into the neighboring
+ * super-vertex with the highest positive modularity gain, recording the
+ * merge as a parent/child edge of a dendrogram forest; (2) *ordering
+ * generation* — new ids are assigned by depth-first traversal of each
+ * dendrogram tree, so vertices of the same (hierarchical) community are
+ * consecutive, mapping community hierarchy onto cache hierarchy.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Rabbit Order. */
+Permutation rabbit_order(const Csr& g);
+
+} // namespace graphorder

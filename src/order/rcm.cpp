@@ -1,0 +1,78 @@
+#include "order/rcm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/traversal.hpp"
+
+namespace graphorder {
+
+namespace {
+
+std::vector<vid_t>
+cuthill_mckee(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> order;
+    order.reserve(n);
+    std::vector<std::uint8_t> visited(n, 0);
+
+    // Component start vertices: smallest degree first (paper: "the search
+    // resumes with another unvisited vertex of the smallest current
+    // degree").
+    std::vector<vid_t> by_degree(n);
+    std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](vid_t a, vid_t b) {
+                         return g.degree(a) < g.degree(b);
+                     });
+
+    std::vector<vid_t> scratch;
+    for (vid_t cand : by_degree) {
+        if (visited[cand])
+            continue;
+        const vid_t start = pseudo_peripheral_vertex(g, cand);
+
+        // BFS appending each vertex's unvisited neighbors in
+        // non-decreasing degree order.
+        std::size_t head = order.size();
+        visited[start] = 1;
+        order.push_back(start);
+        while (head < order.size()) {
+            const vid_t v = order[head++];
+            scratch.clear();
+            for (vid_t u : g.neighbors(v))
+                if (!visited[u])
+                    scratch.push_back(u);
+            std::stable_sort(scratch.begin(), scratch.end(),
+                             [&](vid_t a, vid_t b) {
+                                 return g.degree(a) < g.degree(b);
+                             });
+            for (vid_t u : scratch) {
+                if (!visited[u]) { // scratch may contain duplicates
+                    visited[u] = 1;
+                    order.push_back(u);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+Permutation
+cm_order(const Csr& g)
+{
+    return Permutation::from_order(cuthill_mckee(g));
+}
+
+Permutation
+rcm_order(const Csr& g)
+{
+    auto order = cuthill_mckee(g);
+    std::reverse(order.begin(), order.end());
+    return Permutation::from_order(order);
+}
+
+} // namespace graphorder

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reverse Cuthill–McKee ordering (paper §III-E).
+ *
+ * Classic bandwidth-reducing scheme: starting from a pseudo-peripheral
+ * vertex of minimum degree, vertices are numbered in BFS order with each
+ * level's unvisited neighbors appended in non-decreasing degree order;
+ * the final numbering is reversed (George & Liu 1981).  Components are
+ * processed in order of their minimum-degree representative.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Reverse Cuthill–McKee. */
+Permutation rcm_order(const Csr& g);
+
+/** Cuthill–McKee without the final reversal (for tests/ablation). */
+Permutation cm_order(const Csr& g);
+
+} // namespace graphorder

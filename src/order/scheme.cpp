@@ -1,0 +1,184 @@
+#include "order/scheme.hpp"
+
+#include <stdexcept>
+
+#include "order/basic.hpp"
+#include "order/cdfs.hpp"
+#include "order/community_order.hpp"
+#include "order/gorder.hpp"
+#include "order/hybrid.hpp"
+#include "order/hub.hpp"
+#include "order/mindeg.hpp"
+#include "order/minla_sa.hpp"
+#include "order/partition_order.hpp"
+#include "order/rabbit.hpp"
+#include "order/rcm.hpp"
+#include "order/slashburn.hpp"
+
+namespace graphorder {
+
+namespace {
+
+std::vector<OrderingScheme>
+build_paper_schemes()
+{
+    using C = SchemeCategory;
+    std::vector<OrderingScheme> v;
+    v.push_back({"natural", C::Baseline,
+                 [](const Csr& g, std::uint64_t) {
+                     return natural_order(g);
+                 },
+                 true});
+    v.push_back({"random", C::Baseline,
+                 [](const Csr& g, std::uint64_t seed) {
+                     return random_order(g, seed);
+                 },
+                 true});
+    v.push_back({"degree", C::DegreeHub,
+                 [](const Csr& g, std::uint64_t) {
+                     return degree_sort_order(g, true);
+                 },
+                 true});
+    v.push_back({"hubsort", C::DegreeHub,
+                 [](const Csr& g, std::uint64_t) {
+                     return hub_sort_order(g);
+                 },
+                 true});
+    v.push_back({"hubcluster", C::DegreeHub,
+                 [](const Csr& g, std::uint64_t) {
+                     return hub_cluster_order(g);
+                 },
+                 true});
+    v.push_back({"slashburn", C::DegreeHub,
+                 [](const Csr& g, std::uint64_t) {
+                     return slashburn_order(g);
+                 },
+                 false});
+    v.push_back({"gorder", C::Window,
+                 [](const Csr& g, std::uint64_t) {
+                     return gorder_order(g);
+                 },
+                 false});
+    v.push_back({"metis-32", C::Partitioning,
+                 [](const Csr& g, std::uint64_t seed) {
+                     PartitionOptions opt;
+                     opt.seed = seed;
+                     return metis_style_order(g, 32, opt);
+                 },
+                 true});
+    v.push_back({"grappolo", C::Partitioning,
+                 [](const Csr& g, std::uint64_t) {
+                     return grappolo_order(g);
+                 },
+                 true});
+    v.push_back({"grappolo-rcm", C::Partitioning,
+                 [](const Csr& g, std::uint64_t) {
+                     return grappolo_rcm_order(g);
+                 },
+                 true});
+    v.push_back({"rabbit", C::Partitioning,
+                 [](const Csr& g, std::uint64_t) {
+                     return rabbit_order(g);
+                 },
+                 true});
+    v.push_back({"rcm", C::FillReducing,
+                 [](const Csr& g, std::uint64_t) {
+                     return rcm_order(g);
+                 },
+                 true});
+    v.push_back({"nd", C::FillReducing,
+                 [](const Csr& g, std::uint64_t seed) {
+                     PartitionOptions opt;
+                     opt.seed = seed;
+                     return nested_dissection_ordering(g, opt);
+                 },
+                 false});
+    return v;
+}
+
+std::vector<OrderingScheme>
+build_all_schemes()
+{
+    using C = SchemeCategory;
+    auto v = build_paper_schemes();
+    v.push_back({"bfs", C::Extension,
+                 [](const Csr& g, std::uint64_t) { return bfs_order(g); },
+                 true});
+    v.push_back({"cdfs", C::Extension,
+                 [](const Csr& g, std::uint64_t) { return cdfs_order(g); },
+                 true});
+    v.push_back({"hybrid-rcm", C::Extension,
+                 [](const Csr& g, std::uint64_t) {
+                     HybridOptions opt;
+                     opt.intra = IntraScheme::Rcm;
+                     return hybrid_order(g, opt);
+                 },
+                 true});
+    v.push_back({"mindeg", C::Extension,
+                 [](const Csr& g, std::uint64_t) {
+                     return min_degree_order(g);
+                 },
+                 false});
+    v.push_back({"minla-sa", C::Extension,
+                 [](const Csr& g, std::uint64_t seed) {
+                     MinLaSaOptions opt;
+                     opt.seed = seed;
+                     return minla_sa_order(g, natural_order(g), opt);
+                 },
+                 false});
+    return v;
+}
+
+} // namespace
+
+const std::vector<OrderingScheme>&
+paper_schemes()
+{
+    static const auto schemes = build_paper_schemes();
+    return schemes;
+}
+
+const std::vector<OrderingScheme>&
+all_schemes()
+{
+    static const auto schemes = build_all_schemes();
+    return schemes;
+}
+
+const std::vector<OrderingScheme>&
+application_schemes()
+{
+    // Figure 9/10/11 compare Grappolo, RCM, Natural and Degree Sort.
+    static const std::vector<OrderingScheme> schemes = {
+        scheme_by_name("grappolo"),
+        scheme_by_name("rcm"),
+        scheme_by_name("natural"),
+        scheme_by_name("degree"),
+    };
+    return schemes;
+}
+
+const OrderingScheme&
+scheme_by_name(const std::string& name)
+{
+    for (const auto& s : all_schemes())
+        if (s.name == name)
+            return s;
+    throw std::out_of_range("unknown ordering scheme: " + name);
+}
+
+const char*
+category_name(SchemeCategory c)
+{
+    switch (c) {
+      case SchemeCategory::Baseline: return "baseline";
+      case SchemeCategory::DegreeHub: return "degree/hub";
+      case SchemeCategory::Window: return "window";
+      case SchemeCategory::Partitioning: return "partitioning";
+      case SchemeCategory::FillReducing: return "fill-reducing";
+      case SchemeCategory::Extension: return "extension";
+    }
+    return "?";
+}
+
+} // namespace graphorder

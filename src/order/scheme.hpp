@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Common interface and registry for vertex-reordering schemes.
+ *
+ * The registry mirrors Figure 3 of the paper: every scheme is tagged with
+ * its category (degree/hub-based, window-based, partitioning-based,
+ * fill-reducing, baseline) and the benches iterate the registry instead of
+ * hard-coding scheme lists.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Category taxonomy of Figure 3. */
+enum class SchemeCategory
+{
+    Baseline,     ///< natural, random
+    DegreeHub,    ///< degree sort, hub sort, hub cluster, slashburn
+    Window,       ///< gorder
+    Partitioning, ///< metis-style, grappolo, grappolo-rcm, rabbit
+    FillReducing, ///< rcm, nested dissection
+    Extension,    ///< schemes beyond the paper's 11 (bfs, minla-sa)
+};
+
+/** A named reordering scheme. */
+struct OrderingScheme
+{
+    std::string name;
+    SchemeCategory category;
+    /**
+     * Compute the ordering.  @p seed drives any internal randomness;
+     * deterministic schemes ignore it.
+     */
+    std::function<Permutation(const Csr&, std::uint64_t seed)> run;
+    /**
+     * Cheap enough for the 9 large application instances (Gorder and
+     * SlashBurn are only used in the qualitative study, as in the paper's
+     * Figure 4 which times just RCM/Degree/Grappolo/METIS).
+     */
+    bool scalable = true;
+};
+
+/**
+ * The 11 schemes of the qualitative study (§V): natural, random,
+ * degree-sort, hub-sort, hub-cluster, slashburn, gorder, rcm, nd,
+ * metis-32, grappolo, grappolo-rcm, rabbit.
+ */
+const std::vector<OrderingScheme>& paper_schemes();
+
+/** paper_schemes() plus the extensions (bfs, minla-sa). */
+const std::vector<OrderingScheme>& all_schemes();
+
+/** The 4 schemes of the application study (§VI). */
+const std::vector<OrderingScheme>& application_schemes();
+
+/** Lookup by name; throws std::out_of_range. */
+const OrderingScheme& scheme_by_name(const std::string& name);
+
+/** Human-readable category label. */
+const char* category_name(SchemeCategory c);
+
+} // namespace graphorder

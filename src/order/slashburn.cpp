@@ -1,0 +1,150 @@
+#include "order/slashburn.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphorder {
+
+namespace {
+
+/** Degrees restricted to alive vertices. */
+void
+alive_degrees(const Csr& g, const std::vector<std::uint8_t>& alive,
+              std::vector<vid_t>& deg)
+{
+    const vid_t n = g.num_vertices();
+    deg.assign(n, 0);
+    for (vid_t v = 0; v < n; ++v) {
+        if (!alive[v])
+            continue;
+        vid_t d = 0;
+        for (vid_t u : g.neighbors(v))
+            if (alive[u])
+                ++d;
+        deg[v] = d;
+    }
+}
+
+/** Connected components of the alive subgraph. */
+vid_t
+alive_components(const Csr& g, const std::vector<std::uint8_t>& alive,
+                 std::vector<vid_t>& comp)
+{
+    const vid_t n = g.num_vertices();
+    comp.assign(n, kNoVertex);
+    vid_t next = 0;
+    std::vector<vid_t> stack;
+    for (vid_t s = 0; s < n; ++s) {
+        if (!alive[s] || comp[s] != kNoVertex)
+            continue;
+        comp[s] = next;
+        stack.push_back(s);
+        while (!stack.empty()) {
+            const vid_t v = stack.back();
+            stack.pop_back();
+            for (vid_t u : g.neighbors(v)) {
+                if (alive[u] && comp[u] == kNoVertex) {
+                    comp[u] = next;
+                    stack.push_back(u);
+                }
+            }
+        }
+        ++next;
+    }
+    return next;
+}
+
+} // namespace
+
+Permutation
+slashburn_order(const Csr& g, vid_t k)
+{
+    const vid_t n = g.num_vertices();
+    if (k == 0)
+        k = std::max<vid_t>(1, n / 200);
+
+    std::vector<vid_t> rank(n, kNoVertex);
+    std::vector<std::uint8_t> alive(n, 1);
+    vid_t front = 0;       // next low id to hand out (hubs)
+    vid_t back = n;        // one past the next high id (spokes)
+    vid_t alive_count = n;
+
+    std::vector<vid_t> deg, comp, ids;
+    while (alive_count > 0) {
+        if (alive_count <= k) {
+            // Terminal round: remaining vertices become hubs up front.
+            ids.clear();
+            for (vid_t v = 0; v < n; ++v)
+                if (alive[v])
+                    ids.push_back(v);
+            alive_degrees(g, alive, deg);
+            std::stable_sort(ids.begin(), ids.end(), [&](vid_t a, vid_t b) {
+                return deg[a] > deg[b];
+            });
+            for (vid_t v : ids)
+                rank[v] = front++;
+            break;
+        }
+
+        // Slash: remove the k highest-degree alive vertices.
+        alive_degrees(g, alive, deg);
+        ids.clear();
+        for (vid_t v = 0; v < n; ++v)
+            if (alive[v])
+                ids.push_back(v);
+        std::stable_sort(ids.begin(), ids.end(), [&](vid_t a, vid_t b) {
+            return deg[a] > deg[b];
+        });
+        for (vid_t i = 0; i < k; ++i) {
+            const vid_t hub = ids[i];
+            rank[hub] = front++;
+            alive[hub] = 0;
+            --alive_count;
+        }
+
+        // Burn: spokes (all but the giant component) go to the back,
+        // ordered by decreasing component size.
+        const vid_t ncomp = alive_components(g, alive, comp);
+        if (ncomp == 0)
+            break;
+        std::vector<vid_t> sizes(ncomp, 0);
+        for (vid_t v = 0; v < n; ++v)
+            if (alive[v])
+                ++sizes[comp[v]];
+        vid_t giant = 0;
+        for (vid_t c = 1; c < ncomp; ++c)
+            if (sizes[c] > sizes[giant])
+                giant = c;
+
+        std::vector<vid_t> spoke_comps;
+        for (vid_t c = 0; c < ncomp; ++c)
+            if (c != giant)
+                spoke_comps.push_back(c);
+        std::stable_sort(spoke_comps.begin(), spoke_comps.end(),
+                         [&](vid_t a, vid_t b) {
+                             return sizes[a] < sizes[b];
+                         });
+        // Smallest component placed last (deepest at the back): assign
+        // from the back in increasing size order.
+        for (vid_t c : spoke_comps) {
+            // Members in natural order, assigned a contiguous back block.
+            back -= sizes[c];
+            vid_t slot = back;
+            for (vid_t v = 0; v < n; ++v) {
+                if (alive[v] && comp[v] == c) {
+                    rank[v] = slot++;
+                    alive[v] = 0;
+                    --alive_count;
+                }
+            }
+        }
+    }
+
+    // Any leftover (empty alive set edge cases) gets remaining front slots.
+    for (vid_t v = 0; v < n; ++v)
+        if (rank[v] == kNoVertex)
+            rank[v] = front++;
+    return Permutation::from_ranks(std::move(rank));
+}
+
+} // namespace graphorder

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * SlashBurn ordering (Kang & Faloutsos 2011; paper §III-B).
+ *
+ * Iteratively "slashes" the k highest-degree hubs, assigning them the
+ * lowest available ids, then "burns": the non-giant connected components
+ * (spokes) of the remainder are assigned the highest available ids in
+ * decreasing size order, and the process recurses on the giant connected
+ * component.  The result concentrates the adjacency matrix near a
+ * block-diagonal-plus-hubs form.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/**
+ * SlashBurn.
+ * @param k hubs removed per round; 0 = max(1, 0.5% of |V|), the
+ *        original paper's default.
+ */
+Permutation slashburn_order(const Csr& g, vid_t k = 0);
+
+} // namespace graphorder

@@ -1,0 +1,64 @@
+#include "part/matching.hpp"
+
+#include <numeric>
+
+namespace graphorder {
+
+std::vector<vid_t>
+heavy_edge_matching(const Csr& g, const std::vector<double>& vweight,
+                    Rng& rng)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> match(n, kNoVertex);
+    std::vector<vid_t> visit(n);
+    std::iota(visit.begin(), visit.end(), vid_t{0});
+    shuffle(visit.begin(), visit.end(), rng);
+
+    for (vid_t v : visit) {
+        if (match[v] != kNoVertex)
+            continue;
+        vid_t best = v;
+        weight_t best_w = -1;
+        const auto nbrs = g.neighbors(v);
+        const auto ws = g.neighbor_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const vid_t u = nbrs[i];
+            if (u == v || match[u] != kNoVertex)
+                continue;
+            const weight_t w = ws.empty() ? 1.0 : ws[i];
+            bool better = w > best_w;
+            if (w == best_w && best != v && !vweight.empty()
+                && vweight[u] < vweight[best]) {
+                better = true; // prefer lighter partner on weight ties
+            }
+            if (better) {
+                best = u;
+                best_w = w;
+            }
+        }
+        match[v] = best;
+        match[best] = v; // self-match if best == v
+    }
+    return match;
+}
+
+vid_t
+matching_to_groups(const std::vector<vid_t>& match,
+                   std::vector<vid_t>& group_out)
+{
+    const vid_t n = static_cast<vid_t>(match.size());
+    group_out.assign(n, kNoVertex);
+    vid_t next = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        if (group_out[v] != kNoVertex)
+            continue;
+        group_out[v] = next;
+        const vid_t u = match[v];
+        if (u != v && u != kNoVertex)
+            group_out[u] = next;
+        ++next;
+    }
+    return next;
+}
+
+} // namespace graphorder

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Heavy-edge matching for multilevel coarsening (paper §III-D cites the
+ * approximate weighted matching of Halappanavar et al. as the coarsening
+ * engine of partition-based ordering).
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+
+/**
+ * Greedy heavy-edge matching.
+ *
+ * Vertices are visited in random order; each unmatched vertex matches its
+ * unmatched neighbor with the heaviest connecting edge (ties to lower
+ * degree, favoring balanced coarse vertices).  Unmatched vertices match
+ * themselves.
+ *
+ * @param vweight optional vertex weights used for the tie-break (heavier
+ *        vertices are less attractive); may be empty.
+ * @return match[v] = partner of v (== v if unmatched).
+ */
+std::vector<vid_t> heavy_edge_matching(const Csr& g,
+                                       const std::vector<double>& vweight,
+                                       Rng& rng);
+
+/**
+ * Convert a matching to a dense group map (each matched pair becomes one
+ * group).  @return number of groups.
+ */
+vid_t matching_to_groups(const std::vector<vid_t>& match,
+                         std::vector<vid_t>& group_out);
+
+} // namespace graphorder

@@ -1,0 +1,241 @@
+#include "part/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "graph/coarsen.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+#include "part/matching.hpp"
+#include "part/refine.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+
+std::vector<vid_t>
+Partition::part_sizes() const
+{
+    std::vector<vid_t> sizes(num_parts, 0);
+    for (vid_t p : part)
+        ++sizes[p];
+    return sizes;
+}
+
+double
+partition_cut(const Csr& g, const std::vector<vid_t>& part)
+{
+    double cut = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        const auto ws = g.neighbor_weights(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            if (part[nbrs[i]] != part[v])
+                cut += ws.empty() ? 1.0 : ws[i];
+    }
+    return cut / 2.0;
+}
+
+namespace {
+
+/** One level of the multilevel hierarchy. */
+struct Level
+{
+    Csr graph;
+    std::vector<double> vweight;
+    /** fine vertex -> coarse vertex of the *next* level. */
+    std::vector<vid_t> to_coarse;
+};
+
+/**
+ * Greedy graph growing: BFS-grow side 0 from a start vertex until it holds
+ * ~target0 of the total weight.
+ */
+std::vector<std::uint8_t>
+grow_bisection(const Csr& g, const std::vector<double>& vweight,
+               double target0, vid_t start)
+{
+    const vid_t n = g.num_vertices();
+    auto vw = [&](vid_t v) { return vweight.empty() ? 1.0 : vweight[v]; };
+    double total = 0;
+    for (vid_t v = 0; v < n; ++v)
+        total += vw(v);
+    const double want = total * target0;
+
+    std::vector<std::uint8_t> side(n, 1);
+    std::deque<vid_t> queue;
+    std::vector<std::uint8_t> seen(n, 0);
+    double grown = 0;
+    queue.push_back(start);
+    seen[start] = 1;
+    vid_t scan = 0; // fallback scan for disconnected graphs
+    while (grown < want) {
+        if (queue.empty()) {
+            while (scan < n && seen[scan])
+                ++scan;
+            if (scan >= n)
+                break;
+            queue.push_back(scan);
+            seen[scan] = 1;
+        }
+        const vid_t v = queue.front();
+        queue.pop_front();
+        side[v] = 0;
+        grown += vw(v);
+        for (vid_t u : g.neighbors(v)) {
+            if (!seen[u]) {
+                seen[u] = 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    return side;
+}
+
+/** Multilevel bisection of one (sub)graph. */
+Bisection
+multilevel_bisect(const Csr& g, const std::vector<double>& vweight,
+                  double target0_fraction, const PartitionOptions& opt,
+                  Rng& rng)
+{
+    // ---- Coarsening phase.
+    std::vector<Level> levels;
+    levels.push_back({g, vweight, {}});
+    if (levels.back().vweight.empty())
+        levels.back().vweight.assign(g.num_vertices(), 1.0);
+
+    while (levels.back().graph.num_vertices() > opt.coarsen_limit) {
+        Level& fine = levels.back();
+        auto match = heavy_edge_matching(fine.graph, fine.vweight, rng);
+        std::vector<vid_t> group;
+        const vid_t ng = matching_to_groups(match, group);
+        // Matching stalled (star-like neighborhoods match one leaf per
+        // round): stop coarsening rather than pile up hundreds of
+        // near-identical levels.
+        if (ng >= fine.graph.num_vertices() * 19 / 20)
+            break;
+        auto coarse = coarsen_by_groups(fine.graph, group, ng);
+        Level next;
+        next.graph = std::move(coarse.graph);
+        next.vweight.assign(ng, 0.0);
+        for (vid_t v = 0; v < fine.graph.num_vertices(); ++v)
+            next.vweight[group[v]] += fine.vweight[v];
+        fine.to_coarse = std::move(group);
+        levels.push_back(std::move(next));
+    }
+
+    // ---- Initial bisection on the coarsest graph: best of a few greedy
+    // growings from random starts, each polished by FM.
+    Level& coarsest = levels.back();
+    const vid_t nc = coarsest.graph.num_vertices();
+    double total_w = std::accumulate(coarsest.vweight.begin(),
+                                     coarsest.vweight.end(), 0.0);
+    const double target0 = total_w * target0_fraction;
+
+    Bisection best;
+    bool have_best = false;
+    for (int t = 0; t < std::max(1, opt.init_trials); ++t) {
+        const vid_t start = nc == 0
+            ? 0 : static_cast<vid_t>(rng.next_below(nc));
+        auto side = grow_bisection(coarsest.graph, coarsest.vweight,
+                                   target0_fraction, start);
+        auto b = make_bisection(coarsest.graph, coarsest.vweight,
+                                std::move(side));
+        fm_refine(coarsest.graph, coarsest.vweight, b, target0,
+                  opt.imbalance, opt.refine_passes);
+        if (!have_best || b.cut < best.cut) {
+            best = std::move(b);
+            have_best = true;
+        }
+    }
+
+    // ---- Uncoarsening with refinement.
+    for (std::size_t li = levels.size() - 1; li-- > 0;) {
+        Level& fine = levels[li];
+        std::vector<std::uint8_t> fine_side(fine.graph.num_vertices());
+        for (vid_t v = 0; v < fine.graph.num_vertices(); ++v)
+            fine_side[v] = best.side[fine.to_coarse[v]];
+        best = make_bisection(fine.graph, fine.vweight,
+                              std::move(fine_side));
+        const double ft = std::accumulate(fine.vweight.begin(),
+                                          fine.vweight.end(), 0.0)
+            * target0_fraction;
+        fm_refine(fine.graph, fine.vweight, best, ft, opt.imbalance,
+                  opt.refine_passes);
+    }
+    return best;
+}
+
+/** Recursive k-way bisection into parts [first_part, first_part + k). */
+void
+kway_recurse(const Csr& g, const std::vector<double>& vweight, vid_t k,
+             vid_t first_part, const PartitionOptions& opt, Rng& rng,
+             std::vector<vid_t>& out, const std::vector<vid_t>& to_parent)
+{
+    if (k <= 1 || g.num_vertices() == 0) {
+        for (vid_t v = 0; v < g.num_vertices(); ++v)
+            out[to_parent[v]] = first_part;
+        return;
+    }
+    const vid_t k0 = k / 2;
+    const vid_t k1 = k - k0;
+    const double frac0 = static_cast<double>(k0) / static_cast<double>(k);
+    auto b = multilevel_bisect(g, vweight, frac0, opt, rng);
+
+    for (std::uint8_t s : {std::uint8_t{0}, std::uint8_t{1}}) {
+        std::vector<std::uint8_t> keep(g.num_vertices());
+        for (vid_t v = 0; v < g.num_vertices(); ++v)
+            keep[v] = b.side[v] == s;
+        auto sg = induced_subgraph(g, keep);
+        std::vector<double> sw;
+        if (!vweight.empty()) {
+            sw.reserve(sg.to_parent.size());
+            for (vid_t v : sg.to_parent)
+                sw.push_back(vweight[v]);
+        }
+        std::vector<vid_t> parent_ids(sg.to_parent.size());
+        for (std::size_t i = 0; i < sg.to_parent.size(); ++i)
+            parent_ids[i] = to_parent[sg.to_parent[i]];
+        kway_recurse(sg.graph, sw, s == 0 ? k0 : k1,
+                     s == 0 ? first_part : first_part + k0, opt, rng, out,
+                     parent_ids);
+    }
+}
+
+} // namespace
+
+Partition
+bisect(const Csr& g, const std::vector<double>& vweight,
+       double target0_fraction, const PartitionOptions& opt)
+{
+    Rng rng(opt.seed);
+    auto b = multilevel_bisect(g, vweight, target0_fraction, opt, rng);
+    Partition p;
+    p.num_parts = 2;
+    p.part.assign(g.num_vertices(), 0);
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        p.part[v] = b.side[v];
+    p.cut_weight = b.cut;
+    return p;
+}
+
+Partition
+partition_kway(const Csr& g, vid_t k, const PartitionOptions& opt)
+{
+    Partition p;
+    p.num_parts = std::max<vid_t>(k, 1);
+    p.part.assign(g.num_vertices(), 0);
+    if (p.num_parts == 1 || g.num_vertices() == 0) {
+        p.cut_weight = 0;
+        return p;
+    }
+    Rng rng(opt.seed);
+    std::vector<vid_t> ident(g.num_vertices());
+    std::iota(ident.begin(), ident.end(), vid_t{0});
+    kway_recurse(g, {}, p.num_parts, 0, opt, rng, p.part, ident);
+    p.cut_weight = partition_cut(g, p.part);
+    return p;
+}
+
+} // namespace graphorder

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Multilevel graph partitioning (METIS-style): heavy-edge-matching
+ * coarsening, greedy graph-growing initial bisection, FM refinement during
+ * uncoarsening, and recursive bisection for k-way partitions.
+ *
+ * The paper repurposes METIS as an ordering generator (§III-D): vertices
+ * are numbered partition by partition.  This module provides the
+ * partitions; src/order/partition_order.* turns them into orderings.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/** Tuning knobs of the multilevel partitioner. */
+struct PartitionOptions
+{
+    /** Stop coarsening below this many vertices. */
+    vid_t coarsen_limit = 64;
+    /** Allowed relative imbalance per bisection. */
+    double imbalance = 0.05;
+    /** Number of random initial-bisection trials (best cut kept). */
+    int init_trials = 4;
+    /** FM passes per uncoarsening level. */
+    int refine_passes = 6;
+    /** RNG seed. */
+    std::uint64_t seed = 12345;
+};
+
+/** A k-way partition of a graph. */
+struct Partition
+{
+    std::vector<vid_t> part; ///< part[v] in [0, num_parts)
+    vid_t num_parts = 0;
+    double cut_weight = 0;   ///< total weight of edges crossing parts
+
+    /** Vertex count of each part. */
+    std::vector<vid_t> part_sizes() const;
+};
+
+/**
+ * Bisect @p g into two sides with weight split target0 : (1 - target0).
+ * @param vweight optional per-vertex weights (empty = unit).
+ */
+Partition bisect(const Csr& g, const std::vector<double>& vweight,
+                 double target0_fraction, const PartitionOptions& opt);
+
+/** Partition into @p k parts by recursive bisection. */
+Partition partition_kway(const Csr& g, vid_t k, const PartitionOptions& opt);
+
+/** Recompute the cut weight of a partition from scratch. */
+double partition_cut(const Csr& g, const std::vector<vid_t>& part);
+
+} // namespace graphorder

@@ -1,0 +1,179 @@
+#include "part/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace graphorder {
+
+namespace {
+
+/** Weight of edge slot i of vertex v (1.0 when unweighted). */
+inline weight_t
+edge_w(const Csr& g, vid_t v, std::size_t i)
+{
+    const auto ws = g.neighbor_weights(v);
+    return ws.empty() ? 1.0 : ws[i];
+}
+
+/** External minus internal connectivity of v — the FM gain of moving v. */
+double
+gain_of(const Csr& g, const std::vector<std::uint8_t>& side, vid_t v)
+{
+    double ext = 0, in = 0;
+    const auto nbrs = g.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const double w = edge_w(g, v, i);
+        if (side[nbrs[i]] == side[v])
+            in += w;
+        else
+            ext += w;
+    }
+    return ext - in;
+}
+
+} // namespace
+
+Bisection
+make_bisection(const Csr& g, const std::vector<double>& vweight,
+               std::vector<std::uint8_t> side)
+{
+    Bisection b;
+    b.side = std::move(side);
+    const vid_t n = g.num_vertices();
+    for (vid_t v = 0; v < n; ++v) {
+        b.side_weight[b.side[v]] += vweight.empty() ? 1.0 : vweight[v];
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+            if (b.side[nbrs[i]] != b.side[v])
+                b.cut += edge_w(g, v, i);
+    }
+    b.cut /= 2.0; // each cut edge seen from both sides
+    return b;
+}
+
+double
+fm_refine_pass(const Csr& g, const std::vector<double>& vweight,
+               Bisection& b, double target0, double imbalance,
+               std::size_t max_moves)
+{
+    const vid_t n = g.num_vertices();
+    if (max_moves == 0)
+        max_moves = n;
+    const double cut_before = b.cut;
+    const double slack = imbalance * (b.side_weight[0] + b.side_weight[1]);
+
+    auto vw = [&](vid_t v) { return vweight.empty() ? 1.0 : vweight[v]; };
+    auto balanced_after = [&](vid_t v) {
+        // Weight of side 0 if v were moved.
+        const double w0 = b.side[v] == 0 ? b.side_weight[0] - vw(v)
+                                         : b.side_weight[0] + vw(v);
+        return std::abs(w0 - target0) <= slack;
+    };
+
+    // Lazy max-heap of (gain, v); stale entries are skipped on pop.
+    using Entry = std::pair<double, vid_t>;
+    std::priority_queue<Entry> heap;
+    std::vector<double> gain(n);
+    std::vector<std::uint8_t> locked(n, 0);
+    std::vector<std::uint8_t> has_gain(n, 0);
+
+    // Seed with boundary vertices only (interior moves never help first).
+    for (vid_t v = 0; v < n; ++v) {
+        bool boundary = false;
+        for (vid_t u : g.neighbors(v)) {
+            if (b.side[u] != b.side[v]) {
+                boundary = true;
+                break;
+            }
+        }
+        if (boundary) {
+            gain[v] = gain_of(g, b.side, v);
+            has_gain[v] = 1;
+            heap.emplace(gain[v], v);
+        }
+    }
+
+    struct Move
+    {
+        vid_t v;
+        double cut_after;
+    };
+    std::vector<Move> trail;
+    double best_cut = b.cut;
+    std::size_t best_prefix = 0;
+
+    while (!heap.empty() && trail.size() < max_moves) {
+        const auto [gv, v] = heap.top();
+        heap.pop();
+        if (locked[v] || gv != gain[v])
+            continue; // stale or already moved
+        if (!balanced_after(v))
+            continue;
+
+        // Apply the move.
+        locked[v] = 1;
+        const std::uint8_t from = b.side[v];
+        b.side_weight[from] -= vw(v);
+        b.side_weight[1 - from] += vw(v);
+        b.side[v] = 1 - from;
+        b.cut -= gv;
+        trail.push_back({v, b.cut});
+        if (b.cut < best_cut - 1e-12) {
+            best_cut = b.cut;
+            best_prefix = trail.size();
+        }
+
+        // Classic FM O(1) delta per neighbor: the (u, v) edge flips
+        // between internal and external, changing u's gain by +-2w.
+        {
+            const auto nbrs = g.neighbors(v);
+            const auto ws = g.neighbor_weights(v);
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const vid_t u = nbrs[i];
+                if (locked[u])
+                    continue;
+                if (!has_gain[u]) {
+                    // First time u becomes boundary: full evaluation
+                    // (the move of v is already reflected in b.side).
+                    gain[u] = gain_of(g, b.side, u);
+                    has_gain[u] = 1;
+                } else {
+                    const double w = ws.empty() ? 1.0 : ws[i];
+                    // v now sits on side (1 - from); u on its own side.
+                    gain[u] +=
+                        b.side[u] == b.side[v] ? -2.0 * w : 2.0 * w;
+                }
+                heap.emplace(gain[u], u);
+            }
+        }
+    }
+
+    // Roll back moves past the best prefix.
+    for (std::size_t i = trail.size(); i > best_prefix; --i) {
+        const vid_t v = trail[i - 1].v;
+        const std::uint8_t from = b.side[v];
+        b.side_weight[from] -= vw(v);
+        b.side_weight[1 - from] += vw(v);
+        b.side[v] = 1 - from;
+    }
+    // Recompute the cut exactly after rollback; incremental tracking of
+    // floating-point gains can drift over a long pass.
+    b.cut = make_bisection(g, vweight, b.side).cut;
+    return std::max(0.0, cut_before - b.cut);
+}
+
+void
+fm_refine(const Csr& g, const std::vector<double>& vweight, Bisection& b,
+          double target0, double imbalance, int max_passes)
+{
+    double prev = b.cut;
+    for (int p = 0; p < max_passes; ++p) {
+        fm_refine_pass(g, vweight, b, target0, imbalance);
+        if (b.cut >= prev - 1e-9)
+            break;
+        prev = b.cut;
+    }
+}
+
+} // namespace graphorder

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fiduccia–Mattheyses boundary refinement of a bisection, the iterative
+ * refinement step of the multilevel scheme (paper cites Kernighan–Lin).
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/** State of a 2-way partition under refinement. */
+struct Bisection
+{
+    /** side[v] in {0, 1}. */
+    std::vector<std::uint8_t> side;
+    /** Sum of vertex weights on each side. */
+    double side_weight[2] = {0, 0};
+    /** Total weight of edges crossing the cut. */
+    double cut = 0;
+};
+
+/** Compute cut and side weights of @p side from scratch. */
+Bisection make_bisection(const Csr& g, const std::vector<double>& vweight,
+                         std::vector<std::uint8_t> side);
+
+/**
+ * One FM pass: repeatedly move the best-gain movable boundary vertex,
+ * allowing negative-gain moves, then roll back to the best prefix seen.
+ *
+ * @param vweight vertex weights (coarse vertices carry fine counts).
+ * @param target0 desired weight of side 0.
+ * @param imbalance allowed relative deviation from target (e.g. 0.05).
+ * @param max_moves cap on moves per pass (0 = n).
+ * @return cut improvement achieved (>= 0).
+ */
+double fm_refine_pass(const Csr& g, const std::vector<double>& vweight,
+                      Bisection& b, double target0, double imbalance,
+                      std::size_t max_moves = 0);
+
+/** Run FM passes until no improvement (at most @p max_passes). */
+void fm_refine(const Csr& g, const std::vector<double>& vweight,
+               Bisection& b, double target0, double imbalance,
+               int max_passes = 8);
+
+} // namespace graphorder

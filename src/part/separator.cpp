@@ -1,0 +1,145 @@
+#include "part/separator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/subgraph.hpp"
+#include "graph/traversal.hpp"
+
+namespace graphorder {
+
+std::vector<std::uint8_t>
+vertex_separator_from_cut(const Csr& g, const std::vector<std::uint8_t>& side)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<std::uint8_t> sep(n, 0);
+
+    // Count, per vertex, how many of its incident edges cross the cut.
+    std::vector<vid_t> cross(n, 0);
+    for (vid_t v = 0; v < n; ++v)
+        for (vid_t u : g.neighbors(v))
+            if (side[u] != side[v])
+                ++cross[v];
+
+    // Process boundary vertices by decreasing cross count; add a vertex to
+    // the separator if it still has an uncovered cut edge.
+    std::vector<vid_t> boundary;
+    for (vid_t v = 0; v < n; ++v)
+        if (cross[v] > 0)
+            boundary.push_back(v);
+    std::sort(boundary.begin(), boundary.end(), [&](vid_t a, vid_t b) {
+        return cross[a] != cross[b] ? cross[a] > cross[b] : a < b;
+    });
+    for (vid_t v : boundary) {
+        bool uncovered = false;
+        for (vid_t u : g.neighbors(v)) {
+            if (side[u] != side[v] && !sep[u] && !sep[v]) {
+                uncovered = true;
+                break;
+            }
+        }
+        if (uncovered)
+            sep[v] = 1;
+    }
+    return sep;
+}
+
+namespace {
+
+/** BFS numbering of a (sub)graph, covering disconnected pieces. */
+std::vector<vid_t>
+bfs_order_all(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    std::vector<vid_t> order;
+    order.reserve(n);
+    std::vector<std::uint8_t> seen(n, 0);
+    for (vid_t s = 0; s < n; ++s) {
+        if (seen[s])
+            continue;
+        seen[s] = 1;
+        std::size_t head = order.size();
+        order.push_back(s);
+        while (head < order.size()) {
+            const vid_t v = order[head++];
+            for (vid_t u : g.neighbors(v)) {
+                if (!seen[u]) {
+                    seen[u] = 1;
+                    order.push_back(u);
+                }
+            }
+        }
+    }
+    return order;
+}
+
+void
+nd_recurse(const Csr& g, const std::vector<vid_t>& to_parent, vid_t leaf_size,
+           const PartitionOptions& opt, std::uint64_t seed,
+           std::vector<vid_t>& out)
+{
+    const vid_t n = g.num_vertices();
+    if (n == 0)
+        return;
+    if (n <= leaf_size) {
+        for (vid_t v : bfs_order_all(g))
+            out.push_back(to_parent[v]);
+        return;
+    }
+    PartitionOptions local = opt;
+    local.seed = seed;
+    auto p = bisect(g, {}, 0.5, local);
+    std::vector<std::uint8_t> side(n);
+    for (vid_t v = 0; v < n; ++v)
+        side[v] = static_cast<std::uint8_t>(p.part[v]);
+    auto sep = vertex_separator_from_cut(g, side);
+
+    // Degenerate split (whole graph in separator or one side empty):
+    // fall back to BFS numbering to guarantee progress.
+    vid_t n0 = 0, n1 = 0, nsep = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        if (sep[v])
+            ++nsep;
+        else if (side[v] == 0)
+            ++n0;
+        else
+            ++n1;
+    }
+    if (nsep >= n || n0 == 0 || n1 == 0) {
+        for (vid_t v : bfs_order_all(g))
+            out.push_back(to_parent[v]);
+        return;
+    }
+
+    for (std::uint8_t s : {std::uint8_t{0}, std::uint8_t{1}}) {
+        std::vector<std::uint8_t> keep(n, 0);
+        for (vid_t v = 0; v < n; ++v)
+            keep[v] = !sep[v] && side[v] == s;
+        auto sm = induced_subgraph(g, keep);
+        std::vector<vid_t> parent_ids(sm.to_parent.size());
+        for (std::size_t i = 0; i < sm.to_parent.size(); ++i)
+            parent_ids[i] = to_parent[sm.to_parent[i]];
+        nd_recurse(sm.graph, parent_ids, leaf_size, opt,
+                   seed * 6364136223846793005ULL + 1 + s, out);
+    }
+    // Separator vertices are numbered last (highest ranks).
+    for (vid_t v = 0; v < n; ++v)
+        if (sep[v])
+            out.push_back(to_parent[v]);
+}
+
+} // namespace
+
+std::vector<vid_t>
+nested_dissection_order(const Csr& g, vid_t leaf_size,
+                        const PartitionOptions& opt)
+{
+    std::vector<vid_t> out;
+    out.reserve(g.num_vertices());
+    std::vector<vid_t> ident(g.num_vertices());
+    std::iota(ident.begin(), ident.end(), vid_t{0});
+    nd_recurse(g, ident, std::max<vid_t>(leaf_size, 8), opt, opt.seed, out);
+    return out;
+}
+
+} // namespace graphorder

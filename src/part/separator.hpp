@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Vertex separators and nested-dissection ordering (paper §III-E).
+ *
+ * ND recursively bisects the graph, derives a small vertex separator from
+ * the edge cut, orders the two halves recursively and numbers the
+ * separator last — the classic fill-reducing layout of George (1973),
+ * implemented here on top of the multilevel partitioner (as in METIS).
+ */
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "part/partition.hpp"
+
+namespace graphorder {
+
+/**
+ * Derive a vertex separator from a 2-way edge cut by greedy minimal vertex
+ * cover of the cut edges (pick the endpoint covering more uncovered cut
+ * edges, ties to the larger side to help balance).
+ *
+ * @return separator flag per vertex (1 = in separator).
+ */
+std::vector<std::uint8_t>
+vertex_separator_from_cut(const Csr& g, const std::vector<std::uint8_t>& side);
+
+/**
+ * Nested-dissection ordering.
+ *
+ * @param leaf_size subgraphs at or below this size are numbered by BFS
+ *        (a stand-in for the minimum-degree leaf orderings of METIS).
+ * @return order vector: order[k] = vertex placed at rank k.
+ */
+std::vector<vid_t> nested_dissection_order(const Csr& g, vid_t leaf_size,
+                                           const PartitionOptions& opt);
+
+} // namespace graphorder

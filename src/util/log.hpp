@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Minimal logging and fatal-error helpers.
+ *
+ * Following the gem5 convention: fatal() is for user errors (bad arguments,
+ * malformed input) and exits cleanly; panic() is for internal invariant
+ * violations and aborts.  Both print to stderr.
+ */
+#pragma once
+
+#include <string>
+
+namespace graphorder {
+
+/** Print an informational message to stderr ("info: ..."). */
+void inform(const std::string& msg);
+
+/** Print a warning to stderr ("warn: ..."). */
+void warn(const std::string& msg);
+
+/** User error: print and exit(1). */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Internal bug: print and abort(). */
+[[noreturn]] void panic(const std::string& msg);
+
+} // namespace graphorder

@@ -1,0 +1,103 @@
+#include "util/perf_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace graphorder {
+
+double
+PerfProfile::fraction_within(std::size_t scheme_index, double tau) const
+{
+    const auto& r = curves.at(scheme_index).ratios;
+    if (r.empty())
+        return 0.0;
+    const auto it = std::upper_bound(r.begin(), r.end(), tau);
+    return static_cast<double>(it - r.begin())
+        / static_cast<double>(r.size());
+}
+
+double
+PerfProfile::max_ratio() const
+{
+    double m = 1.0;
+    for (const auto& c : curves)
+        for (double r : c.ratios)
+            m = std::max(m, r);
+    return m;
+}
+
+double
+PerfProfile::mean_log2_ratio(std::size_t scheme_index) const
+{
+    const auto& r = curves.at(scheme_index).ratios;
+    if (r.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : r)
+        acc += std::log2(x);
+    return acc / static_cast<double>(r.size());
+}
+
+std::string
+PerfProfile::to_csv(const std::vector<double>& taus) const
+{
+    std::ostringstream os;
+    os << "scheme";
+    for (double t : taus)
+        os << ",tau=" << t;
+    os << '\n';
+    for (std::size_t s = 0; s < curves.size(); ++s) {
+        os << curves[s].scheme;
+        for (double t : taus)
+            os << ',' << fraction_within(s, t);
+        os << '\n';
+    }
+    return os.str();
+}
+
+PerfProfile
+build_profile(const ProfileInput& input, double epsilon)
+{
+    const std::size_t ns = input.schemes.size();
+    const std::size_t np = input.problems.size();
+    if (input.costs.size() != ns)
+        throw std::invalid_argument("profile: cost rows != #schemes");
+    for (const auto& row : input.costs)
+        if (row.size() != np)
+            throw std::invalid_argument("profile: cost cols != #problems");
+
+    // Best (minimum) cost per problem across schemes.
+    std::vector<double> best(np, 0.0);
+    for (std::size_t p = 0; p < np; ++p) {
+        double b = input.costs[0][p];
+        for (std::size_t s = 1; s < ns; ++s)
+            b = std::min(b, input.costs[s][p]);
+        best[p] = std::max(b, epsilon);
+    }
+
+    PerfProfile out;
+    out.curves.resize(ns);
+    for (std::size_t s = 0; s < ns; ++s) {
+        out.curves[s].scheme = input.schemes[s];
+        auto& r = out.curves[s].ratios;
+        r.reserve(np);
+        for (std::size_t p = 0; p < np; ++p)
+            r.push_back(std::max(input.costs[s][p], epsilon) / best[p]);
+        std::sort(r.begin(), r.end());
+    }
+    return out;
+}
+
+std::vector<double>
+default_tau_grid(double max_tau)
+{
+    std::vector<double> taus;
+    for (double t = 1.0; t <= max_tau * 1.0001; t *= 1.25)
+        taus.push_back(t);
+    return taus;
+}
+
+} // namespace graphorder

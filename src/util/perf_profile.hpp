@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Performance-profile construction (Dolan & Moré style), the presentation
+ * device used by Figures 1, 4, 5, 6 and 7 of the paper.
+ *
+ * Given a matrix of costs c(s, p) for scheme s on problem p (lower is
+ * better), the profile of scheme s is the cumulative distribution
+ *
+ *   rho_s(tau) = |{ p : c(s,p) <= tau * min_s' c(s',p) }| / #problems.
+ *
+ * A curve hugging the Y axis (rho high at small tau) means the scheme is at
+ * or near the best on most problems.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graphorder {
+
+/** Cost table: one named scheme row across a set of named problems. */
+struct ProfileInput
+{
+    std::vector<std::string> schemes;             ///< row labels
+    std::vector<std::string> problems;            ///< column labels
+    /** costs[s][p], lower is better; must be > 0 and finite. */
+    std::vector<std::vector<double>> costs;
+};
+
+/** One scheme's profile curve, sampled at shared tau grid points. */
+struct ProfileCurve
+{
+    std::string scheme;
+    /** ratio-to-best for each problem, sorted ascending. */
+    std::vector<double> ratios;
+};
+
+/** Result of building a performance profile. */
+struct PerfProfile
+{
+    std::vector<ProfileCurve> curves;
+
+    /**
+     * Fraction of problems on which @p scheme_index is within factor
+     * @p tau of the best scheme.
+     */
+    double fraction_within(std::size_t scheme_index, double tau) const;
+
+    /** Maximum ratio-to-best over all schemes and problems. */
+    double max_ratio() const;
+
+    /**
+     * Area over the profile (mean log2 ratio-to-best); 0 means always best,
+     * bigger is worse.  Handy scalar for ranking schemes in tests.
+     */
+    double mean_log2_ratio(std::size_t scheme_index) const;
+
+    /**
+     * Render as CSV: header "scheme,tau...," then one row per scheme of
+     * rho_s(tau) values sampled at @p taus.
+     */
+    std::string to_csv(const std::vector<double>& taus) const;
+};
+
+/**
+ * Build a performance profile from a cost table.
+ *
+ * Costs equal to zero are clamped to @p epsilon so that ties at zero (e.g.
+ * two schemes both achieving bandwidth 0 on a trivial graph) behave.
+ */
+PerfProfile build_profile(const ProfileInput& input, double epsilon = 1e-12);
+
+/** Convenience: default tau sample grid 1, 1.25, 1.5, ..., up to limit. */
+std::vector<double> default_tau_grid(double max_tau);
+
+} // namespace graphorder

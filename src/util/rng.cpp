@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace graphorder {
+
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four state words via splitmix64 as recommended by the
+    // xoshiro authors; guards against the all-zero state.
+    std::uint64_t sm = seed;
+    for (auto& w : s_)
+        w = splitmix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::next_below(std::uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Lemire's nearly-divisionless unbiased bounded generation.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            x = (*this)();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::next_double()
+{
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::next_bool(double p)
+{
+    return next_double() < p;
+}
+
+std::int64_t
+Rng::next_range(std::int64_t lo, std::int64_t hi)
+{
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double
+Rng::next_gaussian(double mean, double stddev)
+{
+    // Box-Muller; u1 is kept away from 0 so the log is finite.
+    double u1 = next_double();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double u2 = next_double();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    constexpr double two_pi = 6.283185307179586;
+    return mean + stddev * r * std::cos(two_pi * u2);
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)());
+}
+
+} // namespace graphorder

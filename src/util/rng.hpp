@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the whole library.
+ *
+ * Every experiment in the paper is a comparison between orderings on the
+ * *same* input, so reproducibility of both the synthetic graphs and the
+ * randomized schemes (random ordering, IC-model coin flips, simulated
+ * annealing) matters more than statistical sophistication.  We use
+ * xoshiro256** seeded via splitmix64, which is fast, has a 256-bit state
+ * and passes BigCrush; std::mt19937_64 would also do but is slower and its
+ * distributions are not portable across standard libraries.
+ */
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace graphorder {
+
+/** Mix a 64-bit seed into a well-distributed state word (splitmix64). */
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/**
+ * xoshiro256** generator.  Satisfies UniformRandomBitGenerator so it can be
+ * used with <random> distributions, but the helpers below are preferred
+ * because their results are identical on every platform.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; the same seed yields the same stream. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max()
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    /** Next raw 64-bit value. */
+    result_type operator()();
+
+    /** Uniform integer in [0, bound) using Lemire's rejection method. */
+    std::uint64_t next_below(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double next_double();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool next_bool(double p);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+    /** Normally distributed value (Box-Muller; consumes two draws). */
+    double next_gaussian(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Split off an independent generator.  Used to give each thread or each
+     * RRR-set sample its own deterministic stream.
+     */
+    Rng split();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/** Fisher-Yates shuffle of a range, deterministic given the Rng state. */
+template <typename RandomIt>
+void
+shuffle(RandomIt first, RandomIt last, Rng& rng)
+{
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+        const auto j = rng.next_below(i);
+        using std::swap;
+        swap(first[i - 1], first[j]);
+    }
+}
+
+} // namespace graphorder

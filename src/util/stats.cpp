@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace graphorder {
+
+double
+quantile_sorted(const std::vector<double>& sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary
+summarize(std::vector<double> values)
+{
+    Summary s;
+    s.count = values.size();
+    if (values.empty())
+        return s;
+    std::sort(values.begin(), values.end());
+    s.min = values.front();
+    s.max = values.back();
+    s.mean = mean_of(values);
+    s.stddev = stddev_of(values);
+    s.p25 = quantile_sorted(values, 0.25);
+    s.median = quantile_sorted(values, 0.50);
+    s.p75 = quantile_sorted(values, 0.75);
+    s.p90 = quantile_sorted(values, 0.90);
+    s.p99 = quantile_sorted(values, 0.99);
+    return s;
+}
+
+LogHistogram::LogHistogram(double base) : base_(base) {}
+
+void
+LogHistogram::add(double value)
+{
+    std::size_t bin = 0;
+    if (value >= 1.0)
+        bin = static_cast<std::size_t>(std::log(value) / std::log(base_)) + 1;
+    if (bin >= counts_.size())
+        counts_.resize(bin + 1, 0);
+    ++counts_[bin];
+    ++total_;
+}
+
+std::uint64_t
+LogHistogram::bin_count(std::size_t k) const
+{
+    return k < counts_.size() ? counts_[k] : 0;
+}
+
+double
+LogHistogram::bin_lower(std::size_t k) const
+{
+    return k == 0 ? 0.0 : std::pow(base_, static_cast<double>(k - 1));
+}
+
+std::string
+LogHistogram::to_string() const
+{
+    std::ostringstream os;
+    for (std::size_t k = 0; k < counts_.size(); ++k) {
+        if (k)
+            os << ' ';
+        os << '[' << bin_lower(k) << ',' << bin_lower(k + 1) << "):"
+           << counts_[k];
+    }
+    return os.str();
+}
+
+double
+mean_of(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0)
+        / static_cast<double>(v.size());
+}
+
+double
+stddev_of(const std::vector<double>& v)
+{
+    if (v.size() < 2)
+        return 0.0;
+    const double m = mean_of(v);
+    double acc = 0.0;
+    for (double x : v)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double
+geomean_of(const std::vector<double>& v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(std::max(x, 1e-12));
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+} // namespace graphorder

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Descriptive statistics and histogram helpers.
+ *
+ * The paper reports gap *distributions* as violin plots (Fig. 8).  A violin
+ * is a kernel-density sketch of a sample; the text equivalent we produce is
+ * the set of quantiles plus a log-binned histogram, which captures the same
+ * multi-modality and lognormal tails the paper discusses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphorder {
+
+/** Summary statistics of a sample. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p25 = 0.0;   ///< first quartile
+    double median = 0.0;
+    double p75 = 0.0;   ///< third quartile
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+/** Compute summary statistics; sorts a copy of the input. */
+Summary summarize(std::vector<double> values);
+
+/**
+ * Quantile of a *sorted* sample via linear interpolation,
+ * q in [0,1]; matches numpy's default 'linear' method.
+ */
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+/**
+ * Histogram over logarithmic bins [base^k, base^{k+1}), suited to the
+ * heavy-tailed gap distributions in the paper.  Values below 1 fall into
+ * bin 0.
+ */
+class LogHistogram
+{
+  public:
+    /** @param base bin growth factor (default 10 = decades). */
+    explicit LogHistogram(double base = 10.0);
+
+    /** Insert one observation (must be >= 0). */
+    void add(double value);
+
+    /** Number of bins currently materialized. */
+    std::size_t num_bins() const { return counts_.size(); }
+
+    /** Count in bin @p k, covering [base^k, base^{k+1}). */
+    std::uint64_t bin_count(std::size_t k) const;
+
+    /** Lower edge of bin @p k. */
+    double bin_lower(std::size_t k) const;
+
+    /** Total observations inserted. */
+    std::uint64_t total() const { return total_; }
+
+    /** One-line rendering: "[1,10):123 [10,100):45 ...". */
+    std::string to_string() const;
+
+  private:
+    double base_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/** Arithmetic mean of a vector (0 for empty). */
+double mean_of(const std::vector<double>& v);
+
+/** Population standard deviation of a vector (0 for size < 1). */
+double stddev_of(const std::vector<double>& v);
+
+/** Geometric mean; values must be positive (zeros are clamped to 1e-12). */
+double geomean_of(const std::vector<double>& v);
+
+} // namespace graphorder

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace graphorder {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    if (v != 0.0 && (std::abs(v) >= 1e6 || std::abs(v) < 1e-3))
+        os << std::scientific << std::setprecision(2) << v;
+    else
+        os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::to_string() const
+{
+    // Column widths over header + all rows.
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> width(ncols, 0);
+    auto account = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    account(header_);
+    for (const auto& r : rows_)
+        account(r);
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string>& r) {
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << r[c];
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (auto w : width)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+    std::fputc('\n', stdout);
+}
+
+} // namespace graphorder

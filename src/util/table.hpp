@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table rendering used by the bench harnesses to print the
+ * paper's tables and heat maps in a terminal-friendly way.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace graphorder {
+
+/** Column-aligned text table with an optional title. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (cells converted by the caller). */
+    void row(std::vector<std::string> cells);
+
+    /** Helper: format a double with @p precision significant decimals. */
+    static std::string num(double v, int precision = 3);
+
+    /** Helper: format an integer. */
+    static std::string num(std::uint64_t v);
+
+    /** Render with padded columns and separators. */
+    std::string to_string() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace graphorder

@@ -1,0 +1,68 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace graphorder {
+
+void
+Timer::start()
+{
+    t0_ = clock::now();
+    lap_ = t0_;
+}
+
+double
+Timer::elapsed_s() const
+{
+    return std::chrono::duration<double>(clock::now() - t0_).count();
+}
+
+double
+Timer::elapsed_ms() const
+{
+    return elapsed_s() * 1e3;
+}
+
+double
+Timer::lap_s()
+{
+    const auto now = clock::now();
+    const double d = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return d;
+}
+
+void
+TimeSeries::add(double seconds)
+{
+    samples_.push_back(seconds);
+}
+
+double
+TimeSeries::total() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+TimeSeries::mean() const
+{
+    return samples_.empty() ? 0.0 : total() / static_cast<double>(count());
+}
+
+double
+TimeSeries::min() const
+{
+    return samples_.empty()
+        ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+TimeSeries::max() const
+{
+    return samples_.empty()
+        ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+} // namespace graphorder

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Wall-clock timing utilities used by the instrumented application kernels
+ * (Louvain iterations, IMM sampling) and the reordering-cost benchmarks.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace graphorder {
+
+/** Monotonic stopwatch with lap support. */
+class Timer
+{
+  public:
+    using clock = std::chrono::steady_clock;
+
+    /** Start (or restart) the stopwatch. */
+    void start();
+
+    /** Seconds elapsed since the last start(). */
+    double elapsed_s() const;
+
+    /** Milliseconds elapsed since the last start(). */
+    double elapsed_ms() const;
+
+    /** Record a lap: seconds since the previous lap (or start). */
+    double lap_s();
+
+  private:
+    clock::time_point t0_{clock::now()};
+    clock::time_point lap_{clock::now()};
+};
+
+/**
+ * Accumulates named durations, e.g. per-iteration times of a Louvain phase.
+ * Thread-safe only if each thread uses its own instance.
+ */
+class TimeSeries
+{
+  public:
+    /** Append one observation (seconds). */
+    void add(double seconds);
+
+    std::size_t count() const { return samples_.size(); }
+    double total() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+} // namespace graphorder

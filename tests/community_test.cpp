@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the parallel Louvain (Grappolo re-implementation).
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "community/coloring.hpp"
+#include "community/louvain.hpp"
+#include "gen/generators.hpp"
+#include "memsim/cache.hpp"
+#include "testutil.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::complete_graph;
+using testing::two_cliques;
+
+TEST(Modularity, SingletonPartitionOfCliqueIsNegative)
+{
+    const auto g = complete_graph(6);
+    std::vector<vid_t> comm(6);
+    std::iota(comm.begin(), comm.end(), vid_t{0});
+    EXPECT_LT(modularity(g, comm), 0.0);
+}
+
+TEST(Modularity, OneCommunityIsZero)
+{
+    const auto g = complete_graph(6);
+    const std::vector<vid_t> comm(6, 0);
+    EXPECT_NEAR(modularity(g, comm), 0.0, 1e-12);
+}
+
+TEST(Modularity, TwoCliquesKnownValue)
+{
+    // Two k-cliques plus one bridge: the 2-community split has
+    // Q = in/2m - sum (tot/2m)^2 computed explicitly below.
+    const vid_t k = 8;
+    const auto g = two_cliques(k);
+    std::vector<vid_t> comm(2 * k, 0);
+    for (vid_t v = k; v < 2 * k; ++v)
+        comm[v] = 1;
+    const double m = static_cast<double>(g.num_edges());
+    const double in_c = k * (k - 1) / 2.0;           // per clique
+    const double tot0 = 2.0 * in_c + 1.0;            // + bridge endpoint
+    const double q_expect =
+        2.0 * (in_c / m) - 2.0 * (tot0 / (2 * m)) * (tot0 / (2 * m));
+    EXPECT_NEAR(modularity(g, comm), q_expect, 1e-12);
+    EXPECT_GT(modularity(g, comm), 0.4);
+}
+
+TEST(Louvain, RecoversTwoCliques)
+{
+    const auto g = two_cliques(10);
+    const auto res = louvain(g);
+    EXPECT_EQ(res.num_communities, 2u);
+    // All of clique 0 in one community.
+    for (vid_t v = 1; v < 10; ++v)
+        EXPECT_EQ(res.community[v], res.community[0]);
+    for (vid_t v = 11; v < 20; ++v)
+        EXPECT_EQ(res.community[v], res.community[10]);
+    EXPECT_GT(res.modularity, 0.4);
+}
+
+TEST(Louvain, CommunityIdsAreDense)
+{
+    const auto g = gen_sbm(1000, 6000, 10, 0.85, 3);
+    const auto res = louvain(g);
+    std::set<vid_t> ids(res.community.begin(), res.community.end());
+    EXPECT_EQ(ids.size(), res.num_communities);
+    EXPECT_EQ(*ids.rbegin(), res.num_communities - 1);
+}
+
+TEST(Louvain, ImprovesOverSingletons)
+{
+    const auto g = gen_sbm(800, 5000, 8, 0.85, 5);
+    const auto res = louvain(g);
+    std::vector<vid_t> singles(g.num_vertices());
+    std::iota(singles.begin(), singles.end(), vid_t{0});
+    EXPECT_GT(res.modularity, modularity(g, singles) + 0.3);
+}
+
+TEST(Louvain, FindsPlantedCommunities)
+{
+    // SBM with strong structure: Louvain's Q should approach the planted
+    // partition's Q.
+    const auto g = gen_sbm(1200, 9000, 12, 0.9, 7);
+    const auto res = louvain(g);
+    EXPECT_GT(res.modularity, 0.4);
+    EXPECT_GE(res.num_communities, 4u);
+    EXPECT_LE(res.num_communities, 200u);
+}
+
+TEST(Louvain, PhaseStatsPopulated)
+{
+    const auto g = gen_sbm(600, 4000, 8, 0.85, 9);
+    const auto res = louvain(g);
+    ASSERT_FALSE(res.phases.empty());
+    const auto& p0 = res.phases.front();
+    EXPECT_GT(p0.iterations, 0);
+    EXPECT_EQ(static_cast<int>(p0.iteration_times_s.size()), p0.iterations);
+    EXPECT_GT(p0.phase_time_s, 0.0);
+    EXPECT_GE(p0.modularity_after, p0.modularity_before);
+    EXPECT_GT(p0.work_per_edge, 0.0);
+    EXPECT_EQ(p0.num_vertices, g.num_vertices());
+    EXPECT_GT(res.total_time_s, 0.0);
+}
+
+TEST(Louvain, ModularityMonotoneAcrossPhases)
+{
+    const auto g = gen_sbm(1000, 8000, 10, 0.8, 11);
+    const auto res = louvain(g);
+    for (std::size_t i = 1; i < res.phases.size(); ++i) {
+        EXPECT_GE(res.phases[i].modularity_after,
+                  res.phases[i - 1].modularity_after - 1e-6);
+    }
+}
+
+TEST(Louvain, SingleThreadDeterministic)
+{
+    const auto g = gen_sbm(500, 3000, 6, 0.85, 13);
+    LouvainOptions opt;
+    opt.num_threads = 1;
+    const auto a = louvain(g, opt);
+    const auto b = louvain(g, opt);
+    EXPECT_EQ(a.community, b.community);
+    EXPECT_DOUBLE_EQ(a.modularity, b.modularity);
+}
+
+TEST(Louvain, EmptyAndTinyGraphs)
+{
+    const Csr empty(std::vector<eid_t>{0}, {});
+    const auto r0 = louvain(empty);
+    EXPECT_EQ(r0.community.size(), 0u);
+
+    GraphBuilder b(2);
+    b.add_edge(0, 1);
+    const auto r2 = louvain(b.finalize());
+    EXPECT_EQ(r2.community.size(), 2u);
+    EXPECT_EQ(r2.community[0], r2.community[1]); // one edge = one community
+}
+
+TEST(Louvain, TracerReceivesFirstPhaseLoads)
+{
+    const auto g = gen_sbm(300, 2000, 6, 0.85, 17);
+    CacheTracer tracer(CacheHierarchyConfig::tiny_test());
+    LouvainOptions opt;
+    opt.tracer = &tracer;
+    opt.num_threads = 1;
+    const auto res = louvain(g, opt);
+    EXPECT_GT(tracer.metrics().loads, g.num_arcs()); // >= 3 loads per arc
+    EXPECT_GT(res.modularity, 0.0);
+}
+
+TEST(Coloring, ProperOnVariousGraphs)
+{
+    for (const auto& ng : testing::test_menagerie()) {
+        const auto c = greedy_coloring(ng.graph);
+        EXPECT_TRUE(is_proper_coloring(ng.graph, c.color)) << ng.name;
+        // Greedy first-fit uses at most maxdeg + 1 colors.
+        vid_t maxdeg = 0;
+        for (vid_t v = 0; v < ng.graph.num_vertices(); ++v)
+            maxdeg = std::max(maxdeg, ng.graph.degree(v));
+        EXPECT_LE(c.num_colors, maxdeg + 1) << ng.name;
+    }
+}
+
+TEST(Coloring, BipartiteGridUsesTwoColors)
+{
+    const auto g = testing::grid_graph(8, 8);
+    const auto c = greedy_coloring(g);
+    EXPECT_EQ(c.num_colors, 2u);
+}
+
+TEST(Coloring, ClassesPartitionTheVertexSet)
+{
+    const auto g = gen_sbm(400, 2400, 6, 0.85, 19);
+    const auto c = greedy_coloring(g);
+    vid_t total = 0;
+    for (const auto& cls : c.classes())
+        total += static_cast<vid_t>(cls.size());
+    EXPECT_EQ(total, g.num_vertices());
+}
+
+TEST(Louvain, ColorSynchronizedModeMatchesQuality)
+{
+    const auto g = gen_sbm(800, 5000, 10, 0.85, 23);
+    LouvainOptions plain, colored;
+    colored.use_coloring = true;
+    const auto a = louvain(g, plain);
+    const auto b = louvain(g, colored);
+    // Same algorithm, different schedule: quality must be comparable.
+    EXPECT_NEAR(a.modularity, b.modularity, 0.1);
+    EXPECT_GT(b.modularity, 0.3);
+}
+
+TEST(Louvain, WeightedGraphSupported)
+{
+    GraphBuilder b(6);
+    // Two triangles joined by a light edge; heavy internal edges.
+    for (auto [u, v] : {std::pair{0, 1}, {1, 2}, {0, 2}})
+        b.add_edge(u, v, 5.0);
+    for (auto [u, v] : {std::pair{3, 4}, {4, 5}, {3, 5}})
+        b.add_edge(u, v, 5.0);
+    b.add_edge(2, 3, 0.1);
+    const auto g = b.finalize(true);
+    const auto res = louvain(g);
+    EXPECT_EQ(res.num_communities, 2u);
+    EXPECT_EQ(res.community[0], res.community[2]);
+    EXPECT_EQ(res.community[3], res.community[5]);
+}
+
+} // namespace
+} // namespace graphorder

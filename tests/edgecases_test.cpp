@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Edge-case and robustness sweeps: degenerate graphs (empty, singleton,
+ * edgeless, disconnected, star-of-stars) through every public entry
+ * point, plus option-boundary checks for the configurable algorithms.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "community/louvain.hpp"
+#include "gen/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "influence/imm.hpp"
+#include "kernels/bc.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+#include "la/gap_measures.hpp"
+#include "order/gorder.hpp"
+#include "order/scheme.hpp"
+#include "part/partition.hpp"
+#include "testutil.hpp"
+
+namespace graphorder {
+namespace {
+
+/** Degenerate graph factory. */
+Csr
+degenerate(const std::string& kind)
+{
+    if (kind == "empty")
+        return Csr(std::vector<eid_t>{0}, {});
+    if (kind == "singleton")
+        return Csr(std::vector<eid_t>{0, 0}, {});
+    if (kind == "edgeless") {
+        return Csr(std::vector<eid_t>(17, 0), {});
+    }
+    if (kind == "one-edge") {
+        GraphBuilder b(2);
+        b.add_edge(0, 1);
+        return b.finalize();
+    }
+    if (kind == "isolated-mix") {
+        // A triangle plus five isolated vertices.
+        GraphBuilder b(8);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(0, 2);
+        return b.finalize();
+    }
+    // star-of-stars: hub 0 connected to 4 sub-hubs with 4 leaves each.
+    GraphBuilder b(21);
+    for (vid_t h = 1; h <= 4; ++h) {
+        b.add_edge(0, h);
+        for (vid_t l = 0; l < 4; ++l)
+            b.add_edge(h, 5 + (h - 1) * 4 + l);
+    }
+    return b.finalize();
+}
+
+class DegenerateGraphs : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    void SetUp() override { graph_ = degenerate(GetParam()); }
+    Csr graph_;
+};
+
+TEST_P(DegenerateGraphs, EverySchemeSurvives)
+{
+    for (const auto& s : all_schemes()) {
+        const auto pi = s.run(graph_, 3);
+        EXPECT_EQ(pi.size(), graph_.num_vertices()) << s.name;
+        EXPECT_TRUE(pi.is_valid()) << s.name;
+    }
+}
+
+TEST_P(DegenerateGraphs, GapMetricsAreFinite)
+{
+    const auto m = compute_gap_metrics(graph_);
+    EXPECT_GE(m.avg_gap, 0.0);
+    EXPECT_GE(m.avg_bandwidth, 0.0);
+    EXPECT_GE(m.envelope, 0.0);
+}
+
+TEST_P(DegenerateGraphs, StatsAndLouvainSurvive)
+{
+    const auto s = compute_stats(graph_);
+    EXPECT_EQ(s.num_vertices, graph_.num_vertices());
+    const auto res = louvain(graph_);
+    EXPECT_EQ(res.community.size(), graph_.num_vertices());
+}
+
+TEST_P(DegenerateGraphs, KernelsSurvive)
+{
+    const auto pr = pagerank(graph_);
+    EXPECT_EQ(pr.rank.size(), graph_.num_vertices());
+    if (graph_.num_vertices() > 0) {
+        const auto ss = sssp_dijkstra(graph_, 0);
+        EXPECT_EQ(ss.distance.size(), graph_.num_vertices());
+        BcOptions opt;
+        opt.num_sources = 0;
+        const auto bc = betweenness_centrality(graph_, opt);
+        EXPECT_EQ(bc.centrality.size(), graph_.num_vertices());
+    }
+}
+
+TEST_P(DegenerateGraphs, PartitionerSurvives)
+{
+    PartitionOptions opt;
+    const auto p = partition_kway(graph_, 4, opt);
+    EXPECT_EQ(p.part.size(), graph_.num_vertices());
+    for (vid_t c : p.part)
+        EXPECT_LT(c, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, DegenerateGraphs,
+    ::testing::Values("empty", "singleton", "edgeless", "one-edge",
+                      "isolated-mix", "star-of-stars"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+        std::string n = info.param;
+        std::replace(n.begin(), n.end(), '-', '_');
+        return n;
+    });
+
+// ------------------------------------------------------ option boundaries
+
+TEST(OptionBounds, GorderHubCutoffZeroMeansUnbounded)
+{
+    const auto g = gen_hub_forest(512, 1024, 4, 1);
+    GorderOptions opt;
+    opt.hub_cutoff = 0;
+    EXPECT_TRUE(gorder_order(g, opt).is_valid());
+}
+
+TEST(OptionBounds, LouvainSinglePhaseCap)
+{
+    const auto g = gen_sbm(400, 2400, 6, 0.85, 2);
+    LouvainOptions opt;
+    opt.max_phases = 1;
+    const auto res = louvain(g, opt);
+    EXPECT_EQ(res.phases.size(), 1u);
+}
+
+TEST(OptionBounds, LouvainSingleIterationCap)
+{
+    const auto g = gen_sbm(400, 2400, 6, 0.85, 2);
+    LouvainOptions opt;
+    opt.max_iterations = 1;
+    const auto res = louvain(g, opt);
+    for (const auto& p : res.phases)
+        EXPECT_EQ(p.iterations, 1);
+}
+
+TEST(OptionBounds, ImmSeedCountClampedToN)
+{
+    const auto g = testing::path_graph(5);
+    ImmOptions opt;
+    opt.num_seeds = 50; // > n
+    const auto res = imm(g, opt);
+    EXPECT_LE(res.seeds.size(), 5u);
+}
+
+TEST(OptionBounds, ImmMaxSamplesHonored)
+{
+    const auto g = gen_rmat(256, 1500, 0.57, 0.19, 0.19, 3);
+    ImmOptions opt;
+    opt.max_samples = 100;
+    const auto res = imm(g, opt);
+    EXPECT_LE(res.stats.num_rrr_sets, 100u);
+}
+
+TEST(OptionBounds, PartitionMoreBucketsThanVertices)
+{
+    const auto g = testing::path_graph(3);
+    PartitionOptions opt;
+    const auto p = partition_kway(g, 8, opt);
+    EXPECT_EQ(p.part.size(), 3u);
+    for (vid_t c : p.part)
+        EXPECT_LT(c, 8u);
+}
+
+// --------------------------------------------------------- io robustness
+
+TEST(IoRobustness, BlankAndMalformedLinesSkipped)
+{
+    std::stringstream ss("\n\n1 2\ngarbage line\n3 4 extra tokens\n");
+    const auto g = read_edge_list(ss);
+    // "1 2" and "3 4" parse (extra tokens ignored); garbage skipped.
+    EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(IoRobustness, SelfLoopsInFileDropped)
+{
+    std::stringstream ss("1 1\n1 2\n");
+    const auto g = read_edge_list(ss);
+    EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(IoRobustness, MissingFileThrows)
+{
+    EXPECT_THROW(load_edge_list("/nonexistent/really.edges"),
+                 std::runtime_error);
+}
+
+TEST(IoRobustness, MetisNeighborOutOfRangeThrows)
+{
+    std::stringstream ss("2 1\n2\n3\n"); // vertex 2 lists neighbor 3 > n
+    EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests of the synthetic generators and the Table I dataset registry.
+ */
+#include <gtest/gtest.h>
+
+#include "gen/datasets.hpp"
+#include "gen/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/traversal.hpp"
+
+namespace graphorder {
+namespace {
+
+TEST(Generators, RoadIsConnectedAndSparse)
+{
+    const auto g = gen_road(1000, 1300, 1);
+    EXPECT_EQ(g.num_vertices(), 1000u);
+    vid_t nc = 0;
+    connected_components(g, &nc);
+    EXPECT_EQ(nc, 1u); // spanning tree guarantees connectivity
+    EXPECT_LE(g.num_edges(), 1300u);
+    EXPECT_GE(g.num_edges(), 999u); // at least the tree
+    const auto s = compute_stats(g, false);
+    EXPECT_LE(s.max_degree, 4u); // grid edges only
+}
+
+TEST(Generators, RoadDeterministic)
+{
+    const auto a = gen_road(500, 700, 42);
+    const auto b = gen_road(500, 700, 42);
+    EXPECT_EQ(a.adjacency(), b.adjacency());
+    const auto c = gen_road(500, 700, 43);
+    EXPECT_NE(a.adjacency(), c.adjacency());
+}
+
+TEST(Generators, MeshDegreeBounded)
+{
+    const auto g = gen_mesh(1024, 0, 7);
+    EXPECT_EQ(g.num_vertices(), 1024u);
+    const auto s = compute_stats(g, false);
+    EXPECT_LE(s.max_degree, 8u); // grid + diagonals
+    // Triangulated: m ~ 3n.
+    EXPECT_GT(g.num_edges(), 2 * 1024u);
+    vid_t nc = 0;
+    connected_components(g, &nc);
+    EXPECT_EQ(nc, 1u);
+}
+
+TEST(Generators, QuadMeshNearDegreeFour)
+{
+    const auto g = gen_mesh(900, -1, 7);
+    const auto s = compute_stats(g, false);
+    EXPECT_LE(s.max_degree, 4u);
+    EXPECT_NEAR(s.mean_degree, 4.0, 0.5);
+}
+
+TEST(Generators, StiffenedMeshDenser)
+{
+    const auto flat = gen_mesh(900, 0, 7);
+    const auto stiff = gen_mesh(900, 2, 7);
+    EXPECT_GT(stiff.num_edges(), flat.num_edges());
+}
+
+TEST(Generators, RmatSkewedDegrees)
+{
+    const auto g = gen_rmat(4096, 40000, 0.57, 0.19, 0.19, 11);
+    EXPECT_EQ(g.num_vertices(), 4096u);
+    EXPECT_GT(g.num_edges(), 20000u);
+    const auto s = compute_stats(g, false);
+    // Power-law-ish: max degree far above the mean.
+    EXPECT_GT(static_cast<double>(s.max_degree), 5.0 * s.mean_degree);
+}
+
+TEST(Generators, RmatDeterministic)
+{
+    const auto a = gen_rmat(512, 2000, 0.57, 0.19, 0.19, 5);
+    const auto b = gen_rmat(512, 2000, 0.57, 0.19, 0.19, 5);
+    EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+TEST(Generators, BarabasiAlbertHubsEmerge)
+{
+    const auto g = gen_barabasi_albert(2000, 3, 3);
+    EXPECT_EQ(g.num_vertices(), 2000u);
+    const auto s = compute_stats(g, false);
+    EXPECT_GT(static_cast<double>(s.max_degree), 4.0 * s.mean_degree);
+    vid_t nc = 0;
+    connected_components(g, &nc);
+    EXPECT_EQ(nc, 1u); // attachment keeps it connected
+}
+
+TEST(Generators, WattsStrogatzDegreeNearK)
+{
+    const auto g = gen_watts_strogatz(1000, 6, 0.1, 9);
+    const auto s = compute_stats(g, false);
+    EXPECT_NEAR(s.mean_degree, 6.0, 0.5);
+}
+
+TEST(Generators, ErdosRenyiHitsTarget)
+{
+    const auto g = gen_erdos_renyi(1000, 5000, 17);
+    EXPECT_NEAR(static_cast<double>(g.num_edges()), 5000.0, 100.0);
+}
+
+TEST(Generators, SbmIsModular)
+{
+    const auto g = gen_sbm(2000, 12000, 16, 0.9, 21);
+    EXPECT_EQ(g.num_vertices(), 2000u);
+    EXPECT_GT(g.num_edges(), 8000u);
+    // With 90% intra edges over 16 blocks the graph must have far more
+    // triangles than an equivalent random graph would.
+    const auto s = compute_stats(g);
+    EXPECT_GT(s.triangles, 100u);
+}
+
+TEST(Generators, SocialCombinesCommunitiesAndHubs)
+{
+    const auto g = gen_social(4000, 30000, 31);
+    EXPECT_EQ(g.num_vertices(), 4000u);
+    const auto s = compute_stats(g, false);
+    // Hub overlay: max degree far beyond the mean.
+    EXPECT_GT(static_cast<double>(s.max_degree), 8.0 * s.mean_degree);
+    // Community backbone: far more triangles than an ER graph of the
+    // same density would have (~ (2m/n)^3 / 6 per vertex ~ tiny).
+    const auto full = compute_stats(g, true);
+    EXPECT_GT(full.triangles, 2000u);
+}
+
+TEST(Generators, HubForestMaxDegreeHuge)
+{
+    const auto g = gen_hub_forest(4000, 4200, 4, 23);
+    const auto s = compute_stats(g, false);
+    EXPECT_GT(s.max_degree, 200u);
+}
+
+TEST(Datasets, RegistryMatchesTableI)
+{
+    EXPECT_EQ(small_datasets().size(), 25u);
+    EXPECT_EQ(large_datasets().size(), 9u);
+    for (const auto& d : small_datasets())
+        EXPECT_FALSE(d.large) << d.name;
+    for (const auto& d : large_datasets())
+        EXPECT_TRUE(d.large) << d.name;
+}
+
+TEST(Datasets, LookupByName)
+{
+    EXPECT_EQ(dataset_by_name("fe_4elt2").paper_vertices, 11143u);
+    EXPECT_EQ(dataset_by_name("orkut").paper_edges, 117184899u);
+    EXPECT_THROW(dataset_by_name("nope"), std::out_of_range);
+}
+
+TEST(Datasets, SmallInstancesGenerateNearPaperScale)
+{
+    for (const auto& d : small_datasets()) {
+        const auto g = d.make(1.0);
+        EXPECT_TRUE(g.check_invariants()) << d.name;
+        const double nv = static_cast<double>(g.num_vertices());
+        EXPECT_NEAR(nv, static_cast<double>(d.paper_vertices),
+                    0.12 * static_cast<double>(d.paper_vertices))
+            << d.name;
+        // Edge counts track the target within a factor band (generators
+        // reject duplicates, like real R-MAT).
+        const double me = static_cast<double>(g.num_edges());
+        EXPECT_GT(me, 0.4 * static_cast<double>(d.paper_edges)) << d.name;
+        EXPECT_LT(me, 1.8 * static_cast<double>(d.paper_edges)) << d.name;
+    }
+}
+
+TEST(Datasets, LargeInstancesScaleDown)
+{
+    const auto& lj = dataset_by_name("livejournal");
+    const auto g = lj.make(256.0);
+    EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+                static_cast<double>(lj.paper_vertices) / 256.0,
+                0.15 * static_cast<double>(lj.paper_vertices) / 256.0);
+}
+
+TEST(Datasets, FamiliesAssignedSensibly)
+{
+    EXPECT_EQ(dataset_by_name("chicago-road").family, GraphFamily::Road);
+    EXPECT_EQ(dataset_by_name("delaunay_n13").family, GraphFamily::Mesh);
+    EXPECT_EQ(dataset_by_name("orkut").family, GraphFamily::Social);
+    EXPECT_EQ(dataset_by_name("pgp").family, GraphFamily::Community);
+    EXPECT_STREQ(family_name(GraphFamily::Mesh), "mesh");
+}
+
+TEST(Datasets, GenerationIsDeterministic)
+{
+    const auto& d = dataset_by_name("euroroad");
+    const auto a = d.make(1.0);
+    const auto b = d.make(1.0);
+    EXPECT_EQ(a.adjacency(), b.adjacency());
+}
+
+} // namespace
+} // namespace graphorder

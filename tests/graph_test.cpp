@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests of the CSR core: builder, invariants, traversal, statistics,
+ * permutation application, coarsening and I/O.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/coarsen.hpp"
+#include "graph/subgraph.hpp"
+#include "graph/io.hpp"
+#include "graph/stats.hpp"
+#include "graph/traversal.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::figure2_graph;
+using testing::grid_graph;
+using testing::path_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+TEST(Builder, DeduplicatesAndSymmetrizes)
+{
+    GraphBuilder b(4);
+    b.add_edge(0, 1);
+    b.add_edge(1, 0); // duplicate in reverse
+    b.add_edge(0, 1); // duplicate
+    b.add_edge(2, 3);
+    const auto g = b.finalize();
+    EXPECT_EQ(g.num_edges(), 2u);
+    EXPECT_EQ(g.degree(0), 1u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 0));
+    EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Builder, DropsSelfLoops)
+{
+    GraphBuilder b(3);
+    b.add_edge(1, 1);
+    b.add_edge(0, 2);
+    const auto g = b.finalize();
+    EXPECT_EQ(g.num_edges(), 1u);
+    EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Builder, OutOfRangeThrows)
+{
+    GraphBuilder b(3);
+    EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(Builder, WeightsPreserved)
+{
+    GraphBuilder b(3);
+    b.add_edge(0, 1, 2.5);
+    b.add_edge(1, 2, 0.5);
+    const auto g = b.finalize(true);
+    ASSERT_TRUE(g.weighted());
+    EXPECT_DOUBLE_EQ(g.total_arc_weight(), 2 * (2.5 + 0.5));
+    EXPECT_DOUBLE_EQ(g.weighted_degree(1), 3.0);
+}
+
+TEST(Csr, InvariantsAndAccessors)
+{
+    const auto g = figure2_graph();
+    EXPECT_TRUE(g.check_invariants());
+    EXPECT_EQ(g.num_arcs(), 20u);
+    eid_t total = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        total += g.degree(v);
+    EXPECT_EQ(total, g.num_arcs());
+}
+
+TEST(Csr, NeighborsSorted)
+{
+    const auto g = figure2_graph();
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 1; i < nbrs.size(); ++i)
+            EXPECT_LT(nbrs[i - 1], nbrs[i]);
+    }
+}
+
+TEST(Csr, BadOffsetsThrow)
+{
+    EXPECT_THROW(Csr({1, 2}, {0, 0}), std::invalid_argument);
+    EXPECT_THROW(Csr({0, 3}, {0, 0}), std::invalid_argument);
+    EXPECT_THROW(Csr({}, {}), std::invalid_argument);
+}
+
+TEST(Traversal, BfsDistancesOnPath)
+{
+    const auto g = path_graph(10);
+    const auto r = bfs(g, 0);
+    for (vid_t v = 0; v < 10; ++v)
+        EXPECT_EQ(r.distance[v], v);
+    EXPECT_EQ(r.max_distance, 9u);
+    EXPECT_EQ(r.visit_order.size(), 10u);
+}
+
+TEST(Traversal, BfsUnreachedMarked)
+{
+    GraphBuilder b(4);
+    b.add_edge(0, 1);
+    const auto g = b.finalize();
+    const auto r = bfs(g, 0);
+    EXPECT_EQ(r.distance[2], BfsResult::kUnreached);
+    EXPECT_EQ(r.distance[3], BfsResult::kUnreached);
+}
+
+TEST(Traversal, ConnectedComponentsCount)
+{
+    GraphBuilder b(7);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(3, 4);
+    // 5, 6 isolated.
+    const auto g = b.finalize();
+    vid_t nc = 0;
+    const auto comp = connected_components(g, &nc);
+    EXPECT_EQ(nc, 4u);
+    EXPECT_EQ(comp[0], comp[2]);
+    EXPECT_EQ(comp[3], comp[4]);
+    EXPECT_NE(comp[0], comp[3]);
+    const auto sizes = component_sizes(comp, nc);
+    std::vector<vid_t> sorted(sizes);
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<vid_t>{1, 1, 2, 3}));
+}
+
+TEST(Traversal, PseudoPeripheralOnPathIsEndpoint)
+{
+    const auto g = path_graph(21);
+    const vid_t p = pseudo_peripheral_vertex(g, 10);
+    EXPECT_TRUE(p == 0 || p == 20) << "got " << p;
+}
+
+TEST(Stats, TriangleCounts)
+{
+    EXPECT_EQ(count_triangles(complete_graph(3)), 1u);
+    EXPECT_EQ(count_triangles(complete_graph(4)), 4u);
+    EXPECT_EQ(count_triangles(complete_graph(5)), 10u);
+    EXPECT_EQ(count_triangles(path_graph(10)), 0u);
+    EXPECT_EQ(count_triangles(cycle_graph(3)), 1u);
+    EXPECT_EQ(count_triangles(cycle_graph(4)), 0u);
+}
+
+TEST(Stats, DegreeStatistics)
+{
+    const auto s = compute_stats(star_graph(10));
+    EXPECT_EQ(s.num_vertices, 11u);
+    EXPECT_EQ(s.num_edges, 10u);
+    EXPECT_EQ(s.max_degree, 10u);
+    EXPECT_NEAR(s.mean_degree, 20.0 / 11.0, 1e-12);
+    EXPECT_EQ(s.num_components, 1u);
+    EXPECT_EQ(s.triangles, 0u);
+}
+
+TEST(Stats, ClusteringOfClique)
+{
+    const auto s = compute_stats(complete_graph(6));
+    EXPECT_DOUBLE_EQ(s.avg_clustering, 1.0);
+}
+
+TEST(Permutation, IdentityRoundTrips)
+{
+    const auto p = Permutation::identity(5);
+    EXPECT_TRUE(p.is_valid());
+    for (vid_t v = 0; v < 5; ++v)
+        EXPECT_EQ(p.rank(v), v);
+    EXPECT_EQ(p.order(), (std::vector<vid_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Permutation, OrderAndRanksAreInverses)
+{
+    const auto p = Permutation::from_ranks({2, 0, 1});
+    const auto ord = p.order();
+    EXPECT_EQ(ord, (std::vector<vid_t>{1, 2, 0}));
+    const auto q = Permutation::from_order(ord);
+    EXPECT_EQ(q.ranks(), p.ranks());
+}
+
+TEST(Permutation, InverseComposesToIdentity)
+{
+    Rng rng(99);
+    const auto p = random_permutation(50, rng);
+    const auto id = p.then(p.inverse());
+    for (vid_t v = 0; v < 50; ++v)
+        EXPECT_EQ(id.rank(v), v);
+}
+
+TEST(Permutation, ValidityDetectsDuplicates)
+{
+    EXPECT_FALSE(Permutation::from_ranks({0, 0, 1}).is_valid());
+    EXPECT_FALSE(Permutation::from_ranks({0, 3, 1}).is_valid());
+    EXPECT_TRUE(Permutation::from_ranks({2, 1, 0}).is_valid());
+}
+
+TEST(Permutation, ApplyPreservesStructure)
+{
+    const auto g = figure2_graph();
+    const auto pi = testing::figure2_permutation();
+    const auto h = apply_permutation(g, pi);
+    EXPECT_TRUE(h.check_invariants());
+    EXPECT_TRUE(testing::same_degree_profile(g, h));
+    // Every edge maps across.
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t u : g.neighbors(v))
+            EXPECT_TRUE(h.has_edge(pi.rank(v), pi.rank(u)));
+}
+
+TEST(Permutation, ApplyPreservesWeights)
+{
+    GraphBuilder b(3);
+    b.add_edge(0, 1, 5.0);
+    b.add_edge(1, 2, 7.0);
+    const auto g = b.finalize(true);
+    const auto pi = Permutation::from_ranks({2, 1, 0});
+    const auto h = apply_permutation(g, pi);
+    ASSERT_TRUE(h.weighted());
+    EXPECT_DOUBLE_EQ(h.total_arc_weight(), g.total_arc_weight());
+    EXPECT_DOUBLE_EQ(h.weighted_degree(1), 12.0); // old vertex 1
+}
+
+TEST(Permutation, ApplyIdentityIsNoop)
+{
+    const auto g = figure2_graph();
+    const auto h = apply_permutation(g, Permutation::identity(7));
+    EXPECT_EQ(g.offsets(), h.offsets());
+    EXPECT_EQ(g.adjacency(), h.adjacency());
+}
+
+TEST(Coarsen, TwoCliquesCollapseToTwoVertices)
+{
+    const auto g = two_cliques(5);
+    std::vector<vid_t> group(10);
+    for (vid_t v = 0; v < 10; ++v)
+        group[v] = v < 5 ? 0 : 1;
+    const auto c = coarsen_by_groups(g, group, 2);
+    EXPECT_EQ(c.graph.num_vertices(), 2u);
+    EXPECT_EQ(c.graph.num_edges(), 1u); // the bridge
+    EXPECT_DOUBLE_EQ(c.self_weight[0], 10.0); // C(5,2) internal edges
+    EXPECT_DOUBLE_EQ(c.self_weight[1], 10.0);
+    EXPECT_EQ(c.group_size[0], 5u);
+    const auto ws = c.graph.neighbor_weights(0);
+    ASSERT_EQ(ws.size(), 1u);
+    EXPECT_DOUBLE_EQ(ws[0], 1.0);
+}
+
+TEST(Coarsen, DensifyLabels)
+{
+    std::vector<vid_t> labels{7, 3, 7, 9, 3};
+    const vid_t k = densify_labels(labels);
+    EXPECT_EQ(k, 3u);
+    EXPECT_EQ(labels, (std::vector<vid_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(Subgraph, MaskExtractsInducedEdges)
+{
+    const auto g = two_cliques(4); // bridge 3-4
+    std::vector<std::uint8_t> keep(8, 0);
+    for (vid_t v = 0; v < 4; ++v)
+        keep[v] = 1;
+    const auto sg = induced_subgraph(g, keep);
+    EXPECT_EQ(sg.graph.num_vertices(), 4u);
+    EXPECT_EQ(sg.graph.num_edges(), 6u); // the clique, bridge dropped
+    EXPECT_EQ(sg.to_parent, (std::vector<vid_t>{0, 1, 2, 3}));
+}
+
+TEST(Subgraph, MemberListOrderRespected)
+{
+    const auto g = testing::path_graph(6);
+    const auto sg = induced_subgraph(g, std::vector<vid_t>{4, 3, 5});
+    EXPECT_EQ(sg.graph.num_vertices(), 3u);
+    EXPECT_EQ(sg.graph.num_edges(), 2u); // 3-4 and 4-5
+    // Sub id 0 is parent 4, which neighbors both others.
+    EXPECT_EQ(sg.graph.degree(0), 2u);
+}
+
+TEST(Subgraph, WeightsSurviveExtraction)
+{
+    GraphBuilder b(3);
+    b.add_edge(0, 1, 2.5);
+    b.add_edge(1, 2, 7.0);
+    const auto g = b.finalize(true);
+    const auto sg = induced_subgraph(g, std::vector<vid_t>{1, 2});
+    ASSERT_TRUE(sg.graph.weighted());
+    EXPECT_DOUBLE_EQ(sg.graph.total_arc_weight(), 14.0);
+}
+
+TEST(Subgraph, DuplicateMemberThrows)
+{
+    const auto g = testing::path_graph(4);
+    EXPECT_THROW(induced_subgraph(g, std::vector<vid_t>{1, 1}),
+                 std::invalid_argument);
+}
+
+TEST(Subgraph, EmptyMaskYieldsEmptyGraph)
+{
+    const auto g = testing::path_graph(4);
+    const auto sg = induced_subgraph(g, std::vector<std::uint8_t>(4, 0));
+    EXPECT_EQ(sg.graph.num_vertices(), 0u);
+}
+
+TEST(Io, EdgeListRoundTrip)
+{
+    const auto g = figure2_graph();
+    std::stringstream ss;
+    write_edge_list(ss, g);
+    const auto h = read_edge_list(ss);
+    EXPECT_EQ(h.num_vertices(), g.num_vertices());
+    EXPECT_EQ(h.num_edges(), g.num_edges());
+}
+
+TEST(Io, EdgeListSkipsCommentsAndCompacts)
+{
+    std::stringstream ss("# comment\n% other\n100 200\n200 300\n");
+    const auto g = read_edge_list(ss);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, MetisRoundTrip)
+{
+    const auto g = testing::grid_graph(4, 4);
+    std::stringstream ss;
+    write_metis(ss, g);
+    const auto h = read_metis(ss);
+    EXPECT_EQ(h.num_vertices(), g.num_vertices());
+    EXPECT_EQ(h.num_edges(), g.num_edges());
+    EXPECT_TRUE(testing::same_degree_profile(g, h));
+}
+
+TEST(Io, MetisBadHeaderThrows)
+{
+    std::stringstream ss("not a header\n");
+    EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests of the IMM influence-maximization implementation.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "gen/generators.hpp"
+#include "influence/imm.hpp"
+#include "memsim/cache.hpp"
+#include "testutil.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::path_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+TEST(Rrr, DeterministicGivenSeed)
+{
+    const auto g = gen_rmat(256, 1500, 0.57, 0.19, 0.19, 1);
+    ImmOptions opt;
+    opt.seed = 99;
+    std::vector<std::vector<vid_t>> a, b;
+    sample_rrr_sets(g, opt, 100, a);
+    sample_rrr_sets(g, opt, 100, b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Rrr, SetsAreNonEmptyAndDeduplicated)
+{
+    const auto g = two_cliques(8);
+    ImmOptions opt;
+    std::vector<std::vector<vid_t>> sets;
+    sample_rrr_sets(g, opt, 200, sets);
+    ASSERT_EQ(sets.size(), 200u);
+    for (const auto& s : sets) {
+        ASSERT_FALSE(s.empty());
+        std::set<vid_t> uniq(s.begin(), s.end());
+        EXPECT_EQ(uniq.size(), s.size());
+    }
+}
+
+TEST(Rrr, ProbabilityOneReachesWholeComponent)
+{
+    const auto g = path_graph(20);
+    ImmOptions opt;
+    opt.edge_probability = 1.0;
+    std::vector<std::vector<vid_t>> sets;
+    sample_rrr_sets(g, opt, 20, sets);
+    for (const auto& s : sets)
+        EXPECT_EQ(s.size(), 20u); // the whole path
+}
+
+TEST(Rrr, ProbabilityZeroIsJustTheRoot)
+{
+    const auto g = path_graph(20);
+    ImmOptions opt;
+    opt.edge_probability = 0.0;
+    std::vector<std::vector<vid_t>> sets;
+    sample_rrr_sets(g, opt, 50, sets);
+    for (const auto& s : sets)
+        EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(Rrr, LinearThresholdWalksWithoutRepeats)
+{
+    const auto g = gen_sbm(300, 1800, 6, 0.85, 2);
+    ImmOptions opt;
+    opt.model = DiffusionModel::LinearThreshold;
+    std::vector<std::vector<vid_t>> sets;
+    sample_rrr_sets(g, opt, 100, sets);
+    for (const auto& s : sets) {
+        std::set<vid_t> uniq(s.begin(), s.end());
+        EXPECT_EQ(uniq.size(), s.size());
+        EXPECT_LE(s.size(), g.num_vertices());
+    }
+}
+
+TEST(Greedy, CoversCraftedSets)
+{
+    // Sets: {0,1}, {0,2}, {3}.  k=1 must pick 0 (covers 2 of 3);
+    // k=2 must pick 0 then 3.
+    std::vector<std::vector<vid_t>> sets = {{0, 1}, {0, 2}, {3}};
+    double frac = 0;
+    auto seeds = greedy_max_coverage(4, sets, 1, &frac);
+    ASSERT_EQ(seeds.size(), 1u);
+    EXPECT_EQ(seeds[0], 0u);
+    EXPECT_NEAR(frac, 2.0 / 3.0, 1e-12);
+
+    seeds = greedy_max_coverage(4, sets, 2, &frac);
+    ASSERT_EQ(seeds.size(), 2u);
+    EXPECT_EQ(seeds[0], 0u);
+    EXPECT_EQ(seeds[1], 3u);
+    EXPECT_DOUBLE_EQ(frac, 1.0);
+}
+
+TEST(Greedy, MarginalGainsNotRawCounts)
+{
+    // Vertex 1 appears in 3 sets but all also contain 0 plus extras;
+    // after picking 0 the best *marginal* pick is 4 (covers {4},{4,5}).
+    std::vector<std::vector<vid_t>> sets = {
+        {0, 1}, {0, 1}, {0, 1}, {0}, {4}, {4, 5}};
+    auto seeds = greedy_max_coverage(6, sets, 2, nullptr);
+    EXPECT_EQ(seeds[0], 0u);
+    EXPECT_EQ(seeds[1], 4u);
+}
+
+TEST(Imm, StarCenterIsTheSeed)
+{
+    const auto g = star_graph(100);
+    ImmOptions opt;
+    opt.num_seeds = 1;
+    opt.edge_probability = 0.3;
+    const auto res = imm(g, opt);
+    ASSERT_EQ(res.seeds.size(), 1u);
+    EXPECT_EQ(res.seeds[0], 0u);
+}
+
+TEST(Imm, TwoCliquesGetOneSeedEach)
+{
+    const auto g = two_cliques(20);
+    ImmOptions opt;
+    opt.num_seeds = 2;
+    opt.edge_probability = 0.3;
+    const auto res = imm(g, opt);
+    ASSERT_EQ(res.seeds.size(), 2u);
+    const bool in0 = res.seeds[0] < 20;
+    const bool in1 = res.seeds[1] < 20;
+    EXPECT_NE(in0, in1) << "both seeds landed in one clique";
+}
+
+TEST(Imm, StatsPopulated)
+{
+    const auto g = gen_rmat(512, 3000, 0.57, 0.19, 0.19, 4);
+    ImmOptions opt;
+    opt.num_seeds = 5;
+    const auto res = imm(g, opt);
+    EXPECT_EQ(res.seeds.size(), 5u);
+    std::set<vid_t> uniq(res.seeds.begin(), res.seeds.end());
+    EXPECT_EQ(uniq.size(), 5u);
+    EXPECT_GT(res.stats.num_rrr_sets, 0u);
+    EXPECT_GT(res.stats.total_visited, res.stats.num_rrr_sets);
+    EXPECT_GT(res.stats.sampling_time_s, 0.0);
+    EXPECT_GT(res.stats.sampling_throughput(), 0.0);
+    EXPECT_GT(res.stats.estimated_spread, 0.0);
+    EXPECT_LE(res.stats.estimated_spread,
+              static_cast<double>(g.num_vertices()));
+}
+
+TEST(Imm, SeedsBeatRandomSeedsInSimulation)
+{
+    const auto g = gen_rmat(1024, 8000, 0.6, 0.18, 0.18, 6);
+    ImmOptions opt;
+    opt.num_seeds = 8;
+    opt.edge_probability = 0.1;
+    const auto res = imm(g, opt);
+
+    const double spread_imm =
+        simulate_ic_spread(g, res.seeds, 0.1, 200, 77);
+    Rng rng(88);
+    std::vector<vid_t> random_seeds;
+    std::set<vid_t> used;
+    while (random_seeds.size() < 8) {
+        const auto v =
+            static_cast<vid_t>(rng.next_below(g.num_vertices()));
+        if (used.insert(v).second)
+            random_seeds.push_back(v);
+    }
+    const double spread_rnd =
+        simulate_ic_spread(g, random_seeds, 0.1, 200, 77);
+    EXPECT_GT(spread_imm, spread_rnd);
+}
+
+TEST(Imm, EstimatedSpreadTracksSimulation)
+{
+    const auto g = gen_sbm(600, 3600, 8, 0.85, 8);
+    ImmOptions opt;
+    opt.num_seeds = 4;
+    opt.edge_probability = 0.15;
+    const auto res = imm(g, opt);
+    const double sim =
+        simulate_ic_spread(g, res.seeds, 0.15, 400, 123);
+    EXPECT_NEAR(res.stats.estimated_spread, sim,
+                0.5 * std::max(sim, res.stats.estimated_spread));
+}
+
+TEST(Imm, TracerSeesSamplingLoads)
+{
+    const auto g = gen_rmat(256, 1500, 0.57, 0.19, 0.19, 9);
+    CacheTracer tracer(CacheHierarchyConfig::tiny_test());
+    ImmOptions opt;
+    opt.tracer = &tracer;
+    opt.num_seeds = 2;
+    opt.max_samples = 2000; // keep the traced run small
+    const auto res = imm(g, opt);
+    EXPECT_GT(tracer.metrics().loads, 1000u);
+    EXPECT_FALSE(res.seeds.empty());
+}
+
+TEST(Simulate, SpreadBoundsAndMonotonicity)
+{
+    const auto g = two_cliques(15);
+    const double s1 = simulate_ic_spread(g, {0}, 0.3, 300, 5);
+    EXPECT_GE(s1, 1.0);
+    EXPECT_LE(s1, 30.0);
+    const double s2 = simulate_ic_spread(g, {0, 15}, 0.3, 300, 5);
+    EXPECT_GT(s2, s1); // a second clique seed must help
+    const double s_hi = simulate_ic_spread(g, {0}, 0.9, 300, 5);
+    EXPECT_GT(s_hi, s1); // higher probability spreads further
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end reorder -> measure -> apply
+ * pipelines, and qualitative sanity checks that mirror the paper's
+ * headline findings at small scale.
+ */
+#include <gtest/gtest.h>
+
+#include "community/louvain.hpp"
+#include "gen/datasets.hpp"
+#include "gen/generators.hpp"
+#include "influence/imm.hpp"
+#include "la/gap_measures.hpp"
+#include "memsim/cache.hpp"
+#include "order/scheme.hpp"
+#include "testutil.hpp"
+#include "util/perf_profile.hpp"
+
+namespace graphorder {
+namespace {
+
+TEST(Pipeline, ReorderApplyPreservesGapMetrics)
+{
+    // Measuring gaps of (g, pi) must equal measuring the natural order of
+    // the permuted graph — the fundamental consistency of the pipeline.
+    const auto g = gen_sbm(500, 3000, 8, 0.85, 1);
+    for (const char* name : {"rcm", "degree", "grappolo", "metis-32"}) {
+        const auto pi = scheme_by_name(name).run(g, 7);
+        const auto via_pi = compute_gap_metrics(g, pi);
+        const auto h = apply_permutation(g, pi);
+        const auto via_apply = compute_gap_metrics(h);
+        EXPECT_DOUBLE_EQ(via_pi.avg_gap, via_apply.avg_gap) << name;
+        EXPECT_EQ(via_pi.bandwidth, via_apply.bandwidth) << name;
+        EXPECT_DOUBLE_EQ(via_pi.avg_bandwidth, via_apply.avg_bandwidth)
+            << name;
+    }
+}
+
+TEST(Pipeline, ReorderingDoesNotChangeLouvainQuality)
+{
+    // The paper: modularity spread across orderings is small.  Our check:
+    // reordered runs stay within a modest band of the natural run.
+    const auto g = gen_sbm(800, 5000, 10, 0.85, 2);
+    const double q_nat = louvain(g).modularity;
+    for (const char* name : {"rcm", "degree", "random"}) {
+        const auto pi = scheme_by_name(name).run(g, 3);
+        const auto h = apply_permutation(g, pi);
+        const double q = louvain(h).modularity;
+        EXPECT_NEAR(q, q_nat, 0.15) << name;
+    }
+}
+
+TEST(Pipeline, ReorderingDoesNotChangeImmQuality)
+{
+    const auto g = gen_rmat(512, 3000, 0.57, 0.19, 0.19, 3);
+    ImmOptions opt;
+    opt.num_seeds = 4;
+    opt.edge_probability = 0.1;
+    const auto base = imm(g, opt);
+    const double base_spread =
+        simulate_ic_spread(g, base.seeds, 0.1, 200, 1);
+
+    const auto pi = scheme_by_name("degree").run(g, 5);
+    const auto h = apply_permutation(g, pi);
+    const auto re = imm(h, opt);
+    // Map seeds back to original ids for simulation on g.
+    const auto inv = pi.inverse();
+    std::vector<vid_t> seeds;
+    for (vid_t s : re.seeds)
+        seeds.push_back(inv.rank(s));
+    const double re_spread = simulate_ic_spread(g, seeds, 0.1, 200, 1);
+    EXPECT_NEAR(re_spread, base_spread,
+                0.3 * std::max(base_spread, re_spread));
+}
+
+TEST(Headline, PartitionSchemesBeatDegreeSchemesOnAvgGap)
+{
+    // Paper Fig. 5: partition/community schemes form the top tier for
+    // xi_hat, degree/hub schemes the bottom tier (10-40x worse).
+    const auto g = gen_sbm(1500, 10000, 16, 0.85, 4);
+    const double best_partition = std::min(
+        {compute_gap_metrics(g, scheme_by_name("metis-32").run(g, 1))
+             .avg_gap,
+         compute_gap_metrics(g, scheme_by_name("grappolo").run(g, 1))
+             .avg_gap,
+         compute_gap_metrics(g, scheme_by_name("rabbit").run(g, 1))
+             .avg_gap});
+    const double degree =
+        compute_gap_metrics(g, scheme_by_name("degree").run(g, 1)).avg_gap;
+    EXPECT_LT(best_partition * 2, degree);
+}
+
+TEST(Headline, RcmWinsBandwidthOnMeshes)
+{
+    // Paper Fig. 6a: RCM clearly best on beta.
+    const auto g = gen_mesh(1600, 0, 5);
+    const auto rcm_bw =
+        compute_gap_metrics(g, scheme_by_name("rcm").run(g, 1)).bandwidth;
+    for (const char* other : {"degree", "random", "grappolo", "hubsort"}) {
+        const auto bw =
+            compute_gap_metrics(g, scheme_by_name(other).run(g, 1))
+                .bandwidth;
+        EXPECT_LT(rcm_bw, bw) << other;
+    }
+}
+
+TEST(Headline, OrderingChangesCacheBehaviourOfLouvain)
+{
+    // Paper Fig. 10: orderings shift memory-hierarchy boundedness.  At
+    // test scale we check the tracer machinery differentiates a good
+    // (grappolo) from a bad (random) layout on a community graph.
+    const auto g = gen_sbm(2000, 16000, 20, 0.9, 6);
+
+    auto latency_for = [&](const char* scheme) {
+        const auto pi = scheme_by_name(scheme).run(g, 2);
+        const auto h = apply_permutation(g, pi);
+        CacheTracer tracer(CacheHierarchyConfig::tiny_test());
+        LouvainOptions opt;
+        opt.tracer = &tracer;
+        opt.num_threads = 1;
+        opt.max_phases = 1;
+        louvain(h, opt);
+        return tracer.metrics().avg_load_latency();
+    };
+    EXPECT_LT(latency_for("grappolo"), latency_for("random"));
+}
+
+TEST(Profiles, BuildAcrossSchemesAndGraphs)
+{
+    // Miniature Fig. 5: build a real performance profile over 3 graphs
+    // and 4 schemes and verify basic dominance structure.
+    std::vector<Csr> graphs;
+    graphs.push_back(gen_sbm(600, 4000, 8, 0.85, 7));
+    graphs.push_back(gen_mesh(600, 0, 7));
+    graphs.push_back(gen_rmat(600, 3000, 0.57, 0.19, 0.19, 7));
+
+    ProfileInput in;
+    in.schemes = {"metis-32", "rcm", "degree", "random"};
+    in.problems = {"sbm", "mesh", "rmat"};
+    in.costs.resize(in.schemes.size());
+    for (std::size_t s = 0; s < in.schemes.size(); ++s) {
+        for (const auto& g : graphs) {
+            const auto pi = scheme_by_name(in.schemes[s]).run(g, 11);
+            in.costs[s].push_back(compute_gap_metrics(g, pi).avg_gap);
+        }
+    }
+    const auto prof = build_profile(in);
+    // Random must never be the best scheme on any of these graphs.
+    EXPECT_DOUBLE_EQ(prof.fraction_within(3, 1.0), 0.0);
+    // metis-32 should be within 4x of best everywhere here.
+    EXPECT_DOUBLE_EQ(prof.fraction_within(0, 4.0), 1.0);
+}
+
+TEST(Datasets, EndToEndOnRegistryInstance)
+{
+    // Full pipeline on a Table I stand-in: generate, reorder with every
+    // paper scheme, verify validity and metric finiteness.
+    const auto g = dataset_by_name("euroroad").make(1.0);
+    for (const auto& s : paper_schemes()) {
+        const auto pi = s.run(g, 13);
+        ASSERT_TRUE(pi.is_valid()) << s.name;
+        const auto m = compute_gap_metrics(g, pi);
+        EXPECT_GE(m.avg_gap, 1.0) << s.name; // every edge has gap >= 1
+        EXPECT_GE(m.bandwidth, 1u) << s.name;
+    }
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests of the prototypical-kernel suite (PageRank, SSSP, betweenness
+ * centrality), the packing-factor analysis, and the minimum-degree
+ * ordering.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "kernels/bc.hpp"
+#include "kernels/packing.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+#include "la/gap_measures.hpp"
+#include "memsim/cache.hpp"
+#include "order/basic.hpp"
+#include "order/hub.hpp"
+#include "order/mindeg.hpp"
+#include "testutil.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::grid_graph;
+using testing::path_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+// --------------------------------------------------------------- PageRank
+
+TEST(PageRank, SumsToOne)
+{
+    const auto g = gen_rmat(512, 3000, 0.57, 0.19, 0.19, 1);
+    const auto res = pagerank(g);
+    double sum = 0;
+    for (double r : res.rank)
+        sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_GT(res.iterations, 1);
+}
+
+TEST(PageRank, UniformOnRegularGraph)
+{
+    const auto g = cycle_graph(100);
+    const auto res = pagerank(g);
+    for (double r : res.rank)
+        EXPECT_NEAR(r, 0.01, 1e-6);
+}
+
+TEST(PageRank, StarCenterDominates)
+{
+    const auto g = star_graph(50);
+    const auto res = pagerank(g);
+    for (vid_t v = 1; v <= 50; ++v)
+        EXPECT_GT(res.rank[0], res.rank[v]);
+    // Closed-form for a star: center = d*L/(1+d) + (1-d)/n-ish; just
+    // check the center holds a large share.
+    EXPECT_GT(res.rank[0], 0.3);
+}
+
+TEST(PageRank, DanglingVerticesHandled)
+{
+    GraphBuilder b(4);
+    b.add_edge(0, 1); // vertices 2, 3 isolated (dangling)
+    const auto g = b.finalize();
+    const auto res = pagerank(g);
+    double sum = 0;
+    for (double r : res.rank)
+        sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    EXPECT_GT(res.rank[2], 0.0);
+}
+
+TEST(PageRank, InvariantUnderRelabeling)
+{
+    const auto g = gen_sbm(300, 1800, 6, 0.85, 2);
+    const auto base = pagerank(g);
+    Rng rng(5);
+    const auto pi = random_permutation(g.num_vertices(), rng);
+    const auto re = pagerank(apply_permutation(g, pi));
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        EXPECT_NEAR(base.rank[v], re.rank[pi.rank(v)], 1e-9);
+}
+
+TEST(PageRank, TracerSeesPullLoads)
+{
+    const auto g = grid_graph(16, 16);
+    CacheTracer tracer(CacheHierarchyConfig::tiny_test());
+    PageRankOptions opt;
+    opt.tracer = &tracer;
+    opt.max_iterations = 3;
+    pagerank(g, opt);
+    EXPECT_GE(tracer.metrics().loads, 3u * g.num_arcs());
+}
+
+// ------------------------------------------------------------------ SSSP
+
+TEST(Sssp, UnitWeightsMatchBfsDepth)
+{
+    const auto g = grid_graph(8, 8);
+    const auto res = sssp_dijkstra(g, 0);
+    // Manhattan distance on a grid.
+    for (vid_t y = 0; y < 8; ++y)
+        for (vid_t x = 0; x < 8; ++x)
+            EXPECT_DOUBLE_EQ(res.distance[y * 8 + x], double(x + y));
+}
+
+TEST(Sssp, WeightedShortcutTaken)
+{
+    GraphBuilder b(4);
+    b.add_edge(0, 1, 10.0);
+    b.add_edge(0, 2, 1.0);
+    b.add_edge(2, 3, 1.0);
+    b.add_edge(3, 1, 1.0);
+    const auto g = b.finalize(true);
+    const auto res = sssp_dijkstra(g, 0);
+    EXPECT_DOUBLE_EQ(res.distance[1], 3.0); // via 2 and 3, not direct
+}
+
+TEST(Sssp, UnreachableIsInfinite)
+{
+    GraphBuilder b(3);
+    b.add_edge(0, 1);
+    const auto g = b.finalize();
+    const auto res = sssp_dijkstra(g, 0);
+    EXPECT_TRUE(std::isinf(res.distance[2]));
+}
+
+TEST(Sssp, DeltaSteppingMatchesDijkstra)
+{
+    // Random weighted graph: both algorithms must agree everywhere.
+    Rng rng(7);
+    GraphBuilder b(400);
+    for (int e = 0; e < 2400; ++e) {
+        const auto u = static_cast<vid_t>(rng.next_below(400));
+        const auto v = static_cast<vid_t>(rng.next_below(400));
+        if (u != v)
+            b.add_edge(u, v, 0.5 + rng.next_double() * 4.0);
+    }
+    const auto g = b.finalize(true);
+    const auto dj = sssp_dijkstra(g, 0);
+    for (double delta : {0.0, 0.5, 2.0, 100.0}) {
+        const auto ds = sssp_delta_stepping(g, 0, delta);
+        for (vid_t v = 0; v < 400; ++v) {
+            if (std::isinf(dj.distance[v]))
+                EXPECT_TRUE(std::isinf(ds.distance[v]));
+            else
+                EXPECT_NEAR(ds.distance[v], dj.distance[v], 1e-9)
+                    << "delta=" << delta << " v=" << v;
+        }
+    }
+}
+
+TEST(Sssp, RelaxationCountersPopulated)
+{
+    const auto g = grid_graph(10, 10);
+    const auto res = sssp_dijkstra(g, 0);
+    EXPECT_GE(res.edges_relaxed, g.num_arcs() / 2);
+}
+
+// -------------------------------------------------------------------- BC
+
+TEST(Bc, PathCentralityIsQuadratic)
+{
+    // Exact BC of a path: vertex i lies on (i)(n-1-i) shortest paths.
+    const vid_t n = 11;
+    const auto g = path_graph(n);
+    BcOptions opt;
+    opt.num_sources = 0; // exact
+    const auto res = betweenness_centrality(g, opt);
+    for (vid_t i = 0; i < n; ++i)
+        EXPECT_NEAR(res.centrality[i], double(i) * double(n - 1 - i),
+                    1e-9)
+            << "vertex " << i;
+}
+
+TEST(Bc, StarCenterTakesAll)
+{
+    const vid_t leaves = 20;
+    const auto g = star_graph(leaves);
+    BcOptions opt;
+    opt.num_sources = 0;
+    const auto res = betweenness_centrality(g, opt);
+    // Center: C(leaves, 2) pairs routed through it.
+    EXPECT_NEAR(res.centrality[0], leaves * (leaves - 1) / 2.0, 1e-9);
+    for (vid_t v = 1; v <= leaves; ++v)
+        EXPECT_NEAR(res.centrality[v], 0.0, 1e-9);
+}
+
+TEST(Bc, BridgeVertexScoresHighest)
+{
+    const auto g = two_cliques(8); // bridge between 7 and 8
+    BcOptions opt;
+    opt.num_sources = 0;
+    const auto res = betweenness_centrality(g, opt);
+    for (vid_t v = 0; v < 16; ++v) {
+        if (v == 7 || v == 8)
+            continue;
+        EXPECT_GT(res.centrality[7], res.centrality[v]);
+        EXPECT_GT(res.centrality[8], res.centrality[v]);
+    }
+}
+
+TEST(Bc, SampledApproximatesExactRanking)
+{
+    const auto g = gen_sbm(300, 1800, 6, 0.85, 3);
+    BcOptions exact;
+    exact.num_sources = 0;
+    BcOptions sampled;
+    sampled.num_sources = 100;
+    const auto e = betweenness_centrality(g, exact);
+    const auto s = betweenness_centrality(g, sampled);
+    // The exact top vertex should be near the top of the sampled ranking.
+    const vid_t top = static_cast<vid_t>(
+        std::max_element(e.centrality.begin(), e.centrality.end())
+        - e.centrality.begin());
+    vid_t better = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        better += s.centrality[v] > s.centrality[top];
+    EXPECT_LT(better, g.num_vertices() / 10);
+}
+
+// --------------------------------------------------------------- packing
+
+TEST(Packing, ScatteredHubsHaveHighFactor)
+{
+    // Star-forest: hubs scattered through the id space.
+    const auto g = gen_hub_forest(4096, 8000, 16, 5);
+    const auto natural =
+        packing_analysis(g, Permutation::identity(g.num_vertices()));
+    const auto packed = packing_analysis(g, hub_sort_order(g));
+    EXPECT_GT(natural.num_hubs, 0u);
+    EXPECT_GE(natural.packing_factor, 1.0);
+    // Hub Sort packs hubs into the fewest possible lines.
+    EXPECT_NEAR(packed.packing_factor, 1.0, 1e-9);
+    EXPECT_GT(natural.packing_factor, 1.5);
+}
+
+TEST(Packing, HubArcFractionIsLarge)
+{
+    const auto g = gen_hub_forest(2048, 4000, 8, 6);
+    const auto a =
+        packing_analysis(g, Permutation::identity(g.num_vertices()));
+    EXPECT_GT(a.hub_arc_fraction, 0.3); // hubs dominate traffic
+}
+
+TEST(Packing, EmptyGraphSafe)
+{
+    const Csr g(std::vector<eid_t>{0}, {});
+    const auto a = packing_analysis(g, Permutation::identity(0));
+    EXPECT_EQ(a.num_hubs, 0u);
+}
+
+// ---------------------------------------------------------------- mindeg
+
+TEST(MinDegree, ValidPermutation)
+{
+    const auto g = gen_mesh(400, 0, 7);
+    const auto pi = min_degree_order(g);
+    EXPECT_TRUE(pi.is_valid());
+}
+
+TEST(MinDegree, PathEliminatesFromEnds)
+{
+    const auto g = path_graph(9);
+    const auto pi = min_degree_order(g);
+    // First eliminated (rank 0) must be an endpoint (degree 1).
+    const auto order = pi.order();
+    EXPECT_TRUE(order[0] == 0 || order[0] == 8);
+}
+
+TEST(MinDegree, TreeHasNoFillCost)
+{
+    // On a star the center cannot be eliminated before its degree drops
+    // to 1, i.e. before at least 11 of the 12 leaves are gone (it then
+    // ties with the last leaf).
+    const auto g = star_graph(12);
+    const auto pi = min_degree_order(g);
+    EXPECT_GE(pi.rank(0), 11u);
+}
+
+TEST(MinDegree, CliqueAnyOrderIsFine)
+{
+    const auto g = complete_graph(6);
+    EXPECT_TRUE(min_degree_order(g).is_valid());
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests of the cache-hierarchy simulator that stands in for VTune.
+ */
+#include <gtest/gtest.h>
+
+#include "memsim/cache.hpp"
+
+namespace graphorder {
+namespace {
+
+TEST(Cache, FirstTouchMissesThenHits)
+{
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);              // cold miss -> DRAM
+    c.load(0);              // now L1 hit
+    c.load(8);              // same 64B line -> L1 hit
+    const auto& m = c.metrics();
+    EXPECT_EQ(m.loads, 3u);
+    EXPECT_EQ(m.level_hits[0], 2u); // L1
+    EXPECT_EQ(m.level_hits.back(), 1u); // DRAM
+}
+
+TEST(Cache, LatencyAccounting)
+{
+    // tiny_test: L1=1, L2=10, DRAM=100.
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);   // DRAM: 100
+    c.load(0);   // L1: 1
+    const auto& m = c.metrics();
+    EXPECT_EQ(m.total_cycles, 101u);
+    EXPECT_DOUBLE_EQ(m.avg_load_latency(), 101.0 / 2.0);
+}
+
+TEST(Cache, DirectMappedConflictEviction)
+{
+    // tiny L1 has 4 direct-mapped sets; lines 0 and 4 collide.
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0 * 64);
+    c.load(4 * 64);  // evicts line 0 from L1 (same set), both go to L2
+    c.load(0 * 64);  // L1 miss, L2 hit
+    const auto& m = c.metrics();
+    EXPECT_EQ(m.level_hits[1], 1u); // the L2 hit
+    EXPECT_EQ(m.level_hits.back(), 2u); // two cold misses
+}
+
+TEST(Cache, LruKeepsHotLine)
+{
+    // 2-way L2 set behaviour via the tiny config's L2 (16 lines, 2-way ->
+    // 8 sets): lines 0, 8, 16 map to set 0.
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0 * 64);
+    c.load(8 * 64);
+    c.load(0 * 64);  // touch 0 again: L1 may or may not hold it; L2 does
+    c.load(16 * 64); // evicts line 8 (LRU in L2 set 0), not line 0
+    c.reset_stats();
+    c.load(0 * 64);
+    const auto& m = c.metrics();
+    // Line 0 must still be resident somewhere (not DRAM).
+    EXPECT_EQ(m.level_hits.back(), 0u);
+}
+
+TEST(Cache, SequentialBeatsRandomStride)
+{
+    const auto cfg = CacheHierarchyConfig::cascade_lake();
+    CacheHierarchy seq(cfg), rnd(cfg);
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        seq.load(i * 8); // sequential doubles: 8 per line
+    for (std::uint64_t i = 0; i < 4096; ++i)
+        rnd.load((i * 2654435761ULL) % (1ULL << 26));
+    EXPECT_LT(seq.metrics().avg_load_latency(),
+              rnd.metrics().avg_load_latency());
+}
+
+TEST(Cache, BoundFractionsReflectServiceLevel)
+{
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);
+    for (int i = 0; i < 99; ++i)
+        c.load(0);
+    const auto& m = c.metrics();
+    // 1 DRAM access (100 cycles) + 99 L1 hits (99 cycles).
+    EXPECT_NEAR(m.bound_fraction(0), 99.0 / 199.0, 1e-12);
+    EXPECT_NEAR(m.bound_fraction(m.level_hits.size() - 1), 100.0 / 199.0,
+                1e-12);
+}
+
+TEST(Cache, MissRatioPerLevel)
+{
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);
+    c.load(0);
+    const auto& m = c.metrics();
+    EXPECT_DOUBLE_EQ(m.miss_ratio(0), 0.5); // 1 of 2 L1 lookups missed
+}
+
+TEST(Cache, FlushForcesMisses)
+{
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);
+    c.flush();
+    c.reset_stats();
+    c.load(0);
+    EXPECT_EQ(c.metrics().level_hits.back(), 1u); // DRAM again
+}
+
+TEST(Cache, WideLoadTouchesTwoLines)
+{
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(60, 8); // crosses the 64B boundary
+    EXPECT_EQ(c.metrics().loads, 2u);
+}
+
+TEST(Cache, CascadeLakeGeometry)
+{
+    const auto cfg = CacheHierarchyConfig::cascade_lake();
+    ASSERT_EQ(cfg.levels.size(), 3u);
+    EXPECT_EQ(cfg.levels[0].size_bytes, 32u * 1024);
+    EXPECT_EQ(cfg.levels[1].size_bytes, 1024u * 1024);
+    EXPECT_EQ(cfg.levels[2].name, "L3");
+}
+
+TEST(Tracer, SamplingReducesTrafficProportionally)
+{
+    CacheTracer full(CacheHierarchyConfig::tiny_test(), 1);
+    CacheTracer sampled(CacheHierarchyConfig::tiny_test(), 4);
+    int x = 0;
+    for (int i = 0; i < 1000; ++i) {
+        full.load(&x, 4);
+        sampled.load(&x, 4);
+    }
+    EXPECT_EQ(full.metrics().loads, 1000u);
+    EXPECT_EQ(sampled.metrics().loads, 250u);
+}
+
+TEST(Cache, PrefetchTurnsSequentialMissesIntoHits)
+{
+    auto cfg = CacheHierarchyConfig::tiny_test();
+    CacheHierarchy plain(cfg);
+    cfg.next_line_prefetch = true;
+    CacheHierarchy pref(cfg);
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        plain.load(i * 64);
+        pref.load(i * 64);
+    }
+    // Streaming access: the prefetcher converts most demand misses.
+    EXPECT_LT(pref.metrics().level_hits.back(),
+              plain.metrics().level_hits.back());
+    EXPECT_GT(pref.prefetches(), 0u);
+    EXPECT_LT(pref.metrics().avg_load_latency(),
+              plain.metrics().avg_load_latency());
+}
+
+TEST(Cache, PrefetchDoesNotChangeLoadCount)
+{
+    auto cfg = CacheHierarchyConfig::tiny_test();
+    cfg.next_line_prefetch = true;
+    CacheHierarchy c(cfg);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        c.load(i * 64);
+    EXPECT_EQ(c.metrics().loads, 32u); // prefetches are not loads
+}
+
+TEST(Cache, PrefetchOffByDefault)
+{
+    CacheHierarchy c(CacheHierarchyConfig::cascade_lake());
+    c.load(0);
+    c.load(4096);
+    EXPECT_EQ(c.prefetches(), 0u);
+}
+
+TEST(Cache, BadLineSizeThrows)
+{
+    CacheHierarchyConfig cfg;
+    cfg.line_bytes = 48; // not a power of two
+    EXPECT_THROW(CacheHierarchy{cfg}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests of the reordering schemes: per-scheme behavioural checks plus a
+ * parameterized validity sweep of every scheme over every test graph.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/generators.hpp"
+#include "la/gap_measures.hpp"
+#include "order/basic.hpp"
+#include "order/community_order.hpp"
+#include "order/gorder.hpp"
+#include "order/hub.hpp"
+#include "order/minla_sa.hpp"
+#include "order/partition_order.hpp"
+#include "order/rabbit.hpp"
+#include "order/rcm.hpp"
+#include "order/scheme.hpp"
+#include "order/slashburn.hpp"
+#include "testutil.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::grid_graph;
+using testing::path_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+// ---------------------------------------------------------------- sweeps
+
+struct SweepCase
+{
+    std::string scheme;
+    std::string graph;
+};
+
+class SchemeSweep : public ::testing::TestWithParam<SweepCase>
+{};
+
+TEST_P(SchemeSweep, ProducesValidPermutation)
+{
+    const auto& [scheme_name, graph_name] = GetParam();
+    const auto& scheme = scheme_by_name(scheme_name);
+    for (const auto& ng : testing::test_menagerie()) {
+        if (ng.name != graph_name)
+            continue;
+        const auto pi = scheme.run(ng.graph, 42);
+        EXPECT_EQ(pi.size(), ng.graph.num_vertices());
+        EXPECT_TRUE(pi.is_valid())
+            << scheme_name << " on " << graph_name;
+    }
+}
+
+std::vector<SweepCase>
+sweep_cases()
+{
+    std::vector<SweepCase> cases;
+    for (const auto& s : all_schemes())
+        for (const auto& g : testing::test_menagerie())
+            cases.push_back({s.name, g.name});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAllGraphs, SchemeSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+        std::string n = info.param.scheme + "_" + info.param.graph;
+        std::replace(n.begin(), n.end(), '-', '_');
+        return n;
+    });
+
+// ------------------------------------------------------------- baselines
+
+TEST(Basic, NaturalIsIdentity)
+{
+    const auto g = path_graph(20);
+    const auto pi = natural_order(g);
+    for (vid_t v = 0; v < 20; ++v)
+        EXPECT_EQ(pi.rank(v), v);
+}
+
+TEST(Basic, RandomIsSeedDeterministic)
+{
+    const auto g = path_graph(100);
+    EXPECT_EQ(random_order(g, 7).ranks(), random_order(g, 7).ranks());
+    EXPECT_NE(random_order(g, 7).ranks(), random_order(g, 8).ranks());
+}
+
+TEST(Basic, DegreeSortDescending)
+{
+    const auto g = star_graph(10); // center degree 10, leaves 1
+    const auto pi = degree_sort_order(g, true);
+    EXPECT_EQ(pi.rank(0), 0u); // hub first
+    // Leaves keep natural relative order (stable sort).
+    for (vid_t v = 1; v < 10; ++v)
+        EXPECT_LT(pi.rank(v), pi.rank(v + 1));
+}
+
+TEST(Basic, DegreeSortAscendingReverses)
+{
+    const auto g = star_graph(10);
+    const auto pi = degree_sort_order(g, false);
+    EXPECT_EQ(pi.rank(0), 10u); // hub last
+}
+
+TEST(Basic, BfsOrderContiguousOnPath)
+{
+    const auto g = path_graph(50);
+    const auto pi = bfs_order(g);
+    const auto m = compute_gap_metrics(g, pi);
+    EXPECT_EQ(m.bandwidth, 1u); // BFS from an endpoint walks the path
+}
+
+// ------------------------------------------------------------- hub-based
+
+TEST(Hub, HubSortPutsSortedHubsFirst)
+{
+    // Two hubs of different size + low-degree rest.
+    GraphBuilder b(20);
+    for (vid_t v = 2; v < 14; ++v)
+        b.add_edge(0, v); // deg(0) = 12
+    for (vid_t v = 6; v < 14; ++v)
+        b.add_edge(1, v); // deg(1) = 8
+    const auto g = b.finalize();
+    const auto pi = hub_sort_order(g);
+    EXPECT_EQ(pi.rank(0), 0u);
+    EXPECT_EQ(pi.rank(1), 1u);
+}
+
+TEST(Hub, HubClusterKeepsHubNaturalOrder)
+{
+    GraphBuilder b(20);
+    for (vid_t v = 2; v < 10; ++v)
+        b.add_edge(1, v); // hub at id 1 (deg 8)
+    for (vid_t v = 10; v < 19; ++v)
+        b.add_edge(5, v); // bigger hub at id 5 (deg 9 + edge from 1)
+    const auto g = b.finalize();
+    const auto pi = hub_cluster_order(g);
+    // Both hubs packed first but in natural id order: 1 before 5.
+    EXPECT_EQ(pi.rank(1), 0u);
+    EXPECT_EQ(pi.rank(5), 1u);
+    // Hub sort would place 5 (higher degree) first instead.
+    const auto ps = hub_sort_order(g);
+    EXPECT_EQ(ps.rank(5), 0u);
+}
+
+TEST(Hub, NonHubsKeepRelativeOrder)
+{
+    const auto g = star_graph(30);
+    const auto pi = hub_sort_order(g);
+    for (vid_t v = 1; v < 30; ++v)
+        EXPECT_LT(pi.rank(v), pi.rank(v + 1));
+}
+
+// ------------------------------------------------------------------ RCM
+
+TEST(Rcm, BandwidthOptimalOnPath)
+{
+    const auto g = path_graph(64);
+    const auto m = compute_gap_metrics(g, rcm_order(g));
+    EXPECT_EQ(m.bandwidth, 1u);
+}
+
+TEST(Rcm, GridBandwidthNearWidth)
+{
+    const auto g = grid_graph(12, 12);
+    const auto m = compute_gap_metrics(g, rcm_order(g));
+    // Level sets of a 12x12 grid have <= 12 vertices + boundary effects.
+    EXPECT_LE(m.bandwidth, 2u * 12u);
+    // Natural (row-major) order has bandwidth 12; RCM's diagonal levels
+    // should not be far off.
+    EXPECT_LE(m.bandwidth, 24u);
+}
+
+TEST(Rcm, BeatsRandomBandwidthOnMesh)
+{
+    const auto g = gen_mesh(900, 0, 1);
+    const auto rcm = compute_gap_metrics(g, rcm_order(g));
+    const auto rnd = compute_gap_metrics(g, random_order(g, 5));
+    EXPECT_LT(rcm.bandwidth, rnd.bandwidth / 4);
+}
+
+TEST(Rcm, IsReverseOfCm)
+{
+    const auto g = grid_graph(6, 6);
+    const auto cm = cm_order(g).order();
+    auto rcm = rcm_order(g).order();
+    std::reverse(rcm.begin(), rcm.end());
+    EXPECT_EQ(cm, rcm);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents)
+{
+    GraphBuilder b(12);
+    for (vid_t v = 0; v + 1 < 6; ++v)
+        b.add_edge(v, v + 1);
+    for (vid_t v = 6; v + 1 < 12; ++v)
+        b.add_edge(v, v + 1);
+    const auto g = b.finalize();
+    const auto pi = rcm_order(g);
+    EXPECT_TRUE(pi.is_valid());
+    EXPECT_EQ(compute_gap_metrics(g, pi).bandwidth, 1u);
+}
+
+// ------------------------------------------------------------ SlashBurn
+
+TEST(SlashBurn, HubGetsLowestId)
+{
+    const auto g = star_graph(50);
+    const auto pi = slashburn_order(g, 1);
+    EXPECT_EQ(pi.rank(0), 0u); // the center is slashed first
+}
+
+TEST(SlashBurn, SpokesGoToTheBack)
+{
+    // Star + one far clique: after slashing the center, leaves are
+    // spokes (size-1 components) and the clique is the giant component.
+    GraphBuilder b(30);
+    for (vid_t v = 1; v <= 10; ++v)
+        b.add_edge(0, v);
+    for (vid_t u = 11; u < 30; ++u)
+        for (vid_t v = u + 1; v < 30; ++v)
+            b.add_edge(u, v);
+    const auto g = b.finalize();
+    const auto pi = slashburn_order(g, 1);
+    EXPECT_TRUE(pi.is_valid());
+    // Leaves 1..10 must rank after every clique vertex.
+    vid_t min_leaf = 30;
+    vid_t max_clique = 0;
+    for (vid_t v = 1; v <= 10; ++v)
+        min_leaf = std::min(min_leaf, pi.rank(v));
+    for (vid_t v = 11; v < 30; ++v)
+        max_clique = std::max(max_clique, pi.rank(v));
+    EXPECT_GT(min_leaf, max_clique);
+}
+
+TEST(SlashBurn, DefaultKTerminates)
+{
+    const auto g = gen_rmat(2048, 10000, 0.57, 0.19, 0.19, 3);
+    const auto pi = slashburn_order(g);
+    EXPECT_TRUE(pi.is_valid());
+}
+
+// --------------------------------------------------------------- Gorder
+
+TEST(Gorder, ValidAndBeatsRandomGscore)
+{
+    const auto g = gen_sbm(400, 2400, 8, 0.85, 3);
+    const auto pi = gorder_order(g);
+    ASSERT_TRUE(pi.is_valid());
+    const double gs = gscore(g, pi);
+    const double gs_rnd = gscore(g, random_order(g, 9));
+    EXPECT_GT(gs, 1.5 * gs_rnd);
+}
+
+TEST(Gorder, WindowOneStillValid)
+{
+    GorderOptions opt;
+    opt.window = 1;
+    const auto g = grid_graph(8, 8);
+    EXPECT_TRUE(gorder_order(g, opt).is_valid());
+}
+
+TEST(Gorder, KeepsCliqueVerticesTogether)
+{
+    const auto g = two_cliques(10);
+    const auto pi = gorder_order(g);
+    const auto m = compute_gap_metrics(g, pi);
+    // Both cliques contiguous => avg gap far below random.
+    const auto rnd = compute_gap_metrics(g, random_order(g, 1));
+    EXPECT_LT(m.avg_gap, rnd.avg_gap);
+}
+
+// ------------------------------------------------- partition / community
+
+TEST(PartitionOrder, PartsAreContiguousBlocks)
+{
+    const auto g = gen_mesh(512, 0, 9);
+    PartitionOptions popt;
+    const auto p = partition_kway(g, 8, popt);
+    const auto pi = order_from_partition(p.part, g.num_vertices());
+    // Ranks within a part form a contiguous range.
+    std::vector<vid_t> lo(8, kNoVertex), hi(8, 0), count(8, 0);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const vid_t c = p.part[v];
+        lo[c] = std::min(lo[c], pi.rank(v));
+        hi[c] = std::max(hi[c], pi.rank(v));
+        ++count[c];
+    }
+    for (vid_t c = 0; c < 8; ++c)
+        EXPECT_EQ(hi[c] - lo[c] + 1, count[c]) << "part " << c;
+}
+
+TEST(PartitionOrder, MetisStyleReducesAvgGapOnMesh)
+{
+    const auto g = gen_mesh(1024, 0, 12);
+    const auto metis = compute_gap_metrics(g, metis_style_order(g, 32));
+    const auto rnd = compute_gap_metrics(g, random_order(g, 3));
+    EXPECT_LT(metis.avg_gap, rnd.avg_gap / 3);
+}
+
+TEST(CommunityOrder, GrappoloPacksCommunities)
+{
+    const auto g = two_cliques(12);
+    const auto pi = grappolo_order(g);
+    ASSERT_TRUE(pi.is_valid());
+    // Clique members contiguous: max rank diff inside a clique = 11.
+    vid_t lo0 = 24, hi0 = 0;
+    for (vid_t v = 0; v < 12; ++v) {
+        lo0 = std::min(lo0, pi.rank(v));
+        hi0 = std::max(hi0, pi.rank(v));
+    }
+    EXPECT_EQ(hi0 - lo0, 11u);
+}
+
+TEST(CommunityOrder, GrappoloRcmOrdersCommunitiesByAdjacency)
+{
+    // Chain of 6 cliques: grappolo-rcm should order the blocks along the
+    // chain, giving a much smaller bandwidth than arbitrary block order.
+    const vid_t k = 8, blocks = 6;
+    GraphBuilder b(k * blocks);
+    for (vid_t c = 0; c < blocks; ++c) {
+        for (vid_t u = 0; u < k; ++u)
+            for (vid_t v = u + 1; v < k; ++v)
+                b.add_edge(c * k + u, c * k + v);
+        if (c + 1 < blocks)
+            b.add_edge(c * k + k - 1, (c + 1) * k);
+    }
+    const auto g = b.finalize();
+    const auto pi = grappolo_rcm_order(g);
+    ASSERT_TRUE(pi.is_valid());
+    const auto m = compute_gap_metrics(g, pi);
+    EXPECT_LE(m.bandwidth, 2 * k); // adjacent blocks adjacent in rank
+}
+
+TEST(Rabbit, MergesCliquesIntoContiguousBlocks)
+{
+    const auto g = two_cliques(12);
+    const auto pi = rabbit_order(g);
+    ASSERT_TRUE(pi.is_valid());
+    const auto m = compute_gap_metrics(g, pi);
+    const auto rnd = compute_gap_metrics(g, random_order(g, 2));
+    EXPECT_LT(m.avg_gap, rnd.avg_gap);
+}
+
+TEST(Rabbit, BeatsRandomOnSbm)
+{
+    const auto g = gen_sbm(1000, 6000, 12, 0.9, 31);
+    const auto rab = compute_gap_metrics(g, rabbit_order(g));
+    const auto rnd = compute_gap_metrics(g, random_order(g, 4));
+    EXPECT_LT(rab.avg_gap, rnd.avg_gap / 2);
+}
+
+// ----------------------------------------------------------- extensions
+
+TEST(MinLaSa, NeverWorseThanStart)
+{
+    const auto g = gen_mesh(256, 0, 2);
+    const auto start = natural_order(g);
+    MinLaSaOptions opt;
+    opt.steps = 20;
+    const auto pi = minla_sa_order(g, start, opt);
+    ASSERT_TRUE(pi.is_valid());
+    EXPECT_LE(compute_gap_metrics(g, pi).total_gap,
+              compute_gap_metrics(g, start).total_gap);
+}
+
+TEST(MinLaSa, ImprovesRandomStartOnPath)
+{
+    const auto g = path_graph(64);
+    const auto start = random_order(g, 17);
+    const auto pi = minla_sa_order(g, start);
+    EXPECT_LT(compute_gap_metrics(g, pi).total_gap,
+              0.8 * compute_gap_metrics(g, start).total_gap);
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(Registry, PaperSchemeRosterMatchesSectionV)
+{
+    const auto& schemes = paper_schemes();
+    EXPECT_EQ(schemes.size(), 13u); // 11 of §V + grappolo-rcm + hubcluster
+    for (const char* name :
+         {"natural", "random", "degree", "hubsort", "hubcluster",
+          "slashburn", "gorder", "metis-32", "grappolo", "grappolo-rcm",
+          "rabbit", "rcm", "nd"}) {
+        EXPECT_NO_THROW(scheme_by_name(name)) << name;
+    }
+}
+
+TEST(Registry, ApplicationSchemesMatchFigure9)
+{
+    const auto& app = application_schemes();
+    ASSERT_EQ(app.size(), 4u);
+    EXPECT_EQ(app[0].name, "grappolo");
+    EXPECT_EQ(app[1].name, "rcm");
+    EXPECT_EQ(app[2].name, "natural");
+    EXPECT_EQ(app[3].name, "degree");
+}
+
+TEST(Registry, UnknownSchemeThrows)
+{
+    EXPECT_THROW(scheme_by_name("bogus"), std::out_of_range);
+}
+
+TEST(Registry, CategoriesNamed)
+{
+    EXPECT_STREQ(category_name(SchemeCategory::Window), "window");
+    EXPECT_STREQ(category_name(SchemeCategory::FillReducing),
+                 "fill-reducing");
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests of the multilevel partitioner: matching, FM refinement, recursive
+ * k-way partitioning, vertex separators and nested dissection.
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/generators.hpp"
+#include "graph/traversal.hpp"
+#include "part/matching.hpp"
+#include "part/partition.hpp"
+#include "part/refine.hpp"
+#include "part/separator.hpp"
+#include "testutil.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::grid_graph;
+using testing::path_graph;
+using testing::two_cliques;
+
+TEST(Matching, PairsAreMutual)
+{
+    const auto g = grid_graph(8, 8);
+    Rng rng(1);
+    const auto match = heavy_edge_matching(g, {}, rng);
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        ASSERT_NE(match[v], kNoVertex);
+        EXPECT_EQ(match[match[v]], v);
+        if (match[v] != v)
+            EXPECT_TRUE(g.has_edge(v, match[v]));
+    }
+}
+
+TEST(Matching, MatchesMostVerticesOnGrid)
+{
+    const auto g = grid_graph(10, 10);
+    Rng rng(2);
+    const auto match = heavy_edge_matching(g, {}, rng);
+    vid_t matched = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        matched += match[v] != v;
+    EXPECT_GT(matched, g.num_vertices() / 2); // grids match well
+}
+
+TEST(Matching, PrefersHeavyEdges)
+{
+    // Triangle with one heavy edge: the heavy pair must match.
+    GraphBuilder b(3);
+    b.add_edge(0, 1, 10.0);
+    b.add_edge(1, 2, 1.0);
+    b.add_edge(0, 2, 1.0);
+    const auto g = b.finalize(true);
+    Rng rng(3);
+    const auto match = heavy_edge_matching(g, {}, rng);
+    EXPECT_EQ(match[0], 1u);
+    EXPECT_EQ(match[1], 0u);
+    EXPECT_EQ(match[2], 2u);
+}
+
+TEST(Matching, GroupsAreDense)
+{
+    const auto g = grid_graph(6, 6);
+    Rng rng(4);
+    const auto match = heavy_edge_matching(g, {}, rng);
+    std::vector<vid_t> group;
+    const vid_t k = matching_to_groups(match, group);
+    EXPECT_LE(k, g.num_vertices());
+    for (vid_t gid : group)
+        EXPECT_LT(gid, k);
+}
+
+TEST(Refine, MakeBisectionComputesCut)
+{
+    const auto g = two_cliques(4); // bridge between 3 and 4
+    std::vector<std::uint8_t> side(8, 0);
+    for (vid_t v = 4; v < 8; ++v)
+        side[v] = 1;
+    const auto b = make_bisection(g, {}, side);
+    EXPECT_DOUBLE_EQ(b.cut, 1.0);
+    EXPECT_DOUBLE_EQ(b.side_weight[0], 4.0);
+    EXPECT_DOUBLE_EQ(b.side_weight[1], 4.0);
+}
+
+TEST(Refine, FmRepairsBadSplitOfTwoCliques)
+{
+    const auto g = two_cliques(8);
+    // Deliberately bad: split across both cliques.
+    std::vector<std::uint8_t> side(16);
+    for (vid_t v = 0; v < 16; ++v)
+        side[v] = v % 2;
+    auto b = make_bisection(g, {}, std::move(side));
+    const double bad_cut = b.cut;
+    fm_refine(g, {}, b, 8.0, 0.1, 10);
+    EXPECT_LT(b.cut, bad_cut);
+    EXPECT_LE(b.cut, 4.0); // clique split costs >= 7; ideal cut is 1
+}
+
+TEST(Partition, BisectTwoCliquesFindsBridge)
+{
+    const auto g = two_cliques(16);
+    PartitionOptions opt;
+    const auto p = bisect(g, {}, 0.5, opt);
+    EXPECT_EQ(p.num_parts, 2u);
+    EXPECT_DOUBLE_EQ(p.cut_weight, 1.0);
+    // Each clique on one side.
+    for (vid_t v = 1; v < 16; ++v)
+        EXPECT_EQ(p.part[v], p.part[0]);
+    for (vid_t v = 17; v < 32; ++v)
+        EXPECT_EQ(p.part[v], p.part[16]);
+    EXPECT_NE(p.part[0], p.part[16]);
+}
+
+TEST(Partition, KwayCoversAndBalances)
+{
+    const auto g = gen_mesh(1024, 0, 99);
+    PartitionOptions opt;
+    for (vid_t k : {2u, 4u, 8u, 16u}) {
+        const auto p = partition_kway(g, k, opt);
+        EXPECT_EQ(p.num_parts, k);
+        const auto sizes = p.part_sizes();
+        ASSERT_EQ(sizes.size(), k);
+        const double ideal = 1024.0 / k;
+        for (vid_t c = 0; c < k; ++c) {
+            EXPECT_GT(sizes[c], 0.5 * ideal) << "k=" << k;
+            EXPECT_LT(sizes[c], 1.7 * ideal) << "k=" << k;
+        }
+    }
+}
+
+TEST(Partition, CutBeatsRandomAssignment)
+{
+    const auto g = gen_mesh(900, 0, 5);
+    PartitionOptions opt;
+    const auto p = partition_kway(g, 8, opt);
+
+    Rng rng(123);
+    std::vector<vid_t> random_part(g.num_vertices());
+    for (auto& x : random_part)
+        x = static_cast<vid_t>(rng.next_below(8));
+    const double random_cut = partition_cut(g, random_part);
+    EXPECT_LT(p.cut_weight, 0.5 * random_cut);
+}
+
+TEST(Partition, GridBisectionCutNearSqrtN)
+{
+    // A w x w grid has a natural bisection cut of ~w.
+    const auto g = grid_graph(24, 24);
+    PartitionOptions opt;
+    const auto p = bisect(g, {}, 0.5, opt);
+    EXPECT_LE(p.cut_weight, 3.0 * 24);
+}
+
+TEST(Partition, SingletonAndOnePartEdgeCases)
+{
+    const auto g = path_graph(5);
+    PartitionOptions opt;
+    const auto p = partition_kway(g, 1, opt);
+    EXPECT_EQ(p.num_parts, 1u);
+    EXPECT_DOUBLE_EQ(p.cut_weight, 0.0);
+}
+
+TEST(Partition, WeightedVerticesRespectBalance)
+{
+    const auto g = path_graph(10);
+    std::vector<double> w(10, 1.0);
+    w[0] = 9.0; // one heavy vertex
+    PartitionOptions opt;
+    const auto b2 = bisect(g, w, 0.5, opt);
+    double w0 = 0, w1 = 0;
+    for (vid_t v = 0; v < 10; ++v)
+        (b2.part[v] == 0 ? w0 : w1) += w[v];
+    // Total weight 18; each side should be near 9.
+    EXPECT_GT(std::min(w0, w1), 4.0);
+}
+
+TEST(Separator, CoversAllCutEdges)
+{
+    const auto g = grid_graph(12, 12);
+    PartitionOptions opt;
+    const auto p = bisect(g, {}, 0.5, opt);
+    std::vector<std::uint8_t> side(g.num_vertices());
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        side[v] = static_cast<std::uint8_t>(p.part[v]);
+    const auto sep = vertex_separator_from_cut(g, side);
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t u : g.neighbors(v))
+            if (side[u] != side[v])
+                EXPECT_TRUE(sep[u] || sep[v]);
+    // Separator is small relative to n for a grid.
+    vid_t nsep = std::accumulate(sep.begin(), sep.end(), vid_t{0});
+    EXPECT_LT(nsep, g.num_vertices() / 4);
+}
+
+TEST(Separator, RemovalDisconnectsSides)
+{
+    const auto g = grid_graph(10, 10);
+    PartitionOptions opt;
+    const auto p = bisect(g, {}, 0.5, opt);
+    std::vector<std::uint8_t> side(g.num_vertices());
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        side[v] = static_cast<std::uint8_t>(p.part[v]);
+    const auto sep = vertex_separator_from_cut(g, side);
+    // No edge may connect a non-separator side-0 vertex to a
+    // non-separator side-1 vertex.
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        if (sep[v])
+            continue;
+        for (vid_t u : g.neighbors(v)) {
+            if (sep[u])
+                continue;
+            EXPECT_EQ(side[u], side[v]);
+        }
+    }
+}
+
+TEST(NestedDissection, OrderIsAPermutation)
+{
+    const auto g = gen_mesh(512, 0, 3);
+    PartitionOptions opt;
+    const auto order = nested_dissection_order(g, 16, opt);
+    ASSERT_EQ(order.size(), g.num_vertices());
+    EXPECT_TRUE(Permutation::from_order(order).is_valid());
+}
+
+TEST(NestedDissection, HandlesDisconnectedGraphs)
+{
+    GraphBuilder b(20);
+    for (vid_t v = 0; v + 1 < 10; ++v)
+        b.add_edge(v, v + 1);
+    for (vid_t v = 10; v + 1 < 20; ++v)
+        b.add_edge(v, v + 1);
+    const auto g = b.finalize();
+    PartitionOptions opt;
+    const auto order = nested_dissection_order(g, 4, opt);
+    EXPECT_TRUE(Permutation::from_order(order).is_valid());
+}
+
+} // namespace
+} // namespace graphorder

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Property-based sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P): invariants
+ * that must hold for *every* scheme on *every* graph family, for every
+ * generator at multiple sizes, and for the measurement machinery itself.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "community/louvain.hpp"
+#include "gen/generators.hpp"
+#include "la/gap_measures.hpp"
+#include "memsim/cache.hpp"
+#include "order/scheme.hpp"
+#include "testutil.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+namespace {
+
+// --------------------------------------------------------------------
+// Scheme x generator-family sweep: structural invariants of orderings
+// and the gap measures on realistic (not hand-crafted) graphs.
+// --------------------------------------------------------------------
+
+struct FamilyCase
+{
+    std::string scheme;
+    std::string family;
+};
+
+Csr
+family_graph(const std::string& family)
+{
+    if (family == "road")
+        return gen_road(800, 1000, 1);
+    if (family == "mesh")
+        return gen_mesh(800, 0, 2);
+    if (family == "social")
+        return gen_rmat(1024, 6000, 0.57, 0.19, 0.19, 3);
+    if (family == "community")
+        return gen_sbm(900, 5400, 10, 0.85, 4);
+    if (family == "smallworld")
+        return gen_watts_strogatz(800, 6, 0.1, 5);
+    return gen_erdos_renyi(800, 3200, 6);
+}
+
+class SchemeFamilyProperty : public ::testing::TestWithParam<FamilyCase>
+{
+  protected:
+    void SetUp() override
+    {
+        graph_ = family_graph(GetParam().family);
+        scheme_ = &scheme_by_name(GetParam().scheme);
+    }
+    Csr graph_;
+    const OrderingScheme* scheme_ = nullptr;
+};
+
+TEST_P(SchemeFamilyProperty, PermutationIsBijective)
+{
+    const auto pi = scheme_->run(graph_, 7);
+    ASSERT_EQ(pi.size(), graph_.num_vertices());
+    EXPECT_TRUE(pi.is_valid());
+}
+
+TEST_P(SchemeFamilyProperty, DeterministicForFixedSeed)
+{
+    const auto a = scheme_->run(graph_, 7);
+    const auto b = scheme_->run(graph_, 7);
+    EXPECT_EQ(a.ranks(), b.ranks());
+}
+
+TEST_P(SchemeFamilyProperty, GapMetricsSatisfyDefinitionalBounds)
+{
+    const auto pi = scheme_->run(graph_, 7);
+    const auto m = compute_gap_metrics(graph_, pi);
+    const auto n = graph_.num_vertices();
+    // Every edge's gap is in [1, n-1].
+    EXPECT_GE(m.avg_gap, 1.0);
+    EXPECT_LE(m.bandwidth, n - 1);
+    EXPECT_GE(static_cast<double>(m.bandwidth), m.avg_gap);
+    // Mean vertex bandwidth is bounded by the graph bandwidth.
+    EXPECT_LE(m.avg_bandwidth, static_cast<double>(m.bandwidth));
+    // total = avg * |E|.
+    EXPECT_NEAR(m.total_gap,
+                m.avg_gap * static_cast<double>(graph_.num_edges()),
+                1e-6 * m.total_gap + 1e-9);
+    // log-gap <= log2(1 + max gap).
+    EXPECT_LE(m.log_gap, std::log2(1.0 + m.bandwidth) + 1e-12);
+}
+
+TEST_P(SchemeFamilyProperty, ApplyingPermutationPreservesIsomorphism)
+{
+    const auto pi = scheme_->run(graph_, 7);
+    const auto h = apply_permutation(graph_, pi);
+    EXPECT_TRUE(h.check_invariants());
+    EXPECT_TRUE(testing::same_degree_profile(graph_, h));
+    // Spot-check 50 edges map across.
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        const auto v = static_cast<vid_t>(
+            rng.next_below(graph_.num_vertices()));
+        if (graph_.degree(v) == 0)
+            continue;
+        const auto nbrs = graph_.neighbors(v);
+        const vid_t u = nbrs[rng.next_below(nbrs.size())];
+        EXPECT_TRUE(h.has_edge(pi.rank(v), pi.rank(u)));
+    }
+}
+
+std::vector<FamilyCase>
+family_cases()
+{
+    std::vector<FamilyCase> cases;
+    for (const auto& s : all_schemes())
+        for (const char* fam :
+             {"road", "mesh", "social", "community", "smallworld", "er"})
+            cases.push_back({s.name, fam});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchemeFamilyProperty, ::testing::ValuesIn(family_cases()),
+    [](const ::testing::TestParamInfo<FamilyCase>& info) {
+        std::string n = info.param.scheme + "_" + info.param.family;
+        std::replace(n.begin(), n.end(), '-', '_');
+        return n;
+    });
+
+// --------------------------------------------------------------------
+// Generator sweep across sizes: CSR structural invariants.
+// --------------------------------------------------------------------
+
+struct GenCase
+{
+    std::string generator;
+    vid_t n;
+};
+
+Csr
+build_gen(const GenCase& c)
+{
+    if (c.generator == "road")
+        return gen_road(c.n, c.n + c.n / 4, 11);
+    if (c.generator == "mesh")
+        return gen_mesh(c.n, 0, 12);
+    if (c.generator == "rmat")
+        return gen_rmat(c.n, 5ULL * c.n, 0.57, 0.19, 0.19, 13);
+    if (c.generator == "ba")
+        return gen_barabasi_albert(c.n, 3, 14);
+    if (c.generator == "ws")
+        return gen_watts_strogatz(c.n, 6, 0.05, 15);
+    if (c.generator == "er")
+        return gen_erdos_renyi(c.n, 4ULL * c.n, 16);
+    if (c.generator == "sbm")
+        return gen_sbm(c.n, 6ULL * c.n, 8, 0.85, 17);
+    return gen_hub_forest(c.n, 2ULL * c.n, 4, 18);
+}
+
+class GeneratorProperty : public ::testing::TestWithParam<GenCase>
+{};
+
+TEST_P(GeneratorProperty, CsrInvariantsHold)
+{
+    const auto g = build_gen(GetParam());
+    EXPECT_EQ(g.num_vertices(), GetParam().n);
+    EXPECT_TRUE(g.check_invariants());
+}
+
+TEST_P(GeneratorProperty, SimpleAndSymmetric)
+{
+    const auto g = build_gen(GetParam());
+    eid_t arcs = 0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        vid_t prev = kNoVertex;
+        for (vid_t u : g.neighbors(v)) {
+            EXPECT_NE(u, v);                    // no self loops
+            EXPECT_NE(u, prev);                 // no parallel edges
+            prev = u;
+            EXPECT_TRUE(g.has_edge(u, v));      // symmetry
+        }
+        arcs += g.degree(v);
+    }
+    EXPECT_EQ(arcs, g.num_arcs());
+    EXPECT_EQ(arcs % 2, 0u);
+}
+
+std::vector<GenCase>
+gen_cases()
+{
+    std::vector<GenCase> cases;
+    for (const char* g :
+         {"road", "mesh", "rmat", "ba", "ws", "er", "sbm", "hub"})
+        for (vid_t n : {64u, 500u, 2000u})
+            cases.push_back({g, n});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorProperty, ::testing::ValuesIn(gen_cases()),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+        return info.param.generator + "_"
+            + std::to_string(info.param.n);
+    });
+
+// --------------------------------------------------------------------
+// Cache-hierarchy property: growing any level never hurts latency.
+// --------------------------------------------------------------------
+
+class CacheMonotonicity : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CacheMonotonicity, BiggerCacheNeverSlowerOnFixedTrace)
+{
+    const int divisor = GetParam();
+    auto small = CacheHierarchyConfig::cascade_lake_scaled(divisor * 2);
+    auto big = CacheHierarchyConfig::cascade_lake_scaled(divisor);
+    CacheHierarchy cs(small), cb(big);
+    Rng rng(21);
+    // Mixed trace: a hot working set + a cold random stream.
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t addr = rng.next_bool(0.7)
+            ? rng.next_below(1ULL << 14)
+            : rng.next_below(1ULL << 26);
+        cs.load(addr);
+        cb.load(addr);
+    }
+    EXPECT_LE(cb.metrics().avg_load_latency(),
+              cs.metrics().avg_load_latency() * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, CacheMonotonicity,
+                         ::testing::Values(4, 16, 64, 256));
+
+// --------------------------------------------------------------------
+// Louvain sweep over the menagerie: output validity everywhere.
+// --------------------------------------------------------------------
+
+class LouvainProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(LouvainProperty, OutputValidOnMenagerie)
+{
+    const auto menagerie = testing::test_menagerie();
+    const auto& ng = menagerie[static_cast<std::size_t>(GetParam())];
+    const auto res = louvain(ng.graph);
+    ASSERT_EQ(res.community.size(), ng.graph.num_vertices());
+    std::set<vid_t> ids(res.community.begin(), res.community.end());
+    EXPECT_EQ(ids.size(), res.num_communities) << ng.name;
+    EXPECT_GE(res.modularity, -0.5) << ng.name;
+    EXPECT_LE(res.modularity, 1.0) << ng.name;
+    // Reported modularity must match an independent recomputation.
+    EXPECT_NEAR(res.modularity, modularity(ng.graph, res.community),
+                1e-9)
+        << ng.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Menagerie, LouvainProperty,
+                         ::testing::Range(0, 7));
+
+} // namespace
+} // namespace graphorder

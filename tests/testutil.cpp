@@ -1,0 +1,130 @@
+#include "testutil.hpp"
+
+#include <algorithm>
+
+namespace graphorder::testing {
+
+Csr
+figure2_graph()
+{
+    // Recovered by exhaustive search over all 7-vertex graphs: this edge
+    // set reproduces the paper's Figure 2 gap numbers (natural xi=3.3,
+    // beta=5, beta_hat=4.43; reordered beta=3, beta_hat=2.86).  The
+    // reordered average gap computes to 1.8 — the paper prints 1.7; no
+    // 7-vertex simple graph matches all six printed values, so we treat
+    // 1.7 as a rounding slip and assert 1.8.
+    GraphBuilder b(7);
+    const std::pair<int, int> edges[] = {
+        {1, 3}, {1, 4}, {1, 5}, {1, 6}, {2, 5},
+        {2, 7}, {3, 5}, {3, 6}, {3, 7}, {4, 6},
+    };
+    for (auto [u, v] : edges)
+        b.add_edge(static_cast<vid_t>(u - 1), static_cast<vid_t>(v - 1));
+    return b.finalize();
+}
+
+Permutation
+figure2_permutation()
+{
+    // Paper: Pi = [5,1,3,7,2,6,4] — vertex 1 maps to rank 5, 2 to 1, ...
+    // (1-based); stored as 0-based ranks.
+    return Permutation::from_ranks({4, 0, 2, 6, 1, 5, 3});
+}
+
+Csr
+path_graph(vid_t n)
+{
+    GraphBuilder b(n);
+    for (vid_t v = 0; v + 1 < n; ++v)
+        b.add_edge(v, v + 1);
+    return b.finalize();
+}
+
+Csr
+cycle_graph(vid_t n)
+{
+    GraphBuilder b(n);
+    for (vid_t v = 0; v < n; ++v)
+        b.add_edge(v, (v + 1) % n);
+    return b.finalize();
+}
+
+Csr
+complete_graph(vid_t n)
+{
+    GraphBuilder b(n);
+    for (vid_t u = 0; u < n; ++u)
+        for (vid_t v = u + 1; v < n; ++v)
+            b.add_edge(u, v);
+    return b.finalize();
+}
+
+Csr
+star_graph(vid_t leaves)
+{
+    GraphBuilder b(leaves + 1);
+    for (vid_t v = 1; v <= leaves; ++v)
+        b.add_edge(0, v);
+    return b.finalize();
+}
+
+Csr
+two_cliques(vid_t k)
+{
+    GraphBuilder b(2 * k);
+    for (vid_t u = 0; u < k; ++u)
+        for (vid_t v = u + 1; v < k; ++v) {
+            b.add_edge(u, v);
+            b.add_edge(k + u, k + v);
+        }
+    b.add_edge(k - 1, k); // bridge
+    return b.finalize();
+}
+
+Csr
+grid_graph(vid_t w, vid_t h)
+{
+    GraphBuilder b(w * h);
+    for (vid_t y = 0; y < h; ++y)
+        for (vid_t x = 0; x < w; ++x) {
+            const vid_t v = y * w + x;
+            if (x + 1 < w)
+                b.add_edge(v, v + 1);
+            if (y + 1 < h)
+                b.add_edge(v, v + w);
+        }
+    return b.finalize();
+}
+
+std::vector<NamedGraph>
+test_menagerie()
+{
+    std::vector<NamedGraph> out;
+    out.push_back({"path32", path_graph(32)});
+    out.push_back({"cycle40", cycle_graph(40)});
+    out.push_back({"k8", complete_graph(8)});
+    out.push_back({"star64", star_graph(64)});
+    out.push_back({"cliques12", two_cliques(12)});
+    out.push_back({"grid8x8", grid_graph(8, 8)});
+    out.push_back({"figure2", figure2_graph()});
+    return out;
+}
+
+bool
+same_degree_profile(const Csr& a, const Csr& b)
+{
+    if (a.num_vertices() != b.num_vertices()
+        || a.num_edges() != b.num_edges()) {
+        return false;
+    }
+    std::vector<vid_t> da, db;
+    for (vid_t v = 0; v < a.num_vertices(); ++v) {
+        da.push_back(a.degree(v));
+        db.push_back(b.degree(v));
+    }
+    std::sort(da.begin(), da.end());
+    std::sort(db.begin(), db.end());
+    return da == db;
+}
+
+} // namespace graphorder::testing

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared fixtures and graph factories for the test suite.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder::testing {
+
+/** The 7-vertex example graph of the paper's Figure 2 (1-based edges
+ *  {1-2, 1-5, 2-3, 2-6, 3-7, 4-6, 4-7, 5-6, 6-7} stored 0-based). */
+Csr figure2_graph();
+
+/** The Figure 2 reordering Pi = [5,1,3,7,2,6,4] (1-based), as 0-based
+ *  ranks. */
+Permutation figure2_permutation();
+
+/** Path graph 0-1-2-...-(n-1). */
+Csr path_graph(vid_t n);
+
+/** Cycle graph. */
+Csr cycle_graph(vid_t n);
+
+/** Complete graph K_n. */
+Csr complete_graph(vid_t n);
+
+/** Star with @p leaves leaves, center = 0. */
+Csr star_graph(vid_t leaves);
+
+/** Two cliques of size @p k joined by a single bridge edge. */
+Csr two_cliques(vid_t k);
+
+/** 2D grid graph (w x h, 4-neighborhood). */
+Csr grid_graph(vid_t w, vid_t h);
+
+/** Deterministic small test-graph menagerie (name, graph) for sweeps. */
+struct NamedGraph
+{
+    std::string name;
+    Csr graph;
+};
+std::vector<NamedGraph> test_menagerie();
+
+/** True if both graphs have identical degree multisets and edge counts. */
+bool same_degree_profile(const Csr& a, const Csr& b);
+
+} // namespace graphorder::testing

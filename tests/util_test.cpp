@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for RNG, statistics, performance profiles and table rendering.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/perf_profile.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace graphorder {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.next_below(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.next_below(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.next_double();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02); // LLN sanity
+}
+
+TEST(Rng, BernoulliFrequencyTracksP)
+{
+    Rng rng(5);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.next_bool(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMomentsAreSane)
+{
+    Rng rng(9);
+    std::vector<double> xs(20000);
+    for (auto& x : xs)
+        x = rng.next_gaussian(10.0, 2.0);
+    EXPECT_NEAR(mean_of(xs), 10.0, 0.1);
+    EXPECT_NEAR(stddev_of(xs), 2.0, 0.1);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(42);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(13);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    shuffle(v.begin(), v.end(), rng);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sorted[i], i);
+    // And it actually moved things.
+    int moved = 0;
+    for (int i = 0; i < 100; ++i)
+        moved += v[i] != i;
+    EXPECT_GT(moved, 50);
+}
+
+TEST(Stats, QuantilesOfKnownSample)
+{
+    std::vector<double> v{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+    EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.0);
+}
+
+TEST(Stats, SummaryOfConstantSample)
+{
+    const auto s = summarize({4, 4, 4, 4});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.median, 4.0);
+}
+
+TEST(Stats, SummaryEmptyIsZero)
+{
+    const auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, LogHistogramBinsByDecade)
+{
+    LogHistogram h(10.0);
+    h.add(0.5);   // bin 0: [0,1)
+    h.add(1.0);   // bin 1: [1,10)
+    h.add(9.99);  // bin 1
+    h.add(10.0);  // bin 2: [10,100)
+    h.add(99.0);  // bin 2
+    h.add(100.0); // bin 3
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(1), 2u);
+    EXPECT_EQ(h.bin_count(2), 2u);
+    EXPECT_EQ(h.bin_count(3), 1u);
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_DOUBLE_EQ(h.bin_lower(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.bin_lower(2), 10.0);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    EXPECT_NEAR(geomean_of({1.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(PerfProfile, BestSchemeHugsYAxis)
+{
+    // Scheme A is best everywhere; B is 2x worse everywhere.
+    ProfileInput in;
+    in.schemes = {"A", "B"};
+    in.problems = {"p1", "p2", "p3"};
+    in.costs = {{1, 2, 3}, {2, 4, 6}};
+    const auto prof = build_profile(in);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(1, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(1, 1.99), 0.0);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(1, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(prof.max_ratio(), 2.0);
+    EXPECT_DOUBLE_EQ(prof.mean_log2_ratio(0), 0.0);
+    EXPECT_DOUBLE_EQ(prof.mean_log2_ratio(1), 1.0);
+}
+
+TEST(PerfProfile, MixedWinners)
+{
+    ProfileInput in;
+    in.schemes = {"A", "B"};
+    in.problems = {"p1", "p2"};
+    in.costs = {{1, 4}, {2, 2}};
+    const auto prof = build_profile(in);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(0, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(1, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(0, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(1, 2.0), 1.0);
+}
+
+TEST(PerfProfile, ZeroCostsClampedNotInf)
+{
+    ProfileInput in;
+    in.schemes = {"A", "B"};
+    in.problems = {"p"};
+    in.costs = {{0.0}, {0.0}};
+    const auto prof = build_profile(in);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(prof.fraction_within(1, 1.0), 1.0);
+}
+
+TEST(PerfProfile, ShapeMismatchThrows)
+{
+    ProfileInput in;
+    in.schemes = {"A"};
+    in.problems = {"p1", "p2"};
+    in.costs = {{1.0}};
+    EXPECT_THROW(build_profile(in), std::invalid_argument);
+}
+
+TEST(PerfProfile, CsvHasHeaderAndRows)
+{
+    ProfileInput in;
+    in.schemes = {"A", "B"};
+    in.problems = {"p"};
+    in.costs = {{1.0}, {3.0}};
+    const auto prof = build_profile(in);
+    const auto csv = prof.to_csv({1.0, 2.0, 4.0});
+    EXPECT_NE(csv.find("scheme"), std::string::npos);
+    EXPECT_NE(csv.find("A,1,1,1"), std::string::npos);
+    EXPECT_NE(csv.find("B,0,0,1"), std::string::npos);
+}
+
+TEST(PerfProfile, DefaultTauGridMonotone)
+{
+    const auto taus = default_tau_grid(40.0);
+    ASSERT_GE(taus.size(), 2u);
+    EXPECT_DOUBLE_EQ(taus.front(), 1.0);
+    for (std::size_t i = 1; i < taus.size(); ++i)
+        EXPECT_GT(taus[i], taus[i - 1]);
+    EXPECT_GE(taus.back(), 40.0 / 1.25);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", Table::num(1.5)});
+    t.row({"b", Table::num(std::uint64_t{42})});
+    const auto s = t.to_string();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("1.500"), std::string::npos);
+}
+
+TEST(Table, NumFormatsExtremesInScientific)
+{
+    EXPECT_NE(Table::num(1.23e9).find("e"), std::string::npos);
+    EXPECT_EQ(Table::num(0.0), "0.000");
+}
+
+TEST(Timer, ElapsedIsMonotone)
+{
+    Timer t;
+    t.start();
+    const double a = t.elapsed_s();
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink += std::sqrt(static_cast<double>(i));
+    const double b = t.elapsed_s();
+    EXPECT_GE(b, a);
+    (void)sink;
+}
+
+TEST(TimeSeries, Aggregates)
+{
+    TimeSeries ts;
+    ts.add(1.0);
+    ts.add(3.0);
+    ts.add(2.0);
+    EXPECT_EQ(ts.count(), 3u);
+    EXPECT_DOUBLE_EQ(ts.total(), 6.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(ts.min(), 1.0);
+    EXPECT_DOUBLE_EQ(ts.max(), 3.0);
+}
+
+} // namespace
+} // namespace graphorder
