@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace graphorder::bench {
@@ -23,14 +25,23 @@ parse_args(int argc, char** argv)
         } else if (a == "--quick") {
             opt.quick = true;
             opt.large_scale = 256.0;
+        } else if (a == "--trace" && i + 1 < argc) {
+            opt.trace_file = argv[++i];
+        } else if (a == "--metrics" && i + 1 < argc) {
+            opt.metrics_file = argv[++i];
         } else if (a == "--help" || a == "-h") {
-            std::printf("usage: %s [--scale S] [--seed N] [--quick]\n",
+            std::printf("usage: %s [--scale S] [--seed N] [--quick]"
+                        " [--trace FILE] [--metrics FILE]\n",
                         argv[0]);
             std::exit(0);
         } else {
             fatal("unknown argument: " + a);
         }
     }
+    if (!opt.trace_file.empty())
+        obs::set_exit_trace_file(opt.trace_file);
+    if (!opt.metrics_file.empty())
+        obs::set_exit_metrics_file(opt.metrics_file);
     return opt;
 }
 

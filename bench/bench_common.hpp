@@ -3,10 +3,14 @@
  * Shared infrastructure for the figure/table reproduction binaries.
  *
  * Every bench accepts:
- *   --scale S   divisor applied to the 9 large instances (default 64;
- *               1 = paper scale, needs a very large machine)
- *   --seed  N   base RNG seed (default 2020)
- *   --quick     even smaller large-instance scale (256) for smoke runs
+ *   --scale S        divisor applied to the 9 large instances (default 64;
+ *                    1 = paper scale, needs a very large machine)
+ *   --seed  N        base RNG seed (default 2020)
+ *   --quick          even smaller large-instance scale (256) for smoke runs
+ *   --trace FILE     record obs spans; Chrome trace JSON written to FILE
+ *                    at exit (.jsonl extension = JSON-lines)
+ *   --metrics FILE   dump the obs metrics registry to FILE at exit
+ *                    (JSON, or CSV with a .csv extension)
  *
  * The 25 small qualitative instances are always generated at full paper
  * scale (they are small).  All output is plain text: a Table per figure
@@ -32,6 +36,8 @@ struct BenchOptions
     double large_scale = 64.0;
     std::uint64_t seed = 2020;
     bool quick = false;
+    std::string trace_file;   ///< empty = tracing off
+    std::string metrics_file; ///< empty = no metrics dump
 };
 
 /** Parse the common flags; unrecognized flags are fatal. */

@@ -9,6 +9,8 @@
 #include "community/coloring.hpp"
 #include "graph/coarsen.hpp"
 #include "memsim/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace graphorder {
@@ -152,7 +154,13 @@ run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
     Timer phase_timer;
     phase_timer.start();
 
+    auto& reg = obs::MetricsRegistry::instance();
+    auto& iter_counter = reg.counter("louvain/iterations");
+    auto& move_counter = reg.counter("louvain/moves");
+    auto& iter_hist = reg.histogram("louvain/iteration_time_s");
+
     for (int iter = 0; iter < opt.max_iterations; ++iter) {
+        GO_TRACE_SCOPE("louvain/iteration");
         Timer iter_timer;
         iter_timer.start();
         std::uint64_t iter_loads = 0;
@@ -240,6 +248,9 @@ run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
 
         hot_loads += iter_loads;
         stats.iteration_times_s.push_back(iter_timer.elapsed_s());
+        iter_counter.add();
+        move_counter.add(moves);
+        iter_hist.observe(iter_timer.elapsed_s());
         ++stats.iterations;
         active.swap(next_active);
 
@@ -272,6 +283,7 @@ run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
 LouvainResult
 louvain(const Csr& g, const LouvainOptions& opt)
 {
+    GO_TRACE_SCOPE("louvain/run");
     LouvainResult result;
     const vid_t n = g.num_vertices();
     result.community.resize(n);
@@ -286,7 +298,13 @@ louvain(const Csr& g, const LouvainOptions& opt)
     lvl.graph = g;
     lvl.self_loop.assign(n, 0.0);
 
+    auto& reg = obs::MetricsRegistry::instance();
+    auto& phase_counter = reg.counter("louvain/phases");
+    auto& phase_hist = reg.histogram("louvain/phase_time_s");
+    auto& modularity_gauge = reg.gauge("louvain/modularity");
+
     for (int phase = 0; phase < opt.max_phases; ++phase) {
+        GO_TRACE_SCOPE("louvain/phase/" + std::to_string(phase));
         std::vector<vid_t> comm;
         // Only the first phase sees the input ordering; tracing later
         // phases would measure a derivative graph (paper's footnote).
@@ -294,6 +312,9 @@ louvain(const Csr& g, const LouvainOptions& opt)
         auto stats = run_phase(lvl, opt, comm, tracer);
         const vid_t k = stats.num_communities;
         result.phases.push_back(stats);
+        phase_counter.add();
+        phase_hist.observe(stats.phase_time_s);
+        modularity_gauge.set(stats.modularity_after);
 
         // Map the level communities back to original vertices.
         for (vid_t v = 0; v < n; ++v)
@@ -318,6 +339,7 @@ louvain(const Csr& g, const LouvainOptions& opt)
     }
 
     result.modularity = modularity(g, result.community);
+    modularity_gauge.set(result.modularity);
     result.total_time_s = total.elapsed_s();
     return result;
 }

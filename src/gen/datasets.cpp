@@ -6,7 +6,10 @@
 
 #include "gen/generators.hpp"
 #include "graph/permutation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace graphorder {
 
@@ -120,6 +123,21 @@ make_entry(std::string name, GraphFamily fam, vid_t n, eid_t m, bool large)
         };
         break;
     }
+
+    // Every registry build gets a `gen/<name>` span plus shared build
+    // counters, so bench startup cost is attributable per instance.
+    auto inner = std::move(d.make);
+    d.make = [inner = std::move(inner), span = "gen/" + d.name](double s) {
+        GO_TRACE_SCOPE(span);
+        Timer t;
+        t.start();
+        Csr g = inner(s);
+        auto& reg = obs::MetricsRegistry::instance();
+        reg.counter("gen/graphs_built").add();
+        reg.counter("gen/edges_built").add(g.num_edges());
+        reg.histogram("gen/build_time_s").observe(t.elapsed_s());
+        return g;
+    };
     return d;
 }
 

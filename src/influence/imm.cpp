@@ -7,6 +7,8 @@
 #include <numeric>
 
 #include "memsim/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -89,6 +91,7 @@ sample_rrr_sets(const Csr& g, const ImmOptions& opt, std::uint64_t count,
     const vid_t n = g.num_vertices();
     if (n == 0 || count == 0)
         return;
+    GO_TRACE_SCOPE("imm/sample_rrr_sets");
     const std::size_t base = sets.size();
     sets.resize(base + count);
 
@@ -120,6 +123,13 @@ sample_rrr_sets(const Csr& g, const ImmOptions& opt, std::uint64_t count,
             sets[base + i] = scratch;
         }
     }
+
+    std::uint64_t visited_total = 0;
+    for (std::size_t i = base; i < base + count; ++i)
+        visited_total += sets[i].size();
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("imm/rrr_sets").add(count);
+    reg.counter("imm/rrr_visited").add(visited_total);
 }
 
 std::vector<vid_t>
@@ -167,6 +177,7 @@ greedy_max_coverage(vid_t num_vertices,
 ImmResult
 imm(const Csr& g, const ImmOptions& opt)
 {
+    GO_TRACE_SCOPE("imm/run");
     ImmResult result;
     const vid_t n = g.num_vertices();
     if (n == 0)
@@ -196,7 +207,11 @@ imm(const Csr& g, const ImmOptions& opt)
 
     const int max_rounds =
         std::max(1, static_cast<int>(std::log2(std::max(2.0, dn))) - 1);
+    auto& round_counter =
+        obs::MetricsRegistry::instance().counter("imm/sampling_rounds");
     for (int i = 1; i <= max_rounds; ++i) {
+        GO_TRACE_SCOPE("imm/round/" + std::to_string(i));
+        round_counter.add();
         const double x = dn / std::pow(2.0, i);
         const auto theta_i = static_cast<std::uint64_t>(
             std::min(static_cast<double>(opt.max_samples),
@@ -236,7 +251,10 @@ imm(const Csr& g, const ImmOptions& opt)
     Timer selection;
     selection.start();
     double frac = 0.0;
-    result.seeds = greedy_max_coverage(n, sets, k, &frac);
+    {
+        GO_TRACE_SCOPE("imm/selection");
+        result.seeds = greedy_max_coverage(n, sets, k, &frac);
+    }
     result.stats.selection_time_s = selection.elapsed_s();
 
     result.stats.num_rrr_sets = sets.size();
@@ -245,6 +263,9 @@ imm(const Csr& g, const ImmOptions& opt)
     result.stats.sampling_time_s = sampling_time;
     result.stats.estimated_spread = dn * frac;
     result.stats.total_time_s = total.elapsed_s();
+    obs::MetricsRegistry::instance()
+        .gauge("imm/estimated_spread")
+        .set(result.stats.estimated_spread);
     return result;
 }
 

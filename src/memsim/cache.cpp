@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace graphorder {
 
 CacheHierarchyConfig
@@ -163,6 +165,8 @@ CacheHierarchy::install_line(std::uint64_t line_addr, std::size_t upto)
             if (base[w].lru < victim->lru)
                 victim = &base[w];
         }
+        if (victim->valid)
+            ++metrics_.evictions;
         victim->valid = true;
         victim->tag = line_addr;
         victim->lru = ++l.tick;
@@ -195,9 +199,38 @@ CacheHierarchy::reset_stats()
 {
     metrics_.loads = 0;
     metrics_.total_cycles = 0;
+    metrics_.evictions = 0;
     std::fill(metrics_.level_hits.begin(), metrics_.level_hits.end(), 0);
     std::fill(metrics_.level_lookups.begin(), metrics_.level_lookups.end(),
               0);
+    published_ = MemoryMetrics{};
+    published_prefetches_ = 0;
+}
+
+void
+CacheHierarchy::publish_metrics(const std::string& prefix)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter(prefix + "/loads").add(metrics_.loads - published_.loads);
+    reg.counter(prefix + "/evictions")
+        .add(metrics_.evictions - published_.evictions);
+    reg.counter(prefix + "/prefetches")
+        .add(prefetches_ - published_prefetches_);
+    if (published_.level_hits.empty())
+        published_.level_hits.assign(metrics_.level_hits.size(), 0);
+    for (std::size_t i = 0; i < metrics_.level_hits.size(); ++i) {
+        reg.counter(prefix + "/hits/" + metrics_.level_names[i])
+            .add(metrics_.level_hits[i] - published_.level_hits[i]);
+        // DRAM "hits" are misses of the last cache level; surface the
+        // aggregate miss count under its own name as well.
+        if (i + 1 == metrics_.level_hits.size())
+            reg.counter(prefix + "/misses")
+                .add(metrics_.level_hits[i] - published_.level_hits[i]);
+    }
+    reg.gauge(prefix + "/avg_load_latency")
+        .set(metrics_.avg_load_latency());
+    published_ = metrics_;
+    published_prefetches_ = prefetches_;
 }
 
 CacheTracer::CacheTracer(CacheHierarchyConfig config, unsigned sample)

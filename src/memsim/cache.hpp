@@ -79,6 +79,8 @@ struct MemoryMetrics
     std::vector<std::uint64_t> level_hits;
     std::vector<std::string> level_names;
     std::uint64_t total_cycles = 0;
+    /** Valid lines displaced across all levels (demand + prefetch). */
+    std::uint64_t evictions = 0;
 
     double avg_load_latency() const;
     /** Share of total memory cycles serviced at level @p i. */
@@ -115,6 +117,16 @@ class CacheHierarchy
     /** Reset counters (keeps cache contents). */
     void reset_stats();
 
+    /**
+     * Surface this run's counters in the global obs::MetricsRegistry
+     * under `<prefix>/...`: loads, per-level hits (`hits/L1`, ...,
+     * `hits/DRAM`), evictions, prefetches, plus an `avg_load_latency`
+     * gauge.  Publishes the delta since the previous publish (counters
+     * in the registry stay monotonic across repeated calls and across
+     * multiple hierarchies sharing a prefix).
+     */
+    void publish_metrics(const std::string& prefix = "memsim");
+
     const MemoryMetrics& metrics() const { return metrics_; }
     const CacheHierarchyConfig& config() const { return config_; }
 
@@ -145,6 +157,9 @@ class CacheHierarchy
     std::vector<Level> levels_;
     MemoryMetrics metrics_;
     std::uint64_t prefetches_ = 0;
+    /** Snapshot at the last publish_metrics() call (delta baseline). */
+    MemoryMetrics published_;
+    std::uint64_t published_prefetches_ = 0;
 };
 
 /**
@@ -165,6 +180,12 @@ class CacheTracer : public AccessTracer
     explicit CacheTracer(CacheHierarchyConfig config, unsigned sample = 1);
 
     void load(const void* addr, unsigned bytes) override;
+
+    /** See CacheHierarchy::publish_metrics(). */
+    void publish_metrics(const std::string& prefix = "memsim")
+    {
+        cache_.publish_metrics(prefix);
+    }
 
     const MemoryMetrics& metrics() const { return cache_.metrics(); }
     CacheHierarchy& cache() { return cache_; }

@@ -1,0 +1,371 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <variant>
+
+#include "util/log.hpp"
+
+namespace graphorder::obs {
+
+namespace {
+
+/** CAS loop: atomic<double> += x without C++20 fetch_add(double). */
+void
+atomic_add(std::atomic<double>& a, double x)
+{
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + x,
+                                    std::memory_order_relaxed))
+        ;
+}
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON number: shortest round-trip double; non-finite becomes null. */
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[32];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v)
+            return probe;
+    }
+    return buf;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds))
+{
+    if (bounds_.empty())
+        throw std::invalid_argument("Histogram: needs >= 1 bucket bound");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        throw std::invalid_argument("Histogram: bounds must be sorted");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void
+Histogram::observe(double x)
+{
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(sum_, x);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucket_counts() const
+{
+    std::vector<std::uint64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const auto counts = bucket_counts();
+    std::uint64_t total = 0;
+    for (auto c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(total);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double next = static_cast<double>(cum + counts[i]);
+        if (next >= target) {
+            // Interpolate within bucket i: (lo, hi].
+            const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            // Overflow bucket has no finite upper edge; report its floor.
+            if (i == bounds_.size())
+                return bounds_.back();
+            const double hi = bounds_[i];
+            const double frac =
+                (target - static_cast<double>(cum))
+                / static_cast<double>(counts[i]);
+            return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        }
+        cum += counts[i];
+    }
+    return bounds_.back();
+}
+
+void
+Histogram::reset()
+{
+    for (std::size_t i = 0; i <= bounds_.size(); ++i)
+        buckets_[i].store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double>
+default_time_buckets()
+{
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 1e4; decade *= 10) {
+        b.push_back(decade);
+        b.push_back(2 * decade);
+        b.push_back(5 * decade);
+    }
+    return b;
+}
+
+struct MetricsRegistry::Impl
+{
+    using Instrument = std::variant<std::unique_ptr<Counter>,
+                                    std::unique_ptr<Gauge>,
+                                    std::unique_ptr<Histogram>>;
+    mutable std::mutex mutex;
+    std::map<std::string, Instrument> instruments;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry&
+MetricsRegistry::instance()
+{
+    // Deliberately leaked; see Tracer::instance().
+    static MetricsRegistry* reg = new MetricsRegistry();
+    return *reg;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->instruments.find(name);
+    if (it == impl_->instruments.end()) {
+        it = impl_->instruments
+                 .emplace(name, std::make_unique<Counter>())
+                 .first;
+    }
+    auto* p = std::get_if<std::unique_ptr<Counter>>(&it->second);
+    if (p == nullptr)
+        throw std::logic_error("metric is not a counter: " + name);
+    return **p;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->instruments.find(name);
+    if (it == impl_->instruments.end()) {
+        it = impl_->instruments.emplace(name, std::make_unique<Gauge>())
+                 .first;
+    }
+    auto* p = std::get_if<std::unique_ptr<Gauge>>(&it->second);
+    if (p == nullptr)
+        throw std::logic_error("metric is not a gauge: " + name);
+    return **p;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           std::vector<double> upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto it = impl_->instruments.find(name);
+    if (it == impl_->instruments.end()) {
+        if (upper_bounds.empty())
+            upper_bounds = default_time_buckets();
+        it = impl_->instruments
+                 .emplace(name, std::make_unique<Histogram>(
+                                    std::move(upper_bounds)))
+                 .first;
+    }
+    auto* p = std::get_if<std::unique_ptr<Histogram>>(&it->second);
+    if (p == nullptr)
+        throw std::logic_error("metric is not a histogram: " + name);
+    return **p;
+}
+
+void
+MetricsRegistry::write_json(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, inst] : impl_->instruments) {
+        if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+            os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+               << "\": " << (*c)->value();
+            first = false;
+        }
+    }
+    os << "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, inst] : impl_->instruments) {
+        if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+            os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+               << "\": " << json_number((*g)->value());
+            first = false;
+        }
+    }
+    os << "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, inst] : impl_->instruments) {
+        auto* h = std::get_if<std::unique_ptr<Histogram>>(&inst);
+        if (h == nullptr)
+            continue;
+        os << (first ? "" : ",") << "\n    \"" << json_escape(name)
+           << "\": {\"count\": " << (*h)->count()
+           << ", \"sum\": " << json_number((*h)->sum())
+           << ", \"p50\": " << json_number((*h)->percentile(0.50))
+           << ", \"p95\": " << json_number((*h)->percentile(0.95))
+           << ", \"p99\": " << json_number((*h)->percentile(0.99))
+           << ", \"buckets\": [";
+        const auto& bounds = (*h)->bounds();
+        const auto counts = (*h)->bucket_counts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            os << (i ? "," : "") << "{\"le\": "
+               << (i < bounds.size() ? json_number(bounds[i])
+                                     : std::string("null"))
+               << ", \"count\": " << counts[i] << "}";
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+MetricsRegistry::write_csv(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    os << "kind,name,value,count,sum,p50,p95,p99\n";
+    for (const auto& [name, inst] : impl_->instruments) {
+        if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+            os << "counter," << name << "," << (*c)->value() << ",,,,,\n";
+        } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+            os << "gauge," << name << "," << json_number((*g)->value())
+               << ",,,,,\n";
+        } else if (auto* h =
+                       std::get_if<std::unique_ptr<Histogram>>(&inst)) {
+            os << "histogram," << name << ",," << (*h)->count() << ","
+               << json_number((*h)->sum()) << ","
+               << json_number((*h)->percentile(0.50)) << ","
+               << json_number((*h)->percentile(0.95)) << ","
+               << json_number((*h)->percentile(0.99)) << "\n";
+        }
+    }
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto& [name, inst] : impl_->instruments) {
+        if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst))
+            (*c)->reset();
+        else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst))
+            (*g)->reset();
+        else if (auto* h = std::get_if<std::unique_ptr<Histogram>>(&inst))
+            (*h)->reset();
+    }
+}
+
+namespace {
+
+std::string&
+exit_metrics_path()
+{
+    static std::string* path = new std::string();
+    return *path;
+}
+
+void
+write_exit_metrics()
+{
+    if (!exit_metrics_path().empty())
+        write_metrics_file(exit_metrics_path());
+}
+
+} // namespace
+
+void
+write_metrics_file(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot open metrics file: " + path);
+        return;
+    }
+    const bool csv = path.size() >= 4
+        && path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        MetricsRegistry::instance().write_csv(out);
+    else
+        MetricsRegistry::instance().write_json(out);
+}
+
+void
+set_exit_metrics_file(const std::string& path)
+{
+    const bool registered = !exit_metrics_path().empty();
+    exit_metrics_path() = path;
+    if (!registered)
+        std::atexit(write_exit_metrics);
+}
+
+} // namespace graphorder::obs

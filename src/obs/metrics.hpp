@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Global metrics registry: counters, gauges and fixed-bucket histograms.
+ *
+ * Where the tracer (trace.hpp) answers "where did the time go", the
+ * registry answers "how much work happened": RRR sets sampled, cache
+ * hits per level, Louvain vertex moves, modularity reached.  Metrics are
+ * always on — updates are single atomic operations — and every figure
+ * binary can dump the registry as JSON or CSV (`--metrics FILE`,
+ * `GRAPHORDER_METRICS=FILE`).
+ *
+ * Naming convention: slash-separated paths grouped by subsystem, e.g.
+ * `louvain/iterations`, `imm/rrr_sets`, `memsim/louvain/hits/L1`,
+ * `order/rcm/time_s`.
+ *
+ * Hot-path note: `MetricsRegistry::counter(name)` takes a mutex and a map
+ * lookup — cache the returned reference outside loops.  The instrument
+ * objects themselves are never destroyed, so cached references stay
+ * valid for the process lifetime.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace graphorder::obs {
+
+/** Monotonic counter (atomic). */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-value-wins gauge (atomic double). */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { set(0.0); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram.  Bucket i counts observations x with
+ * bounds[i-1] < x <= bounds[i]; one implicit overflow bucket catches the
+ * rest.  Percentiles are estimated by linear interpolation inside the
+ * bucket containing the target rank, so their error is bounded by the
+ * bucket width — pick bounds to match the metric's dynamic range.
+ */
+class Histogram
+{
+  public:
+    /** @p upper_bounds must be sorted ascending and non-empty. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void observe(double x);
+
+    std::uint64_t count() const;
+    double sum() const;
+    /** Estimated value at quantile @p p in [0,1]; 0 when empty. */
+    double percentile(double p) const;
+
+    const std::vector<double>& bounds() const { return bounds_; }
+    /** Count per bucket (bounds().size() + 1 entries, overflow last). */
+    std::vector<std::uint64_t> bucket_counts() const;
+    void reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** Default histogram bounds for durations in seconds: a 1-2-5 decade
+ *  grid from 1 µs to 1000 s. */
+std::vector<double> default_time_buckets();
+
+/**
+ * Process-wide registry.  Instruments are created on first use and live
+ * forever; names are unique across kinds (re-requesting a name with a
+ * different kind throws std::logic_error).
+ */
+class MetricsRegistry
+{
+  public:
+    /** The singleton (never destroyed). */
+    static MetricsRegistry& instance();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /** @p upper_bounds used only on first creation; empty = time buckets. */
+    Histogram& histogram(const std::string& name,
+                         std::vector<double> upper_bounds = {});
+
+    /**
+     * JSON object: {"counters":{...},"gauges":{...},"histograms":
+     * {name:{count,sum,p50,p95,p99,buckets:[{le,count},...]}}}.
+     * Keys are sorted, output is deterministic given fixed values.
+     */
+    void write_json(std::ostream& os) const;
+
+    /** CSV: kind,name,value,count,sum,p50,p95,p99 (blank when n/a). */
+    void write_csv(std::ostream& os) const;
+
+    /** Zero every instrument (keeps registrations). Intended for tests. */
+    void reset();
+
+  private:
+    MetricsRegistry();
+    struct Impl;
+    Impl* impl_;
+};
+
+/**
+ * Write the registry to @p path; `.csv` extension selects CSV, anything
+ * else JSON.
+ */
+void write_metrics_file(const std::string& path);
+
+/** Arrange for write_metrics_file(@p path) at process exit. */
+void set_exit_metrics_file(const std::string& path);
+
+} // namespace graphorder::obs

@@ -1,0 +1,276 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+namespace graphorder::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+} // namespace detail
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Per-thread append buffer; kept alive past thread exit by the registry
+ *  holding a shared_ptr. The mutex only contends with snapshot/clear. */
+struct ThreadBuffer
+{
+    mutable std::mutex m;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+};
+
+thread_local std::uint32_t t_depth = 0;
+
+} // namespace
+
+struct Tracer::Impl
+{
+    std::chrono::steady_clock::time_point epoch;
+    mutable std::mutex registry_mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::atomic<std::uint32_t> next_tid{0};
+
+    ThreadBuffer& local_buffer()
+    {
+        thread_local std::shared_ptr<ThreadBuffer> buf = [this] {
+            auto b = std::make_shared<ThreadBuffer>();
+            b->tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(registry_mutex);
+            buffers.push_back(b);
+            return b;
+        }();
+        return *buf;
+    }
+};
+
+Tracer::Tracer() : impl_(new Impl)
+{
+    impl_->epoch = std::chrono::steady_clock::now();
+}
+
+Tracer&
+Tracer::instance()
+{
+    // Deliberately leaked: usable from atexit handlers and destructors
+    // of objects with static storage duration regardless of init order.
+    static Tracer* tracer = new Tracer();
+    return *tracer;
+}
+
+void
+Tracer::set_enabled(bool on)
+{
+    detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+    for (auto& b : impl_->buffers) {
+        std::lock_guard<std::mutex> bl(b->m);
+        b->events.clear();
+    }
+}
+
+std::size_t
+Tracer::event_count() const
+{
+    std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+    std::size_t n = 0;
+    for (const auto& b : impl_->buffers) {
+        std::lock_guard<std::mutex> bl(b->m);
+        n += b->events.size();
+    }
+    return n;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+        for (const auto& b : impl_->buffers) {
+            std::lock_guard<std::mutex> bl(b->m);
+            out.insert(out.end(), b->events.begin(), b->events.end());
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  if (a.start_us != b.start_us)
+                      return a.start_us < b.start_us;
+                  return a.depth < b.depth;
+              });
+    return out;
+}
+
+std::uint64_t
+Tracer::now_us() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - impl_->epoch)
+            .count());
+}
+
+void
+Tracer::record(std::string name, std::uint32_t depth,
+               std::uint64_t start_us, std::uint64_t dur_us)
+{
+    ThreadBuffer& buf = impl_->local_buffer();
+    std::lock_guard<std::mutex> lock(buf.m);
+    buf.events.push_back(
+        {std::move(name), buf.tid, depth, start_us, dur_us});
+}
+
+void
+Tracer::write_chrome_trace(std::ostream& os) const
+{
+    const auto events = snapshot();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << json_escape(e.name)
+           << "\",\"cat\":\"graphorder\",\"ph\":\"X\",\"pid\":1"
+           << ",\"tid\":" << e.tid << ",\"ts\":" << e.start_us
+           << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":"
+           << e.depth << "}}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void
+Tracer::write_jsonl(std::ostream& os) const
+{
+    for (const auto& e : snapshot()) {
+        os << "{\"name\":\"" << json_escape(e.name) << "\",\"tid\":"
+           << e.tid << ",\"depth\":" << e.depth << ",\"ts_us\":"
+           << e.start_us << ",\"dur_us\":" << e.dur_us << "}\n";
+    }
+}
+
+void
+TraceScope::begin(std::string name)
+{
+    name_ = std::move(name);
+    start_ = Tracer::instance().now_us();
+    depth_ = t_depth++;
+    armed_ = true;
+}
+
+void
+TraceScope::end()
+{
+    --t_depth;
+    Tracer& tr = Tracer::instance();
+    tr.record(std::move(name_), depth_, start_, tr.now_us() - start_);
+}
+
+namespace {
+
+bool
+has_suffix(const std::string& s, const char* suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string&
+exit_trace_path()
+{
+    static std::string* path = new std::string();
+    return *path;
+}
+
+void
+write_exit_files()
+{
+    if (!exit_trace_path().empty())
+        write_trace_file(exit_trace_path());
+}
+
+/** Reads GRAPHORDER_TRACE / GRAPHORDER_METRICS before main() runs. */
+struct EnvInit
+{
+    EnvInit()
+    {
+        if (const char* e = std::getenv("GRAPHORDER_TRACE");
+            e != nullptr && *e != '\0') {
+            if (std::strcmp(e, "1") == 0)
+                Tracer::instance().set_enabled(true);
+            else
+                set_exit_trace_file(e);
+        }
+        if (const char* m = std::getenv("GRAPHORDER_METRICS");
+            m != nullptr && *m != '\0')
+            set_exit_metrics_file(m);
+    }
+} env_init;
+
+} // namespace
+
+void
+write_trace_file(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot open trace file: " + path);
+        return;
+    }
+    if (has_suffix(path, ".jsonl"))
+        Tracer::instance().write_jsonl(out);
+    else
+        Tracer::instance().write_chrome_trace(out);
+}
+
+void
+set_exit_trace_file(const std::string& path)
+{
+    Tracer::instance().set_enabled(true);
+    const bool registered = !exit_trace_path().empty();
+    exit_trace_path() = path;
+    if (!registered)
+        std::atexit(write_exit_files);
+}
+
+} // namespace graphorder::obs

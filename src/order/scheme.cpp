@@ -1,7 +1,10 @@
 #include "order/scheme.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "order/basic.hpp"
 #include "order/cdfs.hpp"
 #include "order/community_order.hpp"
@@ -129,19 +132,48 @@ build_all_schemes()
     return v;
 }
 
+/**
+ * Wrap every scheme's run() in an `order/<name>` trace span plus registry
+ * metrics (run counter and per-scheme time histogram), so any caller
+ * iterating the registry gets telemetry without touching the scheme code.
+ */
+std::vector<OrderingScheme>
+instrument_schemes(std::vector<OrderingScheme> v)
+{
+    for (auto& s : v) {
+        auto inner = std::move(s.run);
+        const std::string span = "order/" + s.name;
+        s.run = [inner = std::move(inner), span](const Csr& g,
+                                                 std::uint64_t seed) {
+            GO_TRACE_SCOPE(span);
+            const std::uint64_t t0 = obs::Tracer::instance().now_us();
+            auto pi = inner(g, seed);
+            auto& reg = obs::MetricsRegistry::instance();
+            reg.counter("order/runs").add();
+            reg.histogram(span + "/time_s")
+                .observe(static_cast<double>(
+                             obs::Tracer::instance().now_us() - t0)
+                         * 1e-6);
+            return pi;
+        };
+    }
+    return v;
+}
+
 } // namespace
 
 const std::vector<OrderingScheme>&
 paper_schemes()
 {
-    static const auto schemes = build_paper_schemes();
+    static const auto schemes =
+        instrument_schemes(build_paper_schemes());
     return schemes;
 }
 
 const std::vector<OrderingScheme>&
 all_schemes()
 {
-    static const auto schemes = build_all_schemes();
+    static const auto schemes = instrument_schemes(build_all_schemes());
     return schemes;
 }
 

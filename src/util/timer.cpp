@@ -45,6 +45,8 @@ TimeSeries::total() const
     return std::accumulate(samples_.begin(), samples_.end(), 0.0);
 }
 
+// Empty-series contract (see header): every aggregate is 0.0 when no
+// sample exists, so the guards below are load-bearing, not defensive.
 double
 TimeSeries::mean() const
 {

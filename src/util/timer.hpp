@@ -38,6 +38,11 @@ class Timer
 /**
  * Accumulates named durations, e.g. per-iteration times of a Louvain phase.
  * Thread-safe only if each thread uses its own instance.
+ *
+ * Empty-series contract: total(), mean(), min() and max() all return 0.0
+ * when no sample has been added (never NaN, never garbage), so aggregate
+ * rows for phases that ran zero iterations print as zeros instead of
+ * poisoning downstream arithmetic.
  */
 class TimeSeries
 {
@@ -45,10 +50,15 @@ class TimeSeries
     /** Append one observation (seconds). */
     void add(double seconds);
 
+    bool empty() const { return samples_.empty(); }
     std::size_t count() const { return samples_.size(); }
+    /** Sum of samples; 0.0 when empty. */
     double total() const;
+    /** Arithmetic mean; 0.0 when empty. */
     double mean() const;
+    /** Smallest sample; 0.0 when empty. */
     double min() const;
+    /** Largest sample; 0.0 when empty. */
     double max() const;
     const std::vector<double>& samples() const { return samples_; }
 

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the observability layer: span tracer (nesting, export
+ * formats, disabled-path cost), metrics registry (counters, gauges,
+ * histogram percentiles, JSON round-trip) and its wiring into the
+ * ordering registry, Louvain and the cache simulator.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "community/louvain.hpp"
+#include "gen/generators.hpp"
+#include "memsim/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "order/scheme.hpp"
+#include "testutil.hpp"
+#include "util/timer.hpp"
+
+// Count every global allocation so the disabled-tracer test can assert
+// that a disarmed TraceScope allocates nothing.
+static std::atomic<std::size_t> g_alloc_count{0};
+
+void*
+operator new(std::size_t size)
+{
+    ++g_alloc_count;
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void*
+operator new[](std::size_t size)
+{
+    ++g_alloc_count;
+    if (void* p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace graphorder {
+namespace {
+
+/** Every test starts from a quiet tracer; the registry is additive so
+ *  tests only assert on metric *deltas* or their own metric names. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        obs::Tracer::instance().set_enabled(false);
+        obs::Tracer::instance().clear();
+    }
+    void TearDown() override
+    {
+        obs::Tracer::instance().set_enabled(false);
+        obs::Tracer::instance().clear();
+    }
+};
+
+const obs::TraceEvent*
+find_event(const std::vector<obs::TraceEvent>& events,
+           const std::string& name)
+{
+    for (const auto& e : events)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+/** Extract the numeric value following `"key": ` in a JSON string. */
+double
+json_value(const std::string& json, const std::string& key)
+{
+    const auto pos = json.find("\"" + key + "\": ");
+    EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+    if (pos == std::string::npos)
+        return -1;
+    return std::strtod(json.c_str() + pos + key.size() + 4, nullptr);
+}
+
+TEST_F(ObsTest, SpanNestingAndOrdering)
+{
+    obs::Tracer::instance().set_enabled(true);
+    {
+        GO_TRACE_SCOPE("outer");
+        {
+            GO_TRACE_SCOPE("inner");
+            Timer t;
+            t.start();
+            while (t.elapsed_s() < 1e-4) {
+            }
+        }
+    }
+    {
+        GO_TRACE_SCOPE("sibling");
+    }
+    const auto events = obs::Tracer::instance().snapshot();
+    ASSERT_EQ(events.size(), 3u);
+
+    const auto* outer = find_event(events, "outer");
+    const auto* inner = find_event(events, "inner");
+    const auto* sibling = find_event(events, "sibling");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    ASSERT_NE(sibling, nullptr);
+
+    EXPECT_EQ(outer->depth, 0u);
+    EXPECT_EQ(inner->depth, 1u);
+    EXPECT_EQ(sibling->depth, 0u);
+    // inner is contained in outer, sibling starts after outer ends.
+    EXPECT_GE(inner->start_us, outer->start_us);
+    EXPECT_LE(inner->start_us + inner->dur_us,
+              outer->start_us + outer->dur_us);
+    EXPECT_GE(sibling->start_us, outer->start_us + outer->dur_us);
+    // snapshot is sorted by start time.
+    EXPECT_EQ(events.front().name, "outer");
+}
+
+TEST_F(ObsTest, DisabledScopeIsFreeNoAllocationNoEvents)
+{
+    ASSERT_FALSE(obs::trace_enabled());
+    const std::size_t events_before = obs::Tracer::instance().event_count();
+
+    // Warm up (first GO_TRACE_SCOPE in this thread must not lazily touch
+    // anything either, but keep the measured loop clean of cold effects).
+    for (int i = 0; i < 100; ++i)
+        GO_TRACE_SCOPE("warmup");
+
+    constexpr int kIters = 200000;
+    const std::size_t allocs_before = g_alloc_count.load();
+    Timer t;
+    t.start();
+    for (int i = 0; i < kIters; ++i)
+        GO_TRACE_SCOPE("disabled/should-be-free");
+    const double secs = t.elapsed_s();
+    const std::size_t allocs_after = g_alloc_count.load();
+
+    EXPECT_EQ(allocs_after, allocs_before)
+        << "a disabled TraceScope must not allocate";
+    EXPECT_EQ(obs::Tracer::instance().event_count(), events_before);
+    // Benchmark-style bound: generous (sanitizer builds), but far below
+    // what any clock-reading or locking implementation could reach.
+    EXPECT_LT(secs / kIters, 1e-6);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormed)
+{
+    obs::Tracer::instance().set_enabled(true);
+    {
+        GO_TRACE_SCOPE("a");
+        GO_TRACE_SCOPE("b");
+    }
+    std::ostringstream os;
+    obs::Tracer::instance().write_chrome_trace(os);
+    const std::string s = os.str();
+    EXPECT_EQ(s.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\":\"a\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\":\"b\""), std::string::npos);
+    // Balanced braces/brackets (no trailing comma issues show up here).
+    long braces = 0, brackets = 0;
+    for (char c : s) {
+        braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+        brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(ObsTest, JsonlExportOneObjectPerSpan)
+{
+    obs::Tracer::instance().set_enabled(true);
+    {
+        GO_TRACE_SCOPE("x");
+    }
+    {
+        GO_TRACE_SCOPE("y");
+    }
+    std::ostringstream os;
+    obs::Tracer::instance().write_jsonl(os);
+    const std::string s = os.str();
+    int lines = 0;
+    for (char c : s)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 2);
+    EXPECT_NE(s.find("\"name\":\"x\""), std::string::npos);
+    EXPECT_NE(s.find("\"dur_us\":"), std::string::npos);
+}
+
+TEST_F(ObsTest, HistogramPercentilesAgainstKnownDistribution)
+{
+    // 100 unit buckets over (0, 100]; observe 0.5, 1.5, ..., 999.5 % 100
+    // i.e. each bucket gets exactly 10 samples at its midpoint.
+    std::vector<double> bounds;
+    for (int i = 1; i <= 100; ++i)
+        bounds.push_back(i);
+    obs::Histogram h(bounds);
+    for (int i = 0; i < 1000; ++i)
+        h.observe(static_cast<double>(i % 100) + 0.5);
+
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_NEAR(h.sum(), 1000 * 50.0, 1e-6);
+    // Interpolation error is bounded by one bucket width (1.0).
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.0), 0.0, 1.0);
+    EXPECT_NEAR(h.percentile(1.0), 100.0, 1.0);
+}
+
+TEST_F(ObsTest, HistogramOverflowBucketClampsToLastBound)
+{
+    obs::Histogram h({1.0, 2.0});
+    h.observe(1000.0);
+    h.observe(2000.0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 2.0);
+    const auto counts = h.bucket_counts();
+    ASSERT_EQ(counts.size(), 3u);
+    EXPECT_EQ(counts[2], 2u);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrip)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    auto& c = reg.counter("obs_test/answer");
+    c.reset();
+    c.add(42);
+    reg.gauge("obs_test/ratio").set(0.625);
+    auto& h = reg.histogram("obs_test/latency", {1.0, 10.0, 100.0});
+    h.reset();
+    for (int i = 0; i < 100; ++i)
+        h.observe(5.0);
+
+    std::ostringstream os;
+    reg.write_json(os);
+    const std::string json = os.str();
+
+    EXPECT_EQ(json_value(json, "obs_test/answer"), 42.0);
+    EXPECT_DOUBLE_EQ(json_value(json, "obs_test/ratio"), 0.625);
+    const auto hpos = json.find("\"obs_test/latency\"");
+    ASSERT_NE(hpos, std::string::npos);
+    const std::string hjson = json.substr(hpos);
+    EXPECT_EQ(json_value(hjson, "count"), 100.0);
+    EXPECT_DOUBLE_EQ(json_value(hjson, "sum"), 500.0);
+    // All mass in bucket (1, 10] -> p50 interpolates inside it.
+    const double p50 = json_value(hjson, "p50");
+    EXPECT_GT(p50, 1.0);
+    EXPECT_LE(p50, 10.0);
+
+    std::ostringstream cs;
+    reg.write_csv(cs);
+    EXPECT_NE(cs.str().find("counter,obs_test/answer,42"),
+              std::string::npos);
+}
+
+TEST_F(ObsTest, RegistryRejectsKindMismatch)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("obs_test/kind");
+    EXPECT_THROW(reg.gauge("obs_test/kind"), std::logic_error);
+    EXPECT_THROW(reg.histogram("obs_test/kind"), std::logic_error);
+}
+
+TEST_F(ObsTest, SchemeRunsEmitNestedLouvainSpans)
+{
+    // The acceptance scenario: a grappolo run must produce an
+    // order/grappolo span with louvain run/phase spans nested inside.
+    const Csr g = gen_sbm(400, 2000, 8, 0.8, 7);
+    obs::Tracer::instance().set_enabled(true);
+    const auto& scheme = scheme_by_name("grappolo");
+    const auto pi = scheme.run(g, 1);
+    obs::Tracer::instance().set_enabled(false);
+    EXPECT_EQ(pi.size(), g.num_vertices());
+
+    const auto events = obs::Tracer::instance().snapshot();
+    const auto* order = find_event(events, "order/grappolo");
+    const auto* run = find_event(events, "louvain/run");
+    const auto* phase0 = find_event(events, "louvain/phase/0");
+    const auto* iter = find_event(events, "louvain/iteration");
+    ASSERT_NE(order, nullptr);
+    ASSERT_NE(run, nullptr);
+    ASSERT_NE(phase0, nullptr);
+    ASSERT_NE(iter, nullptr);
+
+    EXPECT_GT(run->depth, order->depth);
+    EXPECT_GT(phase0->depth, run->depth);
+    EXPECT_GT(iter->depth, phase0->depth);
+    EXPECT_GE(run->start_us, order->start_us);
+    EXPECT_LE(run->start_us + run->dur_us,
+              order->start_us + order->dur_us);
+    EXPECT_GE(phase0->start_us, run->start_us);
+    EXPECT_LE(phase0->start_us + phase0->dur_us,
+              run->start_us + run->dur_us);
+}
+
+TEST_F(ObsTest, LouvainPopulatesRegistryMetrics)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::uint64_t iters_before =
+        reg.counter("louvain/iterations").value();
+    const std::uint64_t phases_before =
+        reg.counter("louvain/phases").value();
+
+    const Csr g = testing::two_cliques(8);
+    const auto res = louvain(g);
+
+    EXPECT_GT(reg.counter("louvain/iterations").value(), iters_before);
+    EXPECT_GT(reg.counter("louvain/phases").value(), phases_before);
+    EXPECT_DOUBLE_EQ(reg.gauge("louvain/modularity").value(),
+                     res.modularity);
+}
+
+TEST_F(ObsTest, CachePublishesDeltaMetrics)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::uint64_t loads_before =
+        reg.counter("obs_test_memsim/loads").value();
+
+    CacheHierarchy cache(CacheHierarchyConfig::tiny_test());
+    // 8 distinct lines thrash the 4-line direct-mapped L1 -> evictions
+    // (and L2 hits from pass 2 on); the repeated load at the end is a
+    // guaranteed L1 hit.
+    for (int pass = 0; pass < 4; ++pass)
+        for (std::uint64_t line = 0; line < 8; ++line)
+            cache.load(line * 64, 8);
+    cache.load(0, 8);
+    cache.load(0, 8);
+    cache.publish_metrics("obs_test_memsim");
+
+    const std::uint64_t loads_after =
+        reg.counter("obs_test_memsim/loads").value();
+    EXPECT_EQ(loads_after - loads_before, 34u);
+    EXPECT_GT(reg.counter("obs_test_memsim/evictions").value(), 0u);
+    EXPECT_GT(reg.counter("obs_test_memsim/hits/L1").value(), 0u);
+    EXPECT_GT(reg.gauge("obs_test_memsim/avg_load_latency").value(), 0.0);
+
+    // Publishing again without new loads must not double-count.
+    cache.publish_metrics("obs_test_memsim");
+    EXPECT_EQ(reg.counter("obs_test_memsim/loads").value(), loads_after);
+}
+
+} // namespace
+} // namespace graphorder

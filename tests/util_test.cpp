@@ -270,11 +270,23 @@ TEST(TimeSeries, Aggregates)
     ts.add(1.0);
     ts.add(3.0);
     ts.add(2.0);
+    EXPECT_FALSE(ts.empty());
     EXPECT_EQ(ts.count(), 3u);
     EXPECT_DOUBLE_EQ(ts.total(), 6.0);
     EXPECT_DOUBLE_EQ(ts.mean(), 2.0);
     EXPECT_DOUBLE_EQ(ts.min(), 1.0);
     EXPECT_DOUBLE_EQ(ts.max(), 3.0);
+}
+
+TEST(TimeSeries, EmptySeriesAggregatesAreZero)
+{
+    const TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.count(), 0u);
+    EXPECT_DOUBLE_EQ(ts.total(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.min(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.max(), 0.0);
 }
 
 } // namespace

@@ -10,15 +10,22 @@
  * Usage:
  *   reorder --input graph.edges [--scheme rcm] [--seed N]
  *           [--output reordered.edges] [--metrics-all] [--stats]
+ *           [--json] [--trace t.json] [--metrics m.json]
  */
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "community/louvain.hpp"
 #include "graph/io.hpp"
+#include "graph/permutation.hpp"
 #include "graph/stats.hpp"
+#include "influence/imm.hpp"
 #include "la/gap_measures.hpp"
+#include "memsim/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "order/scheme.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -39,6 +46,15 @@ usage(const char* argv0)
         "  --output FILE    write the reordered edge list\n"
         "  --metrics-all    evaluate every registered scheme\n"
         "  --stats          print graph statistics (incl. triangles)\n"
+        "  --json           print results as one JSON object on stdout\n"
+        "  --trace FILE     record phase spans; Chrome trace-event JSON\n"
+        "                   written at exit (.jsonl = JSON-lines; open\n"
+        "                   in chrome://tracing or ui.perfetto.dev)\n"
+        "  --metrics FILE   dump the obs metrics registry at exit (JSON,\n"
+        "                   or CSV with a .csv extension); also runs a\n"
+        "                   Louvain+IMM telemetry pass through the cache\n"
+        "                   simulator on the reordered graph so memsim/,\n"
+        "                   louvain/ and imm/ counters are populated\n"
         "  --list           list registered schemes and exit\n",
         argv0);
 }
@@ -54,14 +70,68 @@ list_schemes()
     t.print();
 }
 
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+print_gap_json(std::FILE* f, const GapMetrics& m)
+{
+    std::fprintf(f,
+                 "{\"avg_gap\": %.6g, \"bandwidth\": %llu, "
+                 "\"avg_bandwidth\": %.6g, \"log_gap\": %.6g, "
+                 "\"total_gap\": %.6g, \"envelope\": %.6g}",
+                 m.avg_gap, static_cast<unsigned long long>(m.bandwidth),
+                 m.avg_bandwidth, m.log_gap, m.total_gap, m.envelope);
+}
+
+/**
+ * Run the two paper applications on the reordered graph with their loads
+ * replayed into the cache simulator, so a `--metrics` dump carries the
+ * full memsim/louvain/imm counter set even for schemes (rcm, degree, ...)
+ * that never touch those subsystems while ordering.
+ */
+void
+run_app_telemetry(const Csr& h)
+{
+    GO_TRACE_SCOPE("cli/app_telemetry");
+    {
+        GO_TRACE_SCOPE("cli/telemetry/louvain");
+        CacheTracer tracer(CacheHierarchyConfig::cascade_lake_scaled(16));
+        LouvainOptions lo;
+        lo.tracer = &tracer;
+        louvain(h, lo);
+        tracer.publish_metrics("memsim/louvain");
+    }
+    {
+        GO_TRACE_SCOPE("cli/telemetry/imm");
+        CacheTracer tracer(CacheHierarchyConfig::cascade_lake_scaled(16));
+        ImmOptions io;
+        io.num_seeds = 8;
+        io.max_samples = 1ULL << 14;
+        io.tracer = &tracer;
+        imm(h, io);
+        tracer.publish_metrics("memsim/imm");
+    }
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
     std::string input, output, scheme_name = "rcm";
+    std::string trace_file, metrics_file;
     std::uint64_t seed = 42;
-    bool metrics_all = false, stats = false;
+    bool metrics_all = false, stats = false, json = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -73,10 +143,16 @@ main(int argc, char** argv)
             seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (a == "--output" && i + 1 < argc) {
             output = argv[++i];
+        } else if (a == "--trace" && i + 1 < argc) {
+            trace_file = argv[++i];
+        } else if (a == "--metrics" && i + 1 < argc) {
+            metrics_file = argv[++i];
         } else if (a == "--metrics-all") {
             metrics_all = true;
         } else if (a == "--stats") {
             stats = true;
+        } else if (a == "--json") {
+            json = true;
         } else if (a == "--list") {
             list_schemes();
             return 0;
@@ -93,29 +169,64 @@ main(int argc, char** argv)
         fatal("--input is required (or --list)");
     }
 
+    // atexit-based writers cover every exit path, including fatal().
+    if (!trace_file.empty())
+        obs::set_exit_trace_file(trace_file);
+    if (!metrics_file.empty())
+        obs::set_exit_metrics_file(metrics_file);
+
     const Csr g = load_edge_list(input);
-    std::printf("loaded %s: %u vertices, %llu edges\n", input.c_str(),
-                g.num_vertices(),
-                static_cast<unsigned long long>(g.num_edges()));
-    if (stats)
-        std::printf("stats: %s\n", to_string(compute_stats(g)).c_str());
+    if (!json) {
+        std::printf("loaded %s: %u vertices, %llu edges\n", input.c_str(),
+                    g.num_vertices(),
+                    static_cast<unsigned long long>(g.num_edges()));
+        if (stats)
+            std::printf("stats: %s\n",
+                        to_string(compute_stats(g)).c_str());
+    }
 
     if (metrics_all) {
-        Table t("gap metrics per scheme (lower is better)");
-        t.header({"scheme", "avg gap", "bandwidth", "avg bandwidth",
-                  "log gap", "reorder time (s)"});
+        struct Row
+        {
+            std::string name;
+            GapMetrics m;
+            double secs;
+        };
+        std::vector<Row> rows;
         for (const auto& s : all_schemes()) {
             Timer timer;
             timer.start();
             const auto pi = s.run(g, seed);
-            const double secs = timer.elapsed_s();
-            const auto m = compute_gap_metrics(g, pi);
-            t.row({s.name, Table::num(m.avg_gap, 1),
-                   Table::num(std::uint64_t{m.bandwidth}),
-                   Table::num(m.avg_bandwidth, 1),
-                   Table::num(m.log_gap, 2), Table::num(secs, 3)});
+            rows.push_back({s.name, compute_gap_metrics(g, pi),
+                            timer.elapsed_s()});
         }
-        t.print();
+        if (json) {
+            std::printf("{\"input\": \"%s\", \"vertices\": %u, "
+                        "\"edges\": %llu, \"seed\": %llu, \"schemes\": [",
+                        json_escape(input).c_str(), g.num_vertices(),
+                        static_cast<unsigned long long>(g.num_edges()),
+                        static_cast<unsigned long long>(seed));
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                std::printf("%s\n  {\"name\": \"%s\", \"time_s\": %.6g, "
+                            "\"gap_metrics\": ",
+                            i ? "," : "", rows[i].name.c_str(),
+                            rows[i].secs);
+                print_gap_json(stdout, rows[i].m);
+                std::printf("}");
+            }
+            std::printf("\n]}\n");
+        } else {
+            Table t("gap metrics per scheme (lower is better)");
+            t.header({"scheme", "avg gap", "bandwidth", "avg bandwidth",
+                      "log gap", "reorder time (s)"});
+            for (const auto& r : rows)
+                t.row({r.name, Table::num(r.m.avg_gap, 1),
+                       Table::num(std::uint64_t{r.m.bandwidth}),
+                       Table::num(r.m.avg_bandwidth, 1),
+                       Table::num(r.m.log_gap, 2),
+                       Table::num(r.secs, 3)});
+            t.print();
+        }
         return 0;
     }
 
@@ -123,28 +234,53 @@ main(int argc, char** argv)
     Timer timer;
     timer.start();
     const auto pi = scheme.run(g, seed);
-    std::printf("%s reordering computed in %.3f s\n", scheme.name.c_str(),
-                timer.elapsed_s());
+    const double reorder_secs = timer.elapsed_s();
+    if (!json)
+        std::printf("%s reordering computed in %.3f s\n",
+                    scheme.name.c_str(), reorder_secs);
     const auto before = compute_gap_metrics(g);
     const auto after = compute_gap_metrics(g, pi);
-    Table t("gap metrics");
-    t.header({"", "avg gap", "bandwidth", "avg bandwidth", "log gap"});
-    t.row({"natural", Table::num(before.avg_gap, 1),
-           Table::num(std::uint64_t{before.bandwidth}),
-           Table::num(before.avg_bandwidth, 1),
-           Table::num(before.log_gap, 2)});
-    t.row({scheme.name, Table::num(after.avg_gap, 1),
-           Table::num(std::uint64_t{after.bandwidth}),
-           Table::num(after.avg_bandwidth, 1),
-           Table::num(after.log_gap, 2)});
-    t.print();
 
-    if (!output.empty()) {
-        std::ofstream out(output);
-        if (!out)
-            fatal("cannot open output: " + output);
-        write_edge_list(out, apply_permutation(g, pi));
-        std::printf("reordered edge list written to %s\n", output.c_str());
+    if (json) {
+        std::printf("{\"input\": \"%s\", \"vertices\": %u, "
+                    "\"edges\": %llu, \"scheme\": \"%s\", "
+                    "\"seed\": %llu, \"reorder_time_s\": %.6g,\n"
+                    " \"gap_metrics\": {\"natural\": ",
+                    json_escape(input).c_str(), g.num_vertices(),
+                    static_cast<unsigned long long>(g.num_edges()),
+                    scheme.name.c_str(),
+                    static_cast<unsigned long long>(seed), reorder_secs);
+        print_gap_json(stdout, before);
+        std::printf(", \"reordered\": ");
+        print_gap_json(stdout, after);
+        std::printf("}}\n");
+    } else {
+        Table t("gap metrics");
+        t.header({"", "avg gap", "bandwidth", "avg bandwidth", "log gap"});
+        t.row({"natural", Table::num(before.avg_gap, 1),
+               Table::num(std::uint64_t{before.bandwidth}),
+               Table::num(before.avg_bandwidth, 1),
+               Table::num(before.log_gap, 2)});
+        t.row({scheme.name, Table::num(after.avg_gap, 1),
+               Table::num(std::uint64_t{after.bandwidth}),
+               Table::num(after.avg_bandwidth, 1),
+               Table::num(after.log_gap, 2)});
+        t.print();
+    }
+
+    if (!metrics_file.empty() || !output.empty()) {
+        const Csr h = apply_permutation(g, pi);
+        if (!metrics_file.empty())
+            run_app_telemetry(h);
+        if (!output.empty()) {
+            std::ofstream out(output);
+            if (!out)
+                fatal("cannot open output: " + output);
+            write_edge_list(out, h);
+            if (!json)
+                std::printf("reordered edge list written to %s\n",
+                            output.c_str());
+        }
     }
     return 0;
 }
