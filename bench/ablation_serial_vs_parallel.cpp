@@ -1,46 +1,246 @@
 /**
  * @file
- * Ablation (paper §VI-B, closing remark): the ordering-scheme divide is
- * more pronounced in parallel than in serial execution.
+ * Ablation: serial vs parallel across the whole reordering pipeline.
  *
- * Runs the instrumented Louvain with 1 thread and with all available
- * threads on a subset of large instances and reports, per thread count,
- * the iteration-time spread between the best (grappolo) and worst
- * (degree) orderings.  The paper reports serial spreads of 1.3-2.5x vs
- * parallel spreads up to 4x.  (On a single-core host both columns
- * coincide — the harness still demonstrates the measurement.)
+ * Two parts:
+ *
+ *  1. Kernel sweep — every parallelized stage (CSR build, transpose,
+ *     permutation application, degree sort, hub sort, BOBA, parallel
+ *     BFS, gap metrics) is timed at 1/2/4/8 threads on the largest
+ *     generated instance.  Each run's output is hashed and compared to
+ *     the 1-thread baseline: the deterministic kernels must be
+ *     bit-identical at every thread count, and the table prints that
+ *     check next to the speedup.  (On a single-core host the speedups
+ *     degenerate to ~1x — oversubscribed teams — but the identity
+ *     checks still exercise the real multi-threaded code paths.)
+ *
+ *  2. Application spread (paper §VI-B closing remark) — instrumented
+ *     Louvain at 1 thread and at all hardware threads on the largest
+ *     instances, reporting the iteration-time spread between the best
+ *     (grappolo) and worst (degree) orderings.  The paper reports
+ *     serial spreads of 1.3-2.5x vs parallel spreads up to 4x.
+ *
+ * Results are also dumped to BENCH_reorder.json in the working
+ * directory (machine-readable; schema documented in EXPERIMENTS.md).
  */
 #include <omp.h>
 
+#include <bit>
 #include <cstdio>
+#include <fstream>
+#include <functional>
 
 #include "bench_common.hpp"
 #include "community/louvain.hpp"
+#include "graph/builder.hpp"
 #include "graph/permutation.hpp"
+#include "graph/traversal.hpp"
+#include "la/gap_measures.hpp"
+#include "order/basic.hpp"
+#include "order/boba.hpp"
+#include "order/hub.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 using namespace graphorder;
 using namespace graphorder::bench;
+
+namespace {
+
+/** FNV-1a over anything trivially hashable, chained across calls. */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    void bytes(const void* p, std::size_t len)
+    {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ULL;
+        }
+    }
+    template <typename T> void vec(const std::vector<T>& v)
+    {
+        bytes(v.data(), v.size() * sizeof(T));
+    }
+    void f64(double x)
+    {
+        const auto u = std::bit_cast<std::uint64_t>(x);
+        bytes(&u, sizeof(u));
+    }
+};
+
+std::uint64_t
+hash_csr(const Csr& g)
+{
+    Fnv f;
+    f.vec(g.offsets());
+    f.vec(g.adjacency());
+    return f.h;
+}
+
+std::uint64_t
+hash_perm(const Permutation& pi)
+{
+    Fnv f;
+    f.vec(pi.ranks());
+    return f.h;
+}
+
+struct StageRow
+{
+    std::string stage;
+    int threads;
+    double secs;
+    std::uint64_t hash;
+    bool identical; ///< hash equals the 1-thread hash of this stage
+};
+
+/** Time @p fn (best of 2 runs) at the current thread setting. */
+template <typename Fn>
+std::pair<double, std::uint64_t>
+time_stage(Fn&& fn)
+{
+    double best = 0.0;
+    std::uint64_t h = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+        Timer t;
+        t.start();
+        h = fn();
+        const double s = t.elapsed_s();
+        if (rep == 0 || s < best)
+            best = s;
+    }
+    return {best, h};
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
 {
     const auto opt = parse_args(argc, argv);
-    print_header("Ablation", "serial vs parallel ordering sensitivity",
+    print_header("Ablation", "serial vs parallel reordering pipeline",
                  opt);
 
     auto instances = make_large_instances(opt);
-    // The 4 largest instances: iteration times on the small ones are
-    // sub-millisecond and dominated by loop overheads.
+    if (instances.empty())
+        fatal("no large instances");
+
+    // Part 1 runs on the largest instance (by edge count).
+    std::size_t big = 0;
+    for (std::size_t i = 1; i < instances.size(); ++i)
+        if (instances[i].graph.num_edges()
+            > instances[big].graph.num_edges())
+            big = i;
+    // Copy: Part 2 erases from `instances`, which would invalidate a
+    // reference before the JSON dump below reads the graph's sizes.
+    const Csr g = instances[big].graph;
+    const std::string big_name = instances[big].spec->name;
+    std::printf("kernel sweep instance: %s (%u vertices, %llu edges)\n\n",
+                big_name.c_str(), g.num_vertices(),
+                static_cast<unsigned long long>(g.num_edges()));
+
+    // Inputs shared by the stages, computed once up front: the raw edge
+    // list (for the CSR-build stage) and a degree-sort permutation (for
+    // the permute/gap stages; deterministic, so thread-independent).
+    std::vector<Edge> edges;
+    edges.reserve(g.num_edges());
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        for (vid_t w : g.neighbors(v))
+            if (v < w)
+                edges.push_back({v, w, 1.0});
+    const auto pi_deg = degree_sort_order(g, true);
+
+    struct Stage
+    {
+        const char* name;
+        std::function<std::uint64_t()> run;
+    };
+    const std::vector<Stage> stages{
+        {"csr_build",
+         [&] { return hash_csr(build_csr(g.num_vertices(), edges)); }},
+        {"transpose", [&] { return hash_csr(transpose_csr(g)); }},
+        {"apply_permutation",
+         [&] { return hash_csr(apply_permutation(g, pi_deg)); }},
+        {"degsort",
+         [&] { return hash_perm(degree_sort_order(g, true)); }},
+        {"hubsort", [&] { return hash_perm(hub_sort_order(g)); }},
+        {"boba", [&] { return hash_perm(boba_order(g)); }},
+        {"parallel_bfs",
+         [&] {
+             const auto r = parallel_bfs(g, 0);
+             Fnv f;
+             f.vec(r.distance);
+             f.vec(r.visit_order);
+             return f.h;
+         }},
+        {"gap_metrics",
+         [&] {
+             const auto m = compute_gap_metrics(g, pi_deg);
+             Fnv f;
+             f.f64(m.avg_gap);
+             f.f64(m.avg_bandwidth);
+             f.f64(m.log_gap);
+             f.f64(m.total_gap);
+             f.f64(m.envelope);
+             f.bytes(&m.bandwidth, sizeof(m.bandwidth));
+             return f.h;
+         }},
+    };
+
+    const std::vector<int> sweep{1, 2, 4, 8};
+    std::vector<StageRow> rows;
+    Table t("pipeline stages: time and bit-identity vs 1 thread");
+    t.header({"stage", "threads", "time (s)", "speedup", "identical"});
+    for (const auto& st : stages) {
+        double base_s = 0.0;
+        std::uint64_t base_h = 0;
+        for (int th : sweep) {
+            set_default_threads(th);
+            const auto [secs, hash] = time_stage(st.run);
+            if (th == 1) {
+                base_s = secs;
+                base_h = hash;
+            }
+            const bool same = hash == base_h;
+            rows.push_back({st.name, th, secs, hash, same});
+            t.row({st.name, Table::num(std::uint64_t(th)),
+                   Table::num(secs, 4),
+                   Table::num(base_s / std::max(secs, 1e-9), 2),
+                   same ? "yes" : "NO"});
+        }
+    }
+    set_default_threads(opt.threads); // back to the CLI setting
+    t.print();
+
+    bool all_identical = true;
+    for (const auto& r : rows)
+        all_identical = all_identical && r.identical;
+    std::printf("bit-identity across 1/2/4/8 threads: %s\n\n",
+                all_identical ? "PASS" : "FAIL");
+
+    // Part 2: Louvain iteration-time spread, serial vs all threads, on
+    // the 4 largest instances (smaller ones are dominated by overheads).
     if (instances.size() > 4)
         instances.erase(instances.begin(), instances.end() - 4);
-
     const int hw_threads = omp_get_max_threads();
     std::vector<int> thread_counts{1};
     if (hw_threads > 1)
         thread_counts.push_back(hw_threads);
-    Table t("iteration-time spread grappolo vs degree");
-    t.header({"instance", "threads", "grappolo iter(s)", "degree iter(s)",
-              "spread"});
+
+    struct SpreadRow
+    {
+        std::string instance;
+        int threads;
+        double grappolo_s;
+        double degree_s;
+    };
+    std::vector<SpreadRow> spread_rows;
+    Table ts("iteration-time spread grappolo vs degree");
+    ts.header({"instance", "threads", "grappolo iter(s)",
+               "degree iter(s)", "spread"});
     for (const auto& inst : instances) {
         for (int threads : thread_counts) {
             double iter_time[2] = {0, 0};
@@ -56,14 +256,49 @@ main(int argc, char** argv)
                 iter_time[idx++] =
                     res.phases.front().avg_iteration_time_s();
             }
-            t.row({inst.spec->name, Table::num(std::uint64_t(threads)),
-                   Table::num(iter_time[0], 4),
-                   Table::num(iter_time[1], 4),
-                   Table::num(iter_time[1] / std::max(iter_time[0], 1e-9),
-                              2)});
+            spread_rows.push_back({inst.spec->name, threads,
+                                   iter_time[0], iter_time[1]});
+            ts.row({inst.spec->name, Table::num(std::uint64_t(threads)),
+                    Table::num(iter_time[0], 4),
+                    Table::num(iter_time[1], 4),
+                    Table::num(iter_time[1]
+                                   / std::max(iter_time[0], 1e-9),
+                               2)});
         }
     }
-    t.print();
+    ts.print();
     std::printf("(paper: serial spread 1.3-2.5x, parallel up to ~4x)\n");
-    return 0;
+
+    // Machine-readable dump.
+    std::ofstream out("BENCH_reorder.json");
+    if (!out) {
+        std::fprintf(stderr, "cannot write BENCH_reorder.json\n");
+        return 1;
+    }
+    out << "{\n  \"bench\": \"ablation_serial_vs_parallel\",\n"
+        << "  \"hw_threads\": " << hw_threads << ",\n"
+        << "  \"instance\": {\"name\": \"" << big_name
+        << "\", \"vertices\": " << g.num_vertices()
+        << ", \"edges\": " << g.num_edges() << "},\n"
+        << "  \"all_identical\": " << (all_identical ? "true" : "false")
+        << ",\n  \"stages\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto& r = rows[i];
+        out << (i ? "," : "") << "\n    {\"stage\": \"" << r.stage
+            << "\", \"threads\": " << r.threads << ", \"time_s\": "
+            << r.secs << ", \"hash\": \"" << std::hex << r.hash
+            << std::dec << "\", \"identical_to_1thread\": "
+            << (r.identical ? "true" : "false") << "}";
+    }
+    out << "\n  ],\n  \"louvain_spread\": [";
+    for (std::size_t i = 0; i < spread_rows.size(); ++i) {
+        const auto& r = spread_rows[i];
+        out << (i ? "," : "") << "\n    {\"instance\": \"" << r.instance
+            << "\", \"threads\": " << r.threads
+            << ", \"grappolo_iter_s\": " << r.grappolo_s
+            << ", \"degree_iter_s\": " << r.degree_s << "}";
+    }
+    out << "\n  ]\n}\n";
+    std::printf("wrote BENCH_reorder.json\n");
+    return all_identical ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder::bench {
 
@@ -29,9 +30,13 @@ parse_args(int argc, char** argv)
             opt.trace_file = argv[++i];
         } else if (a == "--metrics" && i + 1 < argc) {
             opt.metrics_file = argv[++i];
+        } else if (a == "--threads" && i + 1 < argc) {
+            opt.threads = std::atoi(argv[++i]);
+            if (opt.threads < 0)
+                fatal("--threads must be >= 0");
         } else if (a == "--help" || a == "-h") {
             std::printf("usage: %s [--scale S] [--seed N] [--quick]"
-                        " [--trace FILE] [--metrics FILE]\n",
+                        " [--trace FILE] [--metrics FILE] [--threads N]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -42,6 +47,8 @@ parse_args(int argc, char** argv)
         obs::set_exit_trace_file(opt.trace_file);
     if (!opt.metrics_file.empty())
         obs::set_exit_metrics_file(opt.metrics_file);
+    if (opt.threads > 0)
+        set_default_threads(opt.threads);
     return opt;
 }
 
@@ -92,9 +99,11 @@ print_header(const std::string& figure, const std::string& what,
 {
     std::printf("==========================================================\n");
     std::printf("%s — %s\n", figure.c_str(), what.c_str());
-    std::printf("large-instance scale divisor: %.0f  seed: %llu\n",
+    std::printf("large-instance scale divisor: %.0f  seed: %llu"
+                "  threads: %d (of %d hw)\n",
                 opt.large_scale,
-                static_cast<unsigned long long>(opt.seed));
+                static_cast<unsigned long long>(opt.seed),
+                default_threads(), hardware_threads());
     std::printf("==========================================================\n\n");
 }
 

@@ -11,6 +11,10 @@
  *                    at exit (.jsonl extension = JSON-lines)
  *   --metrics FILE   dump the obs metrics registry to FILE at exit
  *                    (JSON, or CSV with a .csv extension)
+ *   --threads N      OpenMP threads for the parallel kernels (default:
+ *                    GRAPHORDER_THREADS env, else the OpenMP runtime
+ *                    default).  Deterministic kernels give bit-identical
+ *                    results at any N.
  *
  * The 25 small qualitative instances are always generated at full paper
  * scale (they are small).  All output is plain text: a Table per figure
@@ -38,6 +42,7 @@ struct BenchOptions
     bool quick = false;
     std::string trace_file;   ///< empty = tracing off
     std::string metrics_file; ///< empty = no metrics dump
+    int threads = 0;          ///< 0 = GRAPHORDER_THREADS / runtime default
 };
 
 /** Parse the common flags; unrecognized flags are fatal. */

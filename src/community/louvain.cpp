@@ -11,6 +11,7 @@
 #include "memsim/cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace graphorder {
@@ -120,7 +121,9 @@ run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
         tot[v] = k_v[v];
     }
 
-    const int threads = opt.num_threads > 0 ? opt.num_threads : 0;
+    // opt.num_threads == 0 falls back to the shared --threads /
+    // GRAPHORDER_THREADS knob (util/parallel.hpp).
+    const int threads = resolve_threads(opt.num_threads);
     const bool traced = tracer != nullptr;
 
     std::vector<std::uint8_t> active(n, 1), next_active(n, 0);
@@ -168,7 +171,7 @@ run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
         std::fill(next_active.begin(), next_active.end(), 0);
 
         for (const auto& [seg_begin, seg_end] : segments) {
-        #pragma omp parallel num_threads(threads > 0 ? threads : omp_get_max_threads()) \
+        #pragma omp parallel num_threads(threads) \
             reduction(+ : iter_loads, moves, busy_time) if (!traced)
         {
             #pragma omp single

@@ -2,8 +2,55 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "util/parallel.hpp"
 
 namespace graphorder {
+
+namespace {
+
+// Builder blocks carry an O(blocks * n) table of per-block per-vertex
+// counts (the scatter cursors), so the block count is capped low; eight
+// blocks are enough to saturate the memory bandwidth this kernel is
+// bound by.
+constexpr std::size_t kBuilderBlockCap = 8;
+
+/**
+ * Stable-sort one adjacency span by destination and drop duplicate
+ * destinations in place, keeping the first occurrence (== the earliest
+ * added edge, since the span arrives in insertion order).
+ * @return number of unique entries kept at the front of the span.
+ */
+eid_t
+sort_dedup_span(vid_t* adj, weight_t* w, eid_t len)
+{
+    if (w == nullptr) {
+        std::sort(adj, adj + len);
+        return static_cast<eid_t>(std::unique(adj, adj + len) - adj);
+    }
+    // Weighted: sort (dst, weight) pairs together, stably, so the first
+    // kept duplicate is the earliest-added edge.
+    std::vector<std::pair<vid_t, weight_t>> tmp;
+    tmp.reserve(len);
+    for (eid_t i = 0; i < len; ++i)
+        tmp.emplace_back(adj[i], w[i]);
+    std::stable_sort(tmp.begin(), tmp.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                     });
+    eid_t out = 0;
+    for (eid_t i = 0; i < len; ++i) {
+        if (out > 0 && adj[out - 1] == tmp[i].first)
+            continue;
+        adj[out] = tmp[i].first;
+        w[out] = tmp[i].second;
+        ++out;
+    }
+    return out;
+}
+
+} // namespace
 
 GraphBuilder::GraphBuilder(vid_t num_vertices) : n_(num_vertices) {}
 
@@ -29,49 +76,107 @@ GraphBuilder::has_edge_slow(vid_t u, vid_t v) const
 Csr
 GraphBuilder::finalize(bool weighted) const
 {
-    // Symmetrize into directed arcs, normalizing each undirected edge so
-    // duplicates collapse after sorting.
-    struct Arc
-    {
-        vid_t src, dst;
-        weight_t w;
-    };
-    std::vector<Arc> arcs;
-    arcs.reserve(edges_.size() * 2);
-    for (const auto& e : edges_) {
-        arcs.push_back({e.u, e.v, e.w});
-        arcs.push_back({e.v, e.u, e.w});
-    }
-    std::sort(arcs.begin(), arcs.end(), [](const Arc& a, const Arc& b) {
-        return a.src != b.src ? a.src < b.src : a.dst < b.dst;
-    });
-    // Deduplicate keeping the first weight.
-    std::vector<Arc> dedup;
-    dedup.reserve(arcs.size());
-    for (const auto& a : arcs) {
-        if (!dedup.empty() && dedup.back().src == a.src
-            && dedup.back().dst == a.dst) {
-            continue;
+    // Parallel CSR construction in five deterministic passes.  Work is
+    // split into blocks of the *edge array* whose boundaries depend only
+    // on the input size, so the result is bit-identical for any thread
+    // count (tests/parallel_test.cpp).
+    const std::size_t m = edges_.size();
+    const std::size_t n = n_;
+    const int threads = default_threads();
+    const std::size_t nb = num_blocks(m, std::size_t{1} << 14,
+                                      kBuilderBlockCap);
+
+    // Pass 1: per-block arc counting (each edge is an arc at both ends).
+    // cnt[b * n + v] = arcs with source v contributed by block b.
+    std::vector<eid_t> cnt(nb * n, 0);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(m, nb, b);
+        eid_t* c = cnt.data() + b * n;
+        for (std::size_t i = lo; i < hi; ++i) {
+            ++c[edges_[i].u];
+            ++c[edges_[i].v];
         }
-        dedup.push_back(a);
     }
 
-    std::vector<eid_t> offsets(n_ + 1, 0);
-    for (const auto& a : dedup)
-        ++offsets[a.src + 1];
-    for (vid_t v = 0; v < n_; ++v)
-        offsets[v + 1] += offsets[v];
+    // Pass 2: column-wise scan.  offsets[v] gets the start of v's slot
+    // range; cnt[b * n + v] becomes block b's private cursor into it.
+    // Cursor order (block-major = edge-insertion order) keeps every
+    // adjacency span in insertion order after the scatter.
+    std::vector<eid_t> offsets(n + 1, 0);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t v = 0; v < n; ++v) {
+        eid_t total = 0;
+        for (std::size_t b = 0; b < nb; ++b)
+            total += cnt[b * n + v];
+        offsets[v] = total; // arc count of v; scanned below
+    }
+    exclusive_prefix_sum(offsets); // offsets[v] = start of v's range
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t v = 0; v < n; ++v) {
+        eid_t run = offsets[v];
+        for (std::size_t b = 0; b < nb; ++b) {
+            const eid_t c = cnt[b * n + v];
+            cnt[b * n + v] = run;
+            run += c;
+        }
+    }
 
-    std::vector<vid_t> adjacency(dedup.size());
+    // Pass 3: scatter arcs into each vertex's slot range.  Blocks write
+    // disjoint sub-ranges, so no atomics and no races.
+    std::vector<vid_t> adjacency(2 * m);
     std::vector<weight_t> weights;
     if (weighted)
-        weights.resize(dedup.size());
-    for (std::size_t i = 0; i < dedup.size(); ++i) {
-        adjacency[i] = dedup[i].dst;
-        if (weighted)
-            weights[i] = dedup[i].w;
+        weights.resize(2 * m);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(m, nb, b);
+        eid_t* cur = cnt.data() + b * n;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const Edge& e = edges_[i];
+            const eid_t pu = cur[e.u]++;
+            const eid_t pv = cur[e.v]++;
+            adjacency[pu] = e.v;
+            adjacency[pv] = e.u;
+            if (weighted) {
+                weights[pu] = e.w;
+                weights[pv] = e.w;
+            }
+        }
     }
-    return Csr(std::move(offsets), std::move(adjacency), std::move(weights));
+    cnt.clear();
+    cnt.shrink_to_fit();
+
+    // Pass 4: per-vertex sort + dedup (independent spans).  uniq[v]
+    // holds the surviving count; offsets keep the *old* (padded) ranges.
+    std::vector<eid_t> uniq(n + 1, 0);
+    #pragma omp parallel for num_threads(threads) schedule(dynamic, 64)
+    for (std::size_t v = 0; v < n; ++v) {
+        const eid_t lo = offsets[v];
+        const eid_t len = offsets[v + 1] - lo;
+        uniq[v] = sort_dedup_span(adjacency.data() + lo,
+                                  weighted ? weights.data() + lo : nullptr,
+                                  len);
+    }
+
+    // Pass 5: compact the deduplicated spans into the final arrays.
+    exclusive_prefix_sum(uniq);
+    // After the scan uniq[v] = final start of v, uniq[n] = final arcs.
+    const eid_t total = uniq[n];
+    std::vector<vid_t> out_adj(total);
+    std::vector<weight_t> out_w;
+    if (weighted)
+        out_w.resize(total);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t v = 0; v < n; ++v) {
+        const eid_t src = offsets[v];
+        const eid_t dst = uniq[v];
+        const eid_t len = uniq[v + 1] - dst;
+        std::copy_n(adjacency.data() + src, len, out_adj.data() + dst);
+        if (weighted)
+            std::copy_n(weights.data() + src, len, out_w.data() + dst);
+    }
+    return Csr(std::move(uniq), std::move(out_adj), std::move(out_w));
 }
 
 Csr
@@ -81,6 +186,73 @@ build_csr(vid_t num_vertices, const std::vector<Edge>& edges, bool weighted)
     for (const auto& e : edges)
         b.add_edge(e.u, e.v, e.w);
     return b.finalize(weighted);
+}
+
+Csr
+transpose_csr(const Csr& g)
+{
+    // Same block-indexed count/scan/scatter pipeline as finalize(), over
+    // vertex blocks: block b contributes the arcs (v -> w) for its
+    // sources v, counted and scattered by destination w.
+    const std::size_t n = g.num_vertices();
+    const eid_t m = g.num_arcs();
+    const int threads = default_threads();
+    const std::size_t nb = num_blocks(n, std::size_t{1} << 13,
+                                      kBuilderBlockCap);
+    const bool weighted = g.weighted();
+
+    std::vector<eid_t> cnt(nb * n, 0);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        eid_t* c = cnt.data() + b * n;
+        for (std::size_t v = lo; v < hi; ++v)
+            for (vid_t w : g.neighbors(static_cast<vid_t>(v)))
+                ++c[w];
+    }
+
+    std::vector<eid_t> offsets(n + 1, 0);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t w = 0; w < n; ++w) {
+        eid_t total = 0;
+        for (std::size_t b = 0; b < nb; ++b)
+            total += cnt[b * n + w];
+        offsets[w] = total; // in-degree of w; scanned below
+    }
+    exclusive_prefix_sum(offsets); // offsets[w] = start of w's range
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t w = 0; w < n; ++w) {
+        eid_t run = offsets[w];
+        for (std::size_t b = 0; b < nb; ++b) {
+            const eid_t c = cnt[b * n + w];
+            cnt[b * n + w] = run;
+            run += c;
+        }
+    }
+
+    std::vector<vid_t> adjacency(m);
+    std::vector<weight_t> weights;
+    if (weighted)
+        weights.resize(m);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        eid_t* cur = cnt.data() + b * n;
+        for (std::size_t v = lo; v < hi; ++v) {
+            const auto nbrs = g.neighbors(static_cast<vid_t>(v));
+            const auto ws = g.neighbor_weights(static_cast<vid_t>(v));
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const eid_t p = cur[nbrs[i]]++;
+                adjacency[p] = static_cast<vid_t>(v);
+                if (weighted)
+                    weights[p] = ws[i];
+            }
+        }
+    }
+    // Sources were visited in ascending order within and across blocks,
+    // so every destination's list is already sorted ascending.
+    return Csr(std::move(offsets), std::move(adjacency),
+               std::move(weights));
 }
 
 } // namespace graphorder

@@ -45,8 +45,12 @@ class GraphBuilder
     bool has_edge_slow(vid_t u, vid_t v) const;
 
     /**
-     * Build the CSR: symmetrize, sort neighbor lists, deduplicate.
-     * @param weighted keep weights (otherwise an unweighted Csr is built).
+     * Build the CSR: symmetrize, sort neighbor lists, deduplicate
+     * (keeping the earliest-added weight among duplicates).
+     *
+     * Parallel (per-block degree counting, prefix-sum scatter, per-vertex
+     * sort); runs on default_threads() and produces bit-identical output
+     * for any thread count.
      */
     Csr finalize(bool weighted = false) const;
 
@@ -58,5 +62,13 @@ class GraphBuilder
 /** Convenience: build an unweighted CSR straight from an edge vector. */
 Csr build_csr(vid_t num_vertices, const std::vector<Edge>& edges,
               bool weighted = false);
+
+/**
+ * CSR of the reversed arcs (parallel count/scan/scatter, deterministic).
+ * For the symmetric graphs this library stores, transpose_csr(g) == g
+ * including neighbor order — a structural self-check used by the tests —
+ * and the kernel doubles as the substrate for directed workloads.
+ */
+Csr transpose_csr(const Csr& g);
 
 } // namespace graphorder

@@ -60,7 +60,12 @@ class Permutation
     std::vector<vid_t> ranks_;
 };
 
-/** Rebuild @p g with vertex v relabeled to pi.rank(v); weights preserved. */
+/**
+ * Rebuild @p g with vertex v relabeled to pi.rank(v); weights preserved.
+ *
+ * Parallel over the new vertex ids (each fills and sorts its own span);
+ * runs on default_threads() and is bit-identical for any thread count.
+ */
 Csr apply_permutation(const Csr& g, const Permutation& pi);
 
 /** Uniformly random permutation (the paper's "random" scheme). */

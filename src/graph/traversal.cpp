@@ -1,7 +1,10 @@
 #include "graph/traversal.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
@@ -27,6 +30,65 @@ bfs(const Csr& g, vid_t source)
                 queue.push_back(w);
             }
         }
+    }
+    return r;
+}
+
+BfsResult
+parallel_bfs(const Csr& g, vid_t source)
+{
+    const vid_t n = g.num_vertices();
+    const int threads = default_threads();
+    BfsResult r;
+    r.distance.assign(n, BfsResult::kUnreached);
+    r.visit_order.reserve(64);
+
+    std::vector<vid_t> frontier{source};
+    r.distance[source] = 0;
+    r.visit_order.push_back(source);
+    vid_t level = 0;
+    while (!frontier.empty()) {
+        ++level;
+        const std::size_t fs = frontier.size();
+        const std::size_t nb = num_blocks(fs, 1024);
+        // Discovery is claimed with a CAS on the distance slot, so each
+        // vertex lands in exactly one block's buffer; which block wins a
+        // tie is scheduling-dependent, but the level (distance value) is
+        // not, and the canonical sort below restores a deterministic
+        // visit order.
+        std::vector<std::vector<vid_t>> claimed(nb);
+        #pragma omp parallel for num_threads(threads) \
+            schedule(dynamic, 1)
+        for (std::size_t b = 0; b < nb; ++b) {
+            auto& out = claimed[b];
+            const auto [lo, hi] = block_range(fs, nb, b);
+            for (std::size_t i = lo; i < hi; ++i) {
+                for (vid_t w : g.neighbors(frontier[i])) {
+                    std::atomic_ref<vid_t> slot(r.distance[w]);
+                    vid_t expect = BfsResult::kUnreached;
+                    if (slot.load(std::memory_order_relaxed)
+                            == BfsResult::kUnreached
+                        && slot.compare_exchange_strong(
+                               expect, level, std::memory_order_relaxed))
+                        out.push_back(w);
+                }
+            }
+        }
+        std::size_t total = 0;
+        for (const auto& c : claimed)
+            total += c.size();
+        std::vector<vid_t> next;
+        next.reserve(total);
+        for (auto& c : claimed)
+            next.insert(next.end(), c.begin(), c.end());
+        // Canonical intra-level order: ascending vertex id.
+        std::sort(next.begin(), next.end());
+        if (!next.empty()) {
+            r.max_distance = level;
+            r.visit_order.insert(r.visit_order.end(), next.begin(),
+                                 next.end());
+        }
+        frontier = std::move(next);
     }
     return r;
 }

@@ -27,8 +27,18 @@ struct BfsResult
     static constexpr vid_t kUnreached = kNoVertex;
 };
 
-/** Breadth-first search from @p source. */
+/** Breadth-first search from @p source (serial, FIFO visit order). */
 BfsResult bfs(const Csr& g, vid_t source);
+
+/**
+ * Level-synchronous parallel frontier BFS from @p source.
+ *
+ * Distances and max_distance are identical to bfs(); visit_order is the
+ * *canonical* level order — vertices sorted by ascending id within each
+ * level — which is deterministic for any thread count but differs from
+ * the serial FIFO order.  Runs on default_threads().
+ */
+BfsResult parallel_bfs(const Csr& g, vid_t source);
 
 /**
  * Connected components via repeated BFS.

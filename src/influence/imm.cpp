@@ -9,6 +9,7 @@
 #include "memsim/cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -96,9 +97,9 @@ sample_rrr_sets(const Csr& g, const ImmOptions& opt, std::uint64_t count,
     sets.resize(base + count);
 
     const bool traced = opt.tracer != nullptr;
-    const int threads = traced
-        ? 1
-        : (opt.num_threads > 0 ? opt.num_threads : omp_get_max_threads());
+    // opt.num_threads == 0 falls back to the shared --threads /
+    // GRAPHORDER_THREADS knob (util/parallel.hpp).
+    const int threads = traced ? 1 : resolve_threads(opt.num_threads);
 
     #pragma omp parallel num_threads(threads)
     {

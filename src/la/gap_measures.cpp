@@ -4,7 +4,30 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace graphorder {
+
+namespace {
+
+/** Per-chunk partial sums for the deterministic metric reduction. */
+struct GapPartial
+{
+    double sum_gap = 0.0;
+    double sum_log = 0.0;
+    double sum_bw = 0.0;
+    double envelope = 0.0;
+    vid_t max_gap = 0;
+};
+
+// Chunk size of the vertex-block decomposition.  Chunk boundaries depend
+// only on n, never on the thread count, so the serial combine below adds
+// the same partials in the same order no matter how many threads ran —
+// bit-identical floating-point results for any team size (and equal to
+// the old serial code whenever a single chunk covers the graph).
+constexpr std::size_t kGapGrain = 2048;
+
+} // namespace
 
 vid_t
 edge_gap(const Permutation& pi, vid_t i, vid_t j)
@@ -22,32 +45,54 @@ compute_gap_metrics(const Csr& g, const Permutation& pi)
         throw std::invalid_argument("gap metrics: permutation size");
 
     GapMetrics m;
-    double sum_gap = 0.0, sum_log = 0.0, sum_bw = 0.0, envelope = 0.0;
-    vid_t max_gap = 0;
-    for (vid_t v = 0; v < n; ++v) {
-        vid_t bw_v = 0;
-        const vid_t rv = pi.rank(v);
-        vid_t leftmost = rv;
-        for (vid_t w : g.neighbors(v)) {
-            const vid_t gap = edge_gap(pi, v, w);
-            bw_v = std::max(bw_v, gap);
-            leftmost = std::min(leftmost, pi.rank(w));
-            if (v < w) { // count each undirected edge once
-                sum_gap += gap;
-                sum_log += std::log2(1.0 + gap);
+    if (n == 0)
+        return m;
+
+    const std::size_t nb = num_blocks(n, kGapGrain);
+    std::vector<GapPartial> part(nb);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        GapPartial p;
+        for (std::size_t sv = lo; sv < hi; ++sv) {
+            const vid_t v = static_cast<vid_t>(sv);
+            vid_t bw_v = 0;
+            const vid_t rv = pi.rank(v);
+            vid_t leftmost = rv;
+            for (vid_t w : g.neighbors(v)) {
+                const vid_t gap = edge_gap(pi, v, w);
+                bw_v = std::max(bw_v, gap);
+                leftmost = std::min(leftmost, pi.rank(w));
+                if (v < w) { // count each undirected edge once
+                    p.sum_gap += gap;
+                    p.sum_log += std::log2(1.0 + gap);
+                }
             }
+            p.envelope += static_cast<double>(rv - leftmost);
+            p.sum_bw += bw_v;
+            p.max_gap = std::max(p.max_gap, bw_v);
         }
-        envelope += static_cast<double>(rv - leftmost);
-        sum_bw += bw_v;
-        max_gap = std::max(max_gap, bw_v);
+        part[b] = p;
     }
-    m.envelope = envelope;
+
+    // Serial combine in chunk order: the FP addition order is fixed.
+    GapPartial tot;
+    for (const auto& p : part) {
+        tot.sum_gap += p.sum_gap;
+        tot.sum_log += p.sum_log;
+        tot.sum_bw += p.sum_bw;
+        tot.envelope += p.envelope;
+        tot.max_gap = std::max(tot.max_gap, p.max_gap);
+    }
+
     const double me = static_cast<double>(std::max<eid_t>(g.num_edges(), 1));
-    m.total_gap = sum_gap;
-    m.avg_gap = sum_gap / me;
-    m.log_gap = sum_log / me;
-    m.bandwidth = max_gap;
-    m.avg_bandwidth = n ? sum_bw / static_cast<double>(n) : 0.0;
+    m.envelope = tot.envelope;
+    m.total_gap = tot.sum_gap;
+    m.avg_gap = tot.sum_gap / me;
+    m.log_gap = tot.sum_log / me;
+    m.bandwidth = tot.max_gap;
+    m.avg_bandwidth = tot.sum_bw / static_cast<double>(n);
     return m;
 }
 
@@ -60,12 +105,38 @@ compute_gap_metrics(const Csr& g)
 std::vector<double>
 gap_profile(const Csr& g, const Permutation& pi)
 {
-    std::vector<double> gaps;
-    gaps.reserve(g.num_edges());
-    for (vid_t v = 0; v < g.num_vertices(); ++v)
-        for (vid_t w : g.neighbors(v))
-            if (v < w)
-                gaps.push_back(static_cast<double>(edge_gap(pi, v, w)));
+    const vid_t n = g.num_vertices();
+    const std::size_t nb = num_blocks(n, kGapGrain);
+    const int threads = default_threads();
+
+    // Count the v<w edges per block, scan, then fill each block's slice;
+    // the output keeps the serial (source-major, adjacency) edge order.
+    std::vector<std::size_t> cnt(nb + 1, 0);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        std::size_t c = 0;
+        for (std::size_t sv = lo; sv < hi; ++sv)
+            for (vid_t w : g.neighbors(static_cast<vid_t>(sv)))
+                if (static_cast<vid_t>(sv) < w)
+                    ++c;
+        cnt[b] = c;
+    }
+    const std::size_t total = exclusive_prefix_sum(cnt);
+
+    std::vector<double> gaps(total);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        std::size_t pos = cnt[b];
+        for (std::size_t sv = lo; sv < hi; ++sv) {
+            const vid_t v = static_cast<vid_t>(sv);
+            for (vid_t w : g.neighbors(v))
+                if (v < w)
+                    gaps[pos++] =
+                        static_cast<double>(edge_gap(pi, v, w));
+        }
+    }
     return gaps;
 }
 
@@ -74,6 +145,8 @@ vertex_bandwidths(const Csr& g, const Permutation& pi)
 {
     const vid_t n = g.num_vertices();
     std::vector<vid_t> bw(n, 0);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(dynamic, 1024)
     for (vid_t v = 0; v < n; ++v)
         for (vid_t w : g.neighbors(v))
             bw[v] = std::max(bw[v], edge_gap(pi, v, w));

@@ -42,22 +42,53 @@ struct GapMetrics
     double envelope = 0.0;
 };
 
-/** Gap of a single edge under @p pi. */
+/**
+ * Gap of a single edge under @p pi.
+ *
+ * Preconditions: i, j < pi.size().  Complexity: O(1).  Thread-safety:
+ * pure read of @p pi, safe to call concurrently.
+ */
 vid_t edge_gap(const Permutation& pi, vid_t i, vid_t j);
 
-/** Compute all global gap metrics of @p g under @p pi. */
+/**
+ * Compute all global gap metrics of @p g under @p pi.
+ *
+ * Preconditions: pi.size() == g.num_vertices() (throws
+ * std::invalid_argument otherwise).
+ * Complexity: O(|V| + |E|) work, parallel over fixed-size vertex chunks
+ * with a serial chunk-order combine — the floating-point sums are
+ * bit-identical for every thread count (see DESIGN.md "Parallelism &
+ * determinism").
+ * Thread-safety: reads only; safe to call concurrently.  Spawns its own
+ * OpenMP team sized by default_threads().
+ */
 GapMetrics compute_gap_metrics(const Csr& g, const Permutation& pi);
 
-/** Metrics of the natural (identity) order of @p g. */
+/**
+ * Metrics of the natural (identity) order of @p g.
+ * Same contract as the two-argument overload.
+ */
 GapMetrics compute_gap_metrics(const Csr& g);
 
 /**
  * Full per-edge gap profile (one entry per undirected edge) — the sample
  * behind the violin plots of Fig. 8.
+ *
+ * Preconditions: pi.size() == g.num_vertices().
+ * Complexity: O(|V| + |E|), parallel count + prefix-sum + fill; entries
+ * appear in source-major adjacency order, identical to the serial scan.
+ * Thread-safety: reads only; safe to call concurrently.
  */
 std::vector<double> gap_profile(const Csr& g, const Permutation& pi);
 
-/** Per-vertex bandwidths beta_v. */
+/**
+ * Per-vertex bandwidths beta_v.
+ *
+ * Preconditions: pi.size() == g.num_vertices().
+ * Complexity: O(|V| + |E|), embarrassingly parallel per vertex (each
+ * output slot is written by exactly one iteration).
+ * Thread-safety: reads only; safe to call concurrently.
+ */
 std::vector<vid_t> vertex_bandwidths(const Csr& g, const Permutation& pi);
 
 /**
@@ -71,6 +102,14 @@ struct GapDistribution
     LogHistogram histogram{10.0};
 };
 
+/**
+ * Summarize the gap profile of @p g under @p pi.
+ *
+ * Preconditions: pi.size() == g.num_vertices().
+ * Complexity: O(|E| log |E|) (the summary sorts the profile); the
+ * profile itself is built in parallel.
+ * Thread-safety: reads only; safe to call concurrently.
+ */
 GapDistribution gap_distribution(const Csr& g, const Permutation& pi);
 
 } // namespace graphorder

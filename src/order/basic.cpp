@@ -4,9 +4,22 @@
 #include <numeric>
 
 #include "graph/traversal.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace graphorder {
+
+vid_t
+max_degree(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    vid_t maxdeg = 0;
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static) reduction(max : maxdeg)
+    for (vid_t v = 0; v < n; ++v)
+        maxdeg = std::max(maxdeg, g.degree(v));
+    return maxdeg;
+}
 
 Permutation
 natural_order(const Csr& g)
@@ -24,13 +37,17 @@ random_order(const Csr& g, std::uint64_t seed)
 Permutation
 degree_sort_order(const Csr& g, bool descending)
 {
+    // Parallel stable counting sort keyed on degree (descending maps
+    // degree d to key maxdeg - d).  Output is exactly what a stable
+    // comparison sort by degree produces: ties keep ascending vertex id.
     const vid_t n = g.num_vertices();
-    std::vector<vid_t> order(n);
-    std::iota(order.begin(), order.end(), vid_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
-        return descending ? g.degree(a) > g.degree(b)
-                          : g.degree(a) < g.degree(b);
-    });
+    if (n == 0)
+        return Permutation::identity(0);
+    const vid_t maxdeg = max_degree(g);
+    const auto order = stable_order_by_key<vid_t>(
+        n, static_cast<std::size_t>(maxdeg) + 1, [&](vid_t v) {
+            return descending ? maxdeg - g.degree(v) : g.degree(v);
+        });
     return Permutation::from_order(order);
 }
 

@@ -16,8 +16,13 @@ Permutation natural_order(const Csr& g);
 /** Uniformly random shuffle of the ids. */
 Permutation random_order(const Csr& g, std::uint64_t seed);
 
+/** Maximum vertex degree of @p g (parallel reduction). */
+vid_t max_degree(const Csr& g);
+
 /**
- * Degree Sort: stable sort of vertices by degree.
+ * Degree Sort: stable sort of vertices by degree, via a parallel
+ * counting sort (O(|V| + maxdeg), deterministic for any thread count;
+ * ties keep ascending vertex id).
  * @param descending non-increasing degree when true (the common variant).
  */
 Permutation degree_sort_order(const Csr& g, bool descending = true);

@@ -1,0 +1,89 @@
+#include "order/boba.hpp"
+
+#include <atomic>
+
+#include "util/parallel.hpp"
+
+namespace graphorder {
+
+Permutation
+boba_order(const Csr& g)
+{
+    const vid_t n = g.num_vertices();
+    if (n == 0)
+        return Permutation::identity(0);
+    const eid_t m = g.num_arcs();
+    const auto& adj = g.adjacency();
+    const int threads = default_threads();
+
+    // Pass 1: first[v] = smallest arc index where v appears (atomic min;
+    // min is commutative, so the result is scheduling-independent).
+    // Sentinel m marks vertices that never appear (isolated).
+    std::vector<eid_t> first(n, m);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (eid_t i = 0; i < m; ++i) {
+        std::atomic_ref<eid_t> f(first[adj[i]]);
+        eid_t cur = f.load(std::memory_order_relaxed);
+        while (i < cur
+               && !f.compare_exchange_weak(cur, i,
+                                           std::memory_order_relaxed)) {
+        }
+    }
+
+    // Pass 2: emit vertices in first-appearance order without sorting.
+    // Block b of the arc stream owns the vertices whose first touch lies
+    // in its range; scanning the block in order yields them already
+    // sorted by position.  Blocks concatenate in stream order.
+    const std::size_t nb = num_blocks(m, std::size_t{1} << 14);
+    std::vector<std::size_t> emitted(nb + 1, 0);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(m, nb, b);
+        std::size_t c = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            if (first[adj[i]] == static_cast<eid_t>(i))
+                ++c;
+        emitted[b] = c;
+    }
+    const std::size_t touched = exclusive_prefix_sum(emitted);
+
+    std::vector<vid_t> order(n);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(m, nb, b);
+        std::size_t pos = emitted[b];
+        for (std::size_t i = lo; i < hi; ++i) {
+            const vid_t v = adj[i];
+            if (first[v] == static_cast<eid_t>(i))
+                order[pos++] = v;
+        }
+    }
+
+    // Pass 3: isolated vertices last, in ascending id (block-indexed
+    // count + scan + scatter, same determinism argument).
+    if (touched < n) {
+        const std::size_t vb = num_blocks(n, std::size_t{1} << 14);
+        std::vector<std::size_t> iso(vb + 1, 0);
+        #pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::size_t b = 0; b < vb; ++b) {
+            const auto [lo, hi] = block_range(n, vb, b);
+            std::size_t c = 0;
+            for (std::size_t v = lo; v < hi; ++v)
+                if (first[v] == m)
+                    ++c;
+            iso[b] = c;
+        }
+        exclusive_prefix_sum(iso);
+        #pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::size_t b = 0; b < vb; ++b) {
+            const auto [lo, hi] = block_range(n, vb, b);
+            std::size_t pos = touched + iso[b];
+            for (std::size_t v = lo; v < hi; ++v)
+                if (first[v] == m)
+                    order[pos++] = static_cast<vid_t>(v);
+        }
+    }
+    return Permutation::from_order(order);
+}
+
+} // namespace graphorder

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * BOBA-style lightweight parallel ordering.
+ *
+ * BOBA (Drescher et al.) renumbers vertices by *first appearance in the
+ * edge stream*: the earlier a vertex is first touched while scanning the
+ * edges, the smaller its new id.  Vertices that are streamed together
+ * tend to be referenced together, so the scheme inherits much of the
+ * input's locality structure at a cost of two linear passes — the point
+ * of the lightweight-reordering line of work (Faldu et al.): an ordering
+ * only pays off if computing it is cheap relative to the workload.
+ *
+ * Our edge stream is the CSR adjacency array (arcs in source-major
+ * order), so for the natural order this is close to an identity — the
+ * scheme is interesting precisely when the input ids are scrambled, the
+ * regime the paper's KONECT stand-ins model.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/**
+ * First-appearance (BOBA-style) ordering over the adjacency stream.
+ *
+ * Rank of v = position of v's first occurrence in the adjacency array;
+ * vertices that never occur (isolated) go last in ascending id order.
+ * Parallel (atomic-min first-touch pass + block-indexed emission),
+ * O(|E| + |V|) work, deterministic for any thread count.
+ */
+Permutation boba_order(const Csr& g);
+
+} // namespace graphorder

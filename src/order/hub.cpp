@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "order/basic.hpp"
+#include "util/parallel.hpp"
+
 namespace graphorder {
 
 namespace {
@@ -22,26 +25,36 @@ Permutation
 hub_pack(const Csr& g, double threshold, bool sort_hubs)
 {
     const vid_t n = g.num_vertices();
+    if (n == 0)
+        return Permutation::identity(0);
     const double cut = effective_threshold(g, threshold);
 
-    std::vector<vid_t> hubs, rest;
-    hubs.reserve(n / 8);
-    rest.reserve(n);
-    for (vid_t v = 0; v < n; ++v) {
-        if (static_cast<double>(g.degree(v)) > cut)
-            hubs.push_back(v);
-        else
-            rest.push_back(v);
-    }
+    // Stable two-key counting sort = parallel stable partition: hubs
+    // first, natural relative order preserved on both sides.
+    auto order = stable_order_by_key<vid_t>(n, 2, [&](vid_t v) {
+        return static_cast<double>(g.degree(v)) > cut ? 0u : 1u;
+    });
     if (sort_hubs) {
-        std::stable_sort(hubs.begin(), hubs.end(), [&](vid_t a, vid_t b) {
-            return g.degree(a) > g.degree(b);
-        });
+        vid_t num_hubs = 0;
+        while (num_hubs < n
+               && static_cast<double>(g.degree(order[num_hubs])) > cut)
+            ++num_hubs;
+        if (num_hubs > 1) {
+            // Counting-sort the hub prefix by non-increasing degree
+            // (stable, so equal-degree hubs keep ascending id).
+            const vid_t maxdeg = max_degree(g);
+            const auto by_deg = stable_order_by_key<vid_t>(
+                num_hubs, static_cast<std::size_t>(maxdeg) + 1,
+                [&](vid_t i) { return maxdeg - g.degree(order[i]); });
+            std::vector<vid_t> sorted_hubs(num_hubs);
+            #pragma omp parallel for num_threads(default_threads()) \
+                schedule(static)
+            for (vid_t i = 0; i < num_hubs; ++i)
+                sorted_hubs[i] = order[by_deg[i]];
+            std::copy(sorted_hubs.begin(), sorted_hubs.end(),
+                      order.begin());
+        }
     }
-    std::vector<vid_t> order;
-    order.reserve(n);
-    order.insert(order.end(), hubs.begin(), hubs.end());
-    order.insert(order.end(), rest.begin(), rest.end());
     return Permutation::from_order(order);
 }
 

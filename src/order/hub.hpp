@@ -16,13 +16,15 @@
 namespace graphorder {
 
 /**
- * Hub Sort.
+ * Hub Sort.  Parallel (counting-sort based), deterministic for any
+ * thread count; equal-degree hubs keep ascending vertex id.
  * @param degree_threshold vertices with degree > threshold are hubs;
  *        0 = use average degree.
  */
 Permutation hub_sort_order(const Csr& g, double degree_threshold = 0.0);
 
-/** Hub Clustering: hubs first in natural relative order. */
+/** Hub Clustering: hubs first in natural relative order (parallel
+ *  stable partition; same determinism guarantee as hub_sort_order). */
 Permutation hub_cluster_order(const Csr& g, double degree_threshold = 0.0);
 
 } // namespace graphorder

@@ -5,7 +5,9 @@
 
 #include "graph/coarsen.hpp"
 #include "graph/subgraph.hpp"
+#include "obs/trace.hpp"
 #include "order/rcm.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
@@ -92,14 +94,28 @@ hybrid_order(const Csr& g, const HybridOptions& opt)
         members[res.community[v]].push_back(v);
 
     // Intra scale: sub-order each community's induced subgraph.
+    // Communities are independent, so this fans out one task per
+    // community; concatenation in rank order keeps the result identical
+    // to the serial loop (the intra schemes themselves are serial and
+    // deterministic).
+    std::vector<std::vector<vid_t>> local(k);
+    {
+        GO_TRACE_SCOPE("order/hybrid/intra");
+        #pragma omp parallel for num_threads(default_threads()) \
+            schedule(dynamic, 1)
+        for (vid_t r = 0; r < k; ++r) {
+            const auto& mem = members[comm_at_rank[r]];
+            const auto lg = induced_subgraph(g, mem);
+            auto& out = local[r];
+            out.reserve(mem.size());
+            for (vid_t lv : intra_order(lg, opt.intra))
+                out.push_back(mem[lv]);
+        }
+    }
     std::vector<vid_t> order;
     order.reserve(n);
-    for (vid_t r = 0; r < k; ++r) {
-        const auto& mem = members[comm_at_rank[r]];
-        const auto lg = induced_subgraph(g, mem);
-        for (vid_t lv : intra_order(lg, opt.intra))
-            order.push_back(mem[lv]);
-    }
+    for (vid_t r = 0; r < k; ++r)
+        order.insert(order.end(), local[r].begin(), local[r].end());
     return Permutation::from_order(order);
 }
 

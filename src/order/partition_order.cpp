@@ -4,18 +4,25 @@
 #include <numeric>
 
 #include "part/separator.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
 Permutation
 order_from_partition(const std::vector<vid_t>& part, vid_t n)
 {
-    std::vector<vid_t> order(n);
-    std::iota(order.begin(), order.end(), vid_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](vid_t a, vid_t b) {
-        return part[a] < part[b]; // stable keeps natural order inside parts
-    });
-    return Permutation::from_order(order);
+    if (n == 0)
+        return Permutation::identity(0);
+    vid_t max_part = 0;
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static) reduction(max : max_part)
+    for (vid_t v = 0; v < n; ++v)
+        max_part = std::max(max_part, part[v]);
+    // Parallel stable counting sort by part id: vertices inside a part
+    // keep natural relative order, deterministic for any thread count.
+    return Permutation::from_order(stable_order_by_key<vid_t>(
+        n, static_cast<std::size_t>(max_part) + 1,
+        [&](vid_t v) { return part[v]; }));
 }
 
 Permutation

@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "order/basic.hpp"
+#include "order/boba.hpp"
 #include "order/cdfs.hpp"
 #include "order/community_order.hpp"
 #include "order/gorder.hpp"
@@ -69,16 +70,18 @@ build_paper_schemes()
                      return metis_style_order(g, 32, opt);
                  },
                  true});
+    // The Louvain phase moves vertices from a parallel queue, so the
+    // resulting communities depend on thread interleaving.
     v.push_back({"grappolo", C::Partitioning,
                  [](const Csr& g, std::uint64_t) {
                      return grappolo_order(g);
                  },
-                 true});
+                 true, /*deterministic=*/false});
     v.push_back({"grappolo-rcm", C::Partitioning,
                  [](const Csr& g, std::uint64_t) {
                      return grappolo_rcm_order(g);
                  },
-                 true});
+                 true, /*deterministic=*/false});
     v.push_back({"rabbit", C::Partitioning,
                  [](const Csr& g, std::uint64_t) {
                      return rabbit_order(g);
@@ -115,6 +118,11 @@ build_all_schemes()
                      HybridOptions opt;
                      opt.intra = IntraScheme::Rcm;
                      return hybrid_order(g, opt);
+                 },
+                 true, /*deterministic=*/false}); // Louvain-backed
+    v.push_back({"boba", C::Extension,
+                 [](const Csr& g, std::uint64_t) {
+                     return boba_order(g);
                  },
                  true});
     v.push_back({"mindeg", C::Extension,

@@ -26,7 +26,7 @@ enum class SchemeCategory
     Window,       ///< gorder
     Partitioning, ///< metis-style, grappolo, grappolo-rcm, rabbit
     FillReducing, ///< rcm, nested dissection
-    Extension,    ///< schemes beyond the paper's 11 (bfs, minla-sa)
+    Extension,    ///< schemes beyond the paper's 11 (bfs, boba, minla-sa)
 };
 
 /** A named reordering scheme. */
@@ -37,6 +37,12 @@ struct OrderingScheme
     /**
      * Compute the ordering.  @p seed drives any internal randomness;
      * deterministic schemes ignore it.
+     *
+     * Preconditions: the graph may be empty, disconnected or weighted;
+     * every scheme returns a valid permutation of [0, n).
+     * Thread-safety: safe to call concurrently on distinct graphs; the
+     * parallel schemes spawn their own OpenMP teams sized by
+     * default_threads() (util/parallel.hpp).
      */
     std::function<Permutation(const Csr&, std::uint64_t seed)> run;
     /**
@@ -45,25 +51,49 @@ struct OrderingScheme
      * Figure 4 which times just RCM/Degree/Grappolo/METIS).
      */
     bool scalable = true;
+    /**
+     * True when a fixed (graph, seed) pair yields the same permutation
+     * for every thread count and schedule.  False only for the
+     * Louvain-backed schemes (grappolo, grappolo-rcm, hybrid-rcm), whose
+     * parallel vertex moves are interleaving-dependent.  See DESIGN.md
+     * "Parallelism & determinism" for the tie-breaking rules behind the
+     * deterministic ones.
+     */
+    bool deterministic = true;
 };
 
 /**
- * The 11 schemes of the qualitative study (§V): natural, random,
+ * The schemes of the qualitative study (§V): natural, random,
  * degree-sort, hub-sort, hub-cluster, slashburn, gorder, rcm, nd,
  * metis-32, grappolo, grappolo-rcm, rabbit.
+ *
+ * Complexity: the list is built (and instrumented with obs spans and
+ * per-scheme time histograms) once; subsequent calls return the cached
+ * registry.  Thread-safety: safe after first call; first call is guarded
+ * by C++ static-initialization semantics.
  */
 const std::vector<OrderingScheme>& paper_schemes();
 
-/** paper_schemes() plus the extensions (bfs, minla-sa). */
+/**
+ * paper_schemes() plus the extensions (bfs, cdfs, hybrid-rcm, mindeg,
+ * boba, minla-sa).  Same caching and thread-safety as paper_schemes().
+ */
 const std::vector<OrderingScheme>& all_schemes();
 
-/** The 4 schemes of the application study (§VI). */
+/**
+ * The 4 schemes of the application study (§VI): grappolo, rcm, natural,
+ * degree.  Same caching and thread-safety as paper_schemes().
+ */
 const std::vector<OrderingScheme>& application_schemes();
 
-/** Lookup by name; throws std::out_of_range. */
+/**
+ * Lookup by registry name.
+ * @throws std::out_of_range when @p name is not registered.
+ * Complexity: linear scan of the registry (~20 entries).
+ */
 const OrderingScheme& scheme_by_name(const std::string& name);
 
-/** Human-readable category label. */
+/** Human-readable category label (static string, never null). */
 const char* category_name(SchemeCategory c);
 
 } // namespace graphorder

@@ -1,0 +1,50 @@
+#include "util/parallel.hpp"
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstdlib>
+
+namespace graphorder {
+
+namespace {
+
+// 0 = no override; set via set_default_threads (the --threads flag).
+std::atomic<int> g_thread_override{0};
+
+} // namespace
+
+int
+hardware_threads()
+{
+    return omp_get_max_threads();
+}
+
+void
+set_default_threads(int n)
+{
+    g_thread_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int
+default_threads()
+{
+    const int o = g_thread_override.load(std::memory_order_relaxed);
+    if (o > 0)
+        return o;
+    if (const char* e = std::getenv("GRAPHORDER_THREADS")) {
+        const int n = std::atoi(e);
+        if (n > 0)
+            return n;
+    }
+    const int hw = hardware_threads();
+    return hw > 0 ? hw : 1;
+}
+
+int
+resolve_threads(int requested)
+{
+    return requested > 0 ? requested : default_threads();
+}
+
+} // namespace graphorder

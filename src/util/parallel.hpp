@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Shared OpenMP threading knob and deterministic parallel primitives.
+ *
+ * Every parallel path in the library — CSR construction, permutation
+ * application, the counting-sort orderings, the gap measures, Louvain and
+ * IMM — resolves its thread count through one knob:
+ *
+ *   1. an explicit set_default_threads(n) call (the `--threads` flag),
+ *   2. else the `GRAPHORDER_THREADS` environment variable,
+ *   3. else OpenMP's own default (OMP_NUM_THREADS / hardware).
+ *
+ * Determinism contract: the primitives below decompose work into *blocks*
+ * whose count and boundaries depend only on the input size — never on the
+ * thread count — and combine per-block results in block order.  An
+ * algorithm written against them therefore produces bit-identical output
+ * for any thread count, including 1; "parallel vs serial" is purely a
+ * scheduling difference.  tests/parallel_test.cpp asserts this for every
+ * parallelized stage at 1, 2 and 8 threads.
+ */
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace graphorder {
+
+/** Threads OpenMP would grant by default (OMP_NUM_THREADS / cores). */
+int hardware_threads();
+
+/**
+ * Set the process-wide thread override used by default_threads().
+ * @param n thread count; 0 restores env/OpenMP resolution.
+ */
+void set_default_threads(int n);
+
+/**
+ * Effective thread count for the library's parallel regions:
+ * set_default_threads() override, else GRAPHORDER_THREADS, else
+ * hardware_threads().  Always >= 1.
+ */
+int default_threads();
+
+/** @return requested if > 0, else default_threads(). */
+int resolve_threads(int requested);
+
+/**
+ * Number of work blocks for @p n items with roughly @p grain items per
+ * block, clamped to [1, cap].  Depends only on the input size (never the
+ * thread count) so block-indexed algorithms stay deterministic.
+ */
+inline std::size_t
+num_blocks(std::size_t n, std::size_t grain, std::size_t cap = 256)
+{
+    if (grain == 0)
+        grain = 1;
+    std::size_t b = n / grain;
+    if (b < 1)
+        b = 1;
+    if (b > cap)
+        b = cap;
+    return b;
+}
+
+/** Half-open item range [first, second) of block @p b out of @p nblocks. */
+inline std::pair<std::size_t, std::size_t>
+block_range(std::size_t n, std::size_t nblocks, std::size_t b)
+{
+    const std::size_t per = n / nblocks;
+    const std::size_t rem = n % nblocks;
+    const std::size_t begin = b * per + (b < rem ? b : rem);
+    return {begin, begin + per + (b < rem ? 1 : 0)};
+}
+
+/**
+ * In-place exclusive prefix sum (v[i] becomes the sum of the original
+ * v[0..i)); returns the total.  Blocked three-pass scan: per-block local
+ * scans, a serial scan of the block totals, then a parallel fix-up.
+ * Integer addition is associative, so the result is exact and identical
+ * for any thread count.
+ */
+template <typename Int>
+Int
+exclusive_prefix_sum(std::vector<Int>& v)
+{
+    const std::size_t n = v.size();
+    if (n == 0)
+        return Int{0};
+    const std::size_t nb = num_blocks(n, std::size_t{1} << 15);
+    std::vector<Int> block_total(nb);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        Int s{0};
+        for (std::size_t i = lo; i < hi; ++i) {
+            const Int x = v[i];
+            v[i] = s;
+            s += x;
+        }
+        block_total[b] = s;
+    }
+    Int run{0};
+    for (std::size_t b = 0; b < nb; ++b) {
+        const Int t = block_total[b];
+        block_total[b] = run;
+        run += t;
+    }
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 1; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        for (std::size_t i = lo; i < hi; ++i)
+            v[i] += block_total[b];
+    }
+    return run;
+}
+
+/**
+ * Deterministic parallel *stable* counting sort: returns the items
+ * [0, n) ordered by ascending key(i), ties broken by ascending i —
+ * exactly std::stable_sort with a key comparator, in O(n + num_keys).
+ *
+ * Per-block histograms are combined with a (key-major, block-minor)
+ * exclusive scan, giving every block a private scatter cursor per key;
+ * within a block items are scattered in index order, so stability and
+ * determinism hold for any thread count.
+ *
+ * Memory: O(blocks * num_keys); the block count shrinks as num_keys
+ * grows so the histogram table stays small relative to the input.
+ *
+ * @tparam Index integer item/index type (e.g. vid_t).
+ * @tparam KeyFn Index -> key in [0, num_keys); must be pure.
+ */
+template <typename Index, typename KeyFn>
+std::vector<Index>
+stable_order_by_key(Index n, std::size_t num_keys, KeyFn key)
+{
+    const std::size_t sn = static_cast<std::size_t>(n);
+    std::vector<Index> order(sn);
+    if (sn == 0)
+        return order;
+    if (num_keys == 0)
+        num_keys = 1;
+    // Keep the histogram table (nb * num_keys) within ~4x of the input.
+    std::size_t grain = std::size_t{1} << 14;
+    if (grain < num_keys / 4)
+        grain = num_keys / 4;
+    const std::size_t nb = num_blocks(sn, grain, 64);
+    std::vector<std::size_t> hist(nb * num_keys, 0);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(sn, nb, b);
+        std::size_t* h = hist.data() + b * num_keys;
+        for (std::size_t i = lo; i < hi; ++i)
+            ++h[key(static_cast<Index>(i))];
+    }
+    std::size_t run = 0;
+    for (std::size_t k = 0; k < num_keys; ++k) {
+        for (std::size_t b = 0; b < nb; ++b) {
+            std::size_t& cell = hist[b * num_keys + k];
+            const std::size_t c = cell;
+            cell = run;
+            run += c;
+        }
+    }
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(sn, nb, b);
+        std::size_t* cur = hist.data() + b * num_keys;
+        for (std::size_t i = lo; i < hi; ++i) {
+            const Index item = static_cast<Index>(i);
+            order[cur[key(item)]++] = item;
+        }
+    }
+    return order;
+}
+
+} // namespace graphorder

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Determinism tests for the parallel pipeline: every deterministic
+ * kernel must produce *bit-identical* output at 1, 2 and 8 threads
+ * (oversubscription included — the contract depends only on the
+ * block decomposition, never on the granted team size).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/traversal.hpp"
+#include "la/gap_measures.hpp"
+#include "order/basic.hpp"
+#include "order/boba.hpp"
+#include "order/hub.hpp"
+#include "order/partition_order.hpp"
+#include "order/scheme.hpp"
+#include "testutil.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::figure2_graph;
+using testing::grid_graph;
+using testing::star_graph;
+using testing::two_cliques;
+
+constexpr int kSweep[] = {1, 2, 8};
+
+/** RAII thread-override guard so a failing test can't leak a setting. */
+struct ThreadGuard
+{
+    explicit ThreadGuard(int n) { set_default_threads(n); }
+    ~ThreadGuard() { set_default_threads(0); }
+};
+
+/** Random edge set on @p n vertices (deterministic in @p seed). */
+std::vector<Edge>
+random_edges(vid_t n, std::size_t m, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto u = static_cast<vid_t>(rng.next_below(n));
+        const auto v = static_cast<vid_t>(rng.next_below(n));
+        edges.push_back({u, v, 1.0 + static_cast<weight_t>(i % 7)});
+    }
+    return edges;
+}
+
+bool
+same_csr(const Csr& a, const Csr& b)
+{
+    return a.offsets() == b.offsets() && a.adjacency() == b.adjacency()
+        && a.weights() == b.weights();
+}
+
+TEST(ParallelDeterminism, CsrBuildThreadSweep)
+{
+    const vid_t n = 1500;
+    const auto edges = random_edges(n, 9000, 7);
+    ThreadGuard g1(1);
+    const auto base = build_csr(n, edges);
+    ASSERT_TRUE(base.check_invariants());
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_TRUE(same_csr(base, build_csr(n, edges)))
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, WeightedCsrBuildKeepsEarliestWeight)
+{
+    GraphBuilder b(3);
+    b.add_edge(0, 1, 5.0);
+    b.add_edge(1, 0, 9.0); // duplicate, later weight must lose
+    b.add_edge(1, 2, 2.0);
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        const auto g = b.finalize(/*weighted=*/true);
+        ASSERT_EQ(g.num_edges(), 2u);
+        EXPECT_DOUBLE_EQ(g.neighbor_weights(0)[0], 5.0);
+        EXPECT_DOUBLE_EQ(g.neighbor_weights(1)[0], 5.0);
+    }
+}
+
+TEST(ParallelDeterminism, TransposeOfSymmetricGraphIsIdentity)
+{
+    const vid_t n = 800;
+    const auto g = build_csr(n, random_edges(n, 4000, 11));
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        const auto gt_csr = transpose_csr(g);
+        EXPECT_TRUE(same_csr(g, gt_csr)) << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, ApplyPermutationThreadSweep)
+{
+    const vid_t n = 1200;
+    const auto g = build_csr(n, random_edges(n, 7000, 3));
+    Rng rng(99);
+    const auto pi = random_permutation(n, rng);
+    ThreadGuard g1(1);
+    const auto base = apply_permutation(g, pi);
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_TRUE(same_csr(base, apply_permutation(g, pi)))
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, DegreeSortMatchesStableSortReference)
+{
+    const vid_t n = 2000;
+    const auto g = build_csr(n, random_edges(n, 10000, 5));
+    // Serial reference: stable sort by descending degree.
+    std::vector<vid_t> ref(n);
+    std::iota(ref.begin(), ref.end(), vid_t{0});
+    std::stable_sort(ref.begin(), ref.end(), [&](vid_t a, vid_t b) {
+        return g.degree(a) > g.degree(b);
+    });
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(degree_sort_order(g, true).order(), ref)
+            << "threads=" << t;
+    }
+    // Ascending flavor too.
+    std::stable_sort(ref.begin(), ref.end(), [&](vid_t a, vid_t b) {
+        return g.degree(a) < g.degree(b);
+    });
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(degree_sort_order(g, false).order(), ref)
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, HubSortThreadSweep)
+{
+    const vid_t n = 1500;
+    const auto g = build_csr(n, random_edges(n, 8000, 17));
+    ThreadGuard g1(1);
+    const auto base = hub_sort_order(g).ranks();
+    const auto base_cluster = hub_cluster_order(g).ranks();
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(hub_sort_order(g).ranks(), base) << "threads=" << t;
+        EXPECT_EQ(hub_cluster_order(g).ranks(), base_cluster)
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, PartitionOrderMatchesStableSortReference)
+{
+    const vid_t n = 1000;
+    Rng rng(23);
+    std::vector<vid_t> part(n);
+    for (auto& p : part)
+        p = static_cast<vid_t>(rng.next_below(17));
+    std::vector<vid_t> ref(n);
+    std::iota(ref.begin(), ref.end(), vid_t{0});
+    std::stable_sort(ref.begin(), ref.end(),
+                     [&](vid_t a, vid_t b) { return part[a] < part[b]; });
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(order_from_partition(part, n).order(), ref)
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, ParallelBfsMatchesSerialDistances)
+{
+    for (const auto& [name, g] : testing::test_menagerie()) {
+        if (g.num_vertices() == 0)
+            continue;
+        const auto serial = bfs(g, 0);
+        ThreadGuard g1(1);
+        const auto base = parallel_bfs(g, 0);
+        EXPECT_EQ(base.distance, serial.distance) << name;
+        EXPECT_EQ(base.max_distance, serial.max_distance) << name;
+        for (int t : kSweep) {
+            ThreadGuard gt(t);
+            const auto r = parallel_bfs(g, 0);
+            EXPECT_EQ(r.distance, serial.distance)
+                << name << " threads=" << t;
+            EXPECT_EQ(r.visit_order, base.visit_order)
+                << name << " threads=" << t;
+        }
+    }
+}
+
+TEST(ParallelDeterminism, BobaValidDeterministicIsolatedLast)
+{
+    // Graph with isolated vertices: build over n but only wire a prefix.
+    const vid_t n = 1200;
+    auto edges = random_edges(1000, 5000, 29);
+    const auto g = build_csr(n, edges);
+    ThreadGuard g1(1);
+    const auto base = boba_order(g);
+    ASSERT_TRUE(base.is_valid());
+    // Isolated vertices occupy the tail ranks in ascending id order.
+    std::vector<vid_t> isolated;
+    for (vid_t v = 0; v < n; ++v)
+        if (g.degree(v) == 0)
+            isolated.push_back(v);
+    ASSERT_FALSE(isolated.empty());
+    const auto order = base.order();
+    const std::size_t tail = order.size() - isolated.size();
+    EXPECT_TRUE(std::equal(isolated.begin(), isolated.end(),
+                           order.begin() + tail));
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(boba_order(g).ranks(), base.ranks())
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, BobaFirstAppearanceSemantics)
+{
+    // star: adjacency stream is 1..n (from center), then 0 repeated.
+    const auto g = star_graph(5);
+    const auto order = boba_order(g).order();
+    const std::vector<vid_t> expect{1, 2, 3, 4, 5, 0};
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelDeterminism, GapMetricsBitIdenticalAcrossThreads)
+{
+    const vid_t n = 3000; // > 1 chunk (grain 2048)
+    const auto g = build_csr(n, random_edges(n, 15000, 41));
+    Rng rng(7);
+    const auto pi = random_permutation(n, rng);
+    ThreadGuard g1(1);
+    const auto base = compute_gap_metrics(g, pi);
+    const auto base_profile = gap_profile(g, pi);
+    const auto base_bw = vertex_bandwidths(g, pi);
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        const auto m = compute_gap_metrics(g, pi);
+        // Exact equality on purpose: the chunked reduction must be
+        // bit-identical, not merely close.
+        EXPECT_EQ(m.avg_gap, base.avg_gap) << "threads=" << t;
+        EXPECT_EQ(m.bandwidth, base.bandwidth) << "threads=" << t;
+        EXPECT_EQ(m.avg_bandwidth, base.avg_bandwidth)
+            << "threads=" << t;
+        EXPECT_EQ(m.log_gap, base.log_gap) << "threads=" << t;
+        EXPECT_EQ(m.total_gap, base.total_gap) << "threads=" << t;
+        EXPECT_EQ(m.envelope, base.envelope) << "threads=" << t;
+        EXPECT_EQ(gap_profile(g, pi), base_profile) << "threads=" << t;
+        EXPECT_EQ(vertex_bandwidths(g, pi), base_bw) << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, DeterministicSchemesStableAcrossThreads)
+{
+    const auto g = two_cliques(12);
+    const std::uint64_t seed = 2020;
+    for (const auto& s : all_schemes()) {
+        if (!s.deterministic)
+            continue;
+        ThreadGuard g1(1);
+        const auto base = s.run(g, seed).ranks();
+        ThreadGuard g4(4);
+        EXPECT_EQ(s.run(g, seed).ranks(), base) << s.name;
+    }
+}
+
+TEST(ParallelDeterminism, BobaRegisteredInRegistry)
+{
+    const auto& s = scheme_by_name("boba");
+    EXPECT_EQ(s.category, SchemeCategory::Extension);
+    EXPECT_TRUE(s.scalable);
+    EXPECT_TRUE(s.deterministic);
+    const auto g = grid_graph(6, 6);
+    EXPECT_TRUE(s.run(g, 1).is_valid());
+}
+
+TEST(ParallelPrimitives, ExclusivePrefixSumThreadSweep)
+{
+    std::vector<std::uint64_t> ref(100000);
+    Rng rng(3);
+    for (auto& x : ref)
+        x = rng.next_below(1000);
+    std::vector<std::uint64_t> expect(ref.size());
+    std::uint64_t run = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        expect[i] = run;
+        run += ref[i];
+    }
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        auto v = ref;
+        EXPECT_EQ(exclusive_prefix_sum(v), run) << "threads=" << t;
+        EXPECT_EQ(v, expect) << "threads=" << t;
+    }
+}
+
+TEST(ParallelPrimitives, StableOrderByKeyMatchesStableSort)
+{
+    const vid_t n = 50000;
+    Rng rng(13);
+    std::vector<vid_t> key(n);
+    for (auto& k : key)
+        k = static_cast<vid_t>(rng.next_below(97));
+    std::vector<vid_t> ref(n);
+    std::iota(ref.begin(), ref.end(), vid_t{0});
+    std::stable_sort(ref.begin(), ref.end(),
+                     [&](vid_t a, vid_t b) { return key[a] < key[b]; });
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(stable_order_by_key<vid_t>(
+                      n, 97, [&](vid_t v) { return key[v]; }),
+                  ref)
+            << "threads=" << t;
+    }
+}
+
+TEST(ParallelPrimitives, ThreadKnobResolution)
+{
+    set_default_threads(3);
+    EXPECT_EQ(default_threads(), 3);
+    EXPECT_EQ(resolve_threads(0), 3);
+    EXPECT_EQ(resolve_threads(5), 5);
+    set_default_threads(0);
+    EXPECT_GE(default_threads(), 1);
+}
+
+} // namespace
+} // namespace graphorder

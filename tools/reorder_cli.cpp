@@ -13,6 +13,7 @@
  *           [--json] [--trace t.json] [--metrics m.json]
  */
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -28,6 +29,7 @@
 #include "obs/trace.hpp"
 #include "order/scheme.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -47,6 +49,9 @@ usage(const char* argv0)
         "  --metrics-all    evaluate every registered scheme\n"
         "  --stats          print graph statistics (incl. triangles)\n"
         "  --json           print results as one JSON object on stdout\n"
+        "  --threads N      OpenMP threads for the parallel kernels\n"
+        "                   (default: GRAPHORDER_THREADS env, else the\n"
+        "                   OpenMP runtime default)\n"
         "  --trace FILE     record phase spans; Chrome trace-event JSON\n"
         "                   written at exit (.jsonl = JSON-lines; open\n"
         "                   in chrome://tracing or ui.perfetto.dev)\n"
@@ -63,10 +68,11 @@ void
 list_schemes()
 {
     Table t("registered ordering schemes");
-    t.header({"name", "category", "large-graph safe"});
+    t.header({"name", "category", "large-graph safe", "deterministic"});
     for (const auto& s : all_schemes())
         t.row({s.name, category_name(s.category),
-               s.scalable ? "yes" : "no"});
+               s.scalable ? "yes" : "no",
+               s.deterministic ? "yes" : "no"});
     t.print();
 }
 
@@ -147,6 +153,10 @@ main(int argc, char** argv)
             trace_file = argv[++i];
         } else if (a == "--metrics" && i + 1 < argc) {
             metrics_file = argv[++i];
+        } else if (a == "--threads" && i + 1 < argc) {
+            const int t = std::atoi(argv[++i]);
+            if (t > 0)
+                set_default_threads(t);
         } else if (a == "--metrics-all") {
             metrics_all = true;
         } else if (a == "--stats") {
@@ -189,6 +199,7 @@ main(int argc, char** argv)
         struct Row
         {
             std::string name;
+            bool deterministic;
             GapMetrics m;
             double secs;
         };
@@ -197,19 +208,24 @@ main(int argc, char** argv)
             Timer timer;
             timer.start();
             const auto pi = s.run(g, seed);
-            rows.push_back({s.name, compute_gap_metrics(g, pi),
+            rows.push_back({s.name, s.deterministic,
+                            compute_gap_metrics(g, pi),
                             timer.elapsed_s()});
         }
         if (json) {
             std::printf("{\"input\": \"%s\", \"vertices\": %u, "
-                        "\"edges\": %llu, \"seed\": %llu, \"schemes\": [",
+                        "\"edges\": %llu, \"seed\": %llu, "
+                        "\"threads\": %d, \"schemes\": [",
                         json_escape(input).c_str(), g.num_vertices(),
                         static_cast<unsigned long long>(g.num_edges()),
-                        static_cast<unsigned long long>(seed));
+                        static_cast<unsigned long long>(seed),
+                        default_threads());
             for (std::size_t i = 0; i < rows.size(); ++i) {
-                std::printf("%s\n  {\"name\": \"%s\", \"time_s\": %.6g, "
+                std::printf("%s\n  {\"name\": \"%s\", "
+                            "\"deterministic\": %s, \"time_s\": %.6g, "
                             "\"gap_metrics\": ",
                             i ? "," : "", rows[i].name.c_str(),
+                            rows[i].deterministic ? "true" : "false",
                             rows[i].secs);
                 print_gap_json(stdout, rows[i].m);
                 std::printf("}");
@@ -244,11 +260,14 @@ main(int argc, char** argv)
     if (json) {
         std::printf("{\"input\": \"%s\", \"vertices\": %u, "
                     "\"edges\": %llu, \"scheme\": \"%s\", "
+                    "\"deterministic\": %s, \"threads\": %d, "
                     "\"seed\": %llu, \"reorder_time_s\": %.6g,\n"
                     " \"gap_metrics\": {\"natural\": ",
                     json_escape(input).c_str(), g.num_vertices(),
                     static_cast<unsigned long long>(g.num_edges()),
                     scheme.name.c_str(),
+                    scheme.deterministic ? "true" : "false",
+                    default_threads(),
                     static_cast<unsigned long long>(seed), reorder_secs);
         print_gap_json(stdout, before);
         std::printf(", \"reordered\": ");
