@@ -74,6 +74,9 @@ main(int argc, char** argv)
             bopt_traced.tracer = &bc_tracer;
             betweenness_centrality(h, bopt_traced);
 
+            pr_tracer.publish_metrics("memsim/kernels/pagerank");
+            ss_tracer.publish_metrics("memsim/kernels/sssp");
+            bc_tracer.publish_metrics("memsim/kernels/bc");
             t.row({s.name, Table::num(pack.packing_factor, 1),
                    Table::num(pr.time_per_iteration_s(), 4),
                    Table::num(pr_tracer.metrics().avg_load_latency(), 1),

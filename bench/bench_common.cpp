@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "graph/permutation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
@@ -26,6 +27,10 @@ parse_args(int argc, char** argv)
         } else if (a == "--quick") {
             opt.quick = true;
             opt.large_scale = 256.0;
+        } else if (a == "--smoke") {
+            opt.smoke = true;
+            opt.quick = true;
+            opt.large_scale = 256.0;
         } else if (a == "--trace" && i + 1 < argc) {
             opt.trace_file = argv[++i];
         } else if (a == "--metrics" && i + 1 < argc) {
@@ -36,7 +41,8 @@ parse_args(int argc, char** argv)
                 fatal("--threads must be >= 0");
         } else if (a == "--help" || a == "-h") {
             std::printf("usage: %s [--scale S] [--seed N] [--quick]"
-                        " [--trace FILE] [--metrics FILE] [--threads N]\n",
+                        " [--smoke] [--trace FILE] [--metrics FILE]"
+                        " [--threads N]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -53,11 +59,14 @@ parse_args(int argc, char** argv)
 }
 
 std::vector<Instance>
-make_small_instances()
+make_small_instances(const BenchOptions& opt)
 {
     std::vector<Instance> out;
-    for (const auto& d : small_datasets())
+    for (const auto& d : small_datasets()) {
+        if (opt.smoke && out.size() >= kSmokeInstances)
+            break;
         out.push_back({&d, d.make(1.0)});
+    }
     return out;
 }
 
@@ -105,6 +114,50 @@ print_header(const std::string& figure, const std::string& what,
                 static_cast<unsigned long long>(opt.seed),
                 default_threads(), hardware_threads());
     std::printf("==========================================================\n\n");
+}
+
+MemoryMetrics
+trace_neighbor_scan(const Csr& g, const CacheHierarchyConfig& cfg,
+                    const std::string& publish_prefix)
+{
+    CacheTracer tracer(cfg);
+    std::vector<double> x(g.num_vertices(), 1.0);
+    double acc = 0.0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            tracer.load(&nbrs[i], sizeof(vid_t));
+            tracer.load(&x[nbrs[i]], sizeof(double));
+            acc += x[nbrs[i]];
+        }
+    }
+    (void)acc;
+    tracer.publish_metrics(publish_prefix);
+    return tracer.metrics();
+}
+
+void
+print_memsim_scan_table(const Instance& inst,
+                        const std::vector<OrderingScheme>& schemes,
+                        const std::string& figure,
+                        const BenchOptions& opt)
+{
+    const auto cfg = CacheHierarchyConfig::cascade_lake_scaled(16);
+    Table t("simulated neighbor-scan memory (instance: "
+            + inst.spec->name + ")");
+    t.header({"scheme", "latency(cyc)", "L1%", "DRAM%", "loads(M)"});
+    const std::size_t dram = cfg.levels.size();
+    for (const auto& s : schemes) {
+        const auto pi = s.run(inst.graph, opt.seed);
+        const auto h = apply_permutation(inst.graph, pi);
+        const auto m =
+            trace_neighbor_scan(h, cfg, "memsim/" + figure);
+        t.row({s.name, Table::num(m.avg_load_latency(), 1),
+               Table::num(100.0 * m.bound_fraction(0), 0),
+               Table::num(100.0 * m.bound_fraction(dram), 0),
+               Table::num(static_cast<double>(m.loads) / 1e6, 2)});
+    }
+    t.print();
 }
 
 ProfileInput

@@ -7,6 +7,8 @@
  *                    1 = paper scale, needs a very large machine)
  *   --seed  N        base RNG seed (default 2020)
  *   --quick          even smaller large-instance scale (256) for smoke runs
+ *   --smoke          CI mode: --quick plus the small-instance set trimmed
+ *                    to its first kSmokeInstances entries
  *   --trace FILE     record obs spans; Chrome trace JSON written to FILE
  *                    at exit (.jsonl extension = JSON-lines)
  *   --metrics FILE   dump the obs metrics registry to FILE at exit
@@ -28,11 +30,15 @@
 
 #include "gen/datasets.hpp"
 #include "graph/csr.hpp"
+#include "memsim/cache.hpp"
 #include "order/scheme.hpp"
 #include "util/perf_profile.hpp"
 #include "util/table.hpp"
 
 namespace graphorder::bench {
+
+/** Small-instance count kept by --smoke runs. */
+inline constexpr std::size_t kSmokeInstances = 6;
 
 /** Parsed common command-line options. */
 struct BenchOptions
@@ -40,6 +46,7 @@ struct BenchOptions
     double large_scale = 64.0;
     std::uint64_t seed = 2020;
     bool quick = false;
+    bool smoke = false;       ///< CI smoke run: trim the small-instance set
     std::string trace_file;   ///< empty = tracing off
     std::string metrics_file; ///< empty = no metrics dump
     int threads = 0;          ///< 0 = GRAPHORDER_THREADS / runtime default
@@ -55,8 +62,9 @@ struct Instance
     Csr graph;
 };
 
-/** Generate all 25 small instances (paper scale). */
-std::vector<Instance> make_small_instances();
+/** Generate the 25 small instances (paper scale); --smoke trims the set
+ *  to the first kSmokeInstances. */
+std::vector<Instance> make_small_instances(const BenchOptions& opt);
 
 /** Generate all 9 large instances at opt.large_scale. */
 std::vector<Instance> make_large_instances(const BenchOptions& opt);
@@ -84,5 +92,27 @@ using MetricFn =
 ProfileInput cost_matrix(const std::vector<Instance>& instances,
                          const std::vector<OrderingScheme>& schemes,
                          const MetricFn& metric, std::uint64_t seed);
+
+/**
+ * Replay the canonical bandwidth kernel — a sequential CSR neighbor scan
+ * with an 8-byte gather per endpoint (`sum += x[nbrs[i]]`) — through the
+ * cache simulator and publish the counters under `<publish_prefix>/...`.
+ * This is the access stream the gap/bandwidth measures of Figures 5/6
+ * proxy, so the returned metrics tie those layout scores to simulated
+ * memory behaviour.
+ */
+MemoryMetrics trace_neighbor_scan(const Csr& g,
+                                  const CacheHierarchyConfig& cfg,
+                                  const std::string& publish_prefix);
+
+/**
+ * Print (and publish, under `memsim/<figure>`) the simulated neighbor-
+ * scan memory metrics of every scheme on one representative instance —
+ * the memsim side-table of the bandwidth figures.
+ */
+void print_memsim_scan_table(const Instance& inst,
+                             const std::vector<OrderingScheme>& schemes,
+                             const std::string& figure,
+                             const BenchOptions& opt);
 
 } // namespace graphorder::bench

@@ -62,14 +62,15 @@ main(int argc, char** argv)
             lopt.max_phases = 1;
             lopt.max_iterations = 4; // bound the traced stream
             louvain(h, lopt);
-            const auto& m = tracer.metrics();
+            tracer.publish_metrics("memsim/fig10");
+            const auto m = tracer.metrics();
             t.row({inst.spec->name, s.name,
                    Table::num(m.avg_load_latency(), 1),
                    Table::num(100.0 * m.bound_fraction(0), 0),
                    Table::num(100.0 * m.bound_fraction(1), 0),
                    Table::num(100.0 * m.bound_fraction(2), 0),
                    Table::num(100.0 * m.bound_fraction(3), 0),
-                   Table::num(m.loads / 1e6, 1)});
+                   Table::num(static_cast<double>(m.loads) / 1e6, 1)});
         }
     }
     t.print();

@@ -48,13 +48,14 @@ main(int argc, char** argv)
         iopt.tracer = &tracer;
         std::vector<std::vector<vid_t>> sets;
         sample_rrr_sets(h, iopt, 400, sets);
-        const auto& m = tracer.metrics();
+        tracer.publish_metrics("memsim/fig12");
+        const auto m = tracer.metrics();
         t.row({s.name, Table::num(m.avg_load_latency(), 1),
                Table::num(100.0 * m.bound_fraction(0), 0),
                Table::num(100.0 * m.bound_fraction(1), 0),
                Table::num(100.0 * m.bound_fraction(2), 0),
                Table::num(100.0 * m.bound_fraction(3), 0),
-               Table::num(m.loads / 1e6, 1)});
+               Table::num(static_cast<double>(m.loads) / 1e6, 1)});
     }
     t.print();
     return 0;

@@ -23,7 +23,7 @@ main(int argc, char** argv)
     print_header("Figure 1",
                  "headline profile: avg linear arrangement gap", opt);
 
-    const auto instances = make_small_instances();
+    const auto instances = make_small_instances(opt);
     const auto in = cost_matrix(
         instances, paper_schemes(),
         [](const Csr& g, const Permutation& pi) {

@@ -22,7 +22,7 @@ main(int argc, char** argv)
     print_header("Figure 5",
                  "relative performance profile of avg gap (xi_hat)", opt);
 
-    const auto instances = make_small_instances();
+    const auto instances = make_small_instances(opt);
     const auto in = cost_matrix(
         instances, paper_schemes(),
         [](const Csr& g, const Permutation& pi) {

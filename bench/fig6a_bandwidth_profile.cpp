@@ -18,13 +18,22 @@ main(int argc, char** argv)
     print_header("Figure 6a",
                  "relative performance profile of graph bandwidth (beta)",
                  opt);
+    const auto instances = make_small_instances(opt);
+    const auto& schemes = paper_schemes();
     const auto in = cost_matrix(
-        make_small_instances(), paper_schemes(),
+        instances, schemes,
         [](const Csr& g, const Permutation& pi) {
             return static_cast<double>(
                 compute_gap_metrics(g, pi).bandwidth);
         },
         opt.seed);
-    print_profile("beta profile over 25 inputs", build_profile(in));
+    print_profile("beta profile over "
+                      + std::to_string(instances.size()) + " inputs",
+                  build_profile(in));
+    // Memory tie-in: bandwidth is a proxy for the spatial locality of
+    // the neighbor scan; replay that scan through the cache simulator on
+    // one representative instance (counters land under memsim/fig6a, so
+    // a --metrics dump re-baselines the figure's memory side).
+    print_memsim_scan_table(instances.front(), schemes, "fig6a", opt);
     return 0;
 }

@@ -20,12 +20,18 @@ main(int argc, char** argv)
         "Figure 6b",
         "relative performance profile of average bandwidth (beta_hat)",
         opt);
+    const auto instances = make_small_instances(opt);
+    const auto& schemes = paper_schemes();
     const auto in = cost_matrix(
-        make_small_instances(), paper_schemes(),
+        instances, schemes,
         [](const Csr& g, const Permutation& pi) {
             return compute_gap_metrics(g, pi).avg_bandwidth;
         },
         opt.seed);
-    print_profile("beta_hat profile over 25 inputs", build_profile(in));
+    print_profile("beta_hat profile over "
+                      + std::to_string(instances.size()) + " inputs",
+                  build_profile(in));
+    // Same memory tie-in as Figure 6a, for the averaged measure.
+    print_memsim_scan_table(instances.front(), schemes, "fig6b", opt);
     return 0;
 }

@@ -33,7 +33,7 @@ main(int argc, char** argv)
                            true});
     }
     const auto in = cost_matrix(
-        make_small_instances(), configs,
+        make_small_instances(opt), configs,
         [](const Csr& g, const Permutation& pi) {
             return compute_gap_metrics(g, pi).avg_gap;
         },

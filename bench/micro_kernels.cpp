@@ -8,6 +8,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "community/louvain.hpp"
 #include "gen/generators.hpp"
 #include "influence/imm.hpp"
@@ -110,6 +113,43 @@ BM_CacheSimulator(benchmark::State& state)
                             * static_cast<std::int64_t>(addrs.size()));
 }
 BENCHMARK(BM_CacheSimulator);
+
+void
+BM_CacheTracerSampled(benchmark::State& state)
+{
+    // Sampled tracing: 1-in-k of the calls reach the simulator and the
+    // reported counters are extrapolated back by k.  The counters below
+    // record how far the scaled loads/cycles of this run sit from the
+    // unsampled reference (the tentpole contract: within a few percent
+    // on graph-like traces).
+    const unsigned sample = static_cast<unsigned>(state.range(0));
+    Rng rng(5);
+    std::vector<std::uint64_t> addrs(1 << 16);
+    for (auto& a : addrs)
+        a = rng.next_bool(0.5) ? rng.next_below(1ULL << 12)
+                               : rng.next_below(1ULL << 28);
+    const auto cfg = CacheHierarchyConfig::cascade_lake();
+    for (auto _ : state) {
+        CacheTracer tracer(cfg, sample);
+        for (auto a : addrs)
+            tracer.load(reinterpret_cast<const void*>(a), 8);
+        benchmark::DoNotOptimize(tracer.metrics().loads);
+    }
+    CacheTracer full(cfg), sampled(cfg, sample);
+    for (auto a : addrs) {
+        full.load(reinterpret_cast<const void*>(a), 8);
+        sampled.load(reinterpret_cast<const void*>(a), 8);
+    }
+    const auto mf = full.metrics(), ms = sampled.metrics();
+    state.counters["loads_rel_err"] =
+        std::abs(double(ms.loads) - double(mf.loads)) / double(mf.loads);
+    state.counters["cycles_rel_err"] =
+        std::abs(double(ms.total_cycles) - double(mf.total_cycles))
+        / double(mf.total_cycles);
+    state.SetItemsProcessed(state.iterations()
+                            * static_cast<std::int64_t>(addrs.size()));
+}
+BENCHMARK(BM_CacheTracerSampled)->Arg(1)->Arg(4)->Arg(16);
 
 void
 BM_LouvainFirstPhase(benchmark::State& state)

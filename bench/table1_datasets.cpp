@@ -50,7 +50,7 @@ main(int argc, char** argv)
     print_header("Table I", "instance summary (paper vs generated)", opt);
 
     print_set("25 qualitative-analysis instances (paper scale)",
-              make_small_instances(), true);
+              make_small_instances(opt), true);
     std::printf("\n");
     print_set("9 application instances (scaled down by --scale)",
               make_large_instances(opt), false);

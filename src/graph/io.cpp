@@ -7,12 +7,19 @@
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace graphorder {
 
 Csr
 read_edge_list(std::istream& in, bool weighted)
 {
+    auto& reg = obs::MetricsRegistry::instance();
+    auto& malformed = reg.counter("io/edge_list/malformed_lines");
+    auto& self_loops = reg.counter("io/edge_list/self_loops");
+    std::uint64_t malformed_here = 0, self_loops_here = 0;
+
     std::vector<Edge> edges;
     std::unordered_map<std::uint64_t, vid_t> compact;
     auto intern = [&](std::uint64_t raw) {
@@ -23,21 +30,39 @@ read_edge_list(std::istream& in, bool weighted)
     };
 
     std::string line;
+    std::uint64_t line_no = 0;
     while (std::getline(in, line)) {
+        ++line_no;
         if (line.empty() || line[0] == '#' || line[0] == '%')
             continue;
         std::istringstream ls(line);
         std::uint64_t u, v;
-        if (!(ls >> u >> v))
+        if (!(ls >> u >> v)) {
+            malformed.add();
+            ++malformed_here;
             continue;
+        }
         double w = 1.0;
-        if (weighted)
-            ls >> w;
+        if (weighted && !(ls >> w))
+            throw std::runtime_error(
+                "edge list: line " + std::to_string(line_no)
+                + " is missing the weight required by a weighted parse: \""
+                + line + "\"");
         const vid_t cu = intern(u);
         const vid_t cv = intern(v);
-        if (cu != cv)
-            edges.push_back({cu, cv, w});
+        if (cu == cv) {
+            self_loops.add();
+            ++self_loops_here;
+            continue;
+        }
+        edges.push_back({cu, cv, w});
     }
+    if (malformed_here > 0)
+        warn("edge list: skipped " + std::to_string(malformed_here)
+             + " malformed line(s)");
+    if (self_loops_here > 0)
+        warn("edge list: dropped " + std::to_string(self_loops_here)
+             + " self loop(s)");
     return build_csr(static_cast<vid_t>(compact.size()), edges, weighted);
 }
 
@@ -78,8 +103,14 @@ read_metis(std::istream& in)
     if (fmt != 0)
         throw std::runtime_error("metis: only fmt 0 supported");
 
+    // Collect every listed (v, w) pair in both its roles and let
+    // build_csr symmetrize + deduplicate.  The format specifies that
+    // each edge appears in both endpoints' lines, but real-world files
+    // often list each undirected edge only once (on either endpoint);
+    // keeping every direction makes both conventions parse to the same
+    // graph instead of silently dropping the single-listed edges.
     std::vector<Edge> edges;
-    edges.reserve(m);
+    edges.reserve(2 * m);
     for (std::uint64_t v = 0; v < n; ++v) {
         if (!std::getline(in, line))
             throw std::runtime_error("metis: truncated file");
@@ -92,12 +123,22 @@ read_metis(std::istream& in)
         while (ls >> w) {
             if (w == 0 || w > n)
                 throw std::runtime_error("metis: neighbor id out of range");
-            if (v < w - 1)
+            if (v != w - 1)
                 edges.push_back({static_cast<vid_t>(v),
                                  static_cast<vid_t>(w - 1), 1.0});
         }
     }
-    return build_csr(static_cast<vid_t>(n), edges, false);
+    Csr g = build_csr(static_cast<vid_t>(n), edges, false);
+    if (g.num_edges() != m) {
+        obs::MetricsRegistry::instance()
+            .counter("io/metis/header_mismatch")
+            .add();
+        warn("metis: header claims " + std::to_string(m)
+             + " edges but the adjacency lines contain "
+             + std::to_string(g.num_edges())
+             + " distinct undirected edges; using the parsed count");
+    }
+    return g;
 }
 
 void

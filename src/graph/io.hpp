@@ -17,7 +17,12 @@ namespace graphorder {
 /**
  * Parse an edge list: one "u v [w]" pair per line, '#' or '%' comments.
  * Vertex ids may be arbitrary non-negative integers; they are compacted
- * to [0, n).  Graph is treated as undirected and simple.
+ * to [0, n).  Graph is treated as undirected and simple.  Malformed
+ * lines and self loops are skipped with a warning and counted in the
+ * obs registry (`io/edge_list/malformed_lines`,
+ * `io/edge_list/self_loops`).  With @p weighted set, a line without a
+ * weight is an error (@throws std::runtime_error) rather than a silent
+ * w = 1.
  */
 Csr read_edge_list(std::istream& in, bool weighted = false);
 
@@ -30,6 +35,11 @@ void write_edge_list(std::ostream& out, const Csr& g);
 /**
  * Parse METIS .graph format: header "n m [fmt]", then line i holds the
  * 1-based neighbors of vertex i.  Only unweighted (fmt 0) is supported.
+ * Accepts both the specified symmetric listing (each edge on both
+ * endpoints' lines) and the common single-listing variant (each edge on
+ * either endpoint only); duplicates are merged.  Warns — and bumps the
+ * `io/metis/header_mismatch` obs counter — when the parsed edge count
+ * disagrees with the header's m.
  */
 Csr read_metis(std::istream& in);
 

@@ -40,9 +40,10 @@ generate_rrr(const Csr& g, const ImmOptions& opt, vid_t root, Rng& rng,
                 tracer->load(&visited[cur], sizeof(std::uint32_t));
             if (nbrs.empty())
                 break;
-            const vid_t nxt = nbrs[rng.next_below(nbrs.size())];
+            const std::size_t pick = rng.next_below(nbrs.size());
+            const vid_t nxt = nbrs[pick];
             if (tracer)
-                tracer->load(&nbrs[0], sizeof(vid_t));
+                tracer->load(&nbrs[pick], sizeof(vid_t));
             if (visited[nxt] == stamp)
                 break;
             visited[nxt] = stamp;
@@ -59,11 +60,10 @@ generate_rrr(const Csr& g, const ImmOptions& opt, vid_t root, Rng& rng,
     while (head < out.size()) {
         const vid_t v = out[head++];
         const auto nbrs = g.neighbors(v);
-        if (tracer)
-            tracer->load(nbrs.data(), sizeof(vid_t));
-        for (const vid_t u : nbrs) {
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const vid_t u = nbrs[i];
             if (tracer) {
-                tracer->load(&u, sizeof(vid_t));
+                tracer->load(&nbrs[i], sizeof(vid_t));
                 tracer->load(&visited[u], sizeof(std::uint32_t));
             }
             if (visited[u] == stamp)

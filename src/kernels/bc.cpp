@@ -52,9 +52,11 @@ betweenness_centrality(const Csr& g, const BcOptions& opt)
         order.push_back(s);
         for (std::size_t head = 0; head < order.size(); ++head) {
             const vid_t v = order[head];
-            for (const vid_t u : g.neighbors(v)) {
+            const auto nbrs = g.neighbors(v);
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const vid_t u = nbrs[i];
                 if (tracer) {
-                    tracer->load(&u, sizeof(vid_t));
+                    tracer->load(&nbrs[i], sizeof(vid_t));
                     tracer->load(&dist[u], sizeof(std::int64_t));
                 }
                 ++res.edges_traversed;
@@ -66,10 +68,18 @@ betweenness_centrality(const Csr& g, const BcOptions& opt)
                     sigma[u] += sigma[v];
             }
         }
-        // Dependency accumulation in reverse BFS order.
+        // Dependency accumulation in reverse BFS order (the second half
+        // of the hot loop; its adjacency re-walk is part of the traced
+        // access stream).
         for (std::size_t i = order.size(); i-- > 1;) {
             const vid_t w = order[i];
-            for (const vid_t v : g.neighbors(w)) {
+            const auto nbrs = g.neighbors(w);
+            for (std::size_t j = 0; j < nbrs.size(); ++j) {
+                const vid_t v = nbrs[j];
+                if (tracer) {
+                    tracer->load(&nbrs[j], sizeof(vid_t));
+                    tracer->load(&dist[v], sizeof(std::int64_t));
+                }
                 if (dist[v] == dist[w] - 1 && sigma[w] > 0) {
                     delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
                 }

@@ -2,11 +2,14 @@
 
 #include <unordered_set>
 
+#include "memsim/cache.hpp"
+
 namespace graphorder {
 
 PackingAnalysis
 packing_analysis(const Csr& g, const Permutation& pi, unsigned entry_bytes,
-                 unsigned line_bytes, double degree_threshold)
+                 unsigned line_bytes, double degree_threshold,
+                 AccessTracer* tracer)
 {
     PackingAnalysis out;
     const vid_t n = g.num_vertices();
@@ -19,10 +22,13 @@ packing_analysis(const Csr& g, const Permutation& pi, unsigned entry_bytes,
 
     std::unordered_set<std::uint64_t> lines;
     eid_t hub_arcs = 0;
+    const auto& ranks = pi.ranks();
     for (vid_t v = 0; v < n; ++v) {
         if (static_cast<double>(g.degree(v)) > cut) {
             ++out.num_hubs;
             hub_arcs += g.degree(v);
+            if (tracer)
+                tracer->load(&ranks[v], sizeof(vid_t));
             lines.insert(pi.rank(v) / per_line);
         }
     }

@@ -19,6 +19,8 @@
 
 namespace graphorder {
 
+class AccessTracer;
+
 /** Result of a packing analysis. */
 struct PackingAnalysis
 {
@@ -37,10 +39,13 @@ struct PackingAnalysis
  * @param entry_bytes per-vertex payload size (8 = one double).
  * @param line_bytes cache line size.
  * @param degree_threshold hub cutoff (0 = average degree).
+ * @param tracer optional: replay the per-hub rank-array walk (the layout
+ *        stream the packing factor summarizes) into the cache simulator.
  */
 PackingAnalysis packing_analysis(const Csr& g, const Permutation& pi,
                                  unsigned entry_bytes = 8,
                                  unsigned line_bytes = 64,
-                                 double degree_threshold = 0.0);
+                                 double degree_threshold = 0.0,
+                                 AccessTracer* tracer = nullptr);
 
 } // namespace graphorder

@@ -39,9 +39,13 @@ pagerank(const Csr& g, const PageRankOptions& opt)
         for (vid_t v = 0; v < n; ++v) {
             double acc = 0.0;
             const auto nbrs = g.neighbors(v);
-            for (const vid_t u : nbrs) {
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                const vid_t u = nbrs[i];
                 if (tracer) {
-                    tracer->load(&u, sizeof(vid_t));
+                    // Trace the CSR adjacency entry itself (a streaming
+                    // access) and the gathered contribution (the random
+                    // access reordering is meant to tame).
+                    tracer->load(&nbrs[i], sizeof(vid_t));
                     tracer->load(&contrib[u], sizeof(double));
                 }
                 acc += contrib[u];

@@ -44,7 +44,7 @@ sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
             const vid_t u = nbrs[i];
             const double cand = dist + edge_weight(g, v, i);
             if (tracer) {
-                tracer->load(&u, sizeof(vid_t));
+                tracer->load(&nbrs[i], sizeof(vid_t));
                 tracer->load(&res.distance[u], sizeof(double));
             }
             ++res.edges_relaxed;
@@ -108,7 +108,7 @@ sssp_delta_stepping(const Csr& g, vid_t source, double delta,
                     const vid_t u = nbrs[i];
                     const double cand = dv + edge_weight(g, v, i);
                     if (tracer) {
-                        tracer->load(&u, sizeof(vid_t));
+                        tracer->load(&nbrs[i], sizeof(vid_t));
                         tracer->load(&res.distance[u], sizeof(double));
                     }
                     ++res.edges_relaxed;

@@ -61,9 +61,12 @@ MemoryMetrics::avg_load_latency() const
 double
 MemoryMetrics::bound_fraction(std::size_t i) const
 {
-    if (total_cycles == 0 || i >= level_hits.size())
+    if (total_cycles == 0 || i >= level_lookups.size())
         return 0.0;
-    const double cycles = static_cast<double>(level_hits[i])
+    // Every cycle in total_cycles is one level's lookup latency spent on
+    // one probe, so attributing latency[i] * lookups[i] to level i is an
+    // exact decomposition: the fractions sum to 1.
+    const double cycles = static_cast<double>(level_lookups[i])
         * static_cast<double>(level_latency[i]);
     return cycles / static_cast<double>(total_cycles);
 }
@@ -78,98 +81,238 @@ MemoryMetrics::miss_ratio(std::size_t i) const
         / static_cast<double>(level_lookups[i]);
 }
 
+std::uint64_t
+MemoryMetrics::misses(std::size_t i) const
+{
+    if (i >= level_lookups.size())
+        return 0;
+    return level_lookups[i] - level_hits[i];
+}
+
+MemoryMetrics
+MemoryMetrics::scaled_by(std::uint64_t factor) const
+{
+    MemoryMetrics m = *this;
+    m.loads *= factor;
+    m.total_cycles *= factor;
+    m.evictions *= factor;
+    m.prefetch_installs *= factor;
+    m.prefetch_hits *= factor;
+    m.prefetch_useless *= factor;
+    for (auto& h : m.level_hits)
+        h *= factor;
+    for (auto& l : m.level_lookups)
+        l *= factor;
+    return m;
+}
+
 CacheHierarchy::CacheHierarchy(CacheHierarchyConfig config)
     : config_(std::move(config))
 {
     if (config_.line_bytes == 0 || (config_.line_bytes & (config_.line_bytes - 1)))
         throw std::invalid_argument("cache: line size must be a power of 2");
+    unsigned path_latency = 0;
     for (const auto& lc : config_.levels) {
         Level l;
         l.assoc = std::max(1u, lc.associativity);
         const std::uint64_t lines = lc.size_bytes / config_.line_bytes;
         l.num_sets = std::max<std::uint64_t>(1, lines / l.assoc);
         l.latency = lc.latency_cycles;
+        l.policy = lc.policy;
         l.ways.assign(l.num_sets * l.assoc, Way{});
         levels_.push_back(std::move(l));
         metrics_.level_names.push_back(lc.name);
         metrics_.level_latency.push_back(lc.latency_cycles);
+        path_latency += lc.latency_cycles;
+        metrics_.service_latency.push_back(path_latency);
     }
     metrics_.level_names.push_back("DRAM");
     metrics_.level_latency.push_back(config_.dram_latency_cycles);
+    metrics_.service_latency.push_back(path_latency
+                                       + config_.dram_latency_cycles);
     metrics_.level_hits.assign(levels_.size() + 1, 0);
     metrics_.level_lookups.assign(levels_.size() + 1, 0);
+}
+
+CacheHierarchy::Way*
+CacheHierarchy::find_way(Level& l, std::uint64_t line_addr)
+{
+    const std::uint64_t set = line_addr % l.num_sets;
+    Way* base = &l.ways[set * l.assoc];
+    for (unsigned w = 0; w < l.assoc; ++w)
+        if (base[w].valid && base[w].tag == line_addr)
+            return &base[w];
+    return nullptr;
+}
+
+bool
+CacheHierarchy::resident_anywhere(std::uint64_t line_addr) const
+{
+    for (const auto& l : levels_) {
+        const std::uint64_t set = line_addr % l.num_sets;
+        const Way* base = &l.ways[set * l.assoc];
+        for (unsigned w = 0; w < l.assoc; ++w)
+            if (base[w].valid && base[w].tag == line_addr)
+                return true;
+    }
+    return false;
 }
 
 std::size_t
 CacheHierarchy::access_line(std::uint64_t line_addr)
 {
-    std::size_t hit_level = levels_.size(); // DRAM by default
+    std::size_t hit_level = levels_.size(); // DRAM unless a level hits
     for (std::size_t li = 0; li < levels_.size(); ++li) {
         Level& l = levels_[li];
         ++metrics_.level_lookups[li];
-        const std::uint64_t set = line_addr % l.num_sets;
-        Way* base = &l.ways[set * l.assoc];
-        bool hit = false;
-        for (unsigned w = 0; w < l.assoc; ++w) {
-            if (base[w].valid && base[w].tag == line_addr) {
-                base[w].lru = ++l.tick;
-                hit = true;
-                break;
-            }
+        Way* w = find_way(l, line_addr);
+        if (!w)
+            continue; // probe the next level
+        hit_level = li;
+        w->lru = ++l.tick;
+        if (w->prefetched) {
+            ++metrics_.prefetch_hits;
+            w->prefetched = false;
         }
-        if (hit) {
-            hit_level = li;
-            break;
+        ++metrics_.level_hits[li];
+        if (li > 0) {
+            // An exclusive level hands the line back to the inner levels
+            // instead of keeping a copy.
+            if (l.policy == InclusionPolicy::kExclusive)
+                w->valid = false;
+            fill_path(line_addr, li);
         }
+        break;
     }
-    ++metrics_.level_lookups[levels_.size()];
-    if (hit_level == levels_.size())
+    if (hit_level == levels_.size()) {
+        // Only a miss of the last cache level reaches DRAM.
+        ++metrics_.level_lookups[levels_.size()];
         ++metrics_.level_hits[levels_.size()];
-    else
-        ++metrics_.level_hits[hit_level];
-
-    // Install the line in every level above (and including) the miss path.
-    install_line(line_addr, std::min(hit_level, levels_.size()));
-
-    // Next-line prefetch on a demand miss past L1.
-    if (config_.next_line_prefetch && hit_level > 0) {
-        install_line(line_addr + 1, std::min(hit_level, levels_.size()));
-        ++prefetches_;
+        fill_path(line_addr, levels_.size());
     }
+    prefetch_step(line_addr, hit_level == levels_.size());
     return hit_level;
 }
 
 void
-CacheHierarchy::install_line(std::uint64_t line_addr, std::size_t upto)
+CacheHierarchy::fill_path(std::uint64_t line_addr, std::size_t upto)
 {
     for (std::size_t li = 0; li < upto; ++li) {
-        Level& l = levels_[li];
-        const std::uint64_t set = line_addr % l.num_sets;
-        Way* base = &l.ways[set * l.assoc];
-        // Skip install if already present (prefetch of a resident line).
-        bool present = false;
-        for (unsigned w = 0; w < l.assoc; ++w) {
-            if (base[w].valid && base[w].tag == line_addr) {
-                present = true;
-                break;
-            }
+        if (li > 0 && levels_[li].policy == InclusionPolicy::kExclusive)
+            continue; // exclusive levels are filled by victims only
+        insert_line(li, line_addr, /*prefetched=*/false);
+    }
+}
+
+void
+CacheHierarchy::insert_line(std::size_t li, std::uint64_t line_addr,
+                            bool prefetched)
+{
+    Level& l = levels_[li];
+    const std::uint64_t set = line_addr % l.num_sets;
+    Way* base = &l.ways[set * l.assoc];
+    // Already present (e.g. prefetch of a resident line): refresh LRU,
+    // don't displace anything and don't count an install.
+    for (unsigned w = 0; w < l.assoc; ++w) {
+        if (base[w].valid && base[w].tag == line_addr) {
+            base[w].lru = ++l.tick;
+            return;
         }
-        if (present)
+    }
+    Way* victim = base;
+    for (unsigned w = 0; w < l.assoc; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid) {
+        const std::uint64_t victim_line = victim->tag;
+        const bool victim_prefetched = victim->prefetched;
+        ++metrics_.evictions;
+        if (l.policy == InclusionPolicy::kInclusive)
+            invalidate_inner(victim_line, li);
+        bool demoted = false;
+        if (li + 1 < levels_.size()
+            && levels_[li + 1].policy == InclusionPolicy::kExclusive) {
+            // Victim demotion: the line (and its prefetched flag) moves
+            // into the exclusive next level rather than leaving the
+            // hierarchy.
+            victim->valid = false;
+            insert_line(li + 1, victim_line, victim_prefetched);
+            demoted = true;
+        }
+        if (victim_prefetched && !demoted)
+            ++metrics_.prefetch_useless;
+    }
+    victim->valid = true;
+    victim->tag = line_addr;
+    victim->prefetched = prefetched;
+    victim->lru = ++l.tick;
+}
+
+void
+CacheHierarchy::invalidate_inner(std::uint64_t line_addr, std::size_t outer)
+{
+    for (std::size_t li = 0; li < outer; ++li) {
+        Way* w = find_way(levels_[li], line_addr);
+        if (!w)
             continue;
-        Way* victim = base;
-        for (unsigned w = 0; w < l.assoc; ++w) {
-            if (!base[w].valid) {
-                victim = &base[w];
-                break;
-            }
-            if (base[w].lru < victim->lru)
-                victim = &base[w];
+        w->valid = false;
+        ++metrics_.evictions;
+        if (w->prefetched) {
+            ++metrics_.prefetch_useless;
+            w->prefetched = false;
         }
-        if (victim->valid)
-            ++metrics_.evictions;
-        victim->valid = true;
-        victim->tag = line_addr;
-        victim->lru = ++l.tick;
+    }
+}
+
+void
+CacheHierarchy::prefetch_step(std::uint64_t line_addr, bool demand_miss)
+{
+    if (config_.prefetch == PrefetchPolicy::kNone)
+        return;
+
+    std::uint64_t target = 0;
+    bool issue = false;
+    switch (config_.prefetch) {
+    case PrefetchPolicy::kNextLine:
+        if (demand_miss) {
+            target = line_addr + 1;
+            issue = true;
+        }
+        break;
+    case PrefetchPolicy::kStride: {
+        // Train on every demand access; issue only when a demand miss
+        // continues the previously confirmed stride.
+        if (have_last_line_) {
+            const std::int64_t stride =
+                static_cast<std::int64_t>(line_addr)
+                - static_cast<std::int64_t>(last_line_);
+            if (demand_miss && have_last_stride_ && stride != 0
+                && stride == last_stride_) {
+                target = line_addr + static_cast<std::uint64_t>(stride);
+                issue = true;
+            }
+            last_stride_ = stride;
+            have_last_stride_ = true;
+        }
+        last_line_ = line_addr;
+        have_last_line_ = true;
+        break;
+    }
+    case PrefetchPolicy::kNone:
+        break;
+    }
+
+    // A prefetch of a resident line is a no-op, not an install.  Actual
+    // installs go into L1 only, flagged, so that hit/useless attribution
+    // stays exact (one flagged copy per issued prefetch).
+    if (issue && !resident_anywhere(target)) {
+        insert_line(0, target, /*prefetched=*/true);
+        ++metrics_.prefetch_installs;
     }
 }
 
@@ -182,7 +325,7 @@ CacheHierarchy::load(std::uint64_t addr, unsigned bytes)
     for (std::uint64_t line = first; line <= last; ++line) {
         const std::size_t lvl = access_line(line);
         ++metrics_.loads;
-        metrics_.total_cycles += metrics_.level_latency[lvl];
+        metrics_.total_cycles += metrics_.service_latency[lvl];
     }
 }
 
@@ -190,8 +333,10 @@ void
 CacheHierarchy::flush()
 {
     for (auto& l : levels_)
-        for (auto& w : l.ways)
+        for (auto& w : l.ways) {
             w.valid = false;
+            w.prefetched = false;
+        }
 }
 
 void
@@ -200,37 +345,56 @@ CacheHierarchy::reset_stats()
     metrics_.loads = 0;
     metrics_.total_cycles = 0;
     metrics_.evictions = 0;
+    metrics_.prefetch_installs = 0;
+    metrics_.prefetch_hits = 0;
+    metrics_.prefetch_useless = 0;
     std::fill(metrics_.level_hits.begin(), metrics_.level_hits.end(), 0);
     std::fill(metrics_.level_lookups.begin(), metrics_.level_lookups.end(),
               0);
     published_ = MemoryMetrics{};
-    published_prefetches_ = 0;
 }
 
 void
-CacheHierarchy::publish_metrics(const std::string& prefix)
+CacheHierarchy::publish_metrics(const std::string& prefix,
+                                std::uint64_t scale)
 {
     auto& reg = obs::MetricsRegistry::instance();
-    reg.counter(prefix + "/loads").add(metrics_.loads - published_.loads);
+    const auto delta = [scale](std::uint64_t now, std::uint64_t then) {
+        return (now - then) * scale;
+    };
+    reg.counter(prefix + "/loads")
+        .add(delta(metrics_.loads, published_.loads));
+    reg.counter(prefix + "/cycles")
+        .add(delta(metrics_.total_cycles, published_.total_cycles));
     reg.counter(prefix + "/evictions")
-        .add(metrics_.evictions - published_.evictions);
-    reg.counter(prefix + "/prefetches")
-        .add(prefetches_ - published_prefetches_);
-    if (published_.level_hits.empty())
+        .add(delta(metrics_.evictions, published_.evictions));
+    reg.counter(prefix + "/prefetch_installs")
+        .add(delta(metrics_.prefetch_installs,
+                   published_.prefetch_installs));
+    reg.counter(prefix + "/prefetch_hits")
+        .add(delta(metrics_.prefetch_hits, published_.prefetch_hits));
+    reg.counter(prefix + "/prefetch_useless")
+        .add(delta(metrics_.prefetch_useless, published_.prefetch_useless));
+    if (published_.level_hits.empty()) {
         published_.level_hits.assign(metrics_.level_hits.size(), 0);
+        published_.level_lookups.assign(metrics_.level_lookups.size(), 0);
+    }
     for (std::size_t i = 0; i < metrics_.level_hits.size(); ++i) {
         reg.counter(prefix + "/hits/" + metrics_.level_names[i])
-            .add(metrics_.level_hits[i] - published_.level_hits[i]);
+            .add(delta(metrics_.level_hits[i], published_.level_hits[i]));
+        reg.counter(prefix + "/lookups/" + metrics_.level_names[i])
+            .add(delta(metrics_.level_lookups[i],
+                       published_.level_lookups[i]));
         // DRAM "hits" are misses of the last cache level; surface the
         // aggregate miss count under its own name as well.
         if (i + 1 == metrics_.level_hits.size())
             reg.counter(prefix + "/misses")
-                .add(metrics_.level_hits[i] - published_.level_hits[i]);
+                .add(delta(metrics_.level_hits[i],
+                           published_.level_hits[i]));
     }
     reg.gauge(prefix + "/avg_load_latency")
         .set(metrics_.avg_load_latency());
     published_ = metrics_;
-    published_prefetches_ = prefetches_;
 }
 
 CacheTracer::CacheTracer(CacheHierarchyConfig config, unsigned sample)

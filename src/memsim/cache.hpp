@@ -8,15 +8,28 @@
  * available here, so the application kernels are instrumented to emit
  * their load addresses into this simulator instead.  Each level is
  * set-associative with LRU replacement; a load is serviced by the first
- * level that hits and the line is installed in all levels above it.
+ * level that hits and the line is installed in the levels above it
+ * (subject to the per-level inclusion policy).
  *
- * The reported metrics are proxies for VTune's:
- *  - avg_load_latency: mean service latency over all simulated loads;
- *  - levelX_bound: share of total memory cycles spent servicing loads at
- *    that level (hits_at_level * level_latency / total_cycles).
- * Like the paper's metrics these are *not* a decomposition of runtime,
- * but they respond to ordering-induced locality exactly the way the
- * paper's do: better locality shifts weight toward L1 and drops latency.
+ * Accounting model (see DESIGN.md "Memory-hierarchy model" for the spec):
+ *  - level_lookups[i] counts demand probes of level i: level 0 sees every
+ *    load, level i+1 sees exactly the misses of level i, and a DRAM
+ *    lookup happens only when the last cache level misses, so
+ *    lookups[DRAM] == lookups[L_last] - hits[L_last] holds by
+ *    construction.
+ *  - A hit at level i costs the *cumulative* lookup path: the sum of
+ *    lookup latencies of levels 0..i.  A DRAM access costs the full
+ *    cache path plus the DRAM latency.  avg_load_latency is the mean of
+ *    that service latency over all demand loads.
+ *  - bound_fraction(i) attributes each level its own lookup latency times
+ *    its lookup count; because every cycle in total_cycles is one level's
+ *    lookup latency on one probe, the fractions over {L1, ..., DRAM} sum
+ *    to exactly 1 — a true decomposition, matching VTune's boundedness
+ *    semantics.
+ *  - Prefetched lines are not demand loads: they appear in no
+ *    lookup/hit/latency counter.  Their effect is visible only through
+ *    the demand stream (converted misses) and the dedicated
+ *    prefetch_installs / prefetch_hits / prefetch_useless counters.
  */
 #pragma once
 
@@ -26,6 +39,37 @@
 
 namespace graphorder {
 
+/**
+ * Inclusion policy of one cache level with respect to the levels closer
+ * to the core (lower indices):
+ *  - kNonInclusive (default): fills propagate to every level on the miss
+ *    path; evictions at different levels are independent.  This is the
+ *    Cascade Lake L3 behaviour.
+ *  - kInclusive: the level must contain every line the inner levels
+ *    hold; evicting a line from it back-invalidates the inner copies.
+ *  - kExclusive: the level holds only victims of the level above it.  It
+ *    is skipped on the fill path, receives the inner level's evicted
+ *    lines, and a demand hit migrates the line back up (invalidating it
+ *    here).
+ */
+enum class InclusionPolicy { kNonInclusive, kInclusive, kExclusive };
+
+/**
+ * Hardware-prefetcher model.  Both policies trigger only on a *demand
+ * miss* — a demand access that no cache level services — never on L2/L3
+ * hits and never on prefetched traffic, mirroring the paper's metric
+ * semantics where DRAM-bound counts demand loads.
+ *  - kNextLine: a demand miss on line a prefetches line a+1.
+ *  - kStride: a single-stream stride detector; it trains on every demand
+ *    access and, when a demand miss continues the previously observed
+ *    stride, prefetches the next line of the stream (a + stride).
+ * Prefetched lines install into L1 only, flagged, so hit/useless
+ * attribution is exact: the first demand hit on a flagged line counts
+ * prefetch_hits, a flagged line displaced before any demand touch counts
+ * prefetch_useless.
+ */
+enum class PrefetchPolicy { kNone, kNextLine, kStride };
+
 /** Geometry and latency of one cache level. */
 struct CacheLevelConfig
 {
@@ -33,6 +77,7 @@ struct CacheLevelConfig
     std::uint64_t size_bytes = 0;
     unsigned associativity = 8;
     unsigned latency_cycles = 4;
+    InclusionPolicy policy = InclusionPolicy::kNonInclusive;
 };
 
 /** Whole-hierarchy configuration. */
@@ -41,19 +86,13 @@ struct CacheHierarchyConfig
     unsigned line_bytes = 64;
     std::vector<CacheLevelConfig> levels;
     unsigned dram_latency_cycles = 200;
-    /**
-     * Next-line prefetch: a demand miss additionally installs the
-     * following line without charging its latency.  Mirrors the paper's
-     * metric semantics, where DRAM-bound counts *demand* (not
-     * prefetched) loads, and widens the sequential-vs-random contrast
-     * exactly the way a hardware streamer does.
-     */
-    bool next_line_prefetch = false;
+    PrefetchPolicy prefetch = PrefetchPolicy::kNone;
 
     /**
      * The paper's test platform (per-core slice): L1 32 KB / 8-way / 4
      * cycles, L2 1 MB / 16-way / 14 cycles, L3 38.5 MB / 11-way / 60
-     * cycles, DRAM ~200 cycles.
+     * cycles, DRAM ~200 cycles.  All levels non-inclusive (Cascade Lake
+     * dropped the inclusive L3 of earlier generations).
      */
     static CacheHierarchyConfig cascade_lake();
 
@@ -71,26 +110,49 @@ struct CacheHierarchyConfig
     static CacheHierarchyConfig cascade_lake_scaled(double divisor);
 };
 
-/** Counters accumulated by a simulation run. */
+/** Counters accumulated by a simulation run (demand traffic only). */
 struct MemoryMetrics
 {
     std::uint64_t loads = 0;
-    /** Hits serviced per level, DRAM last. */
+    /** Demand accesses serviced per level, DRAM last. */
     std::vector<std::uint64_t> level_hits;
     std::vector<std::string> level_names;
     std::uint64_t total_cycles = 0;
     /** Valid lines displaced across all levels (demand + prefetch). */
     std::uint64_t evictions = 0;
 
+    /** Demand lookups per level: level 0 sees all loads, level i+1 the
+     *  misses of level i, DRAM only the misses of the last cache level. */
+    std::vector<std::uint64_t> level_lookups;
+    /** Per-level lookup latency (DRAM last). */
+    std::vector<unsigned> level_latency;
+    /** Cumulative service latency of a hit at level i (sum of lookup
+     *  latencies 0..i; the DRAM entry includes the full cache path). */
+    std::vector<unsigned> service_latency;
+
+    /** Prefetched lines actually installed (resident no-ops excluded). */
+    std::uint64_t prefetch_installs = 0;
+    /** Demand hits serviced by a line that prefetching brought in. */
+    std::uint64_t prefetch_hits = 0;
+    /** Prefetched lines displaced before any demand touch. */
+    std::uint64_t prefetch_useless = 0;
+
+    /** Mean demand service latency (total_cycles / loads). */
     double avg_load_latency() const;
-    /** Share of total memory cycles serviced at level @p i. */
+    /**
+     * Share of total memory cycles attributed to level @p i:
+     * level_latency[i] * level_lookups[i] / total_cycles.  Sums to
+     * exactly 1 over all levels including DRAM.
+     */
     double bound_fraction(std::size_t i) const;
     /** Miss ratio of level @p i (misses / lookups at that level). */
     double miss_ratio(std::size_t i) const;
+    /** Demand misses of level @p i (lookups minus hits). */
+    std::uint64_t misses(std::size_t i) const;
 
-    /** Lookups per level (level 0 sees all loads). */
-    std::vector<std::uint64_t> level_lookups;
-    std::vector<unsigned> level_latency;
+    /** Copy with every counter multiplied by @p factor (sampling
+     *  extrapolation; ratios like avg_load_latency are unchanged). */
+    MemoryMetrics scaled_by(std::uint64_t factor) const;
 };
 
 /** LRU set-associative multi-level cache. */
@@ -99,7 +161,8 @@ class CacheHierarchy
   public:
     explicit CacheHierarchy(CacheHierarchyConfig config);
 
-    /** Simulate a load of @p bytes at @p addr (split across lines). */
+    /** Simulate a demand load of @p bytes at @p addr (split across
+     *  lines). */
     void load(std::uint64_t addr, unsigned bytes = 8);
 
     /** Convenience for tracing real data structures. */
@@ -111,21 +174,26 @@ class CacheHierarchy
     /** Forget all cached lines but keep the counters. */
     void flush();
 
-    /** Prefetched lines installed so far (not counted as loads). */
-    std::uint64_t prefetches() const { return prefetches_; }
+    /** Prefetched lines actually installed so far (== metrics()
+     *  .prefetch_installs; resident-line no-ops are not counted). */
+    std::uint64_t prefetches() const { return metrics_.prefetch_installs; }
 
     /** Reset counters (keeps cache contents). */
     void reset_stats();
 
     /**
      * Surface this run's counters in the global obs::MetricsRegistry
-     * under `<prefix>/...`: loads, per-level hits (`hits/L1`, ...,
-     * `hits/DRAM`), evictions, prefetches, plus an `avg_load_latency`
-     * gauge.  Publishes the delta since the previous publish (counters
-     * in the registry stay monotonic across repeated calls and across
-     * multiple hierarchies sharing a prefix).
+     * under `<prefix>/...`: loads, cycles, per-level hits (`hits/L1`,
+     * ..., `hits/DRAM`) and lookups (`lookups/L1`, ...), evictions,
+     * prefetch_installs / prefetch_hits / prefetch_useless, plus an
+     * `avg_load_latency` gauge.  Publishes the delta since the previous
+     * publish, multiplied by @p scale (counters in the registry stay
+     * monotonic across repeated calls and across multiple hierarchies
+     * sharing a prefix).  @p scale is the sampling extrapolation factor
+     * used by CacheTracer.
      */
-    void publish_metrics(const std::string& prefix = "memsim");
+    void publish_metrics(const std::string& prefix = "memsim",
+                         std::uint64_t scale = 1);
 
     const MemoryMetrics& metrics() const { return metrics_; }
     const CacheHierarchyConfig& config() const { return config_; }
@@ -136,30 +204,52 @@ class CacheHierarchy
         std::uint64_t tag = ~0ULL;
         std::uint64_t lru = 0;
         bool valid = false;
+        /** Brought in by the prefetcher and not demand-touched yet. */
+        bool prefetched = false;
     };
     struct Level
     {
         std::uint64_t num_sets = 0;
         unsigned assoc = 0;
         unsigned latency = 0;
+        InclusionPolicy policy = InclusionPolicy::kNonInclusive;
         std::uint64_t tick = 0;
         std::vector<Way> ways; // num_sets * assoc
     };
 
-    /** Access one line; returns index of the servicing level (levels.size()
-     *  == DRAM). */
+    /** Demand access of one line with full accounting; returns index of
+     *  the servicing level (levels_.size() == DRAM). */
     std::size_t access_line(std::uint64_t line_addr);
 
-    /** Install @p line_addr into levels [0, upto) without accounting. */
-    void install_line(std::uint64_t line_addr, std::size_t upto);
+    Way* find_way(Level& l, std::uint64_t line_addr);
+    bool resident_anywhere(std::uint64_t line_addr) const;
+
+    /** Install @p line_addr into levels [0, upto), skipping exclusive
+     *  levels (they are filled by victims only). */
+    void fill_path(std::uint64_t line_addr, std::size_t upto);
+
+    /** Install one line into level @p li, evicting a victim if needed
+     *  (inclusive back-invalidation, exclusive victim demotion). */
+    void insert_line(std::size_t li, std::uint64_t line_addr,
+                     bool prefetched);
+
+    /** Drop @p line_addr from levels [0, outer) (inclusive eviction). */
+    void invalidate_inner(std::uint64_t line_addr, std::size_t outer);
+
+    /** Run the prefetcher after a demand access (issues only on a full
+     *  demand miss). */
+    void prefetch_step(std::uint64_t line_addr, bool demand_miss);
 
     CacheHierarchyConfig config_;
     std::vector<Level> levels_;
     MemoryMetrics metrics_;
-    std::uint64_t prefetches_ = 0;
+    /** Stride-detector state (kStride policy). */
+    std::uint64_t last_line_ = 0;
+    std::int64_t last_stride_ = 0;
+    bool have_last_line_ = false;
+    bool have_last_stride_ = false;
     /** Snapshot at the last publish_metrics() call (delta baseline). */
     MemoryMetrics published_;
-    std::uint64_t published_prefetches_ = 0;
 };
 
 /**
@@ -173,7 +263,13 @@ class AccessTracer
     virtual void load(const void* addr, unsigned bytes) = 0;
 };
 
-/** Tracer feeding a CacheHierarchy, optionally sampling 1-in-k calls. */
+/**
+ * Tracer feeding a CacheHierarchy, optionally sampling 1-in-k calls.
+ * Reported metrics are extrapolated back by the sampling factor, so
+ * loads/cycles from a sampled run are comparable to an unsampled one
+ * (ratios such as avg_load_latency and bound fractions are unaffected by
+ * the uniform scaling).
+ */
 class CacheTracer : public AccessTracer
 {
   public:
@@ -181,13 +277,19 @@ class CacheTracer : public AccessTracer
 
     void load(const void* addr, unsigned bytes) override;
 
-    /** See CacheHierarchy::publish_metrics(). */
+    /** See CacheHierarchy::publish_metrics(); deltas are scaled by the
+     *  sampling factor. */
     void publish_metrics(const std::string& prefix = "memsim")
     {
-        cache_.publish_metrics(prefix);
+        cache_.publish_metrics(prefix, sample_);
     }
 
-    const MemoryMetrics& metrics() const { return cache_.metrics(); }
+    /** Metrics extrapolated by the sampling factor.  For the raw
+     *  (unscaled) simulated counters use cache().metrics(). */
+    MemoryMetrics metrics() const
+    {
+        return cache_.metrics().scaled_by(sample_);
+    }
     CacheHierarchy& cache() { return cache_; }
 
   private:

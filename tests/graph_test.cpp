@@ -12,6 +12,7 @@
 #include "graph/io.hpp"
 #include "graph/stats.hpp"
 #include "graph/traversal.hpp"
+#include "obs/metrics.hpp"
 #include "testutil.hpp"
 #include "util/rng.hpp"
 
@@ -344,6 +345,65 @@ TEST(Io, MetisBadHeaderThrows)
 {
     std::stringstream ss("not a header\n");
     EXPECT_THROW(read_metis(ss), std::runtime_error);
+}
+
+TEST(Io, MetisSingleListingKeepsAllEdges)
+{
+    // The METIS spec lists every edge on both endpoints, but real files
+    // often list each edge only once.  Here the path 0-1-2 is listed only
+    // on the higher-numbered endpoint of each edge; the reader used to
+    // drop these edges silently.
+    std::stringstream ss("3 2\n\n1\n2\n");
+    const auto g = read_metis(ss);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.num_edges(), 2u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Io, MetisHeaderMismatchBumpsCounter)
+{
+    auto& counter = obs::MetricsRegistry::instance().counter(
+        "io/metis/header_mismatch");
+    const auto before = counter.value();
+    // Header claims 5 edges; the adjacency lines hold one.
+    std::stringstream ss("2 5\n2\n1\n");
+    const auto g = read_metis(ss);
+    EXPECT_EQ(g.num_edges(), 1u); // parsed count wins
+    EXPECT_EQ(counter.value(), before + 1);
+
+    // A consistent file must not touch the counter.
+    std::stringstream ok("2 1\n2\n1\n");
+    read_metis(ok);
+    EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(Io, EdgeListCountsMalformedAndSelfLoops)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    const auto malformed_before =
+        reg.counter("io/edge_list/malformed_lines").value();
+    const auto loops_before =
+        reg.counter("io/edge_list/self_loops").value();
+    std::stringstream ss("1 2\nbogus line\n3 3\n2 3\n");
+    const auto g = read_edge_list(ss);
+    EXPECT_EQ(g.num_vertices(), 3u);
+    EXPECT_EQ(g.num_edges(), 2u); // 1-2 and 2-3 survive
+    EXPECT_EQ(reg.counter("io/edge_list/malformed_lines").value(),
+              malformed_before + 1);
+    EXPECT_EQ(reg.counter("io/edge_list/self_loops").value(),
+              loops_before + 1);
+}
+
+TEST(Io, EdgeListWeightedMissingWeightThrows)
+{
+    std::stringstream ok("1 2 2.5\n2 3 1.5\n");
+    const auto g = read_edge_list(ok, true);
+    ASSERT_TRUE(g.weighted());
+    EXPECT_EQ(g.num_edges(), 2u);
+
+    std::stringstream bad("1 2 2.5\n2 3\n");
+    EXPECT_THROW(read_edge_list(bad, true), std::runtime_error);
 }
 
 } // namespace

@@ -1,8 +1,16 @@
 /**
  * @file
  * Tests of the cache-hierarchy simulator that stands in for VTune.
+ *
+ * The tiny_test() hierarchy used throughout: L1 = 4 lines direct-mapped,
+ * 1-cycle lookup; L2 = 16 lines 2-way, 10-cycle lookup; DRAM 100 cycles.
+ * Cumulative service latencies are therefore L1 = 1, L2 = 11, DRAM = 111.
  */
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "memsim/cache.hpp"
 
@@ -21,15 +29,87 @@ TEST(Cache, FirstTouchMissesThenHits)
     EXPECT_EQ(m.level_hits.back(), 1u); // DRAM
 }
 
-TEST(Cache, LatencyAccounting)
+TEST(Cache, LatencyAccountingIsCumulative)
 {
-    // tiny_test: L1=1, L2=10, DRAM=100.
+    // A hit costs the whole lookup path down to the servicing level:
+    // DRAM = 1 + 10 + 100 = 111, L1 = 1.
     CacheHierarchy c(CacheHierarchyConfig::tiny_test());
-    c.load(0);   // DRAM: 100
+    c.load(0);   // DRAM: 111
     c.load(0);   // L1: 1
     const auto& m = c.metrics();
-    EXPECT_EQ(m.total_cycles, 101u);
-    EXPECT_DOUBLE_EQ(m.avg_load_latency(), 101.0 / 2.0);
+    EXPECT_EQ(m.total_cycles, 112u);
+    EXPECT_DOUBLE_EQ(m.avg_load_latency(), 112.0 / 2.0);
+    ASSERT_EQ(m.service_latency.size(), 3u);
+    EXPECT_EQ(m.service_latency[0], 1u);
+    EXPECT_EQ(m.service_latency[1], 11u);
+    EXPECT_EQ(m.service_latency[2], 111u);
+}
+
+TEST(Cache, GoldenTraceTinyHierarchy)
+{
+    // Hand-simulated four-load trace on tiny_test.
+    //   load 0   : L1 miss, L2 miss -> DRAM; installs line 0 in L1+L2.
+    //   load 0   : L1 hit.
+    //   load 256 : line 4 conflicts with line 0 in L1 set 0 and misses
+    //              L2 set 4 -> DRAM; evicts line 0 from L1.
+    //   load 0   : L1 miss (set 0 holds line 4), L2 hit; refills L1,
+    //              evicting line 4.
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);
+    c.load(0);
+    c.load(256);
+    c.load(0);
+    const auto& m = c.metrics();
+
+    EXPECT_EQ(m.loads, 4u);
+    ASSERT_EQ(m.level_hits.size(), 3u);
+    EXPECT_EQ(m.level_hits[0], 1u);
+    EXPECT_EQ(m.level_hits[1], 1u);
+    EXPECT_EQ(m.level_hits[2], 2u);
+    EXPECT_EQ(m.level_lookups[0], 4u);
+    EXPECT_EQ(m.level_lookups[1], 3u);
+    EXPECT_EQ(m.level_lookups[2], 2u);
+    EXPECT_EQ(m.evictions, 2u);
+
+    // Cycles: 111 (DRAM) + 1 (L1) + 111 (DRAM) + 11 (L2) = 234.
+    EXPECT_EQ(m.total_cycles, 234u);
+    EXPECT_DOUBLE_EQ(m.avg_load_latency(), 234.0 / 4.0);
+
+    // Exact per-level cycle attribution: latency[i] * lookups[i].
+    EXPECT_NEAR(m.bound_fraction(0), 4.0 / 234.0, 1e-12);
+    EXPECT_NEAR(m.bound_fraction(1), 30.0 / 234.0, 1e-12);
+    EXPECT_NEAR(m.bound_fraction(2), 200.0 / 234.0, 1e-12);
+    const double sum = m.bound_fraction(0) + m.bound_fraction(1)
+        + m.bound_fraction(2);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+
+    // Exact miss ratios from the lookup counters.
+    EXPECT_DOUBLE_EQ(m.miss_ratio(0), 3.0 / 4.0);
+    EXPECT_DOUBLE_EQ(m.miss_ratio(1), 2.0 / 3.0);
+    EXPECT_EQ(m.misses(0), 3u);
+    EXPECT_EQ(m.misses(1), 2u);
+}
+
+TEST(Cache, DramLookupsEqualLastLevelMisses)
+{
+    // Regression: DRAM used to be probed on every load.  A DRAM lookup
+    // must happen only when the last cache level misses, so the identity
+    // lookups[DRAM] == lookups[L_last] - hits[L_last] holds on any trace.
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    std::uint64_t a = 1;
+    for (int i = 0; i < 500; ++i) {
+        a = a * 6364136223846793005ULL + 1442695040888963407ULL;
+        c.load(a % (1ULL << 14));
+    }
+    const auto& m = c.metrics();
+    const std::size_t last = m.level_hits.size() - 2; // last cache level
+    EXPECT_EQ(m.level_lookups.back(),
+              m.level_lookups[last] - m.level_hits[last]);
+    // Same filtering property one level up.
+    EXPECT_EQ(m.level_lookups[1], m.level_lookups[0] - m.level_hits[0]);
+    // Every load probes L1; DRAM "hits" are exactly its lookups.
+    EXPECT_EQ(m.level_lookups[0], m.loads);
+    EXPECT_EQ(m.level_hits.back(), m.level_lookups.back());
 }
 
 TEST(Cache, DirectMappedConflictEviction)
@@ -72,17 +152,22 @@ TEST(Cache, SequentialBeatsRandomStride)
               rnd.metrics().avg_load_latency());
 }
 
-TEST(Cache, BoundFractionsReflectServiceLevel)
+TEST(Cache, BoundFractionsDecomposeTotalCycles)
 {
     CacheHierarchy c(CacheHierarchyConfig::tiny_test());
-    c.load(0);
-    for (int i = 0; i < 99; ++i)
+    for (int i = 0; i < 100; ++i)
         c.load(0);
     const auto& m = c.metrics();
-    // 1 DRAM access (100 cycles) + 99 L1 hits (99 cycles).
-    EXPECT_NEAR(m.bound_fraction(0), 99.0 / 199.0, 1e-12);
-    EXPECT_NEAR(m.bound_fraction(m.level_hits.size() - 1), 100.0 / 199.0,
-                1e-12);
+    // 1 DRAM access (111 cycles) + 99 L1 hits: total 210 cycles, with
+    // lookups L1=100, L2=1, DRAM=1.
+    EXPECT_EQ(m.total_cycles, 210u);
+    EXPECT_NEAR(m.bound_fraction(0), 100.0 / 210.0, 1e-12);
+    EXPECT_NEAR(m.bound_fraction(1), 10.0 / 210.0, 1e-12);
+    EXPECT_NEAR(m.bound_fraction(2), 100.0 / 210.0, 1e-12);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m.level_hits.size(); ++i)
+        sum += m.bound_fraction(i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
 }
 
 TEST(Cache, MissRatioPerLevel)
@@ -120,7 +205,7 @@ TEST(Cache, CascadeLakeGeometry)
     EXPECT_EQ(cfg.levels[2].name, "L3");
 }
 
-TEST(Tracer, SamplingReducesTrafficProportionally)
+TEST(Tracer, SamplingExtrapolatesCounters)
 {
     CacheTracer full(CacheHierarchyConfig::tiny_test(), 1);
     CacheTracer sampled(CacheHierarchyConfig::tiny_test(), 4);
@@ -130,35 +215,150 @@ TEST(Tracer, SamplingReducesTrafficProportionally)
         sampled.load(&x, 4);
     }
     EXPECT_EQ(full.metrics().loads, 1000u);
-    EXPECT_EQ(sampled.metrics().loads, 250u);
+    // 250 simulated loads, reported scaled back by the sampling factor.
+    EXPECT_EQ(sampled.cache().metrics().loads, 250u);
+    EXPECT_EQ(sampled.metrics().loads, 1000u);
+}
+
+TEST(Tracer, SampledMetricsTrackUnsampledWithinFivePercent)
+{
+    // A mixed hot/cold stream: every third access goes to a 4 KB hot
+    // region (L1-resident), the rest stride through a 64 MB region with
+    // effectively unique lines (cold misses either way).  The sampled
+    // simulation sees a quarter of the stream; extrapolated loads and
+    // cycles must land within 5% of the unsampled reference.
+    const auto cfg = CacheHierarchyConfig::cascade_lake();
+    CacheTracer full(cfg, 1);
+    CacheTracer sampled(cfg, 4);
+    for (std::uint64_t i = 0; i < 100000; ++i) {
+        std::uint64_t a = (i * 2654435761ULL) % (1ULL << 26);
+        if (i % 3 == 0)
+            a %= 4096;
+        full.load(reinterpret_cast<const void*>(a), 4);
+        sampled.load(reinterpret_cast<const void*>(a), 4);
+    }
+    const auto mf = full.metrics();
+    const auto ms = sampled.metrics();
+    ASSERT_GT(mf.loads, 0u);
+    const double load_err =
+        std::abs(static_cast<double>(ms.loads)
+                 - static_cast<double>(mf.loads))
+        / static_cast<double>(mf.loads);
+    const double cycle_err =
+        std::abs(static_cast<double>(ms.total_cycles)
+                 - static_cast<double>(mf.total_cycles))
+        / static_cast<double>(mf.total_cycles);
+    EXPECT_LE(load_err, 0.05);
+    EXPECT_LE(cycle_err, 0.05);
+}
+
+TEST(Metrics, ScaledByPreservesRatios)
+{
+    CacheHierarchy c(CacheHierarchyConfig::tiny_test());
+    c.load(0);
+    c.load(0);
+    c.load(256);
+    const auto& m = c.metrics();
+    const auto s = m.scaled_by(4);
+    EXPECT_EQ(s.loads, 4 * m.loads);
+    EXPECT_EQ(s.total_cycles, 4 * m.total_cycles);
+    EXPECT_EQ(s.level_lookups[0], 4 * m.level_lookups[0]);
+    EXPECT_DOUBLE_EQ(s.avg_load_latency(), m.avg_load_latency());
+    for (std::size_t i = 0; i < m.level_hits.size(); ++i)
+        EXPECT_DOUBLE_EQ(s.bound_fraction(i), m.bound_fraction(i));
 }
 
 TEST(Cache, PrefetchTurnsSequentialMissesIntoHits)
 {
     auto cfg = CacheHierarchyConfig::tiny_test();
     CacheHierarchy plain(cfg);
-    cfg.next_line_prefetch = true;
+    cfg.prefetch = PrefetchPolicy::kNextLine;
     CacheHierarchy pref(cfg);
     for (std::uint64_t i = 0; i < 64; ++i) {
         plain.load(i * 64);
         pref.load(i * 64);
     }
-    // Streaming access: the prefetcher converts most demand misses.
+    // Streaming access: the prefetcher converts every other demand miss.
     EXPECT_LT(pref.metrics().level_hits.back(),
               plain.metrics().level_hits.back());
     EXPECT_GT(pref.prefetches(), 0u);
+    EXPECT_GT(pref.metrics().prefetch_hits, 0u);
     EXPECT_LT(pref.metrics().avg_load_latency(),
               plain.metrics().avg_load_latency());
 }
 
-TEST(Cache, PrefetchDoesNotChangeLoadCount)
+TEST(Cache, PrefetchTrafficInvisibleInDemandCounters)
 {
     auto cfg = CacheHierarchyConfig::tiny_test();
-    cfg.next_line_prefetch = true;
+    cfg.prefetch = PrefetchPolicy::kNextLine;
     CacheHierarchy c(cfg);
     for (std::uint64_t i = 0; i < 32; ++i)
         c.load(i * 64);
-    EXPECT_EQ(c.metrics().loads, 32u); // prefetches are not loads
+    const auto& m = c.metrics();
+    EXPECT_EQ(m.loads, 32u); // prefetches are not loads
+    EXPECT_EQ(m.level_lookups[0], 32u); // and probe no level
+    // Demand cycles only: every serviced load is one of the 32.
+    std::uint64_t serviced = 0;
+    for (auto h : m.level_hits)
+        serviced += h;
+    EXPECT_EQ(serviced, 32u);
+}
+
+TEST(Cache, PrefetchFiresOnlyOnFullDemandMiss)
+{
+    // Regression: the prefetcher used to fire on any L1 miss, including
+    // accesses that L2/L3 service.  It must fire only when the access
+    // goes all the way to DRAM.
+    auto cfg = CacheHierarchyConfig::tiny_test();
+    cfg.prefetch = PrefetchPolicy::kNextLine;
+    CacheHierarchy c(cfg);
+    c.load(0);   // full miss: prefetches line 1          (installs = 1)
+    c.load(0);   // L1 hit: no prefetch
+    c.load(256); // full miss: prefetches line 5, which
+                 // displaces untouched line 1 in L1 set 1 (installs = 2)
+    const auto before = c.metrics().prefetch_installs;
+    c.load(0);   // L1 miss but L2 hit: must NOT prefetch
+    const auto& m = c.metrics();
+    EXPECT_EQ(m.prefetch_installs, before);
+    EXPECT_EQ(m.prefetch_installs, 2u);
+    EXPECT_EQ(m.level_hits[1], 1u); // the gating access was an L2 hit
+    EXPECT_EQ(m.prefetch_useless, 1u); // line 1, displaced untouched
+}
+
+TEST(Cache, PrefetchOfResidentLineIsNotAnInstall)
+{
+    // Single fully-associative level so nothing is ever displaced.
+    CacheHierarchyConfig cfg;
+    cfg.levels = {{"L1", 64ULL * 64, 64, 1, InclusionPolicy::kNonInclusive}};
+    cfg.dram_latency_cycles = 100;
+    cfg.prefetch = PrefetchPolicy::kNextLine;
+    CacheHierarchy c(cfg);
+    c.load(6 * 64); // miss: installs prefetched line 7   (installs = 1)
+    c.load(5 * 64); // miss: prefetch target 6 is already resident
+    EXPECT_EQ(c.metrics().prefetch_installs, 1u);
+    c.load(7 * 64); // demand-touches the prefetched line
+    EXPECT_EQ(c.metrics().prefetch_hits, 1u);
+    EXPECT_EQ(c.metrics().prefetch_useless, 0u);
+}
+
+TEST(Cache, StridePrefetcherDetectsConstantStride)
+{
+    auto cfg = CacheHierarchyConfig::tiny_test();
+    CacheHierarchy plain(cfg);
+    cfg.prefetch = PrefetchPolicy::kStride;
+    CacheHierarchy pref(cfg);
+    // Lines 0, 3, 6, ..., 57: a constant stride of 3 lines that the
+    // next-line policy would never cover.
+    for (std::uint64_t i = 0; i < 20; ++i) {
+        plain.load(i * 3 * 64);
+        pref.load(i * 3 * 64);
+    }
+    EXPECT_EQ(plain.metrics().level_hits.back(), 20u); // all cold misses
+    // The detector needs two misses to confirm the stride, then
+    // alternates: miss at 6k+6 issues the prefetch that the access at
+    // 6k+9 hits.
+    EXPECT_EQ(pref.metrics().prefetch_hits, 9u);
+    EXPECT_EQ(pref.metrics().level_hits.back(), 11u);
 }
 
 TEST(Cache, PrefetchOffByDefault)
@@ -167,6 +367,54 @@ TEST(Cache, PrefetchOffByDefault)
     c.load(0);
     c.load(4096);
     EXPECT_EQ(c.prefetches(), 0u);
+}
+
+TEST(Cache, InclusiveEvictionBackInvalidates)
+{
+    // L1: 8 lines direct-mapped; L2: 4 lines direct-mapped, inclusive.
+    // Evicting a line from L2 must also drop the L1 copy.
+    CacheHierarchyConfig cfg;
+    cfg.levels = {{"L1", 8ULL * 64, 1, 1, InclusionPolicy::kNonInclusive},
+                  {"L2", 4ULL * 64, 1, 10, InclusionPolicy::kInclusive}};
+    cfg.dram_latency_cycles = 100;
+    CacheHierarchy incl(cfg);
+    incl.load(0 * 64); // line 0 -> L1 set 0, L2 set 0
+    incl.load(4 * 64); // line 4 -> L2 set 0 evicts line 0, and with it
+                       // the L1 copy (L1 sets 0 and 4 do not conflict)
+    incl.load(0 * 64); // must go to DRAM again
+    EXPECT_EQ(incl.metrics().level_hits.back(), 3u);
+    EXPECT_EQ(incl.metrics().level_hits[0], 0u);
+
+    // Control: with a non-inclusive L2 the L1 copy survives.
+    cfg.levels[1].policy = InclusionPolicy::kNonInclusive;
+    CacheHierarchy plain(cfg);
+    plain.load(0 * 64);
+    plain.load(4 * 64);
+    plain.load(0 * 64);
+    EXPECT_EQ(plain.metrics().level_hits.back(), 2u);
+    EXPECT_EQ(plain.metrics().level_hits[0], 1u);
+}
+
+TEST(Cache, ExclusiveLevelHoldsVictimsOnly)
+{
+    // L1: 4 lines direct-mapped; L2: 8 lines direct-mapped, exclusive.
+    CacheHierarchyConfig cfg;
+    cfg.levels = {{"L1", 4ULL * 64, 1, 1, InclusionPolicy::kNonInclusive},
+                  {"L2", 8ULL * 64, 1, 10, InclusionPolicy::kExclusive}};
+    cfg.dram_latency_cycles = 100;
+    CacheHierarchy c(cfg);
+    c.load(0);   // DRAM; fills L1 only (exclusive L2 skipped on fill)
+    c.load(0);   // L1 hit
+    c.load(256); // line 4 conflicts: line 0 demoted into L2, DRAM fill
+    c.load(0);   // L2 hit: migrates back to L1, demoting line 4
+    c.load(256); // L2 hit on the demoted victim
+    const auto& m = c.metrics();
+    EXPECT_EQ(m.level_hits[0], 1u);
+    EXPECT_EQ(m.level_hits[1], 2u);
+    EXPECT_EQ(m.level_hits.back(), 2u); // only the two cold misses
+    EXPECT_EQ(m.level_lookups[0], 5u);
+    EXPECT_EQ(m.level_lookups[1], 4u);
+    EXPECT_EQ(m.level_lookups.back(), 2u);
 }
 
 TEST(Cache, BadLineSizeThrows)
