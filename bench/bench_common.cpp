@@ -116,6 +116,15 @@ print_header(const std::string& figure, const std::string& what,
     std::printf("==========================================================\n\n");
 }
 
+ImmOptions
+influence_figure_options(const BenchOptions& opt)
+{
+    ImmOptions io;
+    io.edge_probability = 0.25; // the paper's IC activation probability
+    io.seed = opt.seed;
+    return io;
+}
+
 MemoryMetrics
 trace_neighbor_scan(const Csr& g, const CacheHierarchyConfig& cfg,
                     const std::string& publish_prefix)

@@ -30,6 +30,7 @@
 
 #include "gen/datasets.hpp"
 #include "graph/csr.hpp"
+#include "influence/imm.hpp"
 #include "memsim/cache.hpp"
 #include "order/scheme.hpp"
 #include "util/perf_profile.hpp"
@@ -92,6 +93,14 @@ using MetricFn =
 ProfileInput cost_matrix(const std::vector<Instance>& instances,
                          const std::vector<OrderingScheme>& schemes,
                          const MetricFn& metric, std::uint64_t seed);
+
+/**
+ * IMM options shared by the influence figures (11/12): Independent
+ * Cascade at the paper's p = 0.25, seeded from --seed.  Figure binaries
+ * layer their figure-specific knobs (k, epsilon, sample caps, tracer)
+ * on top.
+ */
+ImmOptions influence_figure_options(const BenchOptions& opt);
 
 /**
  * Replay the canonical bandwidth kernel — a sequential CSR neighbor scan

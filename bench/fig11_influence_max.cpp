@@ -35,19 +35,18 @@ main(int argc, char** argv)
 
     Table t("IMM (IC, p=0.25, k=10) per (instance, ordering)");
     t.header({"instance", "ordering", "total(s)", "sampling(s)",
-              "throughput(RRR/s)", "RRR sets", "avg|RRR|", "spread"});
+              "selection(s)", "throughput(RRR/s)", "RRR sets", "avg|RRR|",
+              "spread"});
     for (const auto& inst : instances) {
         for (const auto& s : schemes) {
             std::fprintf(stderr, "[fig11] %s / %s ...\n",
                          inst.spec->name.c_str(), s.name.c_str());
             const auto pi = s.run(inst.graph, opt.seed);
             const auto h = apply_permutation(inst.graph, pi);
-            ImmOptions iopt;
+            ImmOptions iopt = influence_figure_options(opt);
             iopt.num_seeds = 10;
-            iopt.edge_probability = 0.25;
             iopt.epsilon = 2.0;       // relaxed for single-node runtime
             iopt.max_samples = 1200;  // cap (documented above)
-            iopt.seed = opt.seed;
             const auto res = imm(h, iopt);
             const double avg_sz = res.stats.num_rrr_sets
                 ? double(res.stats.total_visited)
@@ -56,6 +55,7 @@ main(int argc, char** argv)
             t.row({inst.spec->name, s.name,
                    Table::num(res.stats.total_time_s, 3),
                    Table::num(res.stats.sampling_time_s, 3),
+                   Table::num(res.stats.selection_time_s, 4),
                    Table::num(res.stats.sampling_throughput(), 0),
                    Table::num(res.stats.num_rrr_sets),
                    Table::num(avg_sz, 0),

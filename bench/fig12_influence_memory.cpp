@@ -5,7 +5,10 @@
  * instance, under the four application orderings.
  *
  * VTune substitute: the stochastic-BFS loads (frontier, adjacency,
- * visited flags) are replayed into the scaled cache hierarchy.
+ * visited flags) are replayed into the scaled cache hierarchy.  A
+ * second side-table replays the CELF selection engine's coverage scans
+ * (inverted-index entries + covered flags at their real arena/index
+ * addresses) — a phase the paper folds into "rest of IMM".
  *
  * Paper findings: degree sort and grappolo lift the share of loads
  * serviced by L1, yet sit at opposite ends of the throughput spectrum —
@@ -16,6 +19,7 @@
 #include "bench_common.hpp"
 #include "graph/permutation.hpp"
 #include "influence/imm.hpp"
+#include "influence/rrr.hpp"
 #include "memsim/cache.hpp"
 
 using namespace graphorder;
@@ -38,16 +42,17 @@ main(int argc, char** argv)
     Table t("RRR-generation memory metrics");
     t.header({"ordering", "latency(cyc)", "L1%", "L2%", "L3%", "DRAM%",
               "loads(M)"});
+    Table ts("CELF selection memory metrics (k=10)");
+    ts.header({"ordering", "latency(cyc)", "L1%", "L2%", "L3%", "DRAM%",
+               "loads(K)"});
     for (const auto& s : application_schemes()) {
         const auto pi = s.run(g, opt.seed);
         const auto h = apply_permutation(g, pi);
         CacheTracer tracer(cache_cfg);
-        ImmOptions iopt;
-        iopt.edge_probability = 0.25;
-        iopt.seed = opt.seed;
+        ImmOptions iopt = influence_figure_options(opt);
         iopt.tracer = &tracer;
-        std::vector<std::vector<vid_t>> sets;
-        sample_rrr_sets(h, iopt, 400, sets);
+        RrrArena arena;
+        sample_rrr_sets(h, iopt, 400, arena);
         tracer.publish_metrics("memsim/fig12");
         const auto m = tracer.metrics();
         t.row({s.name, Table::num(m.avg_load_latency(), 1),
@@ -56,7 +61,26 @@ main(int argc, char** argv)
                Table::num(100.0 * m.bound_fraction(2), 0),
                Table::num(100.0 * m.bound_fraction(3), 0),
                Table::num(static_cast<double>(m.loads) / 1e6, 1)});
+
+        // Selection replay on a fresh hierarchy: coverage-index build
+        // is untraced (parallel), the CELF scans are.
+        CacheTracer sel_tracer(cache_cfg);
+        CoverageIndex index;
+        index.reset(h.num_vertices());
+        index.extend(arena);
+        double frac = 0.0;
+        SelectionStats st;
+        celf_select(arena, index, 10, &frac, &st, &sel_tracer);
+        sel_tracer.publish_metrics("memsim/fig12_selection");
+        const auto ms = sel_tracer.metrics();
+        ts.row({s.name, Table::num(ms.avg_load_latency(), 1),
+                Table::num(100.0 * ms.bound_fraction(0), 0),
+                Table::num(100.0 * ms.bound_fraction(1), 0),
+                Table::num(100.0 * ms.bound_fraction(2), 0),
+                Table::num(100.0 * ms.bound_fraction(3), 0),
+                Table::num(static_cast<double>(ms.loads) / 1e3, 1)});
     }
     t.print();
+    ts.print();
     return 0;
 }

@@ -54,36 +54,81 @@ struct LouvainLevel
     std::vector<weight_t> self_loop; ///< collapsed internal weight per vertex
 };
 
-/** Exact modularity of the level graph under assignment @p comm. */
+/**
+ * Exact modularity of the level graph under assignment @p comm.
+ *
+ * Evaluated once per iteration, so the O(m) edge scan is parallelized
+ * with the same deterministic chunk-ordered FP reduction as the gap
+ * measures: block boundaries depend only on n, partials combine in
+ * block order — bit-identical at any thread count.  The internal-weight
+ * term only ever enters q as a whole-graph sum, so it needs no
+ * per-community table; the Σ tot_c² term accumulates per-block
+ * community-weight tables that are merged per community in block order.
+ */
 double
 level_modularity(const LouvainLevel& lvl, const std::vector<vid_t>& comm,
                  double two_m)
 {
-    const vid_t n = lvl.graph.num_vertices();
-    std::vector<double> in_c, tot_c;
-    vid_t k = 0;
-    for (vid_t c : comm)
-        k = std::max(k, static_cast<vid_t>(c + 1));
-    in_c.assign(k, 0.0);
-    tot_c.assign(k, 0.0);
-    for (vid_t v = 0; v < n; ++v) {
-        const double kv =
-            lvl.graph.weighted_degree(v) + 2.0 * lvl.self_loop[v];
-        tot_c[comm[v]] += kv;
-        in_c[comm[v]] += 2.0 * lvl.self_loop[v];
-        const auto nbrs = lvl.graph.neighbors(v);
-        const auto ws = lvl.graph.neighbor_weights(v);
-        for (std::size_t i = 0; i < nbrs.size(); ++i)
-            if (comm[nbrs[i]] == comm[v])
-                in_c[comm[v]] += ws.empty() ? 1.0 : ws[i];
+    const Csr& g = lvl.graph;
+    const std::size_t n = g.num_vertices();
+    if (n == 0)
+        return 0.0;
+
+    // Σ_c in_c — the O(m) hot scan — as a flat per-vertex sum.
+    const double in_sum = chunk_ordered_reduce<double>(
+        n, 2048, [&](std::size_t lo, std::size_t hi) {
+            double s = 0.0;
+            for (std::size_t sv = lo; sv < hi; ++sv) {
+                const vid_t v = static_cast<vid_t>(sv);
+                s += 2.0 * lvl.self_loop[v];
+                const auto nbrs = g.neighbors(v);
+                const auto ws = g.neighbor_weights(v);
+                for (std::size_t i = 0; i < nbrs.size(); ++i)
+                    if (comm[nbrs[i]] == comm[v])
+                        s += ws.empty() ? 1.0 : ws[i];
+            }
+            return s;
+        });
+
+    // Per-community totals.  Community ids are level vertex ids, so the
+    // tables are n wide; the block count is kept small to bound the
+    // tables' footprint, and each community is summed across blocks in
+    // block order (deterministic for any team size).
+    const std::size_t tb =
+        num_blocks(n, std::max<std::size_t>(4096, n / 8), 16);
+    std::vector<std::vector<double>> part(tb);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < tb; ++b) {
+        const auto [lo, hi] = block_range(n, tb, b);
+        std::vector<double> t(n, 0.0);
+        for (std::size_t sv = lo; sv < hi; ++sv) {
+            const vid_t v = static_cast<vid_t>(sv);
+            t[comm[v]] +=
+                g.weighted_degree(v) + 2.0 * lvl.self_loop[v];
+        }
+        part[b] = std::move(t);
     }
-    double q = 0.0;
-    for (vid_t c = 0; c < k; ++c) {
-        q += in_c[c] / two_m;
-        const double f = tot_c[c] / two_m;
-        q -= f * f;
+    std::vector<double> tot_c(n, 0.0);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t c = 0; c < n; ++c) {
+        double s = 0.0;
+        for (std::size_t b = 0; b < tb; ++b)
+            s += part[b][c];
+        tot_c[c] = s;
     }
-    return q;
+
+    const double tot_sq = chunk_ordered_reduce<double>(
+        n, 4096, [&](std::size_t lo, std::size_t hi) {
+            double s = 0.0;
+            for (std::size_t c = lo; c < hi; ++c) {
+                const double f = tot_c[c] / two_m;
+                s += f * f;
+            }
+            return s;
+        });
+    return in_sum / two_m - tot_sq;
 }
 
 /**

@@ -17,6 +17,9 @@ namespace graphorder {
 
 namespace {
 
+/** Multiplier keying per-sample / per-trial RNG streams off the index. */
+constexpr std::uint64_t kStreamMix = 0x9E3779B97F4A7C15ULL;
+
 /**
  * One RRR set: stochastic reverse BFS from @p root.  On an undirected
  * graph reverse reachability equals forward reachability, so this is a
@@ -86,51 +89,81 @@ log_binomial(double n, double k)
 
 void
 sample_rrr_sets(const Csr& g, const ImmOptions& opt, std::uint64_t count,
-                std::vector<std::vector<vid_t>>& sets,
-                std::uint64_t stream_offset)
+                RrrArena& arena, std::uint64_t stream_offset)
 {
     const vid_t n = g.num_vertices();
     if (n == 0 || count == 0)
         return;
     GO_TRACE_SCOPE("imm/sample_rrr_sets");
-    const std::size_t base = sets.size();
-    sets.resize(base + count);
 
     const bool traced = opt.tracer != nullptr;
     // opt.num_threads == 0 falls back to the shared --threads /
     // GRAPHORDER_THREADS knob (util/parallel.hpp).
     const int threads = traced ? 1 : resolve_threads(opt.num_threads);
 
+    // Block decomposition of the sample range: blocks generate into
+    // private flat buffers that are concatenated into the arena in
+    // block order, so the layout depends only on the per-sample RNG
+    // streams — bit-identical at any thread count.
+    const std::size_t cnt = static_cast<std::size_t>(count);
+    const std::size_t nb = num_blocks(cnt, 16);
+    std::vector<std::vector<vid_t>> blockbuf(nb);
+    std::vector<std::uint64_t> sizes(cnt);
+
     #pragma omp parallel num_threads(threads)
     {
-        // Per-thread deterministic stream: sample index keys the RNG, so
-        // results are independent of scheduling and thread count.
+        // Per-thread stamped visited array + scratch, reused across all
+        // blocks the thread draws.
         std::vector<std::uint32_t> visited(n, 0);
         std::uint32_t stamp = 0;
         std::vector<vid_t> scratch;
 
-        #pragma omp for schedule(dynamic, 64)
-        for (std::uint64_t i = 0; i < count; ++i) {
-            Rng rng(opt.seed ^ (0x9E3779B97F4A7C15ULL
-                                * (stream_offset + i + 1)));
-            ++stamp;
-            if (stamp == 0) { // wrapped: reset the stamp array
-                std::fill(visited.begin(), visited.end(), 0);
-                stamp = 1;
+        #pragma omp for schedule(dynamic, 1)
+        for (std::size_t b = 0; b < nb; ++b) {
+            const auto [lo, hi] = block_range(cnt, nb, b);
+            auto& buf = blockbuf[b];
+            for (std::size_t i = lo; i < hi; ++i) {
+                // Sample-indexed stream: results are independent of
+                // scheduling and thread count.
+                Rng rng(opt.seed ^ (kStreamMix * (stream_offset + i + 1)));
+                ++stamp;
+                if (stamp == 0) { // wrapped: reset the stamp array
+                    std::fill(visited.begin(), visited.end(), 0);
+                    stamp = 1;
+                }
+                const vid_t root =
+                    static_cast<vid_t>(rng.next_below(n));
+                generate_rrr(g, opt, root, rng, scratch, visited, stamp,
+                             opt.tracer);
+                sizes[i] = scratch.size();
+                buf.insert(buf.end(), scratch.begin(), scratch.end());
             }
-            const vid_t root = static_cast<vid_t>(rng.next_below(n));
-            generate_rrr(g, opt, root, rng, scratch, visited, stamp,
-                         opt.tracer);
-            sets[base + i] = scratch;
         }
     }
 
-    std::uint64_t visited_total = 0;
-    for (std::size_t i = base; i < base + count; ++i)
-        visited_total += sets[i].size();
+    // Lay the new sets out at the arena tail: exclusive scan of the
+    // sizes gives every sample its slot, then blocks copy in parallel.
+    std::vector<std::uint64_t> pos(sizes);
+    const std::uint64_t added = exclusive_prefix_sum(pos);
+    const std::uint64_t base_entry = arena.vertices.size();
+    const std::size_t base_off = arena.offsets.size();
+    arena.offsets.resize(base_off + cnt);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t i = 0; i < cnt; ++i)
+        arena.offsets[base_off + i] = base_entry + pos[i] + sizes[i];
+    arena.vertices.resize(base_entry + added);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(cnt, nb, b);
+        if (lo < hi)
+            std::copy(blockbuf[b].begin(), blockbuf[b].end(),
+                      arena.vertices.begin()
+                          + static_cast<std::size_t>(base_entry + pos[lo]));
+    }
+
     auto& reg = obs::MetricsRegistry::instance();
     reg.counter("imm/rrr_sets").add(count);
-    reg.counter("imm/rrr_visited").add(visited_total);
+    reg.counter("imm/rrr_visited").add(added);
 }
 
 std::vector<vid_t>
@@ -149,13 +182,24 @@ greedy_max_coverage(vid_t num_vertices,
             index[v].push_back(si);
 
     std::vector<std::uint8_t> set_covered(sets.size(), 0);
+    std::vector<std::uint8_t> chosen(num_vertices, 0);
     std::vector<vid_t> seeds;
     std::uint64_t covered = 0;
     for (vid_t round = 0; round < k && round < num_vertices; ++round) {
-        vid_t best = 0;
-        for (vid_t v = 1; v < num_vertices; ++v)
-            if (count[v] > count[best])
+        // Lowest id among the unchosen maxima — the tie-break CELF
+        // reproduces.
+        vid_t best = kNoVertex;
+        std::uint32_t best_count = 0;
+        for (vid_t v = 0; v < num_vertices; ++v)
+            if (!chosen[v] && count[v] > best_count) {
                 best = v;
+                best_count = count[v];
+            }
+        // Residual coverage exhausted: stop instead of emitting
+        // arbitrary (duplicate) filler seeds.
+        if (best == kNoVertex)
+            break;
+        chosen[best] = 1;
         seeds.push_back(best);
         for (std::uint32_t si : index[best]) {
             if (set_covered[si])
@@ -200,16 +244,38 @@ imm(const Csr& g, const ImmOptions& opt)
                1.0, std::log2(dn))))
         * dn / (eps_p * eps_p);
 
-    std::vector<std::vector<vid_t>> sets;
+    auto& reg = obs::MetricsRegistry::instance();
+    auto& round_counter = reg.counter("imm/sampling_rounds");
+    auto& sel_runs = reg.counter("imm/selection_runs");
+    auto& sel_pops = reg.counter("imm/selection_heap_pops");
+    auto& sel_reevals = reg.counter("imm/selection_lazy_reevals");
+    auto& sel_hist = reg.histogram("imm/selection_time_s");
+
+    RrrArena arena;
+    CoverageIndex index;
+    index.reset(n);
+
+    // One CELF pass over everything sampled so far; the index has been
+    // extended incrementally, never rebuilt.
+    const auto select = [&](double* frac) {
+        GO_TRACE_SCOPE("imm/selection");
+        Timer t;
+        t.start();
+        SelectionStats st;
+        auto seeds = celf_select(arena, index, k, frac, &st, opt.tracer);
+        sel_runs.add();
+        sel_pops.add(st.heap_pops);
+        sel_reevals.add(st.lazy_reevals);
+        sel_hist.observe(t.elapsed_s());
+        return seeds;
+    };
+
     double lb = 1.0;
     Timer sampling;
-    sampling.start();
     double sampling_time = 0.0;
 
     const int max_rounds =
         std::max(1, static_cast<int>(std::log2(std::max(2.0, dn))) - 1);
-    auto& round_counter =
-        obs::MetricsRegistry::instance().counter("imm/sampling_rounds");
     for (int i = 1; i <= max_rounds; ++i) {
         GO_TRACE_SCOPE("imm/round/" + std::to_string(i));
         round_counter.add();
@@ -217,14 +283,15 @@ imm(const Csr& g, const ImmOptions& opt)
         const auto theta_i = static_cast<std::uint64_t>(
             std::min(static_cast<double>(opt.max_samples),
                      std::ceil(lambda_p / x)));
-        if (sets.size() < theta_i) {
+        if (arena.num_sets() < theta_i) {
             sampling.start();
-            sample_rrr_sets(g, opt, theta_i - sets.size(), sets,
-                            sets.size());
+            sample_rrr_sets(g, opt, theta_i - arena.num_sets(), arena,
+                            arena.num_sets());
             sampling_time += sampling.elapsed_s();
         }
+        index.extend(arena);
         double frac = 0.0;
-        greedy_max_coverage(n, sets, k, &frac);
+        select(&frac);
         if (dn * frac >= (1.0 + eps_p) * x) {
             lb = dn * frac / (1.0 + eps_p);
             break;
@@ -243,30 +310,26 @@ imm(const Csr& g, const ImmOptions& opt)
     const auto theta = static_cast<std::uint64_t>(
         std::min(static_cast<double>(opt.max_samples),
                  std::ceil(lambda_star / lb)));
-    if (sets.size() < theta) {
+    if (arena.num_sets() < theta) {
         sampling.start();
-        sample_rrr_sets(g, opt, theta - sets.size(), sets, sets.size());
+        sample_rrr_sets(g, opt, theta - arena.num_sets(), arena,
+                        arena.num_sets());
         sampling_time += sampling.elapsed_s();
     }
+    index.extend(arena);
 
     Timer selection;
     selection.start();
     double frac = 0.0;
-    {
-        GO_TRACE_SCOPE("imm/selection");
-        result.seeds = greedy_max_coverage(n, sets, k, &frac);
-    }
+    result.seeds = select(&frac);
     result.stats.selection_time_s = selection.elapsed_s();
 
-    result.stats.num_rrr_sets = sets.size();
-    for (const auto& s : sets)
-        result.stats.total_visited += s.size();
+    result.stats.num_rrr_sets = arena.num_sets();
+    result.stats.total_visited = arena.num_entries();
     result.stats.sampling_time_s = sampling_time;
     result.stats.estimated_spread = dn * frac;
     result.stats.total_time_s = total.elapsed_s();
-    obs::MetricsRegistry::instance()
-        .gauge("imm/estimated_spread")
-        .set(result.stats.estimated_spread);
+    reg.gauge("imm/estimated_spread").set(result.stats.estimated_spread);
     return result;
 }
 
@@ -277,32 +340,40 @@ simulate_ic_spread(const Csr& g, const std::vector<vid_t>& seeds, double p,
     const vid_t n = g.num_vertices();
     if (n == 0 || seeds.empty() || trials <= 0)
         return 0.0;
-    Rng rng(seed);
-    std::vector<std::uint32_t> visited(n, 0);
-    std::uint32_t stamp = 0;
-    std::vector<vid_t> frontier;
-    double total = 0.0;
-    for (int t = 0; t < trials; ++t) {
-        ++stamp;
-        frontier.clear();
-        for (vid_t s : seeds) {
-            if (visited[s] != stamp) {
-                visited[s] = stamp;
-                frontier.push_back(s);
-            }
-        }
-        std::size_t head = 0;
-        while (head < frontier.size()) {
-            const vid_t v = frontier[head++];
-            for (vid_t u : g.neighbors(v)) {
-                if (visited[u] != stamp && rng.next_double() < p) {
-                    visited[u] = stamp;
-                    frontier.push_back(u);
+    // Trial-indexed RNG streams + chunk-ordered reduction: the spread
+    // is bit-identical at any thread count (shared --threads knob).
+    const double total = chunk_ordered_reduce<double>(
+        static_cast<std::size_t>(trials), 8,
+        [&](std::size_t lo, std::size_t hi) {
+            std::vector<std::uint32_t> visited(n, 0);
+            std::uint32_t stamp = 0;
+            std::vector<vid_t> frontier;
+            double acc = 0.0;
+            for (std::size_t t = lo; t < hi; ++t) {
+                Rng rng(seed ^ (kStreamMix * (t + 1)));
+                ++stamp;
+                frontier.clear();
+                for (vid_t s : seeds) {
+                    if (visited[s] != stamp) {
+                        visited[s] = stamp;
+                        frontier.push_back(s);
+                    }
                 }
+                std::size_t head = 0;
+                while (head < frontier.size()) {
+                    const vid_t v = frontier[head++];
+                    for (vid_t u : g.neighbors(v)) {
+                        if (visited[u] != stamp
+                            && rng.next_double() < p) {
+                            visited[u] = stamp;
+                            frontier.push_back(u);
+                        }
+                    }
+                }
+                acc += static_cast<double>(frontier.size());
             }
-        }
-        total += static_cast<double>(frontier.size());
-    }
+            return acc;
+        });
     return total / trials;
 }
 

@@ -9,9 +9,10 @@
  * sets by running stochastic BFS traversals from random roots.  Under the
  * Independent Cascade model each edge is crossed with probability p (the
  * paper reports p = 0.25); under the Linear Threshold model each step
- * follows a single uniformly chosen neighbor.  Seeds are then selected by
- * greedy maximum coverage over the RRR sets, with IMM's martingale-based
- * stopping rule deciding how many sets are needed.
+ * follows a single uniformly chosen neighbor.  Seeds are selected by
+ * lazy-greedy (CELF) maximum coverage over the RRR sets — see rrr.hpp
+ * for the arena / coverage-index / CELF selection engine — with IMM's
+ * martingale-based stopping rule deciding how many sets are needed.
  */
 #pragma once
 
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "influence/rrr.hpp"
 
 namespace graphorder {
 
@@ -39,13 +41,14 @@ struct ImmOptions
     double ell = 1.0;              ///< failure-probability exponent (n^-ell)
     double edge_probability = 0.25;///< IC activation probability
     DiffusionModel model = DiffusionModel::IndependentCascade;
-    int num_threads = 0;           ///< 0 = OpenMP default
+    int num_threads = 0;           ///< 0 = shared --threads knob
     std::uint64_t seed = 2020;
     /** Cap on RRR sets (safety valve for tiny epsilon on big graphs). */
     std::uint64_t max_samples = 1ULL << 22;
     /**
      * Optional tracer replaying the RRR-generation hotspot loads
-     * (frontier pops, adjacency scans, visited-flag probes) into the
+     * (frontier pops, adjacency scans, visited-flag probes) and the
+     * CELF coverage scans (index entries, covered flags) into the
      * cache simulator; forces single-threaded sampling.
      */
     AccessTracer* tracer = nullptr;
@@ -75,20 +78,31 @@ struct ImmResult
     ImmStats stats;
 };
 
-/** Run IMM on an undirected graph. */
+/**
+ * Run IMM on an undirected graph.  May return fewer than k seeds when
+ * the sampled sets are exhausted (every additional seed would have zero
+ * marginal coverage).
+ */
 ImmResult imm(const Csr& g, const ImmOptions& opt = {});
 
 /**
- * Generate @p count RRR sets (appended to @p sets); exposed for tests and
- * for throughput-only benchmarking without the full IMM loop.
+ * Generate @p count RRR sets, appended to the tail of @p arena; exposed
+ * for tests and for throughput-only benchmarking without the full IMM
+ * loop.  Each sample's RNG stream is keyed by `stream_offset + i`, so
+ * the arena contents are bit-identical at any thread count and an
+ * arena grown over several calls (with consecutive stream offsets)
+ * equals one built by a single call.
  */
 void sample_rrr_sets(const Csr& g, const ImmOptions& opt,
-                     std::uint64_t count,
-                     std::vector<std::vector<vid_t>>& sets,
+                     std::uint64_t count, RrrArena& arena,
                      std::uint64_t stream_offset = 0);
 
 /**
- * Greedy maximum coverage: pick @p k vertices covering the most RRR sets.
+ * Reference exact-greedy maximum coverage: pick up to @p k vertices
+ * covering the most RRR sets, ties to the smallest vertex id, stopping
+ * early once the best residual gain is zero (so a vertex is never
+ * selected twice).  Serial and simple on purpose — this is the
+ * baseline celf_select() is held byte-identical to.
  * @param[out] covered_fraction fraction of sets covered by the result.
  */
 std::vector<vid_t> greedy_max_coverage(
@@ -97,7 +111,10 @@ std::vector<vid_t> greedy_max_coverage(
 
 /**
  * Monte-Carlo forward simulation of the IC process — ground truth for
- * tests: expected number of vertices activated by @p seeds.
+ * tests: expected number of vertices activated by @p seeds.  Trials run
+ * in parallel (shared --threads/GRAPHORDER_THREADS knob) on per-trial
+ * seeded RNG streams; the spread is a chunk-ordered reduction, so the
+ * result is bit-identical at any thread count.
  */
 double simulate_ic_spread(const Csr& g, const std::vector<vid_t>& seeds,
                           double p, int trials, std::uint64_t seed);

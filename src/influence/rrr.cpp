@@ -1,0 +1,237 @@
+#include "influence/rrr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "memsim/cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
+namespace graphorder {
+
+std::vector<std::vector<vid_t>>
+RrrArena::as_sets() const
+{
+    std::vector<std::vector<vid_t>> sets(num_sets());
+    for (std::uint64_t s = 0; s < num_sets(); ++s)
+        sets[s].assign(set_begin(s), set_end(s));
+    return sets;
+}
+
+RrrArena
+RrrArena::from_sets(const std::vector<std::vector<vid_t>>& sets)
+{
+    RrrArena arena;
+    arena.offsets.reserve(sets.size() + 1);
+    for (const auto& s : sets) {
+        arena.vertices.insert(arena.vertices.end(), s.begin(), s.end());
+        arena.offsets.push_back(arena.vertices.size());
+    }
+    return arena;
+}
+
+void
+CoverageIndex::reset(vid_t num_vertices)
+{
+    n_ = num_vertices;
+    indexed_sets_ = 0;
+    count_.assign(n_, 0);
+    segments_.clear();
+}
+
+void
+CoverageIndex::extend(const RrrArena& arena)
+{
+    const std::uint64_t s0 = indexed_sets_;
+    const std::uint64_t s1 = arena.num_sets();
+    if (s1 <= s0 || n_ == 0)
+        return;
+    GO_TRACE_SCOPE("imm/index_extend");
+    const std::uint64_t e0 = arena.offsets[s0];
+    const std::uint64_t total = arena.offsets[s1] - e0;
+
+    Segment seg;
+    seg.offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+    seg.sets.resize(total);
+
+    if (total != 0) {
+        // Direct deterministic counting scatter — the same stable sort
+        // stable_order_by_key computes, specialized so neither the
+        // permutation nor an entry->set array is materialized (both are
+        // O(total); entries dwarf vertices here).  Per-block vertex
+        // histograms over the new entries, a (vertex-major,
+        // block-minor) exclusive scan giving every block a private
+        // scatter cursor per vertex, then an in-index-order scatter of
+        // the owning set ids: block boundaries depend only on (total,
+        // n_), so the layout is bit-identical at any thread count, and
+        // within a vertex the ids ascend (blocks scan ascending entry
+        // positions, and the arena only grows at the tail).
+        std::size_t grain = std::size_t{1} << 14;
+        if (grain < n_ / 4) // keep the histogram table ~4x the input
+            grain = n_ / 4;
+        const std::size_t nb = num_blocks(total, grain, 64);
+        std::vector<std::uint64_t> hist(nb * n_, 0);
+        #pragma omp parallel for num_threads(default_threads()) \
+            schedule(static)
+        for (std::size_t b = 0; b < nb; ++b) {
+            const auto [lo, hi] = block_range(total, nb, b);
+            std::uint64_t* h = hist.data() + b * n_;
+            for (std::size_t e = lo; e < hi; ++e)
+                ++h[arena.vertices[e0 + e]];
+        }
+        std::uint64_t run = 0;
+        for (vid_t v = 0; v < n_; ++v) {
+            seg.offsets[v] = run;
+            for (std::size_t b = 0; b < nb; ++b) {
+                std::uint64_t& cell = hist[b * n_ + v];
+                const std::uint64_t c = cell;
+                cell = run;
+                run += c;
+            }
+        }
+        seg.offsets[n_] = total;
+        #pragma omp parallel for num_threads(default_threads()) \
+            schedule(static)
+        for (std::size_t b = 0; b < nb; ++b) {
+            const auto [lo, hi] = block_range(total, nb, b);
+            std::uint64_t* cur = hist.data() + b * n_;
+            // Owning set of the block's first entry; sets are
+            // contiguous in the arena, so a forward walk tracks it.
+            std::uint64_t s = static_cast<std::uint64_t>(
+                std::upper_bound(arena.offsets.begin() + s0,
+                                 arena.offsets.begin() + s1 + 1, e0 + lo)
+                - arena.offsets.begin() - 1);
+            for (std::size_t e = lo; e < hi; ++e) {
+                while (e0 + e >= arena.offsets[s + 1])
+                    ++s;
+                seg.sets[cur[arena.vertices[e0 + e]]++] =
+                    static_cast<std::uint32_t>(s);
+            }
+        }
+    }
+
+    // Initial CELF gains: parallel reduction of the slice widths.
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (vid_t v = 0; v < n_; ++v)
+        count_[v] += static_cast<std::uint32_t>(seg.offsets[v + 1]
+                                                - seg.offsets[v]);
+
+    indexed_sets_ = s1;
+    segments_.push_back(std::move(seg));
+
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("imm/index_segments").add();
+    reg.counter("imm/index_entries").add(total);
+}
+
+namespace {
+
+/** CELF heap entry: a cached (possibly stale) marginal-gain bound. */
+struct CelfEntry
+{
+    std::uint32_t gain;  ///< upper bound on the marginal gain
+    vid_t vertex;
+    std::uint32_t stamp; ///< seeds selected when the gain was computed
+};
+
+/**
+ * Max-heap order: largest gain first, ties broken by smallest vertex
+ * id.  Stale bounds dominate fresh gains of equal value, so an
+ * equal-gain smaller-id candidate is always re-examined before a larger
+ * id is selected — the property that makes CELF byte-identical to
+ * exact greedy.
+ */
+struct CelfLess
+{
+    bool operator()(const CelfEntry& a, const CelfEntry& b) const
+    {
+        if (a.gain != b.gain)
+            return a.gain < b.gain;
+        return a.vertex > b.vertex;
+    }
+};
+
+} // namespace
+
+std::vector<vid_t>
+celf_select(const RrrArena& arena, const CoverageIndex& index, vid_t k,
+            double* covered_fraction, SelectionStats* stats,
+            AccessTracer* tracer)
+{
+    assert(index.num_indexed_sets() == arena.num_sets());
+    const vid_t n = index.num_vertices();
+    const std::uint64_t num_sets = arena.num_sets();
+    SelectionStats local;
+    std::vector<vid_t> seeds;
+    if (n == 0 || k == 0 || num_sets == 0) {
+        if (covered_fraction)
+            *covered_fraction = 0.0;
+        if (stats)
+            *stats = local;
+        return seeds;
+    }
+    seeds.reserve(std::min<std::uint64_t>(k, n));
+
+    // Every vertex enters with its exact round-0 gain (its set count).
+    const auto& counts = index.counts();
+    std::vector<CelfEntry> heap;
+    heap.reserve(n);
+    for (vid_t v = 0; v < n; ++v)
+        if (counts[v] > 0)
+            heap.push_back({counts[v], v, 0});
+    std::make_heap(heap.begin(), heap.end(), CelfLess{});
+
+    std::vector<std::uint8_t> covered(num_sets, 0);
+    while (seeds.size() < k && !heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), CelfLess{});
+        CelfEntry e = heap.back();
+        heap.pop_back();
+        ++local.heap_pops;
+
+        if (e.stamp == seeds.size()) {
+            // Fresh gain: e.vertex is the exact greedy choice.  Zero
+            // means residual coverage is exhausted — stop early rather
+            // than emit arbitrary filler seeds.
+            if (e.gain == 0)
+                break;
+            index.for_each_set(e.vertex, [&](const std::uint32_t& s) {
+                if (tracer) {
+                    tracer->load(&s, sizeof(std::uint32_t));
+                    tracer->load(&covered[s], sizeof(std::uint8_t));
+                }
+                if (!covered[s]) {
+                    covered[s] = 1;
+                    ++local.covered_sets;
+                }
+            });
+            seeds.push_back(e.vertex);
+        } else {
+            // Stale bound: recompute against current coverage and
+            // reinsert; submodularity guarantees gains only shrink.
+            std::uint32_t gain = 0;
+            index.for_each_set(e.vertex, [&](const std::uint32_t& s) {
+                if (tracer) {
+                    tracer->load(&s, sizeof(std::uint32_t));
+                    tracer->load(&covered[s], sizeof(std::uint8_t));
+                }
+                gain += covered[s] == 0;
+            });
+            ++local.lazy_reevals;
+            e.gain = gain;
+            e.stamp = static_cast<std::uint32_t>(seeds.size());
+            heap.push_back(e);
+            std::push_heap(heap.begin(), heap.end(), CelfLess{});
+        }
+    }
+
+    if (covered_fraction)
+        *covered_fraction = static_cast<double>(local.covered_sets)
+            / static_cast<double>(num_sets);
+    if (stats)
+        *stats = local;
+    return seeds;
+}
+
+} // namespace graphorder

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The IMM selection engine: flat RRR-set arena, incremental parallel
+ * coverage index, and lazy-greedy (CELF) seed selection.
+ *
+ * The three pieces replace the old `vector<vector<vid_t>>` set storage
+ * and the serial O(k·n) greedy loop:
+ *
+ *  - RrrArena — RRR sets stored CSR-style (`offsets` + `vertices`),
+ *    appended across martingale rounds without relaying existing data.
+ *  - CoverageIndex — the vertex → containing-set inverted index, built
+ *    in parallel with the deterministic util/parallel.hpp primitives
+ *    and *extended* incrementally: each extend() indexes only the sets
+ *    appended since the previous call, as one immutable segment.
+ *  - celf_select — lazy-greedy maximum coverage (Leskovec et al.'s
+ *    CELF): a max-heap of stale upper bounds on the marginal gains,
+ *    re-evaluated only when an entry reaches the top.  Submodularity
+ *    makes cached gains upper bounds, so with (gain desc, vertex-id
+ *    asc) heap order the selected seeds are byte-identical to exact
+ *    greedy under the same tie-break — tests/selection_test.cpp holds
+ *    the two implementations to that contract.
+ *
+ * Determinism: arena layout and index contents depend only on the RNG
+ * streams (sample-indexed), never on the thread count; CELF itself is
+ * serial over a deterministic index.  Bit-identical at any thread count.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/**
+ * Flat CSR-style storage for RRR sets: set @p s occupies
+ * `vertices[offsets[s] .. offsets[s+1])`.  Sampling appends whole
+ * rounds at the tail; existing offsets and vertices are never moved.
+ */
+struct RrrArena
+{
+    std::vector<std::uint64_t> offsets{0}; ///< num_sets()+1 entries
+    std::vector<vid_t> vertices;           ///< concatenated set members
+
+    std::uint64_t num_sets() const { return offsets.size() - 1; }
+    std::uint64_t num_entries() const { return vertices.size(); }
+
+    const vid_t* set_begin(std::uint64_t s) const
+    {
+        return vertices.data() + offsets[s];
+    }
+    const vid_t* set_end(std::uint64_t s) const
+    {
+        return vertices.data() + offsets[s + 1];
+    }
+    std::uint64_t set_size(std::uint64_t s) const
+    {
+        return offsets[s + 1] - offsets[s];
+    }
+
+    void clear()
+    {
+        offsets.assign(1, 0);
+        vertices.clear();
+    }
+
+    /** Copy into the legacy nested representation (tests, reference). */
+    std::vector<std::vector<vid_t>> as_sets() const;
+
+    /** Build an arena holding @p sets in order. */
+    static RrrArena from_sets(const std::vector<std::vector<vid_t>>& sets);
+
+    friend bool operator==(const RrrArena& a, const RrrArena& b)
+    {
+        return a.offsets == b.offsets && a.vertices == b.vertices;
+    }
+};
+
+/**
+ * Vertex → containing-RRR-set inverted index over an RrrArena.
+ *
+ * Incremental: extend() indexes the arena sets appended since the last
+ * call as one immutable *segment* (per-vertex CSR slices with set ids
+ * ascending), so a martingale round costs O(new entries), not a full
+ * reindex.  Set ids across segments are globally ascending because the
+ * arena only grows at the tail.  The per-vertex occurrence counts —
+ * CELF's initial gains — are maintained by parallel reduction.
+ *
+ * Built on stable_order_by_key / exclusive_prefix_sum, so contents are
+ * bit-identical at any thread count.
+ */
+class CoverageIndex
+{
+  public:
+    /** Drop all segments and counts; future extends index for a graph
+     *  with @p num_vertices vertices. */
+    void reset(vid_t num_vertices);
+
+    /** Index arena sets [num_indexed_sets(), arena.num_sets()). */
+    void extend(const RrrArena& arena);
+
+    vid_t num_vertices() const { return n_; }
+    std::uint64_t num_indexed_sets() const { return indexed_sets_; }
+    std::size_t num_segments() const { return segments_.size(); }
+
+    /** Sets containing each vertex — CELF's initial marginal gains. */
+    const std::vector<std::uint32_t>& counts() const { return count_; }
+
+    /**
+     * Visit the id of every indexed set containing @p v, in ascending
+     * set-id order.  @p fn receives a const reference into the index so
+     * callers replaying loads into the cache simulator can take its
+     * address.
+     */
+    template <typename Fn>
+    void for_each_set(vid_t v, Fn&& fn) const
+    {
+        for (const auto& seg : segments_) {
+            const std::uint64_t lo = seg.offsets[v];
+            const std::uint64_t hi = seg.offsets[v + 1];
+            for (std::uint64_t j = lo; j < hi; ++j)
+                fn(seg.sets[j]);
+        }
+    }
+
+  private:
+    /** One extend() batch: per-vertex slices of ascending set ids. */
+    struct Segment
+    {
+        std::vector<std::uint64_t> offsets; ///< n+1 entries
+        std::vector<std::uint32_t> sets;    ///< set ids, ascending per v
+    };
+
+    vid_t n_ = 0;
+    std::uint64_t indexed_sets_ = 0;
+    std::vector<std::uint32_t> count_;
+    std::vector<Segment> segments_;
+};
+
+/** Work counters of one celf_select() run. */
+struct SelectionStats
+{
+    std::uint64_t heap_pops = 0;    ///< entries popped (fresh + stale)
+    std::uint64_t lazy_reevals = 0; ///< stale gains recomputed
+    std::uint64_t covered_sets = 0; ///< sets covered by the seeds
+};
+
+/**
+ * CELF seed selection: pick up to @p k vertices maximizing RRR-set
+ * coverage, stopping early once the best residual gain is zero.  The
+ * result is byte-identical to exact greedy with (gain desc, vertex-id
+ * asc) tie-breaking.  @p index must cover every arena set.
+ *
+ * @param[out] covered_fraction fraction of sets covered (optional).
+ * @param[out] stats            work counters (optional).
+ * @param tracer                optional cache-simulator tracer; replays
+ *                              the coverage-scan loads (index entries
+ *                              and covered flags) at their real
+ *                              addresses.
+ */
+std::vector<vid_t> celf_select(const RrrArena& arena,
+                               const CoverageIndex& index, vid_t k,
+                               double* covered_fraction = nullptr,
+                               SelectionStats* stats = nullptr,
+                               AccessTracer* tracer = nullptr);
+
+} // namespace graphorder

@@ -10,8 +10,11 @@
  * `GRAPHORDER_METRICS=FILE`).
  *
  * Naming convention: slash-separated paths grouped by subsystem, e.g.
- * `louvain/iterations`, `imm/rrr_sets`, `memsim/louvain/hits/L1`,
- * `order/rcm/time_s`.
+ * `louvain/iterations`, `imm/rrr_sets`, `imm/selection_heap_pops`,
+ * `memsim/louvain/hits/L1`, `order/rcm/time_s`.  The IMM selection
+ * engine publishes its work under `imm/selection_*` (runs, heap pops,
+ * lazy re-evaluations, per-run time histogram) and `imm/index_*`
+ * (segments, entries).
  *
  * Hot-path note: `MetricsRegistry::counter(name)` takes a mutex and a map
  * lookup — cache the returned reference outside loops.  The instrument

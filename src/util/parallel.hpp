@@ -118,6 +118,40 @@ exclusive_prefix_sum(std::vector<Int>& v)
 }
 
 /**
+ * Deterministic chunk-ordered reduction over the item range [0, n):
+ * @p block maps the half-open block [lo, hi) to a partial of type T, the
+ * partials are combined serially in block order with `+=`.  Block count
+ * and boundaries depend only on @p n and @p grain — never the thread
+ * count — so floating-point results are bit-identical for any team size
+ * (the idiom of the gap measures, shared here so the IMM simulator and
+ * Louvain's modularity reduction use the exact same decomposition).
+ *
+ * @tparam T default-constructible accumulator with operator+=.
+ * @tparam BlockFn (std::size_t lo, std::size_t hi) -> T; called once
+ *         per block, so per-block scratch amortizes over grain items.
+ */
+template <typename T, typename BlockFn>
+T
+chunk_ordered_reduce(std::size_t n, std::size_t grain, BlockFn block,
+                     std::size_t cap = 256)
+{
+    if (n == 0)
+        return T{};
+    const std::size_t nb = num_blocks(n, grain, cap);
+    std::vector<T> part(nb);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        part[b] = block(lo, hi);
+    }
+    T total{};
+    for (const T& p : part)
+        total += p;
+    return total;
+}
+
+/**
  * Deterministic parallel *stable* counting sort: returns the items
  * [0, n) ordered by ascending key(i), ties broken by ascending i —
  * exactly std::stable_sort with a key comparator, in O(n + num_keys).

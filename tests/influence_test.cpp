@@ -1,6 +1,9 @@
 /**
  * @file
- * Tests of the IMM influence-maximization implementation.
+ * Tests of the IMM influence-maximization implementation: RRR sampling
+ * into the flat arena, the coverage index, greedy/CELF selection and
+ * the end-to-end martingale loop.  The CELF-vs-greedy equivalence
+ * sweep lives in selection_test.cpp.
  */
 #include <gtest/gtest.h>
 
@@ -9,6 +12,7 @@
 
 #include "gen/generators.hpp"
 #include "influence/imm.hpp"
+#include "influence/rrr.hpp"
 #include "memsim/cache.hpp"
 #include "testutil.hpp"
 
@@ -24,7 +28,7 @@ TEST(Rrr, DeterministicGivenSeed)
     const auto g = gen_rmat(256, 1500, 0.57, 0.19, 0.19, 1);
     ImmOptions opt;
     opt.seed = 99;
-    std::vector<std::vector<vid_t>> a, b;
+    RrrArena a, b;
     sample_rrr_sets(g, opt, 100, a);
     sample_rrr_sets(g, opt, 100, b);
     EXPECT_EQ(a, b);
@@ -34,13 +38,13 @@ TEST(Rrr, SetsAreNonEmptyAndDeduplicated)
 {
     const auto g = two_cliques(8);
     ImmOptions opt;
-    std::vector<std::vector<vid_t>> sets;
-    sample_rrr_sets(g, opt, 200, sets);
-    ASSERT_EQ(sets.size(), 200u);
-    for (const auto& s : sets) {
-        ASSERT_FALSE(s.empty());
-        std::set<vid_t> uniq(s.begin(), s.end());
-        EXPECT_EQ(uniq.size(), s.size());
+    RrrArena arena;
+    sample_rrr_sets(g, opt, 200, arena);
+    ASSERT_EQ(arena.num_sets(), 200u);
+    for (std::uint64_t s = 0; s < arena.num_sets(); ++s) {
+        ASSERT_GT(arena.set_size(s), 0u);
+        std::set<vid_t> uniq(arena.set_begin(s), arena.set_end(s));
+        EXPECT_EQ(uniq.size(), arena.set_size(s));
     }
 }
 
@@ -49,10 +53,10 @@ TEST(Rrr, ProbabilityOneReachesWholeComponent)
     const auto g = path_graph(20);
     ImmOptions opt;
     opt.edge_probability = 1.0;
-    std::vector<std::vector<vid_t>> sets;
-    sample_rrr_sets(g, opt, 20, sets);
-    for (const auto& s : sets)
-        EXPECT_EQ(s.size(), 20u); // the whole path
+    RrrArena arena;
+    sample_rrr_sets(g, opt, 20, arena);
+    for (std::uint64_t s = 0; s < arena.num_sets(); ++s)
+        EXPECT_EQ(arena.set_size(s), 20u); // the whole path
 }
 
 TEST(Rrr, ProbabilityZeroIsJustTheRoot)
@@ -60,10 +64,10 @@ TEST(Rrr, ProbabilityZeroIsJustTheRoot)
     const auto g = path_graph(20);
     ImmOptions opt;
     opt.edge_probability = 0.0;
-    std::vector<std::vector<vid_t>> sets;
-    sample_rrr_sets(g, opt, 50, sets);
-    for (const auto& s : sets)
-        EXPECT_EQ(s.size(), 1u);
+    RrrArena arena;
+    sample_rrr_sets(g, opt, 50, arena);
+    for (std::uint64_t s = 0; s < arena.num_sets(); ++s)
+        EXPECT_EQ(arena.set_size(s), 1u);
 }
 
 TEST(Rrr, LinearThresholdWalksWithoutRepeats)
@@ -71,12 +75,96 @@ TEST(Rrr, LinearThresholdWalksWithoutRepeats)
     const auto g = gen_sbm(300, 1800, 6, 0.85, 2);
     ImmOptions opt;
     opt.model = DiffusionModel::LinearThreshold;
-    std::vector<std::vector<vid_t>> sets;
-    sample_rrr_sets(g, opt, 100, sets);
-    for (const auto& s : sets) {
-        std::set<vid_t> uniq(s.begin(), s.end());
-        EXPECT_EQ(uniq.size(), s.size());
-        EXPECT_LE(s.size(), g.num_vertices());
+    RrrArena arena;
+    sample_rrr_sets(g, opt, 100, arena);
+    for (std::uint64_t s = 0; s < arena.num_sets(); ++s) {
+        std::set<vid_t> uniq(arena.set_begin(s), arena.set_end(s));
+        EXPECT_EQ(uniq.size(), arena.set_size(s));
+        EXPECT_LE(arena.set_size(s), g.num_vertices());
+    }
+}
+
+TEST(Arena, AppendAcrossRoundsEqualsOneShot)
+{
+    // The martingale loop grows the arena in rounds with consecutive
+    // stream offsets; the result must equal a single-call arena.
+    const auto g = gen_rmat(256, 1500, 0.57, 0.19, 0.19, 5);
+    ImmOptions opt;
+    RrrArena incremental, oneshot;
+    sample_rrr_sets(g, opt, 60, incremental);
+    sample_rrr_sets(g, opt, 40, incremental, 60);
+    sample_rrr_sets(g, opt, 100, oneshot);
+    EXPECT_EQ(incremental, oneshot);
+}
+
+TEST(Arena, RoundTripThroughNestedSets)
+{
+    const std::vector<std::vector<vid_t>> sets = {
+        {0, 1, 2}, {3}, {}, {2, 4}};
+    const auto arena = RrrArena::from_sets(sets);
+    ASSERT_EQ(arena.num_sets(), 4u);
+    EXPECT_EQ(arena.num_entries(), 6u);
+    EXPECT_EQ(arena.set_size(2), 0u);
+    EXPECT_EQ(arena.as_sets(), sets);
+}
+
+TEST(Index, CountsMatchOccurrencesAndSetIdsAscend)
+{
+    const auto g = gen_rmat(300, 2000, 0.57, 0.19, 0.19, 7);
+    ImmOptions opt;
+    RrrArena arena;
+    sample_rrr_sets(g, opt, 150, arena);
+    CoverageIndex index;
+    index.reset(g.num_vertices());
+    index.extend(arena);
+    ASSERT_EQ(index.num_indexed_sets(), arena.num_sets());
+
+    std::vector<std::uint32_t> expect(g.num_vertices(), 0);
+    const auto sets = arena.as_sets();
+    for (const auto& s : sets)
+        for (vid_t v : s)
+            ++expect[v];
+    EXPECT_EQ(index.counts(), expect);
+
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        std::vector<std::uint32_t> ids;
+        index.for_each_set(v, [&](const std::uint32_t& s) {
+            ids.push_back(s);
+        });
+        EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end())) << v;
+        EXPECT_EQ(ids.size(), expect[v]) << v;
+        for (std::uint32_t s : ids)
+            EXPECT_TRUE(std::count(sets[s].begin(), sets[s].end(), v));
+    }
+}
+
+TEST(Index, IncrementalExtendMatchesFullRebuild)
+{
+    const auto g = gen_sbm(200, 1200, 4, 0.85, 3);
+    ImmOptions opt;
+    RrrArena arena;
+    sample_rrr_sets(g, opt, 80, arena);
+
+    CoverageIndex incremental;
+    incremental.reset(g.num_vertices());
+    incremental.extend(arena);
+    sample_rrr_sets(g, opt, 70, arena, 80);
+    incremental.extend(arena);
+    EXPECT_EQ(incremental.num_segments(), 2u);
+
+    CoverageIndex full;
+    full.reset(g.num_vertices());
+    full.extend(arena);
+    EXPECT_EQ(incremental.counts(), full.counts());
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        std::vector<std::uint32_t> a, b;
+        incremental.for_each_set(v, [&](const std::uint32_t& s) {
+            a.push_back(s);
+        });
+        full.for_each_set(v, [&](const std::uint32_t& s) {
+            b.push_back(s);
+        });
+        EXPECT_EQ(a, b) << v;
     }
 }
 
@@ -107,6 +195,25 @@ TEST(Greedy, MarginalGainsNotRawCounts)
     auto seeds = greedy_max_coverage(6, sets, 2, nullptr);
     EXPECT_EQ(seeds[0], 0u);
     EXPECT_EQ(seeds[1], 4u);
+}
+
+TEST(Greedy, StopsWhenCoverageExhausted)
+{
+    // Regression: the seed implementation kept argmax-ing over all-zero
+    // residual counts once every set was covered and emitted vertex 0
+    // over and over.  k exceeding the distinct coverage must yield each
+    // useful seed once, then stop.
+    std::vector<std::vector<vid_t>> sets = {{0}, {0}, {1}};
+    double frac = 0;
+    auto seeds = greedy_max_coverage(4, sets, 4, &frac);
+    EXPECT_EQ(seeds, (std::vector<vid_t>{0, 1}));
+    EXPECT_DOUBLE_EQ(frac, 1.0);
+
+    // All-empty sets: nothing coverable, nothing selected.
+    std::vector<std::vector<vid_t>> empty_sets = {{}, {}};
+    seeds = greedy_max_coverage(4, empty_sets, 2, &frac);
+    EXPECT_TRUE(seeds.empty());
+    EXPECT_DOUBLE_EQ(frac, 0.0);
 }
 
 TEST(Imm, StarCenterIsTheSeed)
