@@ -9,8 +9,33 @@
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
+#include "util/status.hpp"
 
 namespace graphorder::bench {
+
+namespace {
+
+// Per-process cell accounting behind bench_exit_code(): a figure binary
+// only fails outright when *every* cell it attempted failed.
+std::size_t g_cells_total = 0;
+std::size_t g_cells_failed = 0;
+StatusCode g_first_failure = StatusCode::Ok;
+
+/** Record one failed cell; returns its taxonomy code. */
+StatusCode
+record_cell_failure(const std::string& scheme, const std::string& graph,
+                    const Status& st)
+{
+    ++g_cells_failed;
+    if (g_first_failure == StatusCode::Ok)
+        g_first_failure = st.code();
+    obs::MetricsRegistry::instance().counter("bench/cells_failed").add();
+    std::printf("FAILED(%s) %s x %s: %s\n", status_code_name(st.code()),
+                scheme.c_str(), graph.c_str(), st.to_string().c_str());
+    return st.code();
+}
+
+} // namespace
 
 BenchOptions
 parse_args(int argc, char** argv)
@@ -157,14 +182,24 @@ print_memsim_scan_table(const Instance& inst,
     t.header({"scheme", "latency(cyc)", "L1%", "DRAM%", "loads(M)"});
     const std::size_t dram = cfg.levels.size();
     for (const auto& s : schemes) {
-        const auto pi = s.run(inst.graph, opt.seed);
-        const auto h = apply_permutation(inst.graph, pi);
-        const auto m =
-            trace_neighbor_scan(h, cfg, "memsim/" + figure);
-        t.row({s.name, Table::num(m.avg_load_latency(), 1),
-               Table::num(100.0 * m.bound_fraction(0), 0),
-               Table::num(100.0 * m.bound_fraction(dram), 0),
-               Table::num(static_cast<double>(m.loads) / 1e6, 2)});
+        ++g_cells_total;
+        obs::MetricsRegistry::instance().counter("bench/cells_total").add();
+        try {
+            const auto pi = s.run(inst.graph, opt.seed);
+            const auto h = apply_permutation(inst.graph, pi);
+            const auto m =
+                trace_neighbor_scan(h, cfg, "memsim/" + figure);
+            t.row({s.name, Table::num(m.avg_load_latency(), 1),
+                   Table::num(100.0 * m.bound_fraction(0), 0),
+                   Table::num(100.0 * m.bound_fraction(dram), 0),
+                   Table::num(static_cast<double>(m.loads) / 1e6, 2)});
+        } catch (...) {
+            const auto code = record_cell_failure(
+                s.name, inst.spec->name, status_from_current_exception());
+            t.row({s.name, std::string("FAILED(") + status_code_name(code)
+                               + ")",
+                   "-", "-", "-"});
+        }
     }
     t.print();
 }
@@ -182,11 +217,29 @@ cost_matrix(const std::vector<Instance>& instances,
     in.costs.resize(schemes.size());
     for (std::size_t s = 0; s < schemes.size(); ++s) {
         for (const auto& inst : instances) {
-            const auto pi = schemes[s].run(inst.graph, seed);
-            in.costs[s].push_back(metric(inst.graph, pi));
+            ++g_cells_total;
+            obs::MetricsRegistry::instance()
+                .counter("bench/cells_total")
+                .add();
+            try {
+                const auto pi = schemes[s].run(inst.graph, seed);
+                in.costs[s].push_back(metric(inst.graph, pi));
+            } catch (...) {
+                record_cell_failure(schemes[s].name, inst.spec->name,
+                                    status_from_current_exception());
+                in.costs[s].push_back(kFailedCellCost);
+            }
         }
     }
     return in;
+}
+
+int
+bench_exit_code()
+{
+    if (g_cells_total == 0 || g_cells_failed < g_cells_total)
+        return 0;
+    return exit_code_for(g_first_failure);
 }
 
 } // namespace graphorder::bench

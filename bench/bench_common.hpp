@@ -86,13 +86,33 @@ using MetricFn =
     std::function<double(const Csr&, const Permutation&)>;
 
 /**
+ * Cost recorded for a (scheme, instance) cell whose evaluation failed.
+ * Large but finite: performance profiles require finite costs, and this
+ * pins a failed scheme to the bottom of every ranking it appears in.
+ */
+inline constexpr double kFailedCellCost = 1e30;
+
+/**
  * Evaluate every scheme on every instance and collect the cost matrix
  * feeding a performance profile (the computation behind Figures 1, 5,
  * 6a, 6b and 7).
+ *
+ * Robustness: each cell is evaluated independently; a scheme that
+ * throws on one instance prints a `FAILED(<code>)` line, records
+ * kFailedCellCost for that cell, and the sweep continues.  Failures
+ * feed bench_exit_code() and the `bench/cells_{total,failed}` obs
+ * counters.
  */
 ProfileInput cost_matrix(const std::vector<Instance>& instances,
                          const std::vector<OrderingScheme>& schemes,
                          const MetricFn& metric, std::uint64_t seed);
+
+/**
+ * Exit code for a figure binary: 0 while at least one cell succeeded
+ * (a partial figure is still a figure), else the documented exit code
+ * (util/status.hpp) of the first failure.  Figure mains return this.
+ */
+int bench_exit_code();
 
 /**
  * IMM options shared by the influence figures (11/12): Independent

@@ -51,5 +51,5 @@ main(int argc, char** argv)
     std::printf("largest best-vs-worst spread: %.1fx on %s "
                 "(paper: up to ~40x)\n",
                 worst_spread, worst_instance.c_str());
-    return 0;
+    return bench_exit_code();
 }

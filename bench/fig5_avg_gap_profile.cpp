@@ -47,5 +47,5 @@ main(int argc, char** argv)
         raw.row(row);
     }
     raw.print();
-    return 0;
+    return bench_exit_code();
 }

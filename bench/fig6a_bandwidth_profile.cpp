@@ -35,5 +35,5 @@ main(int argc, char** argv)
     // one representative instance (counters land under memsim/fig6a, so
     // a --metrics dump re-baselines the figure's memory side).
     print_memsim_scan_table(instances.front(), schemes, "fig6a", opt);
-    return 0;
+    return bench_exit_code();
 }

@@ -33,5 +33,5 @@ main(int argc, char** argv)
                   build_profile(in));
     // Same memory tie-in as Figure 6a, for the averaged measure.
     print_memsim_scan_table(instances.front(), schemes, "fig6b", opt);
-    return 0;
+    return bench_exit_code();
 }

@@ -23,14 +23,15 @@ main(int argc, char** argv)
 
     std::vector<OrderingScheme> configs;
     for (vid_t k : {8u, 16u, 32u, 64u, 128u, 256u}) {
-        configs.push_back({"metis-" + std::to_string(k),
-                           SchemeCategory::Partitioning,
-                           [k](const Csr& g, std::uint64_t seed) {
-                               PartitionOptions popt;
-                               popt.seed = seed;
-                               return metis_style_order(g, k, popt);
-                           },
-                           true});
+        OrderingScheme s;
+        s.name = "metis-" + std::to_string(k);
+        s.category = SchemeCategory::Partitioning;
+        s.run = [k](const Csr& g, std::uint64_t seed) {
+            PartitionOptions popt;
+            popt.seed = seed;
+            return metis_style_order(g, k, popt);
+        };
+        configs.push_back(std::move(s));
     }
     const auto in = cost_matrix(
         make_small_instances(opt), configs,
@@ -49,5 +50,5 @@ main(int argc, char** argv)
     std::printf("best configuration by mean log2 ratio: %s (paper: "
                 "metis-32)\n",
                 configs[best].name.c_str());
-    return 0;
+    return bench_exit_code();
 }

@@ -11,10 +11,20 @@
 #include "memsim/cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
+#include "util/faultpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace graphorder {
+
+namespace {
+
+FaultPoint fp_louvain_phase{
+    "louvain.phase", StatusCode::Internal,
+    "Louvain aborts at a phase boundary as if the level build failed"};
+
+} // namespace
 
 double
 modularity(const Csr& g, const std::vector<vid_t>& community)
@@ -209,6 +219,7 @@ run_phase(const LouvainLevel& lvl, const LouvainOptions& opt,
 
     for (int iter = 0; iter < opt.max_iterations; ++iter) {
         GO_TRACE_SCOPE("louvain/iteration");
+        checkpoint("louvain/iteration");
         Timer iter_timer;
         iter_timer.start();
         std::uint64_t iter_loads = 0;
@@ -353,6 +364,8 @@ louvain(const Csr& g, const LouvainOptions& opt)
 
     for (int phase = 0; phase < opt.max_phases; ++phase) {
         GO_TRACE_SCOPE("louvain/phase/" + std::to_string(phase));
+        fp_louvain_phase.maybe_fire();
+        checkpoint("louvain/phase");
         std::vector<vid_t> comm;
         // Only the first phase sees the input ordering; tracing later
         // phases would measure a derivative graph (paper's footnote).

@@ -8,12 +8,18 @@
 #include "graph/permutation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/faultpoint.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 #include "util/timer.hpp"
 
 namespace graphorder {
 
 namespace {
+
+FaultPoint fp_gen_make{
+    "gen.dataset.make", StatusCode::Internal,
+    "dataset stand-in generation fails mid-build"};
 
 /**
  * Scramble vertex ids with a seeded shuffle.  Applied to the KONECT-family
@@ -126,9 +132,18 @@ make_entry(std::string name, GraphFamily fam, vid_t n, eid_t m, bool large)
 
     // Every registry build gets a `gen/<name>` span plus shared build
     // counters, so bench startup cost is attributable per instance.
+    // The wrapper also validates the scale knob (the one user-supplied
+    // parameter of the generator path) and hosts the gen fault point.
     auto inner = std::move(d.make);
-    d.make = [inner = std::move(inner), span = "gen/" + d.name](double s) {
+    d.make = [inner = std::move(inner), dsname = d.name,
+              span = "gen/" + d.name](double s) {
         GO_TRACE_SCOPE(span);
+        fp_gen_make.maybe_fire();
+        if (!(s >= 1.0) || !std::isfinite(s))
+            throw GraphorderError(
+                StatusCode::InvalidInput,
+                "dataset " + dsname + ": scale divisor must be >= 1, got "
+                    + std::to_string(s));
         Timer t;
         t.start();
         Csr g = inner(s);

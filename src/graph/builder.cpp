@@ -4,11 +4,16 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/faultpoint.hpp"
 #include "util/parallel.hpp"
 
 namespace graphorder {
 
 namespace {
+
+FaultPoint fp_csr_build{
+    "graph.csr.build", StatusCode::InvariantViolation,
+    "CSR finalize aborts as if a construction pass corrupted the arrays"};
 
 // Builder blocks carry an O(blocks * n) table of per-block per-vertex
 // counts (the scatter cursors), so the block count is capped low; eight
@@ -76,6 +81,7 @@ GraphBuilder::has_edge_slow(vid_t u, vid_t v) const
 Csr
 GraphBuilder::finalize(bool weighted) const
 {
+    fp_csr_build.maybe_fire();
     // Parallel CSR construction in five deterministic passes.  Work is
     // split into blocks of the *edge array* whose boundaries depend only
     // on the input size, so the result is bit-identical for any thread

@@ -2,6 +2,7 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 namespace graphorder {
 
@@ -52,17 +53,37 @@ Csr::has_edge(vid_t u, vid_t v) const
     return false;
 }
 
-bool
-Csr::check_invariants() const
+Status
+Csr::validate() const
 {
     const vid_t n = num_vertices();
+    if (offsets_.empty())
+        return Status(StatusCode::InvariantViolation,
+                      "csr: empty offsets array");
+    if (offsets_.front() != 0)
+        return Status(StatusCode::InvariantViolation,
+                      "csr: offsets[0] != 0");
     for (vid_t v = 0; v < n; ++v)
         if (offsets_[v + 1] < offsets_[v])
-            return false;
-    for (vid_t w : adjacency_)
-        if (w >= n)
-            return false;
-    return true;
+            return Status(StatusCode::InvariantViolation,
+                          "csr: offsets decrease at vertex "
+                              + std::to_string(v));
+    if (offsets_.back() != adjacency_.size())
+        return Status(StatusCode::InvariantViolation,
+                      "csr: offsets.back() != |adjacency| ("
+                          + std::to_string(offsets_.back()) + " vs "
+                          + std::to_string(adjacency_.size()) + ")");
+    for (std::size_t i = 0; i < adjacency_.size(); ++i)
+        if (adjacency_[i] >= n)
+            return Status(StatusCode::InvariantViolation,
+                          "csr: adjacency[" + std::to_string(i)
+                              + "] = " + std::to_string(adjacency_[i])
+                              + " out of range [0, " + std::to_string(n)
+                              + ")");
+    if (!weights_.empty() && weights_.size() != adjacency_.size())
+        return Status(StatusCode::InvariantViolation,
+                      "csr: |weights| != |adjacency|");
+    return Status::ok();
 }
 
 } // namespace graphorder

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/status.hpp"
 
 namespace graphorder {
 
@@ -86,8 +87,17 @@ class Csr
     /** True if @p u and @p v are adjacent (linear scan of shorter list). */
     bool has_edge(vid_t u, vid_t v) const;
 
-    /** Verify structural invariants; returns false on corruption. */
-    bool check_invariants() const;
+    /**
+     * Verify structural invariants: monotone offsets, adjacency ids in
+     * [0, n), weight array sized like the adjacency.  Returns Ok or an
+     * InvariantViolation Status naming the first corrupt entry — the
+     * stage-boundary check used by run_guarded (order/runner.hpp) and
+     * `reorder --check`.
+     */
+    Status validate() const;
+
+    /** Convenience: validate().is_ok(). */
+    bool check_invariants() const { return validate().is_ok(); }
 
   private:
     std::vector<eid_t> offsets_;

@@ -1,19 +1,44 @@
 #include "graph/io.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/builder.hpp"
 #include "obs/metrics.hpp"
+#include "util/faultpoint.hpp"
 #include "util/log.hpp"
+#include "util/status.hpp"
 
 namespace graphorder {
 
+namespace {
+
+// Fault-injection sites covering the loader paths (enumerable via
+// all_fault_points(); exercised by tests/robust_test.cpp).
+FaultPoint fp_io_open{
+    "io.open", StatusCode::InvalidInput,
+    "file open fails as if the path were missing or unreadable"};
+FaultPoint fp_edge_list_truncate{
+    "io.edge_list.truncate", StatusCode::Truncated,
+    "edge-list parse aborts mid-stream as if the file were cut off"};
+FaultPoint fp_metis_truncate{
+    "io.metis.truncate", StatusCode::Truncated,
+    "METIS parse aborts mid-adjacency as if the file were cut off"};
+
+/** "source:line: what" message prefix (1-based lines). */
+std::string
+at(const std::string& source, std::uint64_t line, const std::string& what)
+{
+    return source + ":" + std::to_string(line) + ": " + what;
+}
+
+} // namespace
+
 Csr
-read_edge_list(std::istream& in, bool weighted)
+read_edge_list(std::istream& in, bool weighted, const std::string& source)
 {
     auto& reg = obs::MetricsRegistry::instance();
     auto& malformed = reg.counter("io/edge_list/malformed_lines");
@@ -22,17 +47,12 @@ read_edge_list(std::istream& in, bool weighted)
 
     std::vector<Edge> edges;
     std::unordered_map<std::uint64_t, vid_t> compact;
-    auto intern = [&](std::uint64_t raw) {
-        auto [it, fresh] =
-            compact.emplace(raw, static_cast<vid_t>(compact.size()));
-        (void)fresh;
-        return it->second;
-    };
 
     std::string line;
     std::uint64_t line_no = 0;
     while (std::getline(in, line)) {
         ++line_no;
+        fp_edge_list_truncate.maybe_fire();
         if (line.empty() || line[0] == '#' || line[0] == '%')
             continue;
         std::istringstream ls(line);
@@ -44,11 +64,36 @@ read_edge_list(std::istream& in, bool weighted)
         }
         double w = 1.0;
         if (weighted && !(ls >> w))
-            throw std::runtime_error(
-                "edge list: line " + std::to_string(line_no)
-                + " is missing the weight required by a weighted parse: \""
-                + line + "\"");
+            throw GraphorderError(
+                StatusCode::InvalidInput,
+                at(source, line_no,
+                   "missing the weight required by a weighted parse: \""
+                       + line + "\""));
+        // Compacted ids are vid_t (32-bit); kNoVertex is reserved as the
+        // sentinel, so the id space holds at most kNoVertex vertices.
+        if (compact.size() >= static_cast<std::size_t>(kNoVertex)
+            && !compact.count(u))
+            throw GraphorderError(
+                StatusCode::InvalidInput,
+                at(source, line_no,
+                   "vertex-id overflow: more than "
+                       + std::to_string(kNoVertex)
+                       + " distinct vertex ids"));
+        auto intern = [&](std::uint64_t raw) {
+            auto [it, fresh] =
+                compact.emplace(raw, static_cast<vid_t>(compact.size()));
+            (void)fresh;
+            return it->second;
+        };
         const vid_t cu = intern(u);
+        if (compact.size() >= static_cast<std::size_t>(kNoVertex)
+            && !compact.count(v))
+            throw GraphorderError(
+                StatusCode::InvalidInput,
+                at(source, line_no,
+                   "vertex-id overflow: more than "
+                       + std::to_string(kNoVertex)
+                       + " distinct vertex ids"));
         const vid_t cv = intern(v);
         if (cu == cv) {
             self_loops.add();
@@ -58,10 +103,10 @@ read_edge_list(std::istream& in, bool weighted)
         edges.push_back({cu, cv, w});
     }
     if (malformed_here > 0)
-        warn("edge list: skipped " + std::to_string(malformed_here)
+        warn(source + ": skipped " + std::to_string(malformed_here)
              + " malformed line(s)");
     if (self_loops_here > 0)
-        warn("edge list: dropped " + std::to_string(self_loops_here)
+        warn(source + ": dropped " + std::to_string(self_loops_here)
              + " self loop(s)");
     return build_csr(static_cast<vid_t>(compact.size()), edges, weighted);
 }
@@ -69,10 +114,12 @@ read_edge_list(std::istream& in, bool weighted)
 Csr
 load_edge_list(const std::string& path, bool weighted)
 {
+    fp_io_open.maybe_fire();
     std::ifstream in(path);
     if (!in)
-        throw std::runtime_error("cannot open edge list: " + path);
-    return read_edge_list(in, weighted);
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "cannot open edge list: " + path);
+    return read_edge_list(in, weighted, path);
 }
 
 void
@@ -85,23 +132,46 @@ write_edge_list(std::ostream& out, const Csr& g)
 }
 
 Csr
-read_metis(std::istream& in)
+read_metis(std::istream& in, const std::string& source)
 {
     std::string line;
+    std::uint64_t line_no = 0;
     // Header: skip comments (%).
     do {
         if (!std::getline(in, line))
-            throw std::runtime_error("metis: missing header");
+            throw GraphorderError(
+                StatusCode::Truncated,
+                at(source, line_no + 1, "metis: missing header"));
+        ++line_no;
     } while (!line.empty() && line[0] == '%');
+    const std::uint64_t header_line = line_no;
 
     std::istringstream hs(line);
     std::uint64_t n = 0, m = 0;
     if (!(hs >> n >> m))
-        throw std::runtime_error("metis: bad header");
+        throw GraphorderError(
+            StatusCode::InvalidInput,
+            at(source, header_line,
+               "metis: bad header \"" + line + "\" (expected \"n m [fmt]\")"));
     std::uint64_t fmt = 0;
     hs >> fmt;
     if (fmt != 0)
-        throw std::runtime_error("metis: only fmt 0 supported");
+        throw GraphorderError(
+            StatusCode::InvalidInput,
+            at(source, header_line,
+               "metis: only fmt 0 supported, got "
+                   + std::to_string(fmt)));
+    if (n > static_cast<std::uint64_t>(kNoVertex))
+        throw GraphorderError(
+            StatusCode::InvalidInput,
+            at(source, header_line,
+               "metis: vertex count " + std::to_string(n)
+                   + " overflows the 32-bit id space"));
+    // A header edge count impossible for a simple graph (m > n(n-1)/2)
+    // is treated like any other header/body mismatch below: the parsed
+    // count wins and io/metis/header_mismatch is bumped.  The header's m
+    // only feeds a capped reserve, so a lying value cannot poison
+    // allocations.
 
     // Collect every listed (v, w) pair in both its roles and let
     // build_csr symmetrize + deduplicate.  The format specifies that
@@ -110,10 +180,18 @@ read_metis(std::istream& in)
     // keeping every direction makes both conventions parse to the same
     // graph instead of silently dropping the single-listed edges.
     std::vector<Edge> edges;
-    edges.reserve(2 * m);
+    // Cap the speculative reserve: the header's m is untrusted input.
+    edges.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(2 * m, std::uint64_t{1} << 20)));
     for (std::uint64_t v = 0; v < n; ++v) {
+        fp_metis_truncate.maybe_fire();
         if (!std::getline(in, line))
-            throw std::runtime_error("metis: truncated file");
+            throw GraphorderError(
+                StatusCode::Truncated,
+                at(source, line_no + 1,
+                   "metis: file ends at vertex " + std::to_string(v + 1)
+                       + " of " + std::to_string(n)));
+        ++line_no;
         if (!line.empty() && line[0] == '%') {
             --v; // comment line does not consume a vertex
             continue;
@@ -122,7 +200,12 @@ read_metis(std::istream& in)
         std::uint64_t w;
         while (ls >> w) {
             if (w == 0 || w > n)
-                throw std::runtime_error("metis: neighbor id out of range");
+                throw GraphorderError(
+                    StatusCode::InvalidInput,
+                    at(source, line_no,
+                       "metis: neighbor id " + std::to_string(w)
+                           + " out of range [1, " + std::to_string(n)
+                           + "]"));
             if (v != w - 1)
                 edges.push_back({static_cast<vid_t>(v),
                                  static_cast<vid_t>(w - 1), 1.0});
@@ -133,12 +216,23 @@ read_metis(std::istream& in)
         obs::MetricsRegistry::instance()
             .counter("io/metis/header_mismatch")
             .add();
-        warn("metis: header claims " + std::to_string(m)
+        warn(source + ": metis header claims " + std::to_string(m)
              + " edges but the adjacency lines contain "
              + std::to_string(g.num_edges())
              + " distinct undirected edges; using the parsed count");
     }
     return g;
+}
+
+Csr
+load_metis(const std::string& path)
+{
+    fp_io_open.maybe_fire();
+    std::ifstream in(path);
+    if (!in)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "cannot open metis file: " + path);
+    return read_metis(in, path);
 }
 
 void

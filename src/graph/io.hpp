@@ -4,6 +4,13 @@
  * of KONECT / SNAP dumps) and the METIS graph format used by the DIMACS
  * challenge instances.  Lets users run the harness on real downloads of
  * the paper's datasets when available.
+ *
+ * Error handling: every parse failure throws GraphorderError
+ * (util/status.hpp) with an InvalidInput or Truncated code and a
+ * "source:line:" prefix (1-based line numbers), so the CLI can map it to
+ * the documented exit codes.  Fault-injection sites `io.open`,
+ * `io.edge_list.truncate` and `io.metis.truncate` (util/faultpoint.hpp)
+ * cover the loader paths.
  */
 #pragma once
 
@@ -20,13 +27,21 @@ namespace graphorder {
  * to [0, n).  Graph is treated as undirected and simple.  Malformed
  * lines and self loops are skipped with a warning and counted in the
  * obs registry (`io/edge_list/malformed_lines`,
- * `io/edge_list/self_loops`).  With @p weighted set, a line without a
- * weight is an error (@throws std::runtime_error) rather than a silent
- * w = 1.
+ * `io/edge_list/self_loops`).
+ *
+ * @param source name used in error messages ("path:line: ...").
+ * @throws GraphorderError(InvalidInput) when a weighted parse hits a
+ *         line without a weight, or when the number of distinct vertex
+ *         ids overflows the 32-bit vid_t id space.
  */
-Csr read_edge_list(std::istream& in, bool weighted = false);
+Csr read_edge_list(std::istream& in, bool weighted = false,
+                   const std::string& source = "<edge-list>");
 
-/** Load an edge list from a file path. @throws std::runtime_error. */
+/**
+ * Load an edge list from a file path.
+ * @throws GraphorderError(InvalidInput) when the file cannot be opened,
+ *         plus everything read_edge_list throws.
+ */
 Csr load_edge_list(const std::string& path, bool weighted = false);
 
 /** Write "u v" per undirected edge (u < v). */
@@ -40,8 +55,22 @@ void write_edge_list(std::ostream& out, const Csr& g);
  * either endpoint only); duplicates are merged.  Warns — and bumps the
  * `io/metis/header_mismatch` obs counter — when the parsed edge count
  * disagrees with the header's m.
+ *
+ * @param source name used in error messages ("path:line: ...").
+ * @throws GraphorderError(Truncated) when the stream ends before the
+ *         header or before every vertex line was read;
+ *         GraphorderError(InvalidInput) on a malformed header,
+ *         unsupported fmt, overflowing vertex count, or out-of-range
+ *         neighbor id.
  */
-Csr read_metis(std::istream& in);
+Csr read_metis(std::istream& in, const std::string& source = "<metis>");
+
+/**
+ * Load a METIS .graph file from a path.
+ * @throws GraphorderError(InvalidInput) when the file cannot be opened,
+ *         plus everything read_metis throws.
+ */
+Csr load_metis(const std::string& path);
 
 /** Write METIS .graph format. */
 void write_metis(std::ostream& out, const Csr& g);

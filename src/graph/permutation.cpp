@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -73,14 +74,33 @@ Permutation::then(const Permutation& outer) const
 bool
 Permutation::is_valid() const
 {
-    const vid_t n = size();
-    std::vector<bool> seen(n, false);
-    for (vid_t r : ranks_) {
-        if (r >= n || seen[r])
-            return false;
-        seen[r] = true;
+    return validate_permutation(*this, size()).is_ok();
+}
+
+Status
+validate_permutation(const Permutation& pi, vid_t n)
+{
+    if (pi.size() != n)
+        return Status(StatusCode::InvariantViolation,
+                      "permutation covers " + std::to_string(pi.size())
+                          + " vertices, graph has " + std::to_string(n));
+    std::vector<std::uint8_t> seen(n, 0);
+    const auto& ranks = pi.ranks();
+    for (vid_t v = 0; v < n; ++v) {
+        const vid_t r = ranks[v];
+        if (r >= n)
+            return Status(StatusCode::InvariantViolation,
+                          "rank of vertex " + std::to_string(v) + " is "
+                              + std::to_string(r) + ", out of [0, "
+                              + std::to_string(n) + ")");
+        if (seen[r])
+            return Status(StatusCode::InvariantViolation,
+                          "rank " + std::to_string(r)
+                              + " assigned twice (second at vertex "
+                              + std::to_string(v) + ")");
+        seen[r] = 1;
     }
-    return true;
+    return Status::ok();
 }
 
 Csr

@@ -61,6 +61,15 @@ class Permutation
 };
 
 /**
+ * Verify that @p pi is a bijection of exactly [0, @p n): size matches
+ * and every rank in [0, n) appears once.  Returns Ok or an
+ * InvariantViolation Status naming the first offending vertex — the
+ * stage-boundary check run_guarded (order/runner.hpp) applies to every
+ * scheme result and `reorder --check` applies from the CLI.
+ */
+Status validate_permutation(const Permutation& pi, vid_t n);
+
+/**
  * Rebuild @p g with vertex v relabeled to pi.rank(v); weights preserved.
  *
  * Parallel over the new vertex ids (each fills and sorts its own span);

@@ -9,6 +9,8 @@
 #include "memsim/cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cancel.hpp"
+#include "util/faultpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -16,6 +18,10 @@
 namespace graphorder {
 
 namespace {
+
+FaultPoint fp_imm_round{
+    "imm.round", StatusCode::Internal,
+    "IMM aborts at a martingale-round boundary as if sampling failed"};
 
 /** Multiplier keying per-sample / per-trial RNG streams off the index. */
 constexpr std::uint64_t kStreamMix = 0x9E3779B97F4A7C15ULL;
@@ -278,6 +284,8 @@ imm(const Csr& g, const ImmOptions& opt)
         std::max(1, static_cast<int>(std::log2(std::max(2.0, dn))) - 1);
     for (int i = 1; i <= max_rounds; ++i) {
         GO_TRACE_SCOPE("imm/round/" + std::to_string(i));
+        fp_imm_round.maybe_fire();
+        checkpoint("imm/round");
         round_counter.add();
         const double x = dn / std::pow(2.0, i);
         const auto theta_i = static_cast<std::uint64_t>(

@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/cancel.hpp"
+
 namespace graphorder {
 
 namespace {
@@ -86,6 +88,10 @@ gorder_order(const Csr& g, const GorderOptions& opt)
     std::size_t seed_scan = 0;
 
     while (order.size() < n) {
+        // Stride the poll: the emit loop runs once per vertex, which is
+        // too hot to check the clock every iteration.
+        if ((order.size() & 0xFF) == 0)
+            checkpoint("gorder/emit");
         vid_t next = heap.pop_max();
         if (next == kNoVertex) {
             while (seed_scan < n && heap.placed(by_degree[seed_scan]))

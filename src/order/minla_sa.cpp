@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "la/gap_measures.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 
 namespace graphorder {
@@ -54,6 +55,7 @@ minla_sa_order(const Csr& g, const Permutation& start,
     std::vector<vid_t> best = rank;
 
     for (int step = 0; step < opt.steps; ++step) {
+        checkpoint("minla_sa/step");
         for (std::uint64_t mv = 0; mv < moves; ++mv) {
             const auto a = static_cast<vid_t>(rng.next_below(n));
             const auto b = static_cast<vid_t>(rng.next_below(n));

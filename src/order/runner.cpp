@@ -1,0 +1,155 @@
+#include "order/runner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cancel.hpp"
+#include "util/faultpoint.hpp"
+
+namespace graphorder {
+
+namespace {
+
+// Simulates the guarded run's own budget machinery reporting an
+// out-of-memory condition (bad_alloc surfaced as BudgetExceeded); fired
+// at attempt start so the fallback walk is exercised end to end.
+FaultPoint fp_order_oom{
+    "order.oom", StatusCode::BudgetExceeded,
+    "guarded attempt fails as if an allocation blew the memory budget"};
+
+/**
+ * One attempt: fresh token with the per-attempt budgets, run, validate
+ * the permutation.  Failures come back as a non-ok Status; the elapsed
+ * time of the attempt (successful or not) is written to @p elapsed_s.
+ */
+Status
+attempt_once(const OrderingScheme& s, const Csr& g,
+             const GuardedRunOptions& opt, Permutation& out,
+             double& elapsed_s)
+{
+    CancelToken token({opt.deadline_ms,
+                       opt.mem_budget_mb * std::uint64_t{1} << 20});
+    ScopedCancelToken scope(token);
+    try {
+        fp_order_oom.maybe_fire();
+        Permutation pi = s.run(g, opt.seed);
+        elapsed_s = token.elapsed_ms() * 1e-3;
+        if (opt.validate) {
+            Status v = validate_permutation(pi, g.num_vertices());
+            if (!v.is_ok())
+                return v.with_context("validating output of '" + s.name
+                                      + "'");
+        }
+        out = std::move(pi);
+        return Status::ok();
+    } catch (...) {
+        elapsed_s = token.elapsed_ms() * 1e-3;
+        return status_from_current_exception()
+            .with_context("running scheme '" + s.name + "'");
+    }
+}
+
+} // namespace
+
+Expected<GuardedRunResult>
+run_guarded(const OrderingScheme& scheme, const Csr& g,
+            const GuardedRunOptions& opt)
+{
+    GO_TRACE_SCOPE("robust/run_guarded");
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("robust/guarded_runs").add();
+
+    if (opt.validate) {
+        Status v = g.validate();
+        if (!v.is_ok()) {
+            reg.counter("robust/failures").add();
+            return v.with_context("validating input graph for '"
+                                  + scheme.name + "'");
+        }
+    }
+
+    // The attempt chain: the requested scheme, then its fallback names.
+    // Every chain terminates in a baseline ("natural" when nothing else
+    // is registered); names resolve lazily so one bad entry only costs
+    // its own attempt.
+    std::vector<std::string> chain;
+    if (opt.allow_fallback) {
+        chain = !opt.fallback_override.empty() ? opt.fallback_override
+                : !scheme.fallback.empty()     ? scheme.fallback
+                                               : std::vector<std::string>{
+                                                     "natural"};
+    }
+
+    GuardedRunResult result;
+    std::vector<AttemptFailure> failures;
+
+    auto try_scheme = [&](const OrderingScheme& s) -> bool {
+        double elapsed_s = 0;
+        Permutation pi;
+        Status st = attempt_once(s, g, opt, pi, elapsed_s);
+        if (st.is_ok()) {
+            result.perm = std::move(pi);
+            result.scheme_used = s.name;
+            result.elapsed_s = elapsed_s;
+            return true;
+        }
+        reg.counter("robust/failures").add();
+        if (st.code() == StatusCode::BudgetExceeded
+            || st.code() == StatusCode::Cancelled)
+            reg.counter("robust/budget_exceeded").add();
+        failures.push_back({s.name, std::move(st)});
+        return false;
+    };
+
+    bool ok = try_scheme(scheme);
+    if (!ok) {
+        for (const auto& name : chain) {
+            const OrderingScheme* next = nullptr;
+            try {
+                next = &scheme_by_name(name);
+            } catch (const std::out_of_range&) {
+                failures.push_back(
+                    {name, Status(StatusCode::InvalidInput,
+                                  "fallback scheme '" + name
+                                      + "' is not registered")});
+                continue;
+            }
+            if (try_scheme(*next)) {
+                ok = true;
+                result.fell_back = result.scheme_used != scheme.name;
+                if (result.fell_back)
+                    reg.counter("robust/fallbacks").add();
+                break;
+            }
+        }
+    }
+
+    if (!ok) {
+        std::string tried;
+        for (const auto& f : failures) {
+            if (!tried.empty())
+                tried += ", ";
+            tried += f.scheme;
+        }
+        Status first = failures.front().status;
+        return first.with_context("guarded run of '" + scheme.name
+                                  + "' (attempted: " + tried + ")");
+    }
+    result.failures = std::move(failures);
+    return result;
+}
+
+Expected<GuardedRunResult>
+run_guarded(const std::string& scheme_name, const Csr& g,
+            const GuardedRunOptions& opt)
+{
+    try {
+        return run_guarded(scheme_by_name(scheme_name), g, opt);
+    } catch (const std::out_of_range& e) {
+        return Status(StatusCode::InvalidInput, e.what());
+    }
+}
+
+} // namespace graphorder

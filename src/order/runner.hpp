@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Guarded execution of ordering schemes: budgets, invariant validation
+ * and fallback chains.
+ *
+ * `run_guarded` is the robustness boundary between the scheme kernels
+ * (which signal failure by throwing, most precisely GraphorderError)
+ * and callers that must make progress — benches producing a figure,
+ * the CLI producing a permutation.  One guarded run:
+ *
+ *   1. validates the input CSR (skippable via options),
+ *   2. installs a CancelToken with the caller's wall-clock / memory
+ *      budgets; kernels observe it at their round-boundary
+ *      `checkpoint()` sites (util/cancel.hpp),
+ *   3. runs the scheme, validating the returned permutation,
+ *   4. on failure, walks the scheme's fallback chain (cheaper schemes
+ *      of a similar flavor, ending in a baseline — the lightweight
+ *      degradation policy of Faldu et al.'s closeness-tier argument)
+ *      with a *fresh* budget per attempt,
+ *   5. publishes `robust/{guarded_runs,failures,fallbacks,
+ *      budget_exceeded}` counters to the obs metrics registry.
+ *
+ * The error taxonomy (util/status.hpp) is preserved: the returned
+ * Expected carries the *first* failure's status when every attempt
+ * failed, and the per-attempt statuses ride along in
+ * GuardedRunResult::failures when a fallback eventually succeeded.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+#include "order/scheme.hpp"
+#include "util/status.hpp"
+
+namespace graphorder {
+
+/** Knobs for one guarded run.  Zero budgets mean "unlimited". */
+struct GuardedRunOptions
+{
+    std::uint64_t seed = 42;
+    /** Wall-clock budget per attempt in ms; 0 = none. */
+    double deadline_ms = 0;
+    /** Approximate RSS-growth budget per attempt in MiB; 0 = none. */
+    std::uint64_t mem_budget_mb = 0;
+    /** Validate the input CSR and the returned permutation. */
+    bool validate = true;
+    /** Walk the scheme's fallback chain on failure. */
+    bool allow_fallback = true;
+    /**
+     * Non-empty: use this chain instead of the scheme's registered one.
+     * Entries are registry names; unknown names fail that attempt with
+     * InvalidInput and the walk continues.
+     */
+    std::vector<std::string> fallback_override;
+};
+
+/** One failed attempt inside a guarded run. */
+struct AttemptFailure
+{
+    std::string scheme; ///< registry name of the attempt
+    Status status;      ///< why it failed
+};
+
+/** Outcome of a successful guarded run (possibly via fallback). */
+struct GuardedRunResult
+{
+    Permutation perm;
+    std::string scheme_used; ///< scheme that produced `perm`
+    bool fell_back = false;  ///< true when scheme_used != requested
+    double elapsed_s = 0;    ///< wall time of the *successful* attempt
+    /** Failures that preceded the success, in attempt order. */
+    std::vector<AttemptFailure> failures;
+};
+
+/**
+ * Run @p scheme on @p g under the budgets in @p opt, falling back down
+ * the scheme's chain on failure.
+ *
+ * @return the result, or — when every attempt failed (or fallback was
+ *         disabled) — the *first* failure's status with the attempted
+ *         chain appended as context.
+ * Exception-safety: scheme exceptions are converted to Status via
+ * status_from_current_exception(); nothing escapes except bad_alloc
+ * raised while building the error itself.
+ * Thread-safety: safe to call concurrently; the cancellation token is
+ * installed thread-locally.
+ */
+Expected<GuardedRunResult> run_guarded(const OrderingScheme& scheme,
+                                       const Csr& g,
+                                       const GuardedRunOptions& opt = {});
+
+/**
+ * Name-based convenience overload.
+ * @return InvalidInput when @p scheme_name is not registered (the
+ *         registry's std::out_of_range is absorbed, not thrown).
+ */
+Expected<GuardedRunResult> run_guarded(const std::string& scheme_name,
+                                       const Csr& g,
+                                       const GuardedRunOptions& opt = {});
+
+} // namespace graphorder

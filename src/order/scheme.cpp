@@ -18,6 +18,8 @@
 #include "order/rabbit.hpp"
 #include "order/rcm.hpp"
 #include "order/slashburn.hpp"
+#include "util/cancel.hpp"
+#include "util/faultpoint.hpp"
 
 namespace graphorder {
 
@@ -141,9 +143,61 @@ build_all_schemes()
 }
 
 /**
+ * Fault-injection site shared by every scheme: instrument_schemes plants
+ * it inside each wrapped run(), so arming `order.scheme` makes the next
+ * ordering run (whichever scheme executes) fail with a typed error —
+ * the substrate for the scheme × fault fallback matrix in
+ * tests/robust_test.cpp.
+ */
+FaultPoint fp_order_scheme{
+    "order.scheme", StatusCode::Internal,
+    "ordering run aborts as if the scheme hit an internal error"};
+
+/**
+ * Attach the run_guarded fallback chains (order/runner.hpp).  Policy:
+ * each scheme degrades to the cheapest member of a similar flavor, then
+ * to a baseline — e.g. window/partitioning schemes retreat to degree
+ * sort (keeps some hub locality at sort cost), fill-reducing schemes to
+ * their BFS-flavored kin.  "natural" falls back to itself: faults fire
+ * exactly once, so the retry succeeds and the chain still terminates.
+ */
+std::vector<OrderingScheme>
+assign_fallbacks(std::vector<OrderingScheme> v)
+{
+    for (auto& s : v) {
+        if (s.name == "natural")
+            s.fallback = {"natural"};
+        else if (s.name == "slashburn")
+            s.fallback = {"hubcluster", "degree", "natural"};
+        else if (s.name == "rcm")
+            s.fallback = {"bfs", "natural"};
+        else if (s.name == "nd")
+            s.fallback = {"rcm", "degree", "natural"};
+        else if (s.name == "mindeg")
+            s.fallback = {"rcm", "natural"};
+        else if (s.category == SchemeCategory::Window
+                 || s.category == SchemeCategory::Partitioning
+                 || s.name == "minla-sa" || s.name == "hybrid-rcm")
+            s.fallback = {"degree", "natural"};
+        else
+            s.fallback = {"natural"};
+        // Rough cost classes from the paper's Figure 4 timings: the
+        // super-linear schemes get a generous hint, the rest none.
+        if (s.name == "gorder" || s.name == "slashburn"
+            || s.name == "minla-sa" || s.name == "mindeg"
+            || s.name == "nd")
+            s.deadline_hint_ms = 600000; // 10 min — qualitative-only tier
+    }
+    return v;
+}
+
+/**
  * Wrap every scheme's run() in an `order/<name>` trace span plus registry
  * metrics (run counter and per-scheme time histogram), so any caller
  * iterating the registry gets telemetry without touching the scheme code.
+ * The wrapper also hosts the `order.scheme` fault point and a
+ * cancellation checkpoint at entry, so guarded runs observe deadlines
+ * even for schemes without internal checkpoints.
  */
 std::vector<OrderingScheme>
 instrument_schemes(std::vector<OrderingScheme> v)
@@ -154,6 +208,8 @@ instrument_schemes(std::vector<OrderingScheme> v)
         s.run = [inner = std::move(inner), span](const Csr& g,
                                                  std::uint64_t seed) {
             GO_TRACE_SCOPE(span);
+            fp_order_scheme.maybe_fire();
+            checkpoint(span.c_str());
             const std::uint64_t t0 = obs::Tracer::instance().now_us();
             auto pi = inner(g, seed);
             auto& reg = obs::MetricsRegistry::instance();
@@ -174,14 +230,15 @@ const std::vector<OrderingScheme>&
 paper_schemes()
 {
     static const auto schemes =
-        instrument_schemes(build_paper_schemes());
+        instrument_schemes(assign_fallbacks(build_paper_schemes()));
     return schemes;
 }
 
 const std::vector<OrderingScheme>&
 all_schemes()
 {
-    static const auto schemes = instrument_schemes(build_all_schemes());
+    static const auto schemes =
+        instrument_schemes(assign_fallbacks(build_all_schemes()));
     return schemes;
 }
 

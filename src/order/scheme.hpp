@@ -60,6 +60,21 @@ struct OrderingScheme
      * deterministic ones.
      */
     bool deterministic = true;
+    /**
+     * Fallback chain walked by run_guarded (order/runner.hpp) when this
+     * scheme fails or blows its budget: cheaper schemes of a similar
+     * flavor first, ending in a baseline.  Empty means "no fallback"
+     * (run_guarded substitutes {"natural"} so every chain terminates).
+     * Assigned by the registry builders, not by positional init.
+     */
+    std::vector<std::string> fallback;
+    /**
+     * Soft deadline suggestion in milliseconds for guarded runs, derived
+     * from the scheme's paper-reported cost class; 0 = no suggestion.
+     * run_guarded only enforces deadlines the caller sets explicitly —
+     * this is advisory metadata for harnesses that budget whole figures.
+     */
+    double deadline_hint_ms = 0;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/cancel.hpp"
+
 namespace graphorder {
 
 namespace {
@@ -71,6 +73,7 @@ slashburn_order(const Csr& g, vid_t k)
 
     std::vector<vid_t> deg, comp, ids;
     while (alive_count > 0) {
+        checkpoint("slashburn/round");
         if (alive_count <= k) {
             // Terminal round: remaining vertices become hubs up front.
             ids.clear();

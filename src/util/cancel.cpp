@@ -1,0 +1,108 @@
+#include "util/cancel.hpp"
+
+#include <cstdio>
+
+namespace graphorder {
+
+namespace {
+
+thread_local CancelToken* t_current_token = nullptr;
+
+} // namespace
+
+std::uint64_t
+current_rss_bytes()
+{
+#ifdef __linux__
+    // /proc/self/statm: "size resident shared ..." in pages.
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long long size = 0, resident = 0;
+    const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0;
+    return static_cast<std::uint64_t>(resident) * 4096ULL;
+#else
+    return 0;
+#endif
+}
+
+CancelToken::CancelToken(Budget budget)
+    : start_(std::chrono::steady_clock::now()),
+      deadline_ms_(budget.deadline_ms),
+      mem_budget_bytes_(budget.mem_budget_bytes),
+      rss_baseline_(budget.mem_budget_bytes ? current_rss_bytes() : 0)
+{
+}
+
+double
+CancelToken::elapsed_ms() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+Status
+CancelToken::check(const char* site) const
+{
+    if (cancelled_.load(std::memory_order_relaxed))
+        return Status(StatusCode::Cancelled,
+                      std::string("cancelled at ") + site);
+    if (deadline_ms_ > 0) {
+        const double el = elapsed_ms();
+        if (el > deadline_ms_)
+            return Status(StatusCode::BudgetExceeded,
+                          std::string("deadline exceeded at ") + site
+                              + ": " + std::to_string(el) + " ms > "
+                              + std::to_string(deadline_ms_) + " ms");
+    }
+    if (mem_budget_bytes_ > 0) {
+        const std::uint64_t rss = current_rss_bytes();
+        if (rss > 0 && rss > rss_baseline_
+            && rss - rss_baseline_ > mem_budget_bytes_)
+            return Status(
+                StatusCode::BudgetExceeded,
+                std::string("memory budget exceeded at ") + site + ": +"
+                    + std::to_string((rss - rss_baseline_) >> 20)
+                    + " MiB > "
+                    + std::to_string(mem_budget_bytes_ >> 20) + " MiB");
+    }
+    return Status::ok();
+}
+
+void
+CancelToken::poll(const char* site) const
+{
+    Status s = check(site);
+    if (!s.is_ok())
+        throw GraphorderError(std::move(s));
+}
+
+ScopedCancelToken::ScopedCancelToken(CancelToken& token)
+    : prev_(t_current_token)
+{
+    t_current_token = &token;
+}
+
+ScopedCancelToken::~ScopedCancelToken()
+{
+    t_current_token = prev_;
+}
+
+CancelToken*
+current_cancel_token()
+{
+    return t_current_token;
+}
+
+void
+checkpoint(const char* site)
+{
+    if (CancelToken* t = t_current_token)
+        t->poll(site);
+}
+
+} // namespace graphorder

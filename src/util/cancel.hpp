@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cooperative cancellation with wall-clock and approximate memory
+ * budgets.
+ *
+ * `run_guarded` (order/runner.hpp) installs a CancelToken for the
+ * calling thread; long-running kernels poll it at natural round
+ * boundaries via `checkpoint("site")` — Louvain iterations, Gorder
+ * window events, SlashBurn rounds, MinLA-SA sweeps, IMM martingale
+ * rounds.  With no token installed a checkpoint is a thread-local read
+ * and a branch, so the polls are safe to leave in release builds.
+ *
+ * The memory budget is *approximate*: it compares the process RSS delta
+ * since token creation (Linux /proc/self/statm; 0 elsewhere, disabling
+ * the check) against the budget at each poll — good enough to stop a
+ * scheme that is ballooning, not an allocator hook.
+ *
+ * Threading: the token pointer is thread-local, so checkpoints must sit
+ * on the thread that installed the token (serial sections / OpenMP
+ * master), not inside parallel-for bodies.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <atomic>
+
+#include "util/status.hpp"
+
+namespace graphorder {
+
+/** Budgets + manual cancellation for one guarded run. */
+class CancelToken
+{
+  public:
+    struct Budget
+    {
+        double deadline_ms = 0;           ///< 0 = no deadline
+        std::uint64_t mem_budget_bytes = 0; ///< 0 = no memory budget
+    };
+
+    explicit CancelToken(Budget budget);
+
+    /** Request cooperative cancellation (safe from any thread). */
+    void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Non-throwing check: Ok, or Cancelled / BudgetExceeded with a
+     * message naming @p site and the blown budget.
+     */
+    Status check(const char* site) const;
+
+    /** Throwing check: GraphorderError(check(site)) when not Ok. */
+    void poll(const char* site) const;
+
+    /** Milliseconds since the token was created. */
+    double elapsed_ms() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    double deadline_ms_;
+    std::uint64_t mem_budget_bytes_;
+    std::uint64_t rss_baseline_;
+    std::atomic<bool> cancelled_{false};
+};
+
+/**
+ * Installs @p token as the calling thread's current token for the
+ * scope; restores the previous one (tokens nest) on destruction.
+ */
+class ScopedCancelToken
+{
+  public:
+    explicit ScopedCancelToken(CancelToken& token);
+    ~ScopedCancelToken();
+    ScopedCancelToken(const ScopedCancelToken&) = delete;
+    ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+  private:
+    CancelToken* prev_;
+};
+
+/** The calling thread's installed token; nullptr outside guarded runs. */
+CancelToken* current_cancel_token();
+
+/**
+ * Cooperative checkpoint: polls the installed token (if any), throwing
+ * GraphorderError(Cancelled | BudgetExceeded) when a budget is blown.
+ * @p site names the checkpoint in the error message.
+ */
+void checkpoint(const char* site);
+
+/** Resident set size in bytes (Linux /proc/self/statm; 0 elsewhere). */
+std::uint64_t current_rss_bytes();
+
+} // namespace graphorder

@@ -1,0 +1,215 @@
+#include "util/faultpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace graphorder {
+
+namespace detail {
+
+std::atomic<int> g_armed_faults{0};
+
+struct FaultPointAdmin
+{
+    static void arm(FaultPoint& p, std::uint64_t nth) { p.arm(nth); }
+    static void disarm(FaultPoint& p) { p.disarm(); }
+};
+
+} // namespace detail
+
+namespace {
+
+/**
+ * Process-wide site registry.  Heap-allocated and never destroyed so
+ * that FaultPoint statics in other translation units can register during
+ * dynamic initialization (and be looked up at process exit) regardless
+ * of TU init/destruction order.
+ */
+struct Registry
+{
+    std::mutex mu;
+    std::vector<FaultPoint*> points;
+    std::unordered_map<std::string, FaultPoint*> by_name;
+    /** Specs naming not-yet-registered sites; applied on registration. */
+    std::unordered_map<std::string, std::uint64_t> pending;
+};
+
+void
+arm_impl(Registry& r, const std::string& name, std::uint64_t nth);
+
+std::size_t
+apply_spec_impl(Registry& r, const std::string& spec);
+
+Registry&
+registry()
+{
+    // The env spec is parsed inside the initializer, which operates on
+    // the new Registry directly (never re-entering registry()): parsing
+    // happens exactly once, before any site can be registered or fired.
+    // Malformed entries are reported and skipped rather than thrown:
+    // this can run during static initialization, where an exception
+    // would call std::terminate before main() prints anything useful.
+    static Registry* r = [] {
+        auto* reg = new Registry;
+        if (const char* env = std::getenv("GRAPHORDER_FAULTS")) {
+            try {
+                apply_spec_impl(*reg, env);
+            } catch (const std::exception& e) {
+                std::fprintf(stderr,
+                             "warn: ignoring bad GRAPHORDER_FAULTS: %s\n",
+                             e.what());
+            }
+        }
+        return reg;
+    }();
+    return *r;
+}
+
+void
+arm_impl(Registry& r, const std::string& name, std::uint64_t nth)
+{
+    if (nth == 0)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "fault '" + name
+                                  + "': hit index must be >= 1");
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.by_name.find(name);
+    if (it != r.by_name.end())
+        detail::FaultPointAdmin::arm(*it->second, nth);
+    else
+        r.pending[name] = nth; // applied if the site registers later
+}
+
+std::size_t
+apply_spec_impl(Registry& r, const std::string& spec)
+{
+    std::size_t applied = 0;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+        const std::size_t colon = entry.rfind(':');
+        if (colon == std::string::npos || colon == 0)
+            throw GraphorderError(
+                StatusCode::InvalidInput,
+                "fault spec entry '" + entry + "': expected name:N");
+        const std::string name = entry.substr(0, colon);
+        char* parse_end = nullptr;
+        const char* num = entry.c_str() + colon + 1;
+        const unsigned long long nth = std::strtoull(num, &parse_end, 10);
+        if (parse_end == num || *parse_end != '\0' || nth == 0)
+            throw GraphorderError(
+                StatusCode::InvalidInput,
+                "fault spec entry '" + entry
+                    + "': hit count must be a positive integer");
+        arm_impl(r, name, nth);
+        ++applied;
+    }
+    return applied;
+}
+
+} // namespace
+
+FaultPoint::FaultPoint(std::string name, StatusCode code,
+                       std::string description)
+    : name_(std::move(name)),
+      code_(code),
+      description_(std::move(description))
+{
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.points.push_back(this);
+    r.by_name[name_] = this;
+    const auto it = r.pending.find(name_);
+    if (it != r.pending.end()) {
+        detail::FaultPointAdmin::arm(*this, it->second);
+        r.pending.erase(it);
+    }
+}
+
+void
+FaultPoint::arm(std::uint64_t nth)
+{
+    const bool was_armed =
+        fire_at_.load(std::memory_order_relaxed) != 0
+        && !fired_.load(std::memory_order_relaxed);
+    fire_at_.store(hits_.load(std::memory_order_relaxed) + nth,
+                   std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+    if (!was_armed)
+        detail::g_armed_faults.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+FaultPoint::disarm()
+{
+    const bool was_armed =
+        fire_at_.load(std::memory_order_relaxed) != 0
+        && !fired_.load(std::memory_order_relaxed);
+    fire_at_.store(0, std::memory_order_relaxed);
+    fired_.store(false, std::memory_order_relaxed);
+    if (was_armed)
+        detail::g_armed_faults.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+FaultPoint::fire_slow()
+{
+    const std::uint64_t hit =
+        hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const std::uint64_t at = fire_at_.load(std::memory_order_relaxed);
+    if (at == 0 || hit < at)
+        return;
+    if (fired_.exchange(true, std::memory_order_relaxed))
+        return; // already fired (e.g. a fallback retry re-entered)
+    detail::g_armed_faults.fetch_sub(1, std::memory_order_relaxed);
+    throw GraphorderError(
+        code_, "injected fault at '" + name_ + "' (hit "
+                   + std::to_string(hit) + ")");
+}
+
+const std::vector<FaultPoint*>&
+all_fault_points()
+{
+    return registry().points;
+}
+
+FaultPoint*
+find_fault_point(const std::string& name)
+{
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    const auto it = r.by_name.find(name);
+    return it == r.by_name.end() ? nullptr : it->second;
+}
+
+void
+arm_fault(const std::string& name, std::uint64_t nth)
+{
+    arm_impl(registry(), name, nth);
+}
+
+void
+clear_faults()
+{
+    auto& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (FaultPoint* p : r.points)
+        detail::FaultPointAdmin::disarm(*p);
+    r.pending.clear();
+}
+
+std::size_t
+apply_fault_spec(const std::string& spec)
+{
+    return apply_spec_impl(registry(), spec);
+}
+
+} // namespace graphorder

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultPoint is a named site planted in a failure-prone code path (IO
+ * parsing, CSR build, each ordering run, Louvain phases, IMM rounds).
+ * Armed via `GRAPHORDER_FAULTS=io.metis.truncate:1,order.scheme:3` (fire
+ * on the Nth hit of the named site) or programmatically (`arm_fault`),
+ * a site throws a GraphorderError with its declared StatusCode exactly
+ * once — the substrate for the fault-matrix tests proving every failure
+ * path surfaces a typed error, and that `run_guarded` fallback always
+ * recovers.
+ *
+ * Disarmed cost: `maybe_fire()` is one relaxed atomic load and a
+ * predictable branch — safe to leave in release hot paths at the round /
+ * parse-line granularity the sites use.
+ *
+ * Sites are namespace-scope statics in their owning .cpp, so the full
+ * registry is enumerable (`all_fault_points()`) as soon as the owning
+ * translation units are linked, without executing any of them.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace graphorder {
+
+namespace detail {
+/** Number of currently armed fault points (process-global). */
+extern std::atomic<int> g_armed_faults;
+struct FaultPointAdmin; ///< registry-internal access to arm/disarm
+} // namespace detail
+
+/** True when at least one fault point is armed. */
+inline bool
+faults_armed()
+{
+    return detail::g_armed_faults.load(std::memory_order_relaxed) != 0;
+}
+
+/** One named injection site.  Construct at namespace scope only. */
+class FaultPoint
+{
+  public:
+    /**
+     * Registers the site; applies any pending spec (env or arm_fault)
+     * with a matching name.  @p code is the taxonomy category an
+     * injected failure surfaces as.
+     */
+    FaultPoint(std::string name, StatusCode code, std::string description);
+
+    const std::string& name() const { return name_; }
+    StatusCode code() const { return code_; }
+    const std::string& description() const { return description_; }
+
+    /** Times the site was reached while fault injection was active
+     *  (the disarmed fast path does not count hits). */
+    std::uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The injection site.  Disarmed: one atomic load + branch.  Armed:
+     * counts the hit and, on the configured Nth hit, fires exactly once
+     * by throwing GraphorderError(code(), ...).
+     */
+    void maybe_fire()
+    {
+        if (!faults_armed())
+            return;
+        fire_slow();
+    }
+
+  private:
+    friend struct detail::FaultPointAdmin;
+
+    void fire_slow();
+    void arm(std::uint64_t nth);
+    void disarm();
+
+    std::string name_;
+    StatusCode code_;
+    std::string description_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> fire_at_{0}; ///< 0 = disarmed
+    std::atomic<bool> fired_{false};
+};
+
+/** Every registered site, in registration order.  Never invalidated. */
+const std::vector<FaultPoint*>& all_fault_points();
+
+/** Lookup by exact name; nullptr when absent. */
+FaultPoint* find_fault_point(const std::string& name);
+
+/**
+ * Arm @p name to fire on its @p nth hit counted from now (nth >= 1).
+ * Unknown names are remembered and applied if the site registers later.
+ * @throws GraphorderError(InvalidInput) when nth == 0.
+ */
+void arm_fault(const std::string& name, std::uint64_t nth);
+
+/** Disarm every site and forget pending specs; hit counters keep. */
+void clear_faults();
+
+/**
+ * Parse and apply a "name:N,name:N" spec (the GRAPHORDER_FAULTS format).
+ * @return number of entries applied.
+ * @throws GraphorderError(InvalidInput) on malformed entries.
+ */
+std::size_t apply_fault_spec(const std::string& spec);
+
+} // namespace graphorder

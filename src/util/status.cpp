@@ -1,0 +1,75 @@
+#include "util/status.hpp"
+
+namespace graphorder {
+
+const char*
+status_code_name(StatusCode c)
+{
+    switch (c) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidInput: return "invalid-input";
+      case StatusCode::Truncated: return "truncated";
+      case StatusCode::BudgetExceeded: return "budget-exceeded";
+      case StatusCode::Cancelled: return "cancelled";
+      case StatusCode::InvariantViolation: return "invariant-violation";
+      case StatusCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+int
+exit_code_for(StatusCode c)
+{
+    switch (c) {
+      case StatusCode::Ok:
+        return 0;
+      case StatusCode::InvalidInput:
+      case StatusCode::Truncated:
+        return 2;
+      case StatusCode::BudgetExceeded:
+      case StatusCode::Cancelled:
+        return 3;
+      case StatusCode::InvariantViolation:
+      case StatusCode::Internal:
+        return 4;
+    }
+    return 4;
+}
+
+std::string
+Status::to_string() const
+{
+    std::string s = status_code_name(code_);
+    if (!message_.empty()) {
+        s += ": ";
+        s += message_;
+    }
+    if (!context_.empty()) {
+        s += " (";
+        for (std::size_t i = 0; i < context_.size(); ++i) {
+            if (i)
+                s += "; ";
+            s += context_[i];
+        }
+        s += ")";
+    }
+    return s;
+}
+
+Status
+status_from_current_exception()
+{
+    try {
+        throw;
+    } catch (const GraphorderError& e) {
+        return e.status();
+    } catch (const std::bad_alloc&) {
+        return Status(StatusCode::BudgetExceeded, "allocation failed");
+    } catch (const std::exception& e) {
+        return Status(StatusCode::Internal, e.what());
+    } catch (...) {
+        return Status(StatusCode::Internal, "unknown exception");
+    }
+}
+
+} // namespace graphorder

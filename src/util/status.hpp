@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Typed error taxonomy for the whole pipeline.
+ *
+ * Ad-hoc `std::runtime_error`s made every failure look the same to
+ * callers; the taxonomy lets the CLI map failures to documented exit
+ * codes, lets `run_guarded` (order/runner.hpp) decide whether a fallback
+ * is warranted, and lets the fault-matrix tests assert that each failure
+ * path surfaces the *intended* category.  `GraphorderError` derives from
+ * `std::runtime_error` so pre-taxonomy call sites catching the base type
+ * keep working.
+ */
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace graphorder {
+
+/** Failure categories; each maps to one documented CLI exit code. */
+enum class StatusCode
+{
+    Ok = 0,
+    InvalidInput,       ///< malformed file, bad parameter (exit 2)
+    Truncated,          ///< input ended mid-structure (exit 2)
+    BudgetExceeded,     ///< deadline or memory budget blown (exit 3)
+    Cancelled,          ///< cooperative cancellation requested (exit 3)
+    InvariantViolation, ///< internal structure failed validation (exit 4)
+    Internal,           ///< unexpected error / injected fault (exit 4)
+};
+
+/** Stable kebab-case label ("invalid-input", ...); never null. */
+const char* status_code_name(StatusCode c);
+
+/**
+ * Documented process exit code for a failure category:
+ * 0 ok, 2 invalid input (incl. truncated), 3 budget exceeded or
+ * cancelled, 4 internal error or invariant violation.  (Exit 1 remains
+ * the generic usage-error path of util/log.hpp's fatal().)
+ */
+int exit_code_for(StatusCode c);
+
+/**
+ * A failure description: code + message + outside-in context chain.
+ * Default-constructed Status is Ok.  Small enough to return by value.
+ */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status ok() { return {}; }
+
+    bool is_ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+    const std::vector<std::string>& context() const { return context_; }
+
+    /** Append a context frame ("while loading x.edges"); returns *this. */
+    Status& with_context(std::string frame)
+    {
+        context_.push_back(std::move(frame));
+        return *this;
+    }
+
+    /** "invalid-input: msg (while a; while b)" — stable, test-friendly. */
+    std::string to_string() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+    std::vector<std::string> context_;
+};
+
+/** Exception carrying a Status; what() == status().to_string(). */
+class GraphorderError : public std::runtime_error
+{
+  public:
+    explicit GraphorderError(Status s)
+        : std::runtime_error(s.to_string()), status_(std::move(s))
+    {
+    }
+    GraphorderError(StatusCode code, const std::string& message)
+        : GraphorderError(Status(code, message))
+    {
+    }
+
+    const Status& status() const { return status_; }
+    StatusCode code() const { return status_.code(); }
+
+  private:
+    Status status_;
+};
+
+/**
+ * Map the in-flight exception to a Status: GraphorderError keeps its
+ * taxonomy, anything else becomes Internal with the what() text.  Call
+ * only from inside a catch block.
+ */
+Status status_from_current_exception();
+
+/**
+ * Value-or-Status result.  Converting constructors keep call sites
+ * terse: `return Status(...);` or `return some_value;`.  value() on an
+ * error throws the carried status as GraphorderError.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : v_(std::move(value)) {}
+    Expected(Status s) : v_(std::move(s))
+    {
+        if (std::get<Status>(v_).is_ok())
+            throw std::logic_error("Expected: error ctor needs non-ok");
+    }
+
+    bool has_value() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return has_value(); }
+
+    /** Ok when a value is held. */
+    Status status() const
+    {
+        return has_value() ? Status::ok() : std::get<Status>(v_);
+    }
+
+    T& value()
+    {
+        if (!has_value())
+            throw GraphorderError(std::get<Status>(v_));
+        return std::get<T>(v_);
+    }
+    const T& value() const
+    {
+        return const_cast<Expected*>(this)->value();
+    }
+
+    T& operator*() { return value(); }
+    const T& operator*() const { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+  private:
+    std::variant<T, Status> v_;
+};
+
+} // namespace graphorder

@@ -11,11 +11,20 @@
  *   reorder --input graph.edges [--scheme rcm] [--seed N]
  *           [--output reordered.edges] [--metrics-all] [--stats]
  *           [--json] [--trace t.json] [--metrics m.json]
+ *           [--deadline-ms X] [--mem-budget-mb N] [--fallback] [--check]
+ *
+ * Exit codes (see util/status.hpp):
+ *   0  success
+ *   1  usage error (unknown flag, missing --input)
+ *   2  invalid input (unreadable/corrupt file, unknown scheme)
+ *   3  budget exceeded (--deadline-ms / --mem-budget-mb) or cancelled
+ *   4  internal error or invariant violation
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 
 #include "community/louvain.hpp"
@@ -27,9 +36,11 @@
 #include "memsim/cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "order/runner.hpp"
 #include "order/scheme.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -42,10 +53,21 @@ usage(const char* argv0)
 {
     std::printf(
         "usage: %s --input FILE [options]\n"
-        "  --input FILE     edge list (\"u v\" per line, #/%% comments)\n"
+        "  --input FILE     input graph; edge list (\"u v\" per line,\n"
+        "                   #/%% comments) or METIS .graph\n"
+        "  --format F       input format: edges | metis (default: by\n"
+        "                   extension, .graph/.metis = metis)\n"
         "  --scheme NAME    ordering scheme (default rcm); see --list\n"
         "  --seed N         RNG seed for randomized schemes (default 42)\n"
         "  --output FILE    write the reordered edge list\n"
+        "  --deadline-ms X  wall-clock budget for the ordering run; a\n"
+        "                   blown budget exits 3 (or falls back)\n"
+        "  --mem-budget-mb N  approximate RSS-growth budget for the\n"
+        "                   ordering run (Linux only)\n"
+        "  --fallback       on failure, walk the scheme's fallback chain\n"
+        "                   (cheaper same-flavor schemes, then natural)\n"
+        "  --check          validate the input CSR and the output\n"
+        "                   permutation (always on in Debug builds)\n"
         "  --metrics-all    evaluate every registered scheme\n"
         "  --stats          print graph statistics (incl. triangles)\n"
         "  --json           print results as one JSON object on stdout\n"
@@ -60,7 +82,9 @@ usage(const char* argv0)
         "                   Louvain+IMM telemetry pass through the cache\n"
         "                   simulator on the reordered graph so memsim/,\n"
         "                   louvain/ and imm/ counters are populated\n"
-        "  --list           list registered schemes and exit\n",
+        "  --list           list registered schemes and exit\n"
+        "exit codes: 0 ok; 1 usage error; 2 invalid input; 3 budget\n"
+        "exceeded or cancelled; 4 internal error/invariant violation\n",
         argv0);
 }
 
@@ -129,73 +153,60 @@ run_app_telemetry(const Csr& h)
     }
 }
 
-} // namespace
-
-int
-main(int argc, char** argv)
+/** Parsed command line. */
+struct CliOptions
 {
     std::string input, output, scheme_name = "rcm";
+    std::string format; ///< "", "edges" or "metis"; "" = by extension
     std::string trace_file, metrics_file;
     std::uint64_t seed = 42;
+    double deadline_ms = 0;
+    std::uint64_t mem_budget_mb = 0;
+    bool fallback = false;
     bool metrics_all = false, stats = false, json = false;
+#ifndef NDEBUG
+    bool check = true; ///< Debug builds always validate
+#else
+    bool check = false;
+#endif
+};
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a == "--input" && i + 1 < argc) {
-            input = argv[++i];
-        } else if (a == "--scheme" && i + 1 < argc) {
-            scheme_name = argv[++i];
-        } else if (a == "--seed" && i + 1 < argc) {
-            seed = std::strtoull(argv[++i], nullptr, 10);
-        } else if (a == "--output" && i + 1 < argc) {
-            output = argv[++i];
-        } else if (a == "--trace" && i + 1 < argc) {
-            trace_file = argv[++i];
-        } else if (a == "--metrics" && i + 1 < argc) {
-            metrics_file = argv[++i];
-        } else if (a == "--threads" && i + 1 < argc) {
-            const int t = std::atoi(argv[++i]);
-            if (t > 0)
-                set_default_threads(t);
-        } else if (a == "--metrics-all") {
-            metrics_all = true;
-        } else if (a == "--stats") {
-            stats = true;
-        } else if (a == "--json") {
-            json = true;
-        } else if (a == "--list") {
-            list_schemes();
-            return 0;
-        } else if (a == "--help" || a == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            usage(argv[0]);
-            fatal("unknown argument: " + a);
-        }
-    }
-    if (input.empty()) {
-        usage(argv[0]);
-        fatal("--input is required (or --list)");
-    }
+/** True when @p path names a METIS .graph file (by --format or suffix). */
+bool
+is_metis_input(const CliOptions& opt)
+{
+    if (!opt.format.empty())
+        return opt.format == "metis";
+    const auto dot = opt.input.rfind('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : opt.input.substr(dot);
+    return ext == ".graph" || ext == ".metis";
+}
 
-    // atexit-based writers cover every exit path, including fatal().
-    if (!trace_file.empty())
-        obs::set_exit_trace_file(trace_file);
-    if (!metrics_file.empty())
-        obs::set_exit_metrics_file(metrics_file);
-
-    const Csr g = load_edge_list(input);
-    if (!json) {
-        std::printf("loaded %s: %u vertices, %llu edges\n", input.c_str(),
-                    g.num_vertices(),
+int
+run_cli(const CliOptions& opt)
+{
+    const Csr g = is_metis_input(opt) ? load_metis(opt.input)
+                                      : load_edge_list(opt.input);
+    if (!opt.json) {
+        std::printf("loaded %s: %u vertices, %llu edges\n",
+                    opt.input.c_str(), g.num_vertices(),
                     static_cast<unsigned long long>(g.num_edges()));
-        if (stats)
+        if (opt.stats)
             std::printf("stats: %s\n",
                         to_string(compute_stats(g)).c_str());
     }
+    if (opt.check) {
+        Status v = g.validate();
+        if (!v.is_ok())
+            throw GraphorderError(
+                v.with_context("validating " + opt.input));
+    }
 
-    if (metrics_all) {
+    const std::uint64_t seed = opt.seed;
+    const bool json = opt.json;
+
+    if (opt.metrics_all) {
         struct Row
         {
             std::string name;
@@ -216,7 +227,7 @@ main(int argc, char** argv)
             std::printf("{\"input\": \"%s\", \"vertices\": %u, "
                         "\"edges\": %llu, \"seed\": %llu, "
                         "\"threads\": %d, \"schemes\": [",
-                        json_escape(input).c_str(), g.num_vertices(),
+                        json_escape(opt.input).c_str(), g.num_vertices(),
                         static_cast<unsigned long long>(g.num_edges()),
                         static_cast<unsigned long long>(seed),
                         default_threads());
@@ -246,26 +257,42 @@ main(int argc, char** argv)
         return 0;
     }
 
-    const auto& scheme = scheme_by_name(scheme_name);
-    Timer timer;
-    timer.start();
-    const auto pi = scheme.run(g, seed);
-    const double reorder_secs = timer.elapsed_s();
-    if (!json)
+    const auto& scheme = scheme_by_name(opt.scheme_name);
+    GuardedRunOptions gro;
+    gro.seed = seed;
+    gro.deadline_ms = opt.deadline_ms;
+    gro.mem_budget_mb = opt.mem_budget_mb;
+    gro.validate = opt.check;
+    gro.allow_fallback = opt.fallback;
+    auto guarded = run_guarded(scheme, g, gro);
+    if (!guarded)
+        throw GraphorderError(guarded.status());
+    const auto& pi = guarded->perm;
+    const double reorder_secs = guarded->elapsed_s;
+    if (!json) {
+        if (guarded->fell_back)
+            std::printf("warning: %s failed (%s); fell back to %s\n",
+                        scheme.name.c_str(),
+                        guarded->failures.front().status.to_string()
+                            .c_str(),
+                        guarded->scheme_used.c_str());
         std::printf("%s reordering computed in %.3f s\n",
-                    scheme.name.c_str(), reorder_secs);
+                    guarded->scheme_used.c_str(), reorder_secs);
+    }
     const auto before = compute_gap_metrics(g);
     const auto after = compute_gap_metrics(g, pi);
 
     if (json) {
         std::printf("{\"input\": \"%s\", \"vertices\": %u, "
                     "\"edges\": %llu, \"scheme\": \"%s\", "
+                    "\"fell_back\": %s, "
                     "\"deterministic\": %s, \"threads\": %d, "
                     "\"seed\": %llu, \"reorder_time_s\": %.6g,\n"
                     " \"gap_metrics\": {\"natural\": ",
-                    json_escape(input).c_str(), g.num_vertices(),
+                    json_escape(opt.input).c_str(), g.num_vertices(),
                     static_cast<unsigned long long>(g.num_edges()),
-                    scheme.name.c_str(),
+                    guarded->scheme_used.c_str(),
+                    guarded->fell_back ? "true" : "false",
                     scheme.deterministic ? "true" : "false",
                     default_threads(),
                     static_cast<unsigned long long>(seed), reorder_secs);
@@ -280,26 +307,112 @@ main(int argc, char** argv)
                Table::num(std::uint64_t{before.bandwidth}),
                Table::num(before.avg_bandwidth, 1),
                Table::num(before.log_gap, 2)});
-        t.row({scheme.name, Table::num(after.avg_gap, 1),
+        t.row({guarded->scheme_used, Table::num(after.avg_gap, 1),
                Table::num(std::uint64_t{after.bandwidth}),
                Table::num(after.avg_bandwidth, 1),
                Table::num(after.log_gap, 2)});
         t.print();
     }
 
-    if (!metrics_file.empty() || !output.empty()) {
+    if (!opt.metrics_file.empty() || !opt.output.empty()) {
         const Csr h = apply_permutation(g, pi);
-        if (!metrics_file.empty())
+        if (!opt.metrics_file.empty())
             run_app_telemetry(h);
-        if (!output.empty()) {
-            std::ofstream out(output);
+        if (!opt.output.empty()) {
+            std::ofstream out(opt.output);
             if (!out)
-                fatal("cannot open output: " + output);
+                throw GraphorderError(StatusCode::InvalidInput,
+                                      "cannot open output: " + opt.output);
             write_edge_list(out, h);
             if (!json)
                 std::printf("reordered edge list written to %s\n",
-                            output.c_str());
+                            opt.output.c_str());
         }
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--input" && i + 1 < argc) {
+            opt.input = argv[++i];
+        } else if (a == "--format" && i + 1 < argc) {
+            opt.format = argv[++i];
+            if (opt.format != "edges" && opt.format != "metis") {
+                usage(argv[0]);
+                fatal("--format must be 'edges' or 'metis'");
+            }
+        } else if (a == "--scheme" && i + 1 < argc) {
+            opt.scheme_name = argv[++i];
+        } else if (a == "--seed" && i + 1 < argc) {
+            opt.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--output" && i + 1 < argc) {
+            opt.output = argv[++i];
+        } else if (a == "--deadline-ms" && i + 1 < argc) {
+            opt.deadline_ms = std::atof(argv[++i]);
+            if (opt.deadline_ms < 0)
+                fatal("--deadline-ms must be >= 0");
+        } else if (a == "--mem-budget-mb" && i + 1 < argc) {
+            opt.mem_budget_mb = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--fallback") {
+            opt.fallback = true;
+        } else if (a == "--check") {
+            opt.check = true;
+        } else if (a == "--trace" && i + 1 < argc) {
+            opt.trace_file = argv[++i];
+        } else if (a == "--metrics" && i + 1 < argc) {
+            opt.metrics_file = argv[++i];
+        } else if (a == "--threads" && i + 1 < argc) {
+            const int t = std::atoi(argv[++i]);
+            if (t > 0)
+                set_default_threads(t);
+        } else if (a == "--metrics-all") {
+            opt.metrics_all = true;
+        } else if (a == "--stats") {
+            opt.stats = true;
+        } else if (a == "--json") {
+            opt.json = true;
+        } else if (a == "--list") {
+            list_schemes();
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument: " + a);
+        }
+    }
+    if (opt.input.empty()) {
+        usage(argv[0]);
+        fatal("--input is required (or --list)");
+    }
+
+    // atexit-based writers cover every exit path, including the
+    // exception-mapped exits below.
+    if (!opt.trace_file.empty())
+        obs::set_exit_trace_file(opt.trace_file);
+    if (!opt.metrics_file.empty())
+        obs::set_exit_metrics_file(opt.metrics_file);
+
+    // Map failures to the documented exit codes (util/status.hpp).
+    try {
+        return run_cli(opt);
+    } catch (const GraphorderError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return exit_code_for(e.code());
+    } catch (const std::out_of_range& e) {
+        // scheme_by_name / dataset_by_name: a bad name is bad input.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return exit_code_for(StatusCode::InvalidInput);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return exit_code_for(StatusCode::Internal);
+    }
 }
