@@ -6,6 +6,8 @@
 
 #include "graph/permutation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -21,6 +23,20 @@ std::size_t g_cells_total = 0;
 std::size_t g_cells_failed = 0;
 StatusCode g_first_failure = StatusCode::Ok;
 
+// Every sweep cell bumps these; cached handles keep the per-cell cost at
+// one atomic add instead of a registry mutex + map lookup.
+obs::CachedCounter c_cells_total{"bench/cells_total"};
+obs::CachedCounter c_cells_failed{"bench/cells_failed"};
+
+/** basename(argv[0]) — the tool name a RunReport carries. */
+std::string
+tool_name(const char* argv0)
+{
+    const std::string s = argv0 ? argv0 : "bench";
+    const auto slash = s.rfind('/');
+    return slash == std::string::npos ? s : s.substr(slash + 1);
+}
+
 /** Record one failed cell; returns its taxonomy code. */
 StatusCode
 record_cell_failure(const std::string& scheme, const std::string& graph,
@@ -29,7 +45,7 @@ record_cell_failure(const std::string& scheme, const std::string& graph,
     ++g_cells_failed;
     if (g_first_failure == StatusCode::Ok)
         g_first_failure = st.code();
-    obs::MetricsRegistry::instance().counter("bench/cells_failed").add();
+    c_cells_failed.add();
     std::printf("FAILED(%s) %s x %s: %s\n", status_code_name(st.code()),
                 scheme.c_str(), graph.c_str(), st.to_string().c_str());
     return st.code();
@@ -60,6 +76,8 @@ parse_args(int argc, char** argv)
             opt.trace_file = argv[++i];
         } else if (a == "--metrics" && i + 1 < argc) {
             opt.metrics_file = argv[++i];
+        } else if (a == "--report" && i + 1 < argc) {
+            opt.report_file = argv[++i];
         } else if (a == "--threads" && i + 1 < argc) {
             opt.threads = std::atoi(argv[++i]);
             if (opt.threads < 0)
@@ -67,7 +85,7 @@ parse_args(int argc, char** argv)
         } else if (a == "--help" || a == "-h") {
             std::printf("usage: %s [--scale S] [--seed N] [--quick]"
                         " [--smoke] [--trace FILE] [--metrics FILE]"
-                        " [--threads N]\n",
+                        " [--report FILE] [--threads N]\n",
                         argv[0]);
             std::exit(0);
         } else {
@@ -78,6 +96,20 @@ parse_args(int argc, char** argv)
         obs::set_exit_trace_file(opt.trace_file);
     if (!opt.metrics_file.empty())
         obs::set_exit_metrics_file(opt.metrics_file);
+    if (!opt.report_file.empty()) {
+        // The skeleton is filled from what parse_args already knows; a
+        // figure sweep has no single graph, so workload identity stays
+        // empty and "sweep" stands in for the scheme.
+        obs::RunReport& r = obs::exit_run_report();
+        r.tool = tool_name(argc > 0 ? argv[0] : nullptr);
+        r.scheme = "sweep";
+        r.seed = opt.seed;
+        char scale[32];
+        std::snprintf(scale, sizeof scale, "scale=%g", opt.large_scale);
+        r.params = std::string(scale)
+                   + (opt.smoke ? " smoke" : opt.quick ? " quick" : "");
+        obs::set_exit_report_file(opt.report_file);
+    }
     if (opt.threads > 0)
         set_default_threads(opt.threads);
     return opt;
@@ -177,13 +209,14 @@ print_memsim_scan_table(const Instance& inst,
                         const BenchOptions& opt)
 {
     const auto cfg = CacheHierarchyConfig::cascade_lake_scaled(16);
+    obs::PerfDomain hw("bench/" + figure + "/memsim_scan");
     Table t("simulated neighbor-scan memory (instance: "
             + inst.spec->name + ")");
     t.header({"scheme", "latency(cyc)", "L1%", "DRAM%", "loads(M)"});
     const std::size_t dram = cfg.levels.size();
     for (const auto& s : schemes) {
         ++g_cells_total;
-        obs::MetricsRegistry::instance().counter("bench/cells_total").add();
+        c_cells_total.add();
         try {
             const auto pi = s.run(inst.graph, opt.seed);
             const auto h = apply_permutation(inst.graph, pi);
@@ -200,6 +233,7 @@ print_memsim_scan_table(const Instance& inst,
                                + ")",
                    "-", "-", "-"});
         }
+        obs::sample_rss_peak();
     }
     t.print();
 }
@@ -215,12 +249,11 @@ cost_matrix(const std::vector<Instance>& instances,
     for (const auto& inst : instances)
         in.problems.push_back(inst.spec->name);
     in.costs.resize(schemes.size());
+    obs::PerfDomain hw("bench/cost_matrix");
     for (std::size_t s = 0; s < schemes.size(); ++s) {
         for (const auto& inst : instances) {
             ++g_cells_total;
-            obs::MetricsRegistry::instance()
-                .counter("bench/cells_total")
-                .add();
+            c_cells_total.add();
             try {
                 const auto pi = schemes[s].run(inst.graph, seed);
                 in.costs[s].push_back(metric(inst.graph, pi));
@@ -230,6 +263,7 @@ cost_matrix(const std::vector<Instance>& instances,
                 in.costs[s].push_back(kFailedCellCost);
             }
         }
+        obs::sample_rss_peak();
     }
     return in;
 }

@@ -13,6 +13,9 @@
  *                    at exit (.jsonl extension = JSON-lines)
  *   --metrics FILE   dump the obs metrics registry to FILE at exit
  *                    (JSON, or CSV with a .csv extension)
+ *   --report FILE    write a RunReport manifest (obs/report.hpp) to FILE
+ *                    at exit: provenance, hw counters, RSS peak and the
+ *                    full metrics snapshot — the benchdiff input
  *   --threads N      OpenMP threads for the parallel kernels (default:
  *                    GRAPHORDER_THREADS env, else the OpenMP runtime
  *                    default).  Deterministic kernels give bit-identical
@@ -50,6 +53,7 @@ struct BenchOptions
     bool smoke = false;       ///< CI smoke run: trim the small-instance set
     std::string trace_file;   ///< empty = tracing off
     std::string metrics_file; ///< empty = no metrics dump
+    std::string report_file;  ///< empty = no RunReport manifest
     int threads = 0;          ///< 0 = GRAPHORDER_THREADS / runtime default
 };
 

@@ -10,6 +10,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 
 #include "community/louvain.hpp"
 #include "gen/generators.hpp"
@@ -17,6 +18,7 @@
 #include "influence/rrr.hpp"
 #include "la/gap_measures.hpp"
 #include "memsim/cache.hpp"
+#include "obs/metrics.hpp"
 #include "order/scheme.hpp"
 #include "util/rng.hpp"
 
@@ -301,6 +303,43 @@ BM_ImmSamplingVsSelection(benchmark::State& state)
     state.counters["selection_time_s"] = selection / iters;
 }
 BENCHMARK(BM_ImmSamplingVsSelection);
+
+void
+BM_CounterHotPath(benchmark::State& state)
+{
+    // The contrast behind the CachedCounter contract: the cached handle
+    // resolves its name once, so a hot loop performs zero mutex-guarded
+    // registry lookups; the uncached path pays one per call.  The
+    // `registry_lookups` counter makes the difference visible in the
+    // bench output (cached reports ~0 per iteration), and Debug builds
+    // assert it outright.
+    static obs::CachedCounter cached{"bench/counter_hot_path"};
+    auto& reg = obs::MetricsRegistry::instance();
+    const bool use_cached = state.range(0) != 0;
+    cached.add(0); // resolve outside the measured region
+
+    const std::uint64_t lookups_before = reg.lookup_count();
+    std::uint64_t iters = 0;
+    for (auto _ : state) {
+        if (use_cached)
+            cached.add();
+        else
+            reg.counter("bench/counter_hot_path").add();
+        ++iters;
+    }
+    const std::uint64_t lookups =
+        reg.lookup_count() - lookups_before;
+#ifndef NDEBUG
+    if (use_cached && lookups != 0)
+        std::abort(); // cached hot path must not touch the registry map
+#endif
+    state.counters["registry_lookups"] = static_cast<double>(lookups)
+                                         / static_cast<double>(iters);
+    state.SetItemsProcessed(static_cast<std::int64_t>(iters));
+}
+BENCHMARK(BM_CounterHotPath)
+    ->Arg(0)  // uncached: registry lookup per add
+    ->Arg(1); // cached: lock-free fast path
 
 } // namespace
 

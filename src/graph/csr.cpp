@@ -86,4 +86,37 @@ Csr::validate() const
     return Status::ok();
 }
 
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t
+fnv1a(std::uint64_t h, const void* data, std::size_t bytes)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+fingerprint(const Csr& g)
+{
+    std::uint64_t h = kFnvOffset;
+    const std::uint64_t n = g.num_vertices();
+    h = fnv1a(h, &n, sizeof n);
+    h = fnv1a(h, g.offsets().data(),
+              g.offsets().size() * sizeof(eid_t));
+    h = fnv1a(h, g.adjacency().data(),
+              g.adjacency().size() * sizeof(vid_t));
+    h = fnv1a(h, g.weights().data(),
+              g.weights().size() * sizeof(weight_t));
+    return h;
+}
+
 } // namespace graphorder

@@ -105,4 +105,13 @@ class Csr
     std::vector<weight_t> weights_;
 };
 
+/**
+ * Structural fingerprint of @p g: FNV-1a over vertex count, offsets,
+ * adjacency and (bit-cast) weights.  Two graphs hash equal iff their
+ * CSR arrays are byte-identical — so it distinguishes orderings of the
+ * same graph, which is exactly what a RunReport (obs/report.hpp) needs
+ * to key "same input" across runs and machines.  Not cryptographic.
+ */
+std::uint64_t fingerprint(const Csr& g);
+
 } // namespace graphorder

@@ -167,9 +167,10 @@ sample_rrr_sets(const Csr& g, const ImmOptions& opt, std::uint64_t count,
                           + static_cast<std::size_t>(base_entry + pos[lo]));
     }
 
-    auto& reg = obs::MetricsRegistry::instance();
-    reg.counter("imm/rrr_sets").add(count);
-    reg.counter("imm/rrr_visited").add(added);
+    static obs::CachedCounter c_rrr_sets{"imm/rrr_sets"};
+    static obs::CachedCounter c_rrr_visited{"imm/rrr_visited"};
+    c_rrr_sets.add(count);
+    c_rrr_visited.add(added);
 }
 
 std::vector<vid_t>

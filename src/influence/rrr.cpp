@@ -121,9 +121,10 @@ CoverageIndex::extend(const RrrArena& arena)
     indexed_sets_ = s1;
     segments_.push_back(std::move(seg));
 
-    auto& reg = obs::MetricsRegistry::instance();
-    reg.counter("imm/index_segments").add();
-    reg.counter("imm/index_entries").add(total);
+    static obs::CachedCounter c_segments{"imm/index_segments"};
+    static obs::CachedCounter c_entries{"imm/index_entries"};
+    c_segments.add();
+    c_entries.add(total);
 }
 
 namespace {

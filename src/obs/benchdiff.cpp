@@ -1,0 +1,206 @@
+#include "obs/benchdiff.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace graphorder::obs {
+
+const char*
+diff_verdict_name(DiffVerdict v)
+{
+    switch (v) {
+      case DiffVerdict::kUnchanged: return "unchanged";
+      case DiffVerdict::kImprovement: return "improvement";
+      case DiffVerdict::kRegression: return "regression";
+      case DiffVerdict::kMissing: return "missing";
+    }
+    return "?";
+}
+
+std::vector<DiffRule>
+default_diff_rules()
+{
+    return {
+        // Exact bench health: a newly failing cell is always a
+        // regression, whatever its count.
+        {"counters/bench/cells_failed", 0.0, 0.0, false},
+        // Deterministic simulator counters: identical runs should
+        // reproduce them exactly; 5% + a small floor absorbs residual
+        // nondeterminism (Louvain-backed schemes at >1 thread).
+        {"counters/memsim/*", 0.05, 64.0, false},
+        {"gauges/memsim/*", 0.05, 0.25, false},
+    };
+}
+
+bool
+glob_match(const std::string& glob, const std::string& name)
+{
+    // Iterative '*'-backtracking match; '*' spans '/', '?' is one char.
+    std::size_t g = 0, n = 0;
+    std::size_t star = std::string::npos, star_n = 0;
+    while (n < name.size()) {
+        if (g < glob.size()
+            && (glob[g] == name[n] || glob[g] == '?')) {
+            ++g;
+            ++n;
+        } else if (g < glob.size() && glob[g] == '*') {
+            star = g++;
+            star_n = n;
+        } else if (star != std::string::npos) {
+            g = star + 1;
+            n = ++star_n;
+        } else {
+            return false;
+        }
+    }
+    while (g < glob.size() && glob[g] == '*')
+        ++g;
+    return g == glob.size();
+}
+
+namespace {
+
+void
+flatten_registry(const JsonValue& metrics,
+                 std::vector<std::pair<std::string, double>>& out)
+{
+    static const char* kHistFields[] = {"count", "sum", "p50", "p95",
+                                        "p99"};
+    if (const JsonValue* c = metrics.find("counters"))
+        for (const auto& [name, v] : c->as_object())
+            if (v.is_number())
+                out.emplace_back("counters/" + name, v.as_number());
+    if (const JsonValue* g = metrics.find("gauges"))
+        for (const auto& [name, v] : g->as_object())
+            if (v.is_number())
+                out.emplace_back("gauges/" + name, v.as_number());
+    if (const JsonValue* h = metrics.find("histograms"))
+        for (const auto& [name, v] : h->as_object())
+            for (const char* field : kHistFields)
+                if (const JsonValue* f = v.find(field);
+                    f != nullptr && f->is_number())
+                    out.emplace_back(
+                        "histograms/" + name + "/" + field,
+                        f->as_number());
+}
+
+} // namespace
+
+std::vector<std::pair<std::string, double>>
+flatten_metrics(const JsonValue& doc)
+{
+    std::vector<std::pair<std::string, double>> out;
+    if (const JsonValue* metrics = doc.find("metrics");
+        metrics != nullptr && metrics->is_object()) {
+        // RunReport: registry dump nested under "metrics", plus the
+        // top-level hw/mem sections surfaced as pseudo-metrics.
+        flatten_registry(*metrics, out);
+        if (const JsonValue* mem = doc.find_path("mem/rss_peak_bytes");
+            mem != nullptr && mem->is_number())
+            out.emplace_back("report/rss_peak_bytes",
+                             mem->as_number());
+        if (const JsonValue* ratio =
+                doc.find_path("memsim_vs_hw/ratio");
+            ratio != nullptr && ratio->is_number())
+            out.emplace_back("report/memsim_vs_hw_ratio",
+                             ratio->as_number());
+        return out;
+    }
+    if (doc.find("counters") != nullptr || doc.find("gauges") != nullptr
+        || doc.find("histograms") != nullptr) {
+        flatten_registry(doc, out);
+        return out;
+    }
+    if (const JsonValue* benches = doc.find("benchmarks");
+        benches != nullptr && benches->is_array()) {
+        // Google Benchmark --benchmark_out format: one object per
+        // benchmark; every numeric field becomes a metric.
+        for (const JsonValue& b : benches->as_array()) {
+            const JsonValue* name = b.find("name");
+            if (name == nullptr || !name->is_string())
+                continue;
+            for (const auto& [field, v] : b.as_object())
+                if (v.is_number() && field != "repetition_index"
+                    && field != "family_index"
+                    && field != "per_family_instance_index")
+                    out.emplace_back("benchmarks/" + name->as_string()
+                                         + "/" + field,
+                                     v.as_number());
+        }
+        return out;
+    }
+    throw GraphorderError(
+        StatusCode::InvalidInput,
+        "benchdiff: document is neither a run report, a metrics dump "
+        "nor a Google Benchmark output");
+}
+
+DiffResult
+diff_metrics(const JsonValue& baseline, const JsonValue& current,
+             const DiffOptions& opt)
+{
+    const std::vector<DiffRule> rules =
+        opt.rules.empty() ? default_diff_rules() : opt.rules;
+    const auto old_metrics = flatten_metrics(baseline);
+    const auto new_metrics = flatten_metrics(current);
+
+    // Sorted-source lookup would do, but the sets are small; a map
+    // keeps this obviously correct.
+    std::map<std::string, double> new_by_name(new_metrics.begin(),
+                                              new_metrics.end());
+
+    DiffResult res;
+    for (const auto& [name, old_value] : old_metrics) {
+        std::size_t rule_index = rules.size();
+        for (std::size_t i = 0; i < rules.size(); ++i) {
+            if (glob_match(rules[i].glob, name)) {
+                rule_index = i;
+                break;
+            }
+        }
+        if (rule_index == rules.size())
+            continue; // untracked
+
+        const DiffRule& rule = rules[rule_index];
+        MetricDiff d;
+        d.name = name;
+        d.old_value = old_value;
+        d.rule_index = rule_index;
+
+        const auto it = new_by_name.find(name);
+        if (it == new_by_name.end()) {
+            d.verdict = DiffVerdict::kMissing;
+            ++res.missing;
+            res.diffs.push_back(std::move(d));
+            continue;
+        }
+        d.new_value = it->second;
+        const double delta = d.new_value - d.old_value;
+        d.rel_change =
+            old_value != 0.0
+                ? delta / std::fabs(old_value)
+                : (delta == 0.0
+                       ? 0.0
+                       : std::copysign(
+                             std::numeric_limits<double>::infinity(),
+                             delta));
+        if (std::fabs(delta) <= rule.noise_floor
+            || std::fabs(d.rel_change) <= rule.rel_threshold) {
+            d.verdict = DiffVerdict::kUnchanged;
+            ++res.unchanged;
+        } else {
+            const bool got_worse =
+                rule.higher_is_better ? delta < 0 : delta > 0;
+            d.verdict = got_worse ? DiffVerdict::kRegression
+                                  : DiffVerdict::kImprovement;
+            ++(got_worse ? res.regressions : res.improvements);
+        }
+        res.diffs.push_back(std::move(d));
+    }
+    res.failed = res.regressions > 0
+                 || (opt.fail_on_missing && res.missing > 0);
+    return res;
+}
+
+} // namespace graphorder::obs

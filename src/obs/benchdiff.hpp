@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Bench-regression comparison engine behind tools/benchdiff.cpp.
+ *
+ * Compares two structured run artifacts — RunReport manifests
+ * (obs/report.hpp), bare metrics-registry dumps (`--metrics FILE`), or
+ * Google-Benchmark `--benchmark_out` JSON — metric by metric, under
+ * per-metric rules carrying a relative-change threshold and an absolute
+ * noise floor.  CI commits baseline artifacts and fails the build when
+ * a tracked metric regresses beyond its rule.
+ *
+ * The verdict taxonomy is exactly what the tests pin:
+ *   - kUnchanged:  |delta| under the noise floor, or relative change
+ *                  within the threshold;
+ *   - kImprovement: beyond threshold in the good direction;
+ *   - kRegression:  beyond threshold in the bad direction (default:
+ *                  higher is worse — cycles, misses, latencies);
+ *   - kMissing:     tracked in the baseline, absent from the new run
+ *                  (a silently dropped metric must not pass CI).
+ *
+ * Tracked set: metrics of the *baseline* matching any rule; the first
+ * matching rule wins (order your specific rules before catch-alls).
+ * Metrics only present in the new run are additions, never failures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace graphorder::obs {
+
+/** One tracked-metric rule.  Globs match flattened metric names
+ *  (`counters/memsim/fig6a/loads`); '*' spans any characters including
+ *  '/', '?' matches one character. */
+struct DiffRule
+{
+    std::string glob;
+    /** Allowed relative change |new-old|/|old| before flagging. */
+    double rel_threshold = 0.05;
+    /** Absolute |new-old| at or under this is always kUnchanged —
+     *  keeps counting jitter on small counters out of the verdict. */
+    double noise_floor = 0.0;
+    /** Direction of goodness; false = an increase is a regression. */
+    bool higher_is_better = false;
+};
+
+enum class DiffVerdict
+{
+    kUnchanged,
+    kImprovement,
+    kRegression,
+    kMissing,
+};
+
+const char* diff_verdict_name(DiffVerdict v);
+
+/** One tracked metric's comparison. */
+struct MetricDiff
+{
+    std::string name;
+    double old_value = 0;
+    double new_value = 0; ///< meaningless when verdict == kMissing
+    /** (new-old)/|old|; +-inf when old == 0 and new != 0. */
+    double rel_change = 0;
+    DiffVerdict verdict = DiffVerdict::kUnchanged;
+    std::size_t rule_index = 0; ///< into the rule list that was applied
+};
+
+struct DiffOptions
+{
+    /** Empty = default_diff_rules(). */
+    std::vector<DiffRule> rules;
+    /** When false, kMissing does not fail the comparison. */
+    bool fail_on_missing = true;
+};
+
+struct DiffResult
+{
+    std::vector<MetricDiff> diffs; ///< tracked metrics, baseline order
+    std::size_t regressions = 0;
+    std::size_t improvements = 0;
+    std::size_t missing = 0;
+    std::size_t unchanged = 0;
+    bool failed = false; ///< regression, or missing while fail_on_missing
+};
+
+/**
+ * Default tracked set: the deterministic simulator and bench-health
+ * metrics that must not drift between runs of the same commit —
+ * `memsim/...` counters and gauges (5% / small noise floors) and
+ * `bench/cells_failed` (exact).  Wall-clock metrics are deliberately
+ * absent: they are machine noise, track them explicitly if you want
+ * them.
+ */
+std::vector<DiffRule> default_diff_rules();
+
+/** '*'-spans-everything glob match (see DiffRule::glob). */
+bool glob_match(const std::string& glob, const std::string& name);
+
+/**
+ * Flatten a parsed artifact into (name, value) pairs:
+ *  - RunReport: descends into "metrics";
+ *  - registry dump: `counters/<n>`, `gauges/<n>`,
+ *    `histograms/<n>/{count,sum,p50,p95,p99}`;
+ *  - Google Benchmark: `benchmarks/<name>/<numeric field>`.
+ * @throws GraphorderError(InvalidInput) when the document matches no
+ *         known shape.
+ */
+std::vector<std::pair<std::string, double>>
+flatten_metrics(const JsonValue& doc);
+
+/** Compare @p baseline to @p current under @p opt. */
+DiffResult diff_metrics(const JsonValue& baseline,
+                        const JsonValue& current,
+                        const DiffOptions& opt = {});
+
+} // namespace graphorder::obs

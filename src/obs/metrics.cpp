@@ -177,6 +177,7 @@ struct MetricsRegistry::Impl
                                     std::unique_ptr<Histogram>>;
     mutable std::mutex mutex;
     std::map<std::string, Instrument> instruments;
+    std::atomic<std::uint64_t> lookups{0};
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
@@ -192,6 +193,7 @@ MetricsRegistry::instance()
 Counter&
 MetricsRegistry::counter(const std::string& name)
 {
+    impl_->lookups.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(impl_->mutex);
     auto it = impl_->instruments.find(name);
     if (it == impl_->instruments.end()) {
@@ -208,6 +210,7 @@ MetricsRegistry::counter(const std::string& name)
 Gauge&
 MetricsRegistry::gauge(const std::string& name)
 {
+    impl_->lookups.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(impl_->mutex);
     auto it = impl_->instruments.find(name);
     if (it == impl_->instruments.end()) {
@@ -224,6 +227,7 @@ Histogram&
 MetricsRegistry::histogram(const std::string& name,
                            std::vector<double> upper_bounds)
 {
+    impl_->lookups.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(impl_->mutex);
     auto it = impl_->instruments.find(name);
     if (it == impl_->instruments.end()) {
@@ -238,6 +242,33 @@ MetricsRegistry::histogram(const std::string& name,
     if (p == nullptr)
         throw std::logic_error("metric is not a histogram: " + name);
     return **p;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    MetricsSnapshot out;
+    for (const auto& [name, inst] : impl_->instruments) {
+        if (auto* c = std::get_if<std::unique_ptr<Counter>>(&inst)) {
+            out.counters.emplace_back(name, (*c)->value());
+        } else if (auto* g = std::get_if<std::unique_ptr<Gauge>>(&inst)) {
+            out.gauges.emplace_back(name, (*g)->value());
+        } else if (auto* h =
+                       std::get_if<std::unique_ptr<Histogram>>(&inst)) {
+            out.histograms.push_back({name, (*h)->count(), (*h)->sum(),
+                                      (*h)->percentile(0.50),
+                                      (*h)->percentile(0.95),
+                                      (*h)->percentile(0.99)});
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+MetricsRegistry::lookup_count() const
+{
+    return impl_->lookups.load(std::memory_order_relaxed);
 }
 
 void

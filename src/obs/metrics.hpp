@@ -17,9 +17,15 @@
  * (segments, entries).
  *
  * Hot-path note: `MetricsRegistry::counter(name)` takes a mutex and a map
- * lookup — cache the returned reference outside loops.  The instrument
- * objects themselves are never destroyed, so cached references stay
- * valid for the process lifetime.
+ * lookup — never call it inside a loop.  The instrument objects are
+ * never destroyed, so references stay valid for the process lifetime;
+ * either hoist the reference out of the loop or, for counters bumped
+ * from many call sites, declare a `CachedCounter`/`CachedGauge` handle
+ * at namespace or static scope: it resolves the name once and every
+ * later use is a single lock-free atomic load.
+ * `MetricsRegistry::lookup_count()` counts map lookups so a microbench
+ * (bench/micro_kernels.cpp BM_CounterHotPath) can assert the cached
+ * fast path takes zero registry locks.
  */
 #pragma once
 
@@ -102,6 +108,24 @@ class Histogram
 std::vector<double> default_time_buckets();
 
 /**
+ * Point-in-time copy of every instrument, in sorted-name order (the
+ * registry map is ordered).  This is the machine-readable face of the
+ * registry: RunReport embeds it, benchdiff flattens it.
+ */
+struct MetricsSnapshot
+{
+    struct HistogramSummary
+    {
+        std::string name;
+        std::uint64_t count = 0;
+        double sum = 0, p50 = 0, p95 = 0, p99 = 0;
+    };
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSummary> histograms;
+};
+
+/**
  * Process-wide registry.  Instruments are created on first use and live
  * forever; names are unique across kinds (re-requesting a name with a
  * different kind throws std::logic_error).
@@ -128,6 +152,16 @@ class MetricsRegistry
     /** CSV: kind,name,value,count,sum,p50,p95,p99 (blank when n/a). */
     void write_csv(std::ostream& os) const;
 
+    /** Copy of every instrument's current value (see MetricsSnapshot). */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Number of name-keyed map lookups (counter/gauge/histogram calls)
+     * performed so far.  Each one takes the registry mutex; hot paths
+     * must keep this flat (use CachedCounter / hoisted references).
+     */
+    std::uint64_t lookup_count() const;
+
     /** Zero every instrument (keeps registrations). Intended for tests. */
     void reset();
 
@@ -135,6 +169,63 @@ class MetricsRegistry
     MetricsRegistry();
     struct Impl;
     Impl* impl_;
+};
+
+/**
+ * Lock-free handle to a named counter.  The name is resolved through
+ * the registry on first use only; every later `add` is one relaxed
+ * atomic load plus the counter's own fetch_add — safe for scheme and
+ * kernel inner loops.  Declare at namespace scope (or function-static)
+ * in the owning .cpp:
+ *
+ *   static obs::CachedCounter c_lines{"io/edge_list/malformed_lines"};
+ *   ...
+ *   c_lines.add();           // no mutex, no map lookup
+ *
+ * Safe because instruments are never destroyed.  The handle itself must
+ * outlive its users (namespace scope does).
+ */
+class CachedCounter
+{
+  public:
+    explicit constexpr CachedCounter(const char* name) : name_(name) {}
+
+    Counter& get()
+    {
+        Counter* c = ptr_.load(std::memory_order_acquire);
+        if (c == nullptr) {
+            c = &MetricsRegistry::instance().counter(name_);
+            ptr_.store(c, std::memory_order_release);
+        }
+        return *c;
+    }
+    void add(std::uint64_t n = 1) { get().add(n); }
+
+  private:
+    const char* name_;
+    std::atomic<Counter*> ptr_{nullptr};
+};
+
+/** Lock-free handle to a named gauge; see CachedCounter. */
+class CachedGauge
+{
+  public:
+    explicit constexpr CachedGauge(const char* name) : name_(name) {}
+
+    Gauge& get()
+    {
+        Gauge* g = ptr_.load(std::memory_order_acquire);
+        if (g == nullptr) {
+            g = &MetricsRegistry::instance().gauge(name_);
+            ptr_.store(g, std::memory_order_release);
+        }
+        return *g;
+    }
+    void set(double v) { get().set(v); }
+
+  private:
+    const char* name_;
+    std::atomic<Gauge*> ptr_{nullptr};
 };
 
 /**

@@ -1,0 +1,356 @@
+#include "obs/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/faultpoint.hpp"
+#include "util/log.hpp"
+#include "util/status.hpp"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace graphorder::obs {
+
+namespace {
+
+// Simulates the kernel denying perf_event_open (EACCES under
+// perf_event_paranoid, ENOSYS under seccomp).  The open path *catches*
+// the injected error and degrades to unavailable — this site tests the
+// fallback contract, not an error-propagation path.
+FaultPoint fp_perf_open{
+    "obs.perf.open", StatusCode::Internal,
+    "perf_event_open denied; counters degrade to available=false"};
+
+const char* const kEventNames[kNumPerfEvents] = {
+    "cycles",     "instructions", "llc_loads", "llc_miss",
+    "branches",   "branch_miss",  "dtlb_miss",
+};
+
+#ifdef __linux__
+
+/** (type, config) pair of each PerfEvent, in enum order. */
+struct EventConfig
+{
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t
+hw_cache_config(std::uint64_t cache, std::uint64_t op,
+                std::uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+const EventConfig kEventConfigs[kNumPerfEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     hw_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     hw_cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_HW_CACHE,
+     hw_cache_config(PERF_COUNT_HW_CACHE_DTLB,
+                     PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+long
+sys_perf_event_open(perf_event_attr* attr, pid_t pid, int cpu,
+                    int group_fd, unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+std::string
+describe_errno(int err)
+{
+    switch (err) {
+      case EACCES:
+      case EPERM:
+        return "EACCES (lower /proc/sys/kernel/perf_event_paranoid or "
+               "grant CAP_PERFMON)";
+      case ENOSYS:
+        return "ENOSYS (perf_event_open unavailable; seccomp?)";
+      case ENOENT:
+        return "ENOENT (event not supported by this PMU)";
+      default:
+        return std::strerror(err);
+    }
+}
+
+#endif // __linux__
+
+} // namespace
+
+const char*
+perf_event_name(PerfEvent e)
+{
+    return kEventNames[static_cast<std::size_t>(e)];
+}
+
+PerfReading
+PerfReading::delta_since(const PerfReading& earlier) const
+{
+    PerfReading d;
+    d.available = available && earlier.available;
+    d.multiplex_correction = multiplex_correction;
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i)
+        d.value[i] = value[i] >= earlier.value[i]
+                         ? value[i] - earlier.value[i]
+                         : 0;
+    return d;
+}
+
+struct PerfCounters::Impl
+{
+    std::mutex mutex;
+    // 0 = unprobed, 1 = available, 2 = unavailable.
+    std::atomic<int> state{0};
+    std::string reason;
+    int fds[kNumPerfEvents];
+
+    Impl()
+    {
+        for (auto& fd : fds)
+            fd = -1;
+    }
+
+    /** Open every event; called under mutex. */
+    void open_all()
+    {
+#ifdef __linux__
+        try {
+            fp_perf_open.maybe_fire();
+        } catch (const GraphorderError& e) {
+            reason = std::string("injected: ") + e.what();
+            state.store(2, std::memory_order_release);
+            return;
+        }
+        int first_errno = 0;
+        std::size_t opened = 0;
+        for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+            perf_event_attr attr{};
+            attr.size = sizeof(attr);
+            attr.type = kEventConfigs[i].type;
+            attr.config = kEventConfigs[i].config;
+            attr.disabled = 0;
+            attr.exclude_kernel = 1;
+            attr.exclude_hv = 1;
+            // Inherit into threads created after the open (the OpenMP
+            // team), so process-level reads see parallel-kernel work.
+            attr.inherit = 1;
+            attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED
+                               | PERF_FORMAT_TOTAL_TIME_RUNNING;
+            const long fd =
+                sys_perf_event_open(&attr, 0, -1, -1, 0);
+            if (fd < 0) {
+                if (first_errno == 0)
+                    first_errno = errno;
+                continue;
+            }
+            fds[i] = static_cast<int>(fd);
+            ++opened;
+        }
+        if (opened == 0) {
+            reason = describe_errno(first_errno);
+            state.store(2, std::memory_order_release);
+            return;
+        }
+        state.store(1, std::memory_order_release);
+#else
+        reason = "perf_event_open is Linux-only";
+        state.store(2, std::memory_order_release);
+#endif
+    }
+
+    void close_all()
+    {
+#ifdef __linux__
+        for (auto& fd : fds) {
+            if (fd >= 0)
+                close(fd);
+            fd = -1;
+        }
+#endif
+    }
+
+    int probe()
+    {
+        int s = state.load(std::memory_order_acquire);
+        if (s != 0)
+            return s;
+        std::lock_guard<std::mutex> lock(mutex);
+        s = state.load(std::memory_order_acquire);
+        if (s == 0) {
+            open_all();
+            s = state.load(std::memory_order_acquire);
+        }
+        return s;
+    }
+};
+
+PerfCounters::PerfCounters() : impl_(new Impl) {}
+
+PerfCounters&
+PerfCounters::instance()
+{
+    // Deliberately leaked; see Tracer::instance().
+    static PerfCounters* pc = new PerfCounters();
+    return *pc;
+}
+
+bool
+PerfCounters::available()
+{
+    return impl_->probe() == 1;
+}
+
+const std::string&
+PerfCounters::unavailable_reason() const
+{
+    return impl_->reason;
+}
+
+PerfReading
+PerfCounters::read()
+{
+    PerfReading r;
+    if (impl_->probe() != 1)
+        return r;
+#ifdef __linux__
+    double correction_sum = 0.0;
+    std::size_t correction_n = 0;
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+        const int fd = impl_->fds[i];
+        if (fd < 0)
+            continue;
+        // PERF_FORMAT_TOTAL_TIME_{ENABLED,RUNNING}: value, enabled ns,
+        // running ns.  running < enabled means the PMU multiplexed this
+        // event off-core part of the time; scale like `perf stat`.
+        std::uint64_t buf[3] = {0, 0, 0};
+        const ssize_t got = ::read(fd, buf, sizeof buf);
+        if (got != static_cast<ssize_t>(sizeof buf))
+            continue;
+        double v = static_cast<double>(buf[0]);
+        if (buf[2] > 0 && buf[2] < buf[1]) {
+            const double scale = static_cast<double>(buf[1])
+                                 / static_cast<double>(buf[2]);
+            v *= scale;
+            correction_sum += scale;
+        } else {
+            correction_sum += 1.0;
+        }
+        ++correction_n;
+        r.value[i] = static_cast<std::uint64_t>(v);
+    }
+    if (correction_n > 0) {
+        r.available = true;
+        r.multiplex_correction =
+            correction_sum / static_cast<double>(correction_n);
+    }
+#endif
+    return r;
+}
+
+void
+PerfCounters::reopen_for_test()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->close_all();
+    impl_->reason.clear();
+    impl_->state.store(0, std::memory_order_release);
+    impl_->open_all();
+}
+
+void
+PerfDomain::begin(std::string name)
+{
+    auto& pc = PerfCounters::instance();
+    if (!pc.available())
+        return;
+    name_ = std::move(name);
+    start_ = pc.read();
+    armed_ = true;
+    traced_ = trace_enabled();
+    if (traced_) {
+        start_us_ = Tracer::instance().now_us();
+        depth_ = detail::push_span_depth();
+    }
+}
+
+PerfDomain::PerfDomain(const char* name)
+{
+    begin(std::string(name));
+}
+
+PerfDomain::PerfDomain(std::string name)
+{
+    begin(std::move(name));
+}
+
+PerfReading
+PerfDomain::sample() const
+{
+    if (!armed_)
+        return {};
+    return PerfCounters::instance().read().delta_since(start_);
+}
+
+PerfDomain::~PerfDomain()
+{
+    if (!armed_)
+        return;
+    const PerfReading d =
+        PerfCounters::instance().read().delta_since(start_);
+    auto& reg = MetricsRegistry::instance();
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i)
+        reg.counter("hw/" + name_ + "/" + kEventNames[i]).add(d.value[i]);
+    if (traced_) {
+        detail::pop_span_depth();
+        Tracer& tr = Tracer::instance();
+        std::vector<std::pair<std::string, std::uint64_t>> args;
+        args.reserve(kNumPerfEvents);
+        for (std::size_t i = 0; i < kNumPerfEvents; ++i)
+            args.emplace_back(std::string("hw_") + kEventNames[i],
+                              d.value[i]);
+        tr.record(std::move(name_), depth_, start_us_,
+                  tr.now_us() - start_us_, std::move(args));
+    }
+}
+
+PerfReading
+publish_hw_counters()
+{
+    // Delta bookkeeping so `hw/<event>` registry counters stay
+    // monotonic across repeated publishes (reports, metric dumps).
+    static std::mutex mutex;
+    static PerfReading last;
+
+    auto& pc = PerfCounters::instance();
+    auto& reg = MetricsRegistry::instance();
+    const PerfReading now = pc.read();
+    reg.gauge("hw/available").set(now.available ? 1.0 : 0.0);
+    if (!now.available)
+        return now;
+    reg.gauge("hw/multiplex_correction").set(now.multiplex_correction);
+    std::lock_guard<std::mutex> lock(mutex);
+    const PerfReading d = now.delta_since(last);
+    for (std::size_t i = 0; i < kNumPerfEvents; ++i)
+        reg.counter(std::string("hw/") + kEventNames[i]).add(d.value[i]);
+    last = now;
+    return now;
+}
+
+} // namespace graphorder::obs

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Hardware performance-counter profiling via Linux perf_event_open.
+ *
+ * The source paper's memory-hierarchy claims rest on *measured* hardware
+ * behaviour (VTune cache and bandwidth profiles); until now this repo
+ * only simulated the hierarchy (memsim) and timed itself with wall
+ * clocks.  This module closes that loop: it programs a fixed set of
+ * hardware events — cycles, instructions, LLC loads / LLC load misses,
+ * branches / branch misses, dTLB load misses — and exposes them behind
+ * an RAII `PerfDomain` scope that
+ *
+ *   1. publishes the counter deltas of the scope into the metrics
+ *      registry under `hw/<event>` (monotonic counters, so nested and
+ *      repeated domains accumulate like every other subsystem), and
+ *   2. when tracing is enabled, records a span whose Chrome-trace
+ *      `args` carry the deltas — a Perfetto track where each phase
+ *      shows the cycles and LLC misses it cost, not just its duration.
+ *
+ * Graceful degradation is a hard contract: perf_event_open is denied in
+ * most containers and CI runners (perf_event_paranoid, seccomp) and
+ * absent on non-Linux.  The first failed open flips the process-wide
+ * state to "unavailable": every later PerfDomain is a single relaxed
+ * atomic load — no syscalls, no allocation — and `hw/available`
+ * publishes 0 so RunReport consumers can tell "zero events" from
+ * "counted zero".  Exit codes and output shape are identical either
+ * way; the acceptance bar is that `reorder --report r.json` succeeds
+ * with the same exit code whether or not the syscall is permitted.
+ *
+ * Counter scheduling: events are opened as independent fds (not one
+ * group) so a PMU with fewer slots than events still measures what it
+ * can; each value is multiplex-corrected by time_enabled/time_running
+ * the way `perf stat` scales, and the correction factor is surfaced as
+ * `hw/multiplex_correction` (1.0 = all events ran the whole time).
+ *
+ * Fault injection: the open path hosts the `obs.perf.open` fault site,
+ * which simulates an EACCES-style denial — the substrate for testing
+ * the fallback path without a locked-down kernel.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace graphorder::obs {
+
+/** The fixed event set, indexable into PerfReading::value. */
+enum class PerfEvent : std::size_t
+{
+    kCycles = 0,
+    kInstructions,
+    kLlcLoads,
+    kLlcLoadMisses,
+    kBranches,
+    kBranchMisses,
+    kDtlbLoadMisses,
+    kCount_, // sentinel
+};
+
+inline constexpr std::size_t kNumPerfEvents =
+    static_cast<std::size_t>(PerfEvent::kCount_);
+
+/** Registry/metric suffix of @p e ("cycles", "llc_miss", ...). */
+const char* perf_event_name(PerfEvent e);
+
+/** One multiplex-corrected sample of every event. */
+struct PerfReading
+{
+    /** False when the counters could not be opened (or a per-event read
+     *  failed); values are all zero then. */
+    bool available = false;
+
+    /** Corrected event counts, indexed by PerfEvent. */
+    std::array<std::uint64_t, kNumPerfEvents> value{};
+
+    /** Mean time_enabled/time_running across scheduled events; 1.0
+     *  when nothing was multiplexed, 0 when unavailable. */
+    double multiplex_correction = 0.0;
+
+    std::uint64_t operator[](PerfEvent e) const
+    {
+        return value[static_cast<std::size_t>(e)];
+    }
+
+    /** this - earlier, per event (counters are monotonic; a counter
+     *  that wrapped or was re-opened clamps to 0). */
+    PerfReading delta_since(const PerfReading& earlier) const;
+};
+
+/**
+ * Process-wide counter set.  Opened lazily on first use; never closed
+ * (the fds live for the process, like every obs singleton).  All
+ * methods are thread-safe; the counters measure the whole process
+ * (inherit=1 covers OpenMP worker threads spawned after opening).
+ */
+class PerfCounters
+{
+  public:
+    static PerfCounters& instance();
+
+    /** True when at least one event is being counted.  The first call
+     *  performs the opens; later calls are one atomic load. */
+    bool available();
+
+    /** Reason the counters are unavailable ("" while available):
+     *  "EACCES (perf_event_paranoid?)", "ENOSYS", ... */
+    const std::string& unavailable_reason() const;
+
+    /** Current cumulative reading (zeros when unavailable). */
+    PerfReading read();
+
+    /**
+     * Re-probe availability (test hook): closes nothing but re-runs the
+     * open path when the previous attempt failed — used with the
+     * `obs.perf.open` fault site to exercise the denial path and then
+     * restore real counters for later tests.
+     */
+    void reopen_for_test();
+
+  private:
+    PerfCounters();
+    struct Impl;
+    Impl* impl_;
+};
+
+/**
+ * RAII profiling scope: reads the counters at construction and
+ * destruction, publishes the deltas under `hw/<event>` and — when
+ * tracing is on — records a `<name>` span carrying the deltas as trace
+ * args.  Construction when counters are unavailable costs one relaxed
+ * atomic load and arms nothing.
+ *
+ * Nesting is safe (counters are cumulative, deltas are per-scope), but
+ * remember that the `hw/...` registry counters accumulate across *all*
+ * domains: nested scopes double-publish their overlap.  Keep domains at
+ * phase granularity (one per scheme run, one per app kernel), mirroring
+ * where GO_TRACE_SCOPE already sits.
+ */
+class PerfDomain
+{
+  public:
+    explicit PerfDomain(const char* name);
+    explicit PerfDomain(std::string name);
+    ~PerfDomain();
+    PerfDomain(const PerfDomain&) = delete;
+    PerfDomain& operator=(const PerfDomain&) = delete;
+
+    /** The delta accumulated so far (reads the counters now). */
+    PerfReading sample() const;
+
+  private:
+    void begin(std::string name);
+
+    std::string name_;
+    PerfReading start_;
+    std::uint64_t start_us_ = 0;
+    std::uint32_t depth_ = 0;
+    bool armed_ = false;
+    bool traced_ = false;
+};
+
+/**
+ * Publish the *cumulative* process counters under `hw/...` without a
+ * domain: `hw/available` (gauge 0/1), per-event counters as deltas
+ * since the previous publish, and `hw/multiplex_correction`.  Called by
+ * RunReport emission so every report carries hardware numbers even when
+ * no PerfDomain was placed.  Returns the reading it published.
+ */
+PerfReading publish_hw_counters();
+
+} // namespace graphorder::obs

@@ -1,0 +1,296 @@
+#include "obs/report.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <ostream>
+
+#include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "util/cancel.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#ifndef GO_GIT_SHA
+#define GO_GIT_SHA "unknown"
+#endif
+
+namespace graphorder::obs {
+
+namespace {
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** JSON number: shortest round-trip double; non-finite becomes null. */
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char probe[32];
+        std::snprintf(probe, sizeof probe, "%.*g", prec, v);
+        if (std::strtod(probe, nullptr) == v)
+            return probe;
+    }
+    return buf;
+}
+
+std::string
+hostname()
+{
+#ifdef __linux__
+    char buf[256] = {0};
+    if (gethostname(buf, sizeof buf - 1) == 0 && buf[0] != '\0')
+        return buf;
+#endif
+    if (const char* h = std::getenv("HOSTNAME"); h != nullptr && *h)
+        return h;
+    return "unknown";
+}
+
+/** Sampled RSS high-water mark (see rss_peak_bytes). */
+std::atomic<std::uint64_t> g_rss_peak{0};
+
+/** VmHWM from /proc/self/status in bytes; 0 when unavailable. */
+std::uint64_t
+vm_hwm_bytes()
+{
+#ifdef __linux__
+    std::FILE* f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+        if (std::sscanf(line, "VmHWM: %llu kB",
+                        reinterpret_cast<unsigned long long*>(&kb))
+            == 1)
+            break;
+    }
+    std::fclose(f);
+    return kb * 1024ULL;
+#else
+    return 0;
+#endif
+}
+
+} // namespace
+
+const char*
+build_git_sha()
+{
+    return GO_GIT_SHA;
+}
+
+void
+sample_rss_peak()
+{
+    const std::uint64_t rss = current_rss_bytes();
+    std::uint64_t prev = g_rss_peak.load(std::memory_order_relaxed);
+    while (rss > prev
+           && !g_rss_peak.compare_exchange_weak(
+               prev, rss, std::memory_order_relaxed))
+        ;
+}
+
+std::uint64_t
+rss_peak_bytes()
+{
+    sample_rss_peak();
+    const std::uint64_t hwm = vm_hwm_bytes();
+    const std::uint64_t sampled =
+        g_rss_peak.load(std::memory_order_relaxed);
+    return hwm > sampled ? hwm : sampled;
+}
+
+void
+write_run_report_json(const RunReport& r, std::ostream& os)
+{
+    // Volatile state, collected now: hardware counters (publishing
+    // them first so the metrics snapshot below carries hw/* too), the
+    // RSS high-water mark, and the registry snapshot.
+    const PerfReading hw = publish_hw_counters();
+    const std::uint64_t rss_peak = rss_peak_bytes();
+    MetricsRegistry::instance().gauge("mem/rss_peak_bytes")
+        .set(static_cast<double>(rss_peak));
+    const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+
+    os << "{\n  \"schema\": \"graphorder.run_report.v1\",\n";
+    os << "  \"tool\": \"" << json_escape(r.tool) << "\",\n";
+    os << "  \"git_sha\": \"" << json_escape(build_git_sha())
+       << "\",\n";
+    os << "  \"hostname\": \"" << json_escape(hostname()) << "\",\n";
+    os << "  \"created_unix\": "
+       << static_cast<long long>(std::time(nullptr)) << ",\n";
+    os << "  \"threads\": " << default_threads() << ",\n";
+
+    os << "  \"graph\": {\"name\": \"" << json_escape(r.graph)
+       << "\", \"fingerprint\": \"";
+    {
+        char fp[32];
+        std::snprintf(fp, sizeof fp, "%016llx",
+                      static_cast<unsigned long long>(
+                          r.graph_fingerprint));
+        os << fp;
+    }
+    os << "\", \"vertices\": " << r.vertices << ", \"edges\": "
+       << r.edges << "},\n";
+
+    os << "  \"run\": {\"scheme\": \"" << json_escape(r.scheme)
+       << "\", \"params\": \"" << json_escape(r.params)
+       << "\", \"seed\": " << r.seed << "},\n";
+
+    os << "  \"hw\": {\"available\": "
+       << (hw.available ? "true" : "false");
+    if (!hw.available) {
+        os << ", \"reason\": \""
+           << json_escape(
+                  PerfCounters::instance().unavailable_reason())
+           << "\"";
+    } else {
+        os << ", \"multiplex_correction\": "
+           << json_number(hw.multiplex_correction) << ", \"counters\": {";
+        for (std::size_t i = 0; i < kNumPerfEvents; ++i) {
+            os << (i ? ", " : "") << "\""
+               << perf_event_name(static_cast<PerfEvent>(i)) << "\": "
+               << hw.value[i];
+        }
+        os << "}";
+    }
+    os << "},\n";
+
+    os << "  \"mem\": {\"rss_peak_bytes\": " << rss_peak << "},\n";
+
+    // Cross-validation: every memsim run publishes its last-level
+    // demand misses as `<prefix>/lookups/DRAM`; the sum over memsim
+    // prefixes is the simulator's LLC-miss prediction for everything
+    // this process traced.  The measured side is hw llc_miss for the
+    // *whole process* — the ratio is an order-of-magnitude honesty
+    // check (the simulator sees only traced kernels, the PMU sees
+    // everything), not an equality assertion.  See DESIGN.md §12.
+    std::uint64_t memsim_llc = 0;
+    for (const auto& [name, value] : snap.counters) {
+        if (name.rfind("memsim/", 0) == 0
+            && name.size() > 12
+            && name.compare(name.size() - 13, 13, "/lookups/DRAM") == 0)
+            memsim_llc += value;
+    }
+    const std::uint64_t hw_llc =
+        hw[PerfEvent::kLlcLoadMisses];
+    os << "  \"memsim_vs_hw\": {\"memsim_llc_misses\": " << memsim_llc
+       << ", \"hw_llc_misses\": " << hw_llc << ", \"ratio\": ";
+    if (hw.available && hw_llc > 0 && memsim_llc > 0)
+        os << json_number(static_cast<double>(memsim_llc)
+                          / static_cast<double>(hw_llc));
+    else
+        os << "null";
+    os << "},\n";
+
+    os << "  \"metrics\": {\n    \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : snap.counters) {
+        os << (first ? "" : ",") << "\n      \"" << json_escape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << "\n    },\n    \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : snap.gauges) {
+        os << (first ? "" : ",") << "\n      \"" << json_escape(name)
+           << "\": " << json_number(value);
+        first = false;
+    }
+    os << "\n    },\n    \"histograms\": {";
+    first = true;
+    for (const auto& h : snap.histograms) {
+        os << (first ? "" : ",") << "\n      \"" << json_escape(h.name)
+           << "\": {\"count\": " << h.count << ", \"sum\": "
+           << json_number(h.sum) << ", \"p50\": " << json_number(h.p50)
+           << ", \"p95\": " << json_number(h.p95) << ", \"p99\": "
+           << json_number(h.p99) << "}";
+        first = false;
+    }
+    os << "\n    }\n  }\n}\n";
+}
+
+void
+write_run_report(const RunReport& r, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("obs: cannot open report file: " + path);
+        return;
+    }
+    write_run_report_json(r, out);
+}
+
+namespace {
+
+RunReport g_exit_report;
+
+std::string&
+exit_report_path()
+{
+    static std::string* path = new std::string();
+    return *path;
+}
+
+void
+write_exit_report()
+{
+    if (!exit_report_path().empty())
+        write_run_report(g_exit_report, exit_report_path());
+}
+
+} // namespace
+
+RunReport&
+exit_run_report()
+{
+    return g_exit_report;
+}
+
+void
+set_exit_report_file(const std::string& path)
+{
+    const bool registered = !exit_report_path().empty();
+    exit_report_path() = path;
+    if (!registered)
+        std::atexit(write_exit_report);
+}
+
+} // namespace graphorder::obs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * RunReport: one machine-readable manifest per run.
+ *
+ * The bench trajectory needs *comparable* artifacts: a figure binary
+ * that prints tables is useful to a human, but regression detection
+ * (tools/benchdiff.cpp) and cross-machine comparison need every run to
+ * emit the same structured record.  A RunReport captures, in one JSON
+ * document:
+ *
+ *  - provenance: tool name, git sha (compiled in), hostname, thread
+ *    count, wall-clock timestamp;
+ *  - workload identity: graph name + structural fingerprint
+ *    (graph/csr.hpp) + sizes, scheme and parameter string, seed;
+ *  - hardware truth: the perf-counter reading (obs/perf_counters.hpp)
+ *    with its `available` flag — `false` is a first-class value, CI
+ *    containers deny the syscall;
+ *  - memory: the process RSS high-water mark (`mem/rss_peak_bytes`);
+ *  - cross-validation: the memsim-predicted LLC miss count (summed
+ *    `memsim/.../lookups/DRAM` counters) next to the measured
+ *    `hw/llc_miss`, with their ratio — the contract that keeps the
+ *    simulator honest against the machine (DESIGN.md §12);
+ *  - the full metrics-registry snapshot, so benchdiff can track any
+ *    counter without the writer anticipating it.
+ *
+ * Emission: every bench binary and the CLI accept `--report FILE`.
+ * The writer is registered atexit (like --metrics/--trace), and the
+ * report skeleton is a mutable global that the binary fills in as it
+ * learns the workload (`exit_run_report().scheme = ...`), so even an
+ * error path leaves a parseable artifact.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace graphorder::obs {
+
+/** The caller-supplied part of a report; the writer adds provenance,
+ *  hw counters, RSS and the metrics snapshot at write time. */
+struct RunReport
+{
+    std::string tool;   ///< binary name ("reorder", "fig6a", ...)
+    std::string scheme; ///< scheme name, or "sweep" for figure matrices
+    std::string params; ///< free-form knob summary ("scale=256 smoke")
+    std::uint64_t seed = 0;
+
+    /** Workload identity; empty/zero for multi-instance sweeps. */
+    std::string graph;
+    std::uint64_t graph_fingerprint = 0;
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+};
+
+/** Git sha the library was configured from ("unknown" outside git). */
+const char* build_git_sha();
+
+/**
+ * Process RSS high-water mark in bytes: the max of the kernel's VmHWM
+ * (/proc/self/status) and every `sample_rss_peak()` observation (the
+ * /proc/self/statm sampler shared with the runner's memory budget).
+ * 0 on platforms without /proc.
+ */
+std::uint64_t rss_peak_bytes();
+
+/** Fold the current RSS (util/cancel.hpp current_rss_bytes) into the
+ *  high-water mark; callers sprinkle this at phase boundaries. */
+void sample_rss_peak();
+
+/**
+ * Write @p r to @p path as `graphorder.run_report.v1` JSON.  Collects
+ * everything volatile at call time: publishes + embeds the hw counter
+ * reading, publishes `mem/rss_peak_bytes`, computes the memsim-vs-
+ * hardware LLC-miss ratio, snapshots the metrics registry.  Failures
+ * to open the file warn and return (a report must never fail the run).
+ */
+void write_run_report(const RunReport& r, const std::string& path);
+
+/** Serialize to a stream (write_run_report's engine; testable). */
+void write_run_report_json(const RunReport& r, std::ostream& os);
+
+/** The mutable report skeleton written at process exit. */
+RunReport& exit_run_report();
+
+/** Arrange for write_run_report(exit_run_report(), @p path) at process
+ *  exit — the `--report FILE` implementation. */
+void set_exit_report_file(const std::string& path);
+
+} // namespace graphorder::obs

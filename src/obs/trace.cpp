@@ -14,8 +14,24 @@
 
 namespace graphorder::obs {
 
+namespace {
+thread_local std::uint32_t t_span_depth = 0;
+} // namespace
+
 namespace detail {
 std::atomic<bool> g_trace_enabled{false};
+
+std::uint32_t
+push_span_depth()
+{
+    return t_span_depth++;
+}
+
+void
+pop_span_depth()
+{
+    --t_span_depth;
+}
 } // namespace detail
 
 namespace {
@@ -54,8 +70,6 @@ struct ThreadBuffer
     std::vector<TraceEvent> events;
     std::uint32_t tid = 0;
 };
-
-thread_local std::uint32_t t_depth = 0;
 
 } // namespace
 
@@ -152,12 +166,13 @@ Tracer::now_us() const
 
 void
 Tracer::record(std::string name, std::uint32_t depth,
-               std::uint64_t start_us, std::uint64_t dur_us)
+               std::uint64_t start_us, std::uint64_t dur_us,
+               std::vector<std::pair<std::string, std::uint64_t>> args)
 {
     ThreadBuffer& buf = impl_->local_buffer();
     std::lock_guard<std::mutex> lock(buf.m);
-    buf.events.push_back(
-        {std::move(name), buf.tid, depth, start_us, dur_us});
+    buf.events.push_back({std::move(name), buf.tid, depth, start_us,
+                          dur_us, std::move(args)});
 }
 
 void
@@ -174,7 +189,10 @@ Tracer::write_chrome_trace(std::ostream& os) const
            << "\",\"cat\":\"graphorder\",\"ph\":\"X\",\"pid\":1"
            << ",\"tid\":" << e.tid << ",\"ts\":" << e.start_us
            << ",\"dur\":" << e.dur_us << ",\"args\":{\"depth\":"
-           << e.depth << "}}";
+           << e.depth;
+        for (const auto& [k, v] : e.args)
+            os << ",\"" << json_escape(k) << "\":" << v;
+        os << "}}";
     }
     os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -185,7 +203,10 @@ Tracer::write_jsonl(std::ostream& os) const
     for (const auto& e : snapshot()) {
         os << "{\"name\":\"" << json_escape(e.name) << "\",\"tid\":"
            << e.tid << ",\"depth\":" << e.depth << ",\"ts_us\":"
-           << e.start_us << ",\"dur_us\":" << e.dur_us << "}\n";
+           << e.start_us << ",\"dur_us\":" << e.dur_us;
+        for (const auto& [k, v] : e.args)
+            os << ",\"" << json_escape(k) << "\":" << v;
+        os << "}\n";
     }
 }
 
@@ -194,14 +215,14 @@ TraceScope::begin(std::string name)
 {
     name_ = std::move(name);
     start_ = Tracer::instance().now_us();
-    depth_ = t_depth++;
+    depth_ = detail::push_span_depth();
     armed_ = true;
 }
 
 void
 TraceScope::end()
 {
-    --t_depth;
+    detail::pop_span_depth();
     Tracer& tr = Tracer::instance();
     tr.record(std::move(name_), depth_, start_, tr.now_us() - start_);
 }

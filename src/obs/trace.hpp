@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace graphorder::obs {
@@ -39,10 +40,24 @@ struct TraceEvent
     std::uint32_t depth = 0; ///< nesting depth within the thread
     std::uint64_t start_us = 0;
     std::uint64_t dur_us = 0;
+    /**
+     * Optional per-span annotations, serialized into the Chrome trace
+     * "args" object (and the JSONL records).  PerfDomain
+     * (obs/perf_counters.hpp) attaches hardware-counter deltas here, so
+     * a span in Perfetto shows the cycles / LLC misses it cost, not
+     * just its duration.  Empty for plain GO_TRACE_SCOPE spans.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> args;
 };
 
 namespace detail {
 extern std::atomic<bool> g_trace_enabled;
+
+/** Per-thread span nesting depth, shared by TraceScope and PerfDomain
+ *  (obs/perf_counters.hpp) so mixed scopes nest correctly.  push
+ *  returns the depth of the new span. */
+std::uint32_t push_span_depth();
+void pop_span_depth();
 } // namespace detail
 
 /** Fast global check used by TraceScope; relaxed load. */
@@ -87,7 +102,9 @@ class Tracer
 
     /** Append one completed span for the calling thread. */
     void record(std::string name, std::uint32_t depth,
-                std::uint64_t start_us, std::uint64_t dur_us);
+                std::uint64_t start_us, std::uint64_t dur_us,
+                std::vector<std::pair<std::string, std::uint64_t>>
+                    args = {});
 
   private:
     Tracer();

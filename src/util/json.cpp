@@ -1,0 +1,339 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace graphorder {
+
+JsonValue&
+JsonValue::operator=(const JsonValue& other)
+{
+    if (this == &other)
+        return *this;
+    kind_ = other.kind_;
+    bool_ = other.bool_;
+    num_ = other.num_;
+    str_ = other.str_;
+    arr_ = other.arr_ ? std::make_unique<Array>(*other.arr_) : nullptr;
+    obj_ = other.obj_ ? std::make_unique<Object>(*other.obj_) : nullptr;
+    return *this;
+}
+
+namespace {
+
+[[noreturn]] void
+bad(StatusCode code, std::size_t offset, const std::string& what)
+{
+    throw GraphorderError(code, "json: offset "
+                                    + std::to_string(offset) + ": "
+                                    + what);
+}
+
+/** Recursive-descent parser over a string; depth-limited. */
+struct Parser
+{
+    const std::string& s;
+    std::size_t pos = 0;
+    int depth = 0;
+    static constexpr int kMaxDepth = 64;
+
+    void skip_ws()
+    {
+        while (pos < s.size()
+               && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n'
+                   || s[pos] == '\r'))
+            ++pos;
+    }
+
+    char peek()
+    {
+        if (pos >= s.size())
+            bad(StatusCode::Truncated, pos, "unexpected end of input");
+        return s[pos];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            bad(StatusCode::InvalidInput, pos,
+                std::string("expected '") + c + "', got '" + s[pos]
+                    + "'");
+        ++pos;
+    }
+
+    bool consume_literal(const char* lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (s.compare(pos, n, lit) != 0)
+            return false;
+        pos += n;
+        return true;
+    }
+
+    JsonValue parse_value()
+    {
+        if (++depth > kMaxDepth)
+            bad(StatusCode::InvalidInput, pos, "nesting too deep");
+        skip_ws();
+        JsonValue v;
+        switch (peek()) {
+          case '{': v = parse_object(); break;
+          case '[': v = parse_array(); break;
+          case '"': v = JsonValue(parse_string()); break;
+          case 't':
+            if (!consume_literal("true"))
+                bad(StatusCode::InvalidInput, pos, "bad literal");
+            v = JsonValue(true);
+            break;
+          case 'f':
+            if (!consume_literal("false"))
+                bad(StatusCode::InvalidInput, pos, "bad literal");
+            v = JsonValue(false);
+            break;
+          case 'n':
+            if (!consume_literal("null"))
+                bad(StatusCode::InvalidInput, pos, "bad literal");
+            break;
+          default: v = JsonValue(parse_number()); break;
+        }
+        --depth;
+        return v;
+    }
+
+    JsonValue parse_object()
+    {
+        expect('{');
+        JsonValue::Object out;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos;
+            return JsonValue(std::move(out));
+        }
+        for (;;) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            out.insert_or_assign(std::move(key), parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return JsonValue(std::move(out));
+        }
+    }
+
+    JsonValue parse_array()
+    {
+        expect('[');
+        JsonValue::Array out;
+        skip_ws();
+        if (peek() == ']') {
+            ++pos;
+            return JsonValue(std::move(out));
+        }
+        for (;;) {
+            out.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return JsonValue(std::move(out));
+        }
+    }
+
+    std::string parse_string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos >= s.size())
+                bad(StatusCode::Truncated, pos, "unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                bad(StatusCode::Truncated, pos, "unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > s.size())
+                    bad(StatusCode::Truncated, pos, "short \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        bad(StatusCode::InvalidInput, pos,
+                            "bad \\u escape");
+                }
+                // Encode the code point as UTF-8 (surrogate pairs are
+                // passed through as two 3-byte sequences; our writers
+                // only escape control characters, all below 0x80).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xC0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (cp & 0x3F));
+                }
+                break;
+              }
+              default:
+                bad(StatusCode::InvalidInput, pos - 1,
+                    std::string("bad escape '\\") + e + "'");
+            }
+        }
+    }
+
+    double parse_number()
+    {
+        const std::size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < s.size()
+               && (std::isdigit(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E'
+                   || s[pos] == '+' || s[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            bad(StatusCode::InvalidInput, pos, "expected a value");
+        const std::string text = s.substr(start, pos - start);
+        char* end = nullptr;
+        const double v = std::strtod(text.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            bad(StatusCode::InvalidInput, start,
+                "bad number '" + text + "'");
+        return v;
+    }
+};
+
+} // namespace
+
+bool
+JsonValue::as_bool() const
+{
+    if (kind_ != Kind::Bool)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "json: value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::as_number() const
+{
+    if (kind_ != Kind::Number)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "json: value is not a number");
+    return num_;
+}
+
+const std::string&
+JsonValue::as_string() const
+{
+    if (kind_ != Kind::String)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "json: value is not a string");
+    return str_;
+}
+
+const JsonValue::Array&
+JsonValue::as_array() const
+{
+    if (kind_ != Kind::Array)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "json: value is not an array");
+    return *arr_;
+}
+
+const JsonValue::Object&
+JsonValue::as_object() const
+{
+    if (kind_ != Kind::Object)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "json: value is not an object");
+    return *obj_;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = obj_->find(key);
+    return it == obj_->end() ? nullptr : &it->second;
+}
+
+const JsonValue*
+JsonValue::find_path(const std::string& path) const
+{
+    const JsonValue* cur = this;
+    std::size_t start = 0;
+    while (cur != nullptr && start <= path.size()) {
+        const std::size_t slash = path.find('/', start);
+        const std::string key =
+            path.substr(start, slash == std::string::npos
+                                   ? std::string::npos
+                                   : slash - start);
+        cur = cur->find(key);
+        if (slash == std::string::npos)
+            return cur;
+        start = slash + 1;
+    }
+    return cur;
+}
+
+JsonValue
+parse_json(const std::string& text)
+{
+    Parser p{text};
+    JsonValue v = p.parse_value();
+    p.skip_ws();
+    if (p.pos != text.size())
+        bad(StatusCode::InvalidInput, p.pos,
+            "trailing characters after document");
+    return v;
+}
+
+JsonValue
+parse_json_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw GraphorderError(StatusCode::InvalidInput,
+                              "cannot read json file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parse_json(ss.str());
+}
+
+} // namespace graphorder

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser.
+ *
+ * The observability layer emits JSON (metrics dumps, run reports,
+ * Chrome traces) and — since PR 6 — also *consumes* it: `benchdiff`
+ * compares two report files, and the tests parse what the writers
+ * produced.  The container bakes in no JSON library, so this is a
+ * small, strict, dependency-free reader: UTF-8 pass-through strings,
+ * doubles for every number, `std::map` objects (sorted keys — lookups
+ * and iteration are deterministic).
+ *
+ * Scope: parsing only what this repo writes.  No comments, no
+ * trailing commas, no NaN/Infinity literals (our writers emit `null`
+ * for non-finite values).  Depth is limited to guard against
+ * adversarial inputs reaching the CLI.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace graphorder {
+
+/** One JSON value; a tagged tree owned via shared_ptr-free deep copies. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Array = std::vector<JsonValue>;
+    using Object = std::map<std::string, JsonValue>;
+
+    JsonValue() : kind_(Kind::Null) {}
+    explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+    explicit JsonValue(double d) : kind_(Kind::Number), num_(d) {}
+    explicit JsonValue(std::string s)
+        : kind_(Kind::String), str_(std::move(s))
+    {
+    }
+    explicit JsonValue(Array a)
+        : kind_(Kind::Array), arr_(std::make_unique<Array>(std::move(a)))
+    {
+    }
+    explicit JsonValue(Object o)
+        : kind_(Kind::Object),
+          obj_(std::make_unique<Object>(std::move(o)))
+    {
+    }
+
+    JsonValue(const JsonValue& other) { *this = other; }
+    JsonValue& operator=(const JsonValue& other);
+    JsonValue(JsonValue&&) noexcept = default;
+    JsonValue& operator=(JsonValue&&) noexcept = default;
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::Null; }
+    bool is_bool() const { return kind_ == Kind::Bool; }
+    bool is_number() const { return kind_ == Kind::Number; }
+    bool is_string() const { return kind_ == Kind::String; }
+    bool is_array() const { return kind_ == Kind::Array; }
+    bool is_object() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; throw GraphorderError(InvalidInput) on kind
+     *  mismatch so benchdiff surfaces schema violations as exit 2. */
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /**
+     * Slash-separated path lookup (`"metrics/counters/hw/cycles"` walks
+     * nested objects; object keys themselves may not contain '/', which
+     * holds for every name this repo emits except metric names — those
+     * live one level deep, so find() them on the parent instead).
+     */
+    const JsonValue* find_path(const std::string& path) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::unique_ptr<Array> arr_;
+    std::unique_ptr<Object> obj_;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * anything else after the value is an error).
+ * @throws GraphorderError(InvalidInput) with an offset-bearing message
+ *         on malformed input; Truncated when the text ends mid-value.
+ */
+JsonValue parse_json(const std::string& text);
+
+/**
+ * Read and parse @p path.
+ * @throws GraphorderError(InvalidInput) when the file cannot be read.
+ */
+JsonValue parse_json_file(const std::string& path);
+
+} // namespace graphorder

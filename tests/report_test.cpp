@@ -1,0 +1,518 @@
+/**
+ * @file
+ * PR 6 observability surface: the JSON reader, graph fingerprints,
+ * hardware-counter degradation, RunReport emission, and the benchdiff
+ * comparison engine.  The perf-counter tests exercise the *fallback*
+ * contract via the `obs.perf.open` fault site — they must pass both on
+ * machines with working PMUs and in containers that deny
+ * perf_event_open.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+#include "obs/benchdiff.hpp"
+#include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "testutil.hpp"
+#include "util/faultpoint.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace graphorder {
+namespace {
+
+using obs::DiffOptions;
+using obs::DiffResult;
+using obs::DiffRule;
+using obs::DiffVerdict;
+using obs::diff_metrics;
+using obs::flatten_metrics;
+using obs::glob_match;
+using testing::figure2_graph;
+using testing::figure2_permutation;
+using testing::path_graph;
+
+/** Restores a clean fault + perf state on scope exit. */
+struct PerfFaultGuard
+{
+    ~PerfFaultGuard()
+    {
+        clear_faults();
+        obs::PerfCounters::instance().reopen_for_test();
+    }
+};
+
+} // namespace
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parse_json("null").is_null());
+    EXPECT_EQ(parse_json("true").as_bool(), true);
+    EXPECT_EQ(parse_json("false").as_bool(), false);
+    EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(parse_json("-1.5e3").as_number(), -1500.0);
+    EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructure)
+{
+    const JsonValue v = parse_json(
+        R"({"a": [1, 2, {"b": true}], "c": {"d": "x"}})");
+    ASSERT_TRUE(v.is_object());
+    const auto& a = v.find("a")->as_array();
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a[1].as_number(), 2.0);
+    EXPECT_TRUE(a[2].find("b")->as_bool());
+    EXPECT_EQ(v.find_path("c/d")->as_string(), "x");
+    EXPECT_EQ(v.find_path("c/missing"), nullptr);
+    EXPECT_EQ(v.find("zzz"), nullptr);
+}
+
+TEST(Json, DecodesEscapes)
+{
+    const JsonValue v = parse_json(R"("a\"b\\c\ndA")");
+    EXPECT_EQ(v.as_string(), "a\"b\\c\ndA");
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(parse_json(""), GraphorderError);
+    EXPECT_THROW(parse_json("{"), GraphorderError);
+    EXPECT_THROW(parse_json("[1,]"), GraphorderError);
+    EXPECT_THROW(parse_json("{\"a\" 1}"), GraphorderError);
+    EXPECT_THROW(parse_json("1 2"), GraphorderError); // trailing garbage
+    EXPECT_THROW(parse_json("nul"), GraphorderError);
+    try {
+        parse_json("[1, 2");
+        FAIL() << "truncated input parsed";
+    } catch (const GraphorderError& e) {
+        EXPECT_EQ(e.code(), StatusCode::Truncated);
+    }
+}
+
+TEST(Json, RejectsExcessiveDepth)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_THROW(parse_json(deep), GraphorderError);
+}
+
+TEST(Json, TypeMismatchThrowsInvalidInput)
+{
+    try {
+        parse_json("42").as_string();
+        FAIL() << "kind mismatch accepted";
+    } catch (const GraphorderError& e) {
+        EXPECT_EQ(e.code(), StatusCode::InvalidInput);
+    }
+}
+
+// ----------------------------------------------------- graph fingerprint
+
+TEST(Fingerprint, DeterministicAndStructureSensitive)
+{
+    const Csr g = figure2_graph();
+    EXPECT_EQ(fingerprint(g), fingerprint(figure2_graph()));
+    EXPECT_NE(fingerprint(g), fingerprint(path_graph(7)));
+    EXPECT_NE(fingerprint(g), 0u);
+}
+
+TEST(Fingerprint, DistinguishesOrderingsOfTheSameGraph)
+{
+    const Csr g = figure2_graph();
+    const Csr h = apply_permutation(g, figure2_permutation());
+    // Same graph, different vertex order: the fingerprint is an identity
+    // for the *layout*, which is exactly what a reordering run varies.
+    EXPECT_NE(fingerprint(g), fingerprint(h));
+}
+
+// ------------------------------------------------- perf counter fallback
+
+TEST(PerfCounters, InjectedDenialDegradesToUnavailable)
+{
+    PerfFaultGuard guard;
+    auto& pc = obs::PerfCounters::instance();
+
+    arm_fault("obs.perf.open", 1);
+    pc.reopen_for_test();
+
+    EXPECT_FALSE(pc.available());
+    EXPECT_NE(pc.unavailable_reason().find("injected"),
+              std::string::npos);
+
+    // Reads are zero and flagged unavailable — "counted zero" stays
+    // distinguishable from "could not count".
+    const obs::PerfReading r = pc.read();
+    EXPECT_FALSE(r.available);
+    for (std::size_t i = 0; i < obs::kNumPerfEvents; ++i)
+        EXPECT_EQ(r.value[i], 0u);
+
+    // A PerfDomain in the degraded state must be inert, not fatal.
+    {
+        obs::PerfDomain d("test/degraded");
+        EXPECT_FALSE(d.sample().available);
+    }
+
+    // publish_hw_counters surfaces the state as hw/available = 0.
+    const obs::PerfReading pub = obs::publish_hw_counters();
+    EXPECT_FALSE(pub.available);
+    EXPECT_DOUBLE_EQ(
+        obs::MetricsRegistry::instance().gauge("hw/available").value(),
+        0.0);
+}
+
+TEST(PerfCounters, ReportStillWrittenWhenUnavailable)
+{
+    PerfFaultGuard guard;
+    arm_fault("obs.perf.open", 1);
+    obs::PerfCounters::instance().reopen_for_test();
+
+    obs::RunReport rep;
+    rep.tool = "report_test";
+    rep.scheme = "rcm";
+    rep.graph = "figure2";
+    std::ostringstream os;
+    obs::write_run_report_json(rep, os);
+
+    const JsonValue doc = parse_json(os.str());
+    EXPECT_FALSE(doc.find_path("hw/available")->as_bool());
+    ASSERT_NE(doc.find_path("hw/reason"), nullptr);
+    EXPECT_NE(doc.find_path("hw/reason")->as_string().find("injected"),
+              std::string::npos);
+    // The cross-validation ratio has no hardware side to divide by.
+    EXPECT_TRUE(doc.find_path("memsim_vs_hw/ratio")->is_null());
+}
+
+// ------------------------------------------------------------- RunReport
+
+TEST(RunReport, EmitsParseableManifest)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("memsim/report_test/lookups/DRAM").add(123);
+
+    obs::RunReport rep;
+    rep.tool = "report_test";
+    rep.scheme = "degree";
+    rep.params = "unit-test";
+    rep.seed = 7;
+    rep.graph = "figure2";
+    const Csr g = figure2_graph();
+    rep.graph_fingerprint = fingerprint(g);
+    rep.vertices = g.num_vertices();
+    rep.edges = g.num_edges();
+
+    std::ostringstream os;
+    obs::write_run_report_json(rep, os);
+    const JsonValue doc = parse_json(os.str());
+
+    EXPECT_EQ(doc.find("schema")->as_string(),
+              "graphorder.run_report.v1");
+    EXPECT_EQ(doc.find("tool")->as_string(), "report_test");
+    EXPECT_FALSE(doc.find("git_sha")->as_string().empty());
+    EXPECT_EQ(doc.find_path("run/scheme")->as_string(), "degree");
+    EXPECT_DOUBLE_EQ(doc.find_path("run/seed")->as_number(), 7.0);
+    EXPECT_EQ(doc.find_path("graph/name")->as_string(), "figure2");
+    EXPECT_DOUBLE_EQ(doc.find_path("graph/vertices")->as_number(), 7.0);
+    EXPECT_EQ(doc.find_path("graph/fingerprint")->as_string().size(),
+              16u);
+
+    // hw/available is a real boolean either way; shape depends on it.
+    const JsonValue* avail = doc.find_path("hw/available");
+    ASSERT_NE(avail, nullptr);
+    if (avail->as_bool())
+        EXPECT_NE(doc.find_path("hw/counters"), nullptr);
+    else
+        EXPECT_NE(doc.find_path("hw/reason"), nullptr);
+
+#ifdef __linux__
+    EXPECT_GT(doc.find_path("mem/rss_peak_bytes")->as_number(), 0.0);
+#endif
+
+    // The memsim prediction sums <prefix>/lookups/DRAM counters; ours
+    // must be included (other tests may have added more).
+    EXPECT_GE(doc.find_path("memsim_vs_hw/memsim_llc_misses")
+                  ->as_number(),
+              123.0);
+
+    // Full registry snapshot rides along for benchdiff.
+    const JsonValue* counters = doc.find_path("metrics/counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_NE(counters->find("memsim/report_test/lookups/DRAM"),
+              nullptr);
+}
+
+TEST(RunReport, RssPeakIsMonotonic)
+{
+    const std::uint64_t a = obs::rss_peak_bytes();
+    obs::sample_rss_peak();
+    const std::uint64_t b = obs::rss_peak_bytes();
+    EXPECT_GE(b, a);
+#ifdef __linux__
+    EXPECT_GT(b, 0u);
+#endif
+}
+
+// ------------------------------------------------------ cached counters
+
+TEST(CachedCounter, HotPathTakesNoRegistryLookups)
+{
+    static obs::CachedCounter cached{"report_test/cached_counter"};
+    auto& reg = obs::MetricsRegistry::instance();
+
+    cached.add(); // resolve the name once
+    const std::uint64_t base_value = cached.get().value();
+    const std::uint64_t base_lookups = reg.lookup_count();
+    for (int i = 0; i < 1000; ++i)
+        cached.add();
+    EXPECT_EQ(reg.lookup_count(), base_lookups);
+    EXPECT_EQ(cached.get().value(), base_value + 1000);
+
+    // The uncached path pays one lookup per call — the contrast the
+    // BM_CounterHotPath microbench quantifies.
+    reg.counter("report_test/uncached").add();
+    EXPECT_GT(reg.lookup_count(), base_lookups);
+}
+
+TEST(CachedGauge, ResolvesOnceAndSets)
+{
+    static obs::CachedGauge cached{"report_test/cached_gauge"};
+    cached.set(1.5);
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::uint64_t base_lookups = reg.lookup_count();
+    cached.set(2.5);
+    EXPECT_EQ(reg.lookup_count(), base_lookups);
+    EXPECT_DOUBLE_EQ(reg.gauge("report_test/cached_gauge").value(), 2.5);
+}
+
+// ------------------------------------------------------------ trace args
+
+TEST(TraceArgs, SerializedIntoChromeTraceAndJsonl)
+{
+    auto& tr = obs::Tracer::instance();
+    tr.set_enabled(true);
+    tr.clear();
+    tr.record("test/span", 0, 10, 5,
+              {{"hw_cycles", 1234}, {"hw_llc_miss", 7}});
+    tr.set_enabled(false);
+
+    std::ostringstream chrome;
+    tr.write_chrome_trace(chrome);
+    const JsonValue doc = parse_json(chrome.str());
+    const auto& events = doc.find("traceEvents")->as_array();
+    ASSERT_FALSE(events.empty());
+    const JsonValue* args = events.back().find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_DOUBLE_EQ(args->find("hw_cycles")->as_number(), 1234.0);
+    EXPECT_DOUBLE_EQ(args->find("hw_llc_miss")->as_number(), 7.0);
+
+    std::ostringstream jsonl;
+    tr.write_jsonl(jsonl);
+    EXPECT_NE(jsonl.str().find("hw_cycles"), std::string::npos);
+    tr.clear();
+}
+
+// ------------------------------------------------------------- benchdiff
+
+TEST(BenchDiff, GlobMatchSemantics)
+{
+    EXPECT_TRUE(glob_match("counters/memsim/*", "counters/memsim/a/b"));
+    EXPECT_TRUE(glob_match("*", "anything/at/all"));
+    EXPECT_TRUE(glob_match("a?c", "abc"));
+    EXPECT_FALSE(glob_match("a?c", "ac"));
+    EXPECT_FALSE(glob_match("counters/memsim/*", "gauges/memsim/x"));
+    EXPECT_TRUE(glob_match("*/DRAM", "counters/m/lookups/DRAM"));
+    EXPECT_FALSE(glob_match("", "x"));
+    EXPECT_TRUE(glob_match("**", ""));
+}
+
+TEST(BenchDiff, FlattensRegistryDump)
+{
+    const JsonValue doc = parse_json(
+        R"({"counters": {"a/b": 3}, "gauges": {"g": 1.5},
+            "histograms": {"h": {"count": 2, "sum": 4.0, "p50": 1.0,
+                                 "p95": 3.0, "p99": 3.0}}})");
+    const auto flat = flatten_metrics(doc);
+    ASSERT_EQ(flat.size(), 7u);
+    EXPECT_EQ(flat[0].first, "counters/a/b");
+    EXPECT_DOUBLE_EQ(flat[0].second, 3.0);
+    EXPECT_EQ(flat[1].first, "gauges/g");
+    EXPECT_EQ(flat[2].first, "histograms/h/count");
+}
+
+TEST(BenchDiff, FlattensGoogleBenchmarkOutput)
+{
+    const JsonValue doc = parse_json(
+        R"({"benchmarks": [{"name": "BM_X/8", "real_time": 12.5,
+                            "iterations": 1000, "family_index": 0}]})");
+    const auto flat = flatten_metrics(doc);
+    ASSERT_EQ(flat.size(), 2u);
+    EXPECT_EQ(flat[0].first, "benchmarks/BM_X/8/iterations");
+    EXPECT_EQ(flat[1].first, "benchmarks/BM_X/8/real_time");
+}
+
+TEST(BenchDiff, UnknownShapeThrows)
+{
+    EXPECT_THROW(flatten_metrics(parse_json(R"({"foo": 1})")),
+                 GraphorderError);
+    EXPECT_THROW(flatten_metrics(parse_json("[1,2]")), GraphorderError);
+}
+
+TEST(BenchDiff, VerdictTaxonomy)
+{
+    const JsonValue baseline = parse_json(
+        R"({"counters": {"m/cycles": 1000, "m/misses": 100,
+                         "m/gone": 5, "untracked": 1}})");
+    const JsonValue current = parse_json(
+        R"({"counters": {"m/cycles": 1200, "m/misses": 80,
+                         "untracked": 999, "m/new": 4}})");
+
+    DiffOptions opt;
+    opt.rules = {{"counters/m/*", 0.05, 0.0, false}};
+    const DiffResult res = diff_metrics(baseline, current, opt);
+
+    ASSERT_EQ(res.diffs.size(), 3u); // untracked ignored, m/new is not
+                                     // a baseline metric
+    EXPECT_EQ(res.diffs[0].name, "counters/m/cycles");
+    EXPECT_EQ(res.diffs[0].verdict, DiffVerdict::kRegression);
+    EXPECT_NEAR(res.diffs[0].rel_change, 0.2, 1e-9);
+    EXPECT_EQ(res.diffs[1].name, "counters/m/gone");
+    EXPECT_EQ(res.diffs[1].verdict, DiffVerdict::kMissing);
+    EXPECT_EQ(res.diffs[2].name, "counters/m/misses");
+    EXPECT_EQ(res.diffs[2].verdict, DiffVerdict::kImprovement);
+    EXPECT_EQ(res.regressions, 1u);
+    EXPECT_EQ(res.improvements, 1u);
+    EXPECT_EQ(res.missing, 1u);
+    EXPECT_TRUE(res.failed);
+}
+
+TEST(BenchDiff, WithinThresholdAndNoiseFloorAreUnchanged)
+{
+    const JsonValue baseline =
+        parse_json(R"({"counters": {"m/a": 1000, "m/b": 10}})");
+    const JsonValue current =
+        parse_json(R"({"counters": {"m/a": 1040, "m/b": 14}})");
+
+    // m/a: +4% < 5% threshold.  m/b: +40% but |delta|=4 <= noise floor.
+    DiffOptions opt;
+    opt.rules = {{"counters/m/*", 0.05, 5.0, false}};
+    const DiffResult res = diff_metrics(baseline, current, opt);
+    ASSERT_EQ(res.diffs.size(), 2u);
+    EXPECT_EQ(res.diffs[0].verdict, DiffVerdict::kUnchanged);
+    EXPECT_EQ(res.diffs[1].verdict, DiffVerdict::kUnchanged);
+    EXPECT_FALSE(res.failed);
+    EXPECT_EQ(res.unchanged, 2u);
+}
+
+TEST(BenchDiff, HigherIsBetterFlipsTheDirection)
+{
+    const JsonValue baseline =
+        parse_json(R"({"counters": {"throughput": 100}})");
+    const JsonValue dropped =
+        parse_json(R"({"counters": {"throughput": 50}})");
+
+    DiffOptions opt;
+    opt.rules = {{"counters/throughput", 0.05, 0.0, true}};
+    EXPECT_TRUE(diff_metrics(baseline, dropped, opt).failed);
+    // And the same delta upward is an improvement, not a failure.
+    EXPECT_FALSE(diff_metrics(dropped, baseline, opt).failed);
+}
+
+TEST(BenchDiff, AllowMissingSuppressesTheFailure)
+{
+    const JsonValue baseline =
+        parse_json(R"({"counters": {"m/gone": 5}})");
+    const JsonValue current = parse_json(R"({"counters": {}})");
+
+    DiffOptions opt;
+    opt.rules = {{"counters/m/*", 0.05, 0.0, false}};
+    EXPECT_TRUE(diff_metrics(baseline, current, opt).failed);
+    opt.fail_on_missing = false;
+    const DiffResult res = diff_metrics(baseline, current, opt);
+    EXPECT_FALSE(res.failed);
+    EXPECT_EQ(res.missing, 1u);
+}
+
+TEST(BenchDiff, DefaultRulesTrackMemsimAndCellHealth)
+{
+    const JsonValue baseline = parse_json(
+        R"({"counters": {"memsim/f/lookups/DRAM": 100000,
+                         "bench/cells_failed": 0,
+                         "order/rcm/calls": 5}})");
+    const JsonValue regressed = parse_json(
+        R"({"counters": {"memsim/f/lookups/DRAM": 120000,
+                         "bench/cells_failed": 1,
+                         "order/rcm/calls": 99}})");
+    // Default rules: memsim +20% regresses, a newly failed cell
+    // regresses, order/* is untracked.
+    const DiffResult res = diff_metrics(baseline, regressed, {});
+    EXPECT_EQ(res.diffs.size(), 2u);
+    EXPECT_EQ(res.regressions, 2u);
+    EXPECT_TRUE(res.failed);
+
+    const DiffResult same = diff_metrics(baseline, baseline, {});
+    EXPECT_FALSE(same.failed);
+    EXPECT_EQ(same.regressions, 0u);
+}
+
+TEST(BenchDiff, FromZeroBaselineIsAnInfiniteRegression)
+{
+    const JsonValue baseline =
+        parse_json(R"({"counters": {"m/errs": 0}})");
+    const JsonValue current =
+        parse_json(R"({"counters": {"m/errs": 3}})");
+    DiffOptions opt;
+    opt.rules = {{"counters/m/*", 0.05, 0.0, false}};
+    const DiffResult res = diff_metrics(baseline, current, opt);
+    ASSERT_EQ(res.diffs.size(), 1u);
+    EXPECT_EQ(res.diffs[0].verdict, DiffVerdict::kRegression);
+    EXPECT_TRUE(std::isinf(res.diffs[0].rel_change));
+    EXPECT_TRUE(res.failed);
+}
+
+// ------------------------------------------------ report -> benchdiff
+
+TEST(BenchDiff, ComparesTwoRunReportsEndToEnd)
+{
+    // Round-trip: emit two real reports whose memsim counters differ by
+    // more than the default threshold, and diff them.
+    auto& reg = obs::MetricsRegistry::instance();
+    obs::RunReport rep;
+    rep.tool = "report_test";
+
+    reg.counter("memsim/e2e/lookups/DRAM").add(1000);
+    std::ostringstream first;
+    obs::write_run_report_json(rep, first);
+
+    reg.counter("memsim/e2e/lookups/DRAM").add(900); // +90%
+    std::ostringstream second;
+    obs::write_run_report_json(rep, second);
+
+    const DiffResult res = diff_metrics(parse_json(first.str()),
+                                        parse_json(second.str()), {});
+    EXPECT_TRUE(res.failed);
+    bool found = false;
+    for (const auto& d : res.diffs)
+        if (d.name == "counters/memsim/e2e/lookups/DRAM") {
+            EXPECT_EQ(d.verdict, DiffVerdict::kRegression);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+
+    // Identical reports never fail, whatever the environment did to
+    // the hw section.
+    EXPECT_FALSE(diff_metrics(parse_json(second.str()),
+                              parse_json(second.str()), {})
+                     .failed);
+}
+
+} // namespace graphorder

@@ -21,6 +21,7 @@
 #include "graph/permutation.hpp"
 #include "influence/imm.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
 #include "order/runner.hpp"
 #include "order/scheme.hpp"
 #include "testutil.hpp"
@@ -241,6 +242,18 @@ TEST(FaultMatrix, EveryRegisteredSiteFiresItsDeclaredCode)
              run_guarded("natural", g, opt).value();
          }},
         {"louvain.phase", [&g] { louvain(g); }},
+        // The real consumer (PerfCounters::open_all) *catches* this
+        // site's error and degrades to available=false — that contract
+        // is covered by report_test.PerfFallback.  Here the site is
+        // fired directly so the matrix still proves it throws its
+        // declared code.
+        {"obs.perf.open",
+         [] {
+             // Touch the owning translation unit so its namespace-scope
+             // registration is linked into this binary.
+             (void)obs::perf_event_name(obs::PerfEvent::kCycles);
+             find_fault_point("obs.perf.open")->maybe_fire();
+         }},
         {"imm.round",
          [&g] {
              ImmOptions io;

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * `benchdiff` — compare two run artifacts and fail on regression.
+ *
+ * Accepts any pair of RunReport manifests (`--report FILE`), metrics
+ * dumps (`--metrics FILE`) or Google-Benchmark JSON, flattens them
+ * into named metrics, and applies per-metric rules (relative-change
+ * threshold + absolute noise floor).  CI commits baseline artifacts
+ * under bench/baselines/ and runs:
+ *
+ *   benchdiff bench/baselines/BENCH_memsim.json BENCH_memsim.json
+ *
+ * Usage:
+ *   benchdiff OLD NEW [options]
+ *     --track GLOB[:THRESH%[:NOISE]]     add a rule; higher is worse
+ *     --track-up GLOB[:THRESH%[:NOISE]]  add a rule; higher is better
+ *     --allow-missing    tracked-but-absent metrics do not fail
+ *     --all              print unchanged metrics too
+ *     --json             machine-readable output on stdout
+ *
+ * With no --track flags the default rule set applies (deterministic
+ * memsim counters/gauges at 5%, bench/cells_failed exact); the first
+ * matching rule wins, so order specific rules before catch-alls.
+ *
+ * Exit codes:
+ *   0  no regression (improvements and noise are fine)
+ *   1  usage error
+ *   2  unreadable or structurally invalid input file
+ *   3  regression beyond threshold, or tracked metric missing
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/status.hpp"
+
+using namespace graphorder;
+using namespace graphorder::obs;
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s OLD.json NEW.json [options]\n"
+        "  --track GLOB[:THRESH%%[:NOISE]]     track metrics matching\n"
+        "                   GLOB; flag relative changes beyond THRESH%%\n"
+        "                   (default 5) ignoring absolute deltas <=\n"
+        "                   NOISE (default 0); an increase is a\n"
+        "                   regression\n"
+        "  --track-up GLOB[:THRESH%%[:NOISE]]  same, but a decrease is\n"
+        "                   the regression (throughput-style metrics)\n"
+        "  --allow-missing  a tracked metric absent from NEW is\n"
+        "                   reported but does not fail the diff\n"
+        "  --all            also print unchanged tracked metrics\n"
+        "  --json           print the verdicts as JSON\n"
+        "exit codes: 0 ok; 1 usage; 2 bad input; 3 regression or\n"
+        "missing tracked metric\n",
+        argv0);
+}
+
+/** Parse "GLOB[:THRESH%[:NOISE]]" into a rule. */
+DiffRule
+parse_rule(const std::string& spec, bool higher_is_better)
+{
+    DiffRule r;
+    r.higher_is_better = higher_is_better;
+    const std::size_t c1 = spec.find(':');
+    r.glob = spec.substr(0, c1);
+    if (r.glob.empty())
+        fatal("--track: empty glob in '" + spec + "'");
+    if (c1 == std::string::npos)
+        return r;
+    const std::size_t c2 = spec.find(':', c1 + 1);
+    std::string thresh = spec.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos
+                                        : c2 - c1 - 1);
+    if (!thresh.empty() && thresh.back() == '%')
+        thresh.pop_back();
+    char* end = nullptr;
+    r.rel_threshold = std::strtod(thresh.c_str(), &end) / 100.0;
+    if (end == nullptr || *end != '\0' || r.rel_threshold < 0)
+        fatal("--track: bad threshold in '" + spec + "'");
+    if (c2 != std::string::npos) {
+        const std::string noise = spec.substr(c2 + 1);
+        r.noise_floor = std::strtod(noise.c_str(), &end);
+        if (end == nullptr || *end != '\0' || r.noise_floor < 0)
+            fatal("--track: bad noise floor in '" + spec + "'");
+    }
+    return r;
+}
+
+std::string
+json_escape(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> files;
+    DiffOptions opt;
+    bool print_all = false, json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--track" && i + 1 < argc) {
+            opt.rules.push_back(parse_rule(argv[++i], false));
+        } else if (a == "--track-up" && i + 1 < argc) {
+            opt.rules.push_back(parse_rule(argv[++i], true));
+        } else if (a == "--allow-missing") {
+            opt.fail_on_missing = false;
+        } else if (a == "--all") {
+            print_all = true;
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            usage(argv[0]);
+            fatal("unknown argument: " + a);
+        } else {
+            files.push_back(a);
+        }
+    }
+    if (files.size() != 2) {
+        usage(argv[0]);
+        fatal("need exactly two input files (old, new)");
+    }
+
+    try {
+        const JsonValue baseline = parse_json_file(files[0]);
+        const JsonValue current = parse_json_file(files[1]);
+        const DiffResult res = diff_metrics(baseline, current, opt);
+
+        if (json) {
+            std::printf("{\"old\": \"%s\", \"new\": \"%s\", "
+                        "\"failed\": %s,\n \"summary\": "
+                        "{\"regressions\": %zu, \"improvements\": %zu, "
+                        "\"missing\": %zu, \"unchanged\": %zu},\n"
+                        " \"metrics\": [",
+                        json_escape(files[0]).c_str(),
+                        json_escape(files[1]).c_str(),
+                        res.failed ? "true" : "false", res.regressions,
+                        res.improvements, res.missing, res.unchanged);
+            bool first = true;
+            for (const auto& d : res.diffs) {
+                if (!print_all && d.verdict == DiffVerdict::kUnchanged)
+                    continue;
+                std::printf("%s\n  {\"name\": \"%s\", \"verdict\": "
+                            "\"%s\", \"old\": %.17g, \"new\": %.17g, "
+                            "\"rel_change\": %.6g}",
+                            first ? "" : ",",
+                            json_escape(d.name).c_str(),
+                            diff_verdict_name(d.verdict), d.old_value,
+                            d.new_value, d.rel_change);
+                first = false;
+            }
+            std::printf("\n]}\n");
+        } else {
+            std::size_t shown = 0;
+            for (const auto& d : res.diffs) {
+                if (!print_all && d.verdict == DiffVerdict::kUnchanged)
+                    continue;
+                ++shown;
+                if (d.verdict == DiffVerdict::kMissing)
+                    std::printf("%-12s %s (baseline %.6g, absent)\n",
+                                diff_verdict_name(d.verdict),
+                                d.name.c_str(), d.old_value);
+                else
+                    std::printf("%-12s %s: %.6g -> %.6g (%+.2f%%)\n",
+                                diff_verdict_name(d.verdict),
+                                d.name.c_str(), d.old_value,
+                                d.new_value, 100.0 * d.rel_change);
+            }
+            std::printf("%stracked %zu metric(s): %zu regression(s), "
+                        "%zu improvement(s), %zu missing, %zu within "
+                        "noise\n",
+                        shown ? "\n" : "", res.diffs.size(),
+                        res.regressions, res.improvements, res.missing,
+                        res.unchanged);
+            if (res.diffs.empty())
+                warn("no tracked metrics matched — check your --track "
+                     "globs against the artifact");
+        }
+        return res.failed ? 3 : 0;
+    } catch (const GraphorderError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

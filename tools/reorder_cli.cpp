@@ -11,7 +11,8 @@
  *   reorder --input graph.edges [--scheme rcm] [--seed N]
  *           [--output reordered.edges] [--metrics-all] [--stats]
  *           [--json] [--trace t.json] [--metrics m.json]
- *           [--deadline-ms X] [--mem-budget-mb N] [--fallback] [--check]
+ *           [--report r.json] [--deadline-ms X] [--mem-budget-mb N]
+ *           [--fallback] [--check]
  *
  * Exit codes (see util/status.hpp):
  *   0  success
@@ -35,6 +36,8 @@
 #include "la/gap_measures.hpp"
 #include "memsim/cache.hpp"
 #include "obs/metrics.hpp"
+#include "obs/perf_counters.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "order/runner.hpp"
 #include "order/scheme.hpp"
@@ -82,6 +85,12 @@ usage(const char* argv0)
         "                   Louvain+IMM telemetry pass through the cache\n"
         "                   simulator on the reordered graph so memsim/,\n"
         "                   louvain/ and imm/ counters are populated\n"
+        "  --report FILE    write a RunReport manifest at exit: git sha,\n"
+        "                   hostname, graph fingerprint, hardware perf\n"
+        "                   counters (hw/available=false when the kernel\n"
+        "                   denies perf_event_open), RSS peak, memsim-vs-\n"
+        "                   hardware LLC-miss ratio and a full metrics\n"
+        "                   snapshot — the input to tools/benchdiff\n"
         "  --list           list registered schemes and exit\n"
         "exit codes: 0 ok; 1 usage error; 2 invalid input; 3 budget\n"
         "exceeded or cancelled; 4 internal error/invariant violation\n",
@@ -133,6 +142,7 @@ void
 run_app_telemetry(const Csr& h)
 {
     GO_TRACE_SCOPE("cli/app_telemetry");
+    obs::PerfDomain hw("cli/app_telemetry");
     {
         GO_TRACE_SCOPE("cli/telemetry/louvain");
         CacheTracer tracer(CacheHierarchyConfig::cascade_lake_scaled(16));
@@ -151,6 +161,7 @@ run_app_telemetry(const Csr& h)
         imm(h, io);
         tracer.publish_metrics("memsim/imm");
     }
+    obs::sample_rss_peak();
 }
 
 /** Parsed command line. */
@@ -158,7 +169,7 @@ struct CliOptions
 {
     std::string input, output, scheme_name = "rcm";
     std::string format; ///< "", "edges" or "metis"; "" = by extension
-    std::string trace_file, metrics_file;
+    std::string trace_file, metrics_file, report_file;
     std::uint64_t seed = 42;
     double deadline_ms = 0;
     std::uint64_t mem_budget_mb = 0;
@@ -188,6 +199,22 @@ run_cli(const CliOptions& opt)
 {
     const Csr g = is_metis_input(opt) ? load_metis(opt.input)
                                       : load_edge_list(opt.input);
+    if (!opt.report_file.empty()) {
+        obs::RunReport& r = obs::exit_run_report();
+        r.graph_fingerprint = fingerprint(g);
+        r.vertices = g.num_vertices();
+        r.edges = g.num_edges();
+        std::string params;
+        if (opt.deadline_ms > 0)
+            params += "deadline_ms=" + std::to_string(opt.deadline_ms);
+        if (opt.mem_budget_mb > 0)
+            params += (params.empty() ? "" : " ") + std::string("mem_budget_mb=")
+                      + std::to_string(opt.mem_budget_mb);
+        if (opt.fallback)
+            params += (params.empty() ? "" : " ") + std::string("fallback");
+        r.params = params;
+        obs::sample_rss_peak();
+    }
     if (!opt.json) {
         std::printf("loaded %s: %u vertices, %llu edges\n",
                     opt.input.c_str(), g.num_vertices(),
@@ -215,13 +242,17 @@ run_cli(const CliOptions& opt)
             double secs;
         };
         std::vector<Row> rows;
-        for (const auto& s : all_schemes()) {
-            Timer timer;
-            timer.start();
-            const auto pi = s.run(g, seed);
-            rows.push_back({s.name, s.deterministic,
-                            compute_gap_metrics(g, pi),
-                            timer.elapsed_s()});
+        {
+            obs::PerfDomain hw("cli/metrics_all");
+            for (const auto& s : all_schemes()) {
+                Timer timer;
+                timer.start();
+                const auto pi = s.run(g, seed);
+                rows.push_back({s.name, s.deterministic,
+                                compute_gap_metrics(g, pi),
+                                timer.elapsed_s()});
+                obs::sample_rss_peak();
+            }
         }
         if (json) {
             std::printf("{\"input\": \"%s\", \"vertices\": %u, "
@@ -264,9 +295,18 @@ run_cli(const CliOptions& opt)
     gro.mem_budget_mb = opt.mem_budget_mb;
     gro.validate = opt.check;
     gro.allow_fallback = opt.fallback;
-    auto guarded = run_guarded(scheme, g, gro);
+    auto guarded = [&] {
+        // Hardware profile of the ordering phase itself: publishes
+        // hw/cli/reorder/* deltas and, with --trace, a span whose args
+        // carry the cycles/misses the ordering cost.
+        obs::PerfDomain hw("cli/reorder");
+        return run_guarded(scheme, g, gro);
+    }();
+    obs::sample_rss_peak();
     if (!guarded)
         throw GraphorderError(guarded.status());
+    if (!opt.report_file.empty())
+        obs::exit_run_report().scheme = guarded->scheme_used;
     const auto& pi = guarded->perm;
     const double reorder_secs = guarded->elapsed_s;
     if (!json) {
@@ -314,9 +354,13 @@ run_cli(const CliOptions& opt)
         t.print();
     }
 
-    if (!opt.metrics_file.empty() || !opt.output.empty()) {
+    if (!opt.metrics_file.empty() || !opt.report_file.empty()
+        || !opt.output.empty()) {
         const Csr h = apply_permutation(g, pi);
-        if (!opt.metrics_file.empty())
+        // A report without memsim counters would have no simulator side
+        // for its memsim-vs-hw cross-validation, so --report implies
+        // the telemetry pass too.
+        if (!opt.metrics_file.empty() || !opt.report_file.empty())
             run_app_telemetry(h);
         if (!opt.output.empty()) {
             std::ofstream out(opt.output);
@@ -368,6 +412,8 @@ main(int argc, char** argv)
             opt.trace_file = argv[++i];
         } else if (a == "--metrics" && i + 1 < argc) {
             opt.metrics_file = argv[++i];
+        } else if (a == "--report" && i + 1 < argc) {
+            opt.report_file = argv[++i];
         } else if (a == "--threads" && i + 1 < argc) {
             const int t = std::atoi(argv[++i]);
             if (t > 0)
@@ -400,6 +446,17 @@ main(int argc, char** argv)
         obs::set_exit_trace_file(opt.trace_file);
     if (!opt.metrics_file.empty())
         obs::set_exit_metrics_file(opt.metrics_file);
+    if (!opt.report_file.empty()) {
+        // Fill what the command line already knows; run_cli adds the
+        // workload identity once the graph is loaded.  Registering the
+        // skeleton up front means even an error exit leaves a report.
+        obs::RunReport& r = obs::exit_run_report();
+        r.tool = "reorder";
+        r.scheme = opt.metrics_all ? "all" : opt.scheme_name;
+        r.seed = opt.seed;
+        r.graph = opt.input;
+        obs::set_exit_report_file(opt.report_file);
+    }
 
     // Map failures to the documented exit codes (util/status.hpp).
     try {
