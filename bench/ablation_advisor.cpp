@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Advisor ablation: score `advise()`'s per-graph picks against the
+ * per-graph oracle — the best measured avg-gap improvement any
+ * deterministic scalable scheme achieves — over the fig1/fig5 small
+ * instance roster.
+ *
+ * For each instance, every candidate scheme is run and its relative
+ * avg-gap improvement over the natural order is recorded:
+ *
+ *     improvement(s) = max(0, 1 - avg_gap(s) / avg_gap(natural))
+ *
+ * The advisor's pick passes when its improvement is within 10% of the
+ * oracle best (chosen >= 0.9 * oracle).  `none` picks therefore only
+ * pass on graphs whose natural order really is near the best any scheme
+ * can do — the acceptance bar of the advisor feature.
+ *
+ * The candidate pool is restricted to deterministic, large-graph-safe
+ * schemes so the oracle itself is reproducible in CI: the Louvain-backed
+ * schemes (grappolo, grappolo-rcm, hybrid-rcm) vary across runs, and the
+ * qualitative-only tier (gorder, slashburn, nd, mindeg, minla-sa) is
+ * excluded on cost, as in the paper's own Figure 4 roster.
+ *
+ * In `--smoke` mode (the CI gate) the binary exits nonzero when any
+ * instance misses the 10% bar; in full mode it reports the hit rate.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "la/gap_measures.hpp"
+#include "obs/metrics.hpp"
+#include "order/advisor.hpp"
+
+using namespace graphorder;
+using namespace graphorder::bench;
+
+namespace {
+
+std::vector<OrderingScheme>
+candidate_pool()
+{
+    std::vector<OrderingScheme> out;
+    for (const auto& s : all_schemes())
+        if (s.deterministic && s.scalable)
+            out.push_back(s);
+    return out;
+}
+
+double
+improvement(double natural_gap, double scheme_gap)
+{
+    if (natural_gap <= 0.0)
+        return 0.0;
+    return std::max(0.0, 1.0 - scheme_gap / natural_gap);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = parse_args(argc, argv);
+    print_header("Advisor ablation",
+                 "advise() picks vs per-graph oracle avg-gap improvement",
+                 opt);
+
+    const auto instances = make_small_instances(opt);
+    const auto pool = candidate_pool();
+
+    Table probes("advisor probes (inputs to the decision tree)");
+    probes.header({"instance", "deg cv", "hub mass", "diam", "diam ratio",
+                   "gap ratio", "floor", "locality", "skew", "potential"});
+    Table raw("raw avg-gap improvement per candidate scheme");
+    {
+        std::vector<std::string> head{"instance"};
+        for (const auto& s : pool)
+            head.push_back(s.name);
+        raw.header(head);
+    }
+    Table t("advisor picks vs oracle (avg-gap improvement over natural)");
+    t.header({"instance", "choice", "pick", "pick impr", "oracle",
+              "oracle impr", "within 10%"});
+    std::size_t hits = 0;
+    for (const auto& inst : instances) {
+        const auto rep = advise(inst.graph);
+        probes.row({inst.spec->name, Table::num(rep.probe.degree_cv, 2),
+                    Table::num(rep.probe.hub_mass, 2),
+                    Table::num(std::uint64_t{rep.probe.eff_diameter}),
+                    Table::num(rep.probe.diameter_ratio, 2),
+                    Table::num(rep.probe.gap_ratio, 3),
+                    Table::num(rep.probe.gap_floor, 1),
+                    Table::num(rep.scores.locality, 2),
+                    Table::num(rep.scores.skew, 2),
+                    Table::num(rep.scores.potential, 2)});
+        const double natural_gap =
+            compute_gap_metrics(inst.graph).avg_gap;
+
+        double pick_impr = 0.0;
+        double oracle_impr = 0.0;
+        std::string oracle_name = "natural";
+        std::vector<std::string> raw_row{inst.spec->name};
+        for (const auto& s : pool) {
+            const auto pi = s.run(inst.graph, opt.seed);
+            const double impr = improvement(
+                natural_gap,
+                compute_gap_metrics(inst.graph, pi).avg_gap);
+            raw_row.push_back(Table::num(impr, 3));
+            if (impr > oracle_impr) {
+                oracle_impr = impr;
+                oracle_name = s.name;
+            }
+            if (s.name == rep.scheme)
+                pick_impr = impr;
+        }
+        raw.row(raw_row);
+        // Noise floor, benchdiff-style: when the oracle itself gains
+        // under one percentage point (coordinate-sorted meshes where
+        // the natural order is already near-optimal), any pick —
+        // including "none" — is within measurement noise of the best.
+        constexpr double kNoiseFloor = 0.01;
+        const bool ok = pick_impr >= 0.9 * oracle_impr - kNoiseFloor;
+        hits += ok ? 1 : 0;
+        t.row({inst.spec->name, advisor_choice_name(rep.choice),
+               rep.scheme, Table::num(pick_impr, 3), oracle_name,
+               Table::num(oracle_impr, 3), ok ? "yes" : "NO"});
+    }
+    probes.print();
+    raw.print();
+    t.print();
+
+    const std::size_t n = instances.size();
+    std::printf("advisor within 10%% of oracle on %zu/%zu instances\n",
+                hits, n);
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.gauge("advisor/ablation/instances")
+        .set(static_cast<double>(n));
+    reg.gauge("advisor/ablation/within_10pct")
+        .set(static_cast<double>(hits));
+
+    // CI acceptance gate: in smoke mode every instance must be within
+    // 10% of its oracle; full runs only report (the 25-instance set
+    // includes adversarial id-scrambled variants documented in
+    // EXPERIMENTS.md).
+    if (opt.smoke && hits < n)
+        return 1;
+    return bench_exit_code();
+}

@@ -127,6 +127,14 @@ make_small_instances(const BenchOptions& opt)
     return out;
 }
 
+std::vector<OrderingScheme>
+qualitative_schemes()
+{
+    auto v = paper_schemes();
+    v.push_back(scheme_by_name("dbg"));
+    return v;
+}
+
 std::vector<Instance>
 make_large_instances(const BenchOptions& opt)
 {

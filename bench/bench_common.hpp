@@ -71,6 +71,14 @@ struct Instance
  *  to the first kSmokeInstances. */
 std::vector<Instance> make_small_instances(const BenchOptions& opt);
 
+/**
+ * Roster of the qualitative figures (1/5/6): the paper's 13 schemes plus
+ * the post-paper lightweight extensions (currently DBG), so the figure
+ * tables place Faldu et al.'s scheme in the paper's tiers.  HubSort /
+ * HubCluster are already part of the paper roster.
+ */
+std::vector<OrderingScheme> qualitative_schemes();
+
 /** Generate all 9 large instances at opt.large_scale. */
 std::vector<Instance> make_large_instances(const BenchOptions& opt);
 

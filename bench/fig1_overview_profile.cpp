@@ -25,7 +25,7 @@ main(int argc, char** argv)
 
     const auto instances = make_small_instances(opt);
     const auto in = cost_matrix(
-        instances, paper_schemes(),
+        instances, qualitative_schemes(),
         [](const Csr& g, const Permutation& pi) {
             return compute_gap_metrics(g, pi).avg_gap;
         },

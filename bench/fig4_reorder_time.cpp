@@ -2,10 +2,13 @@
  * @file
  * Figure 4: performance profile of reordering *compute time* for the four
  * representative C/C++ schemes — RCM, Degree Sort, Grappolo, METIS-32 —
- * over the 9 large instances.
+ * over the 9 large instances, extended with the lightweight hot/cold
+ * schemes (HubSort, DBG) whose near-linear cost is their selling point
+ * (Faldu et al.).
  *
  * Paper finding: Degree Sort and RCM are the cheap schemes; Grappolo and
  * METIS are substantially more expensive but comparable to each other.
+ * The hub/DBG counting sorts should sit at or below Degree Sort.
  */
 #include <cstdio>
 
@@ -21,7 +24,7 @@ main(int argc, char** argv)
     const auto opt = parse_args(argc, argv);
     print_header("Figure 4",
                  "reordering compute-time profile (rcm/degree/grappolo/"
-                 "metis-32)",
+                 "metis-32 + hubsort/dbg)",
                  opt);
 
     const std::vector<OrderingScheme> schemes = {
@@ -29,6 +32,8 @@ main(int argc, char** argv)
         scheme_by_name("degree"),
         scheme_by_name("grappolo"),
         scheme_by_name("metis-32"),
+        scheme_by_name("hubsort"),
+        scheme_by_name("dbg"),
     };
     const auto instances = make_large_instances(opt);
 

@@ -19,7 +19,7 @@ main(int argc, char** argv)
                  "relative performance profile of graph bandwidth (beta)",
                  opt);
     const auto instances = make_small_instances(opt);
-    const auto& schemes = paper_schemes();
+    const auto schemes = qualitative_schemes();
     const auto in = cost_matrix(
         instances, schemes,
         [](const Csr& g, const Permutation& pi) {

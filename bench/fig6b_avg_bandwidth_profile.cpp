@@ -21,7 +21,7 @@ main(int argc, char** argv)
         "relative performance profile of average bandwidth (beta_hat)",
         opt);
     const auto instances = make_small_instances(opt);
-    const auto& schemes = paper_schemes();
+    const auto schemes = qualitative_schemes();
     const auto in = cost_matrix(
         instances, schemes,
         [](const Csr& g, const Permutation& pi) {

@@ -49,6 +49,57 @@ count_triangles(const Csr& g)
     return count;
 }
 
+double
+hub_mass_fraction(const Csr& g, double degree_threshold)
+{
+    const vid_t n = g.num_vertices();
+    const eid_t arcs = g.num_arcs();
+    if (n == 0 || arcs == 0)
+        return 0.0;
+    const double cut = degree_threshold > 0.0
+        ? degree_threshold
+        : static_cast<double>(arcs) / static_cast<double>(n);
+    std::uint64_t hub_arcs = 0;
+    for (vid_t v = 0; v < n; ++v) {
+        const vid_t d = g.degree(v);
+        if (static_cast<double>(d) > cut)
+            hub_arcs += d;
+    }
+    return static_cast<double>(hub_arcs) / static_cast<double>(arcs);
+}
+
+vid_t
+estimate_effective_diameter(const Csr& g, unsigned sweeps)
+{
+    const vid_t n = g.num_vertices();
+    if (n == 0)
+        return 0;
+    vid_t src = 0;
+    for (vid_t v = 1; v < n; ++v)
+        if (g.degree(v) > g.degree(src))
+            src = v;
+    vid_t best = 0;
+    for (unsigned s = 0; s < sweeps; ++s) {
+        const auto r = parallel_bfs(g, src);
+        if (r.max_distance <= best && s > 0)
+            break; // the sweep stopped improving
+        best = std::max(best, r.max_distance);
+        // Next sweep starts from the farthest reached vertex (lowest id
+        // on ties, so the walk is deterministic).
+        vid_t far = src;
+        for (vid_t v = 0; v < n; ++v) {
+            if (r.distance[v] == BfsResult::kUnreached)
+                continue;
+            if (far == src || r.distance[v] > r.distance[far])
+                far = v;
+        }
+        if (far == src)
+            break;
+        src = far;
+    }
+    return best;
+}
+
 GraphStats
 compute_stats(const Csr& g, bool with_triangles)
 {

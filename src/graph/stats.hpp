@@ -37,6 +37,27 @@ GraphStats compute_stats(const Csr& g, bool with_triangles = true);
 /** Count triangles (each counted once) by sorted-adjacency merge. */
 std::uint64_t count_triangles(const Csr& g);
 
+/**
+ * Fraction of arc endpoints incident to hub vertices, i.e.
+ * sum of hub degrees / num_arcs, where a hub has degree > @p
+ * degree_threshold (0 = average degree).  1 edge touching a hub on both
+ * sides counts twice, matching the arc-centric view of the cache study.
+ * O(n); deterministic.  This is the skew probe of the ordering advisor
+ * (order/advisor.hpp): heavy-tailed graphs concentrate most arcs on few
+ * hubs, mesh-like graphs spread them evenly.
+ */
+double hub_mass_fraction(const Csr& g, double degree_threshold = 0.0);
+
+/**
+ * Cheap diameter estimate: repeated double-sweep BFS (at most @p sweeps
+ * sweeps) starting from the lowest-id maximum-degree vertex, returning
+ * the largest eccentricity seen.  A lower bound on the true diameter of
+ * that vertex's component; in practice within a few hops for road/mesh
+ * graphs and exact for trees.  Each sweep is one parallel_bfs — O(m)
+ * work, deterministic at any thread count.
+ */
+vid_t estimate_effective_diameter(const Csr& g, unsigned sweeps = 4);
+
 /** Render one stats row: "n=... m=... maxdeg=... sd=...". */
 std::string to_string(const GraphStats& s);
 

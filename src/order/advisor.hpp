@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Structural ordering advisor: decides *whether* reordering a graph will
+ * pay and *which scheme family* to run, from a cheap structural probe —
+ * no trial reorderings.
+ *
+ * The paper's central finding is that no scheme wins everywhere, which
+ * in production means the system must pick per graph.  The advisor
+ * combines two published observations:
+ *
+ *  - Faldu et al. ("A Closer Look at Lightweight Graph Reordering",
+ *    IISWC 2019): on skewed graphs whose natural order already has
+ *    locality, lightweight hot/cold segregation (DBG / hub family)
+ *    captures most of the benefit without destroying that locality.
+ *  - The locality-vs-diameter thesis (arXiv:2111.12281): degree skew and
+ *    diameter estimates predict when reordering pays at all — expanders
+ *    admit no good linear arrangement, long-diameter meshes/roads do.
+ *
+ * Probe cost: O(n + m) — one degree scan, connected components, a few
+ * double-sweep BFS rounds, the natural-order gap metrics, and a
+ * cache-line hub-packing scan.  Every stage is deterministic for any
+ * thread count (serial scans or the deterministic parallel primitives of
+ * util/parallel.hpp), so the same graph always yields the same
+ * recommendation.  checkpoint() is polled between stages, so guarded
+ * callers can cancel a probe.
+ *
+ * Exposed as `reorder --scheme auto` (probe, then run the pick under
+ * run_guarded) and `reorder --advise` (probe only); see
+ * docs/scheme-selection.md for the decision tree and DESIGN.md §13 for
+ * the score definitions and thresholds.
+ */
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "order/runner.hpp"
+#include "util/status.hpp"
+
+namespace graphorder {
+
+/** Which family (if any) the advisor recommends. */
+enum class AdvisorChoice
+{
+    None,        ///< reordering won't pay: keep the natural order
+    Lightweight, ///< DBG / hub family: segregate hot vertices, keep order
+    Heavyweight, ///< partition / fill-reducing family: rebuild the order
+};
+
+/** Raw structural measurements behind a recommendation. */
+struct AdvisorProbe
+{
+    vid_t num_vertices = 0;
+    eid_t num_edges = 0;
+    double mean_degree = 0.0;
+    vid_t max_degree = 0;
+    /** Degree coefficient of variation (stddev / mean); >1 = heavy tail. */
+    double degree_cv = 0.0;
+    /** Fraction of vertices with degree > average (the hub cut). */
+    double hub_fraction = 0.0;
+    /** Fraction of arc endpoints incident to hubs (skew mass). */
+    double hub_mass = 0.0;
+    /**
+     * Cache-line scatter of hubs under the natural order: lines holding
+     * at least one hub over the minimum lines needed if hubs were packed
+     * (8 vertices / 64-byte line).  1 = perfectly packed, large =
+     * scattered — exactly what the hub family fixes.
+     */
+    double hub_packing = 1.0;
+    vid_t num_components = 0;
+    /** Double-sweep BFS diameter estimate (stats.hpp). */
+    vid_t eff_diameter = 0;
+    /** eff_diameter / (2 log2 n): <1 small-world, >>1 mesh/road-like. */
+    double diameter_ratio = 0.0;
+    /** Average gap of the natural order (la/gap_measures.hpp). */
+    double natural_avg_gap = 0.0;
+    /** natural_avg_gap over the random-order expectation (n+1)/3;
+     *  ~1 = the natural order is as bad as random, ~0 = strong locality. */
+    double gap_ratio = 0.0;
+    /**
+     * BFS-level-width achievability floor: a level-synchronous order of
+     * a component reaches average gap about its mean BFS level width,
+     * so no scheme is expected to push the average gap much below
+     * mean_component_size / eff_diameter.  Expanders (small diameter,
+     * one component) get a high floor — reordering can't help them.
+     */
+    double gap_floor = 0.0;
+};
+
+/** Derived scores in [0, 1]; the largest decides the recommendation. */
+struct AdvisorScores
+{
+    double locality = 0.0;  ///< 1 - min(gap_ratio, 1)
+    double skew = 0.0;      ///< hub_mass * cv/(cv+1)
+    double potential = 0.0; ///< (natural_avg_gap - gap_floor) / natural
+    double none = 0.0;
+    double lightweight = 0.0;
+    double heavyweight = 0.0;
+};
+
+/** A scored recommendation. */
+struct AdvisorReport
+{
+    AdvisorProbe probe;
+    AdvisorScores scores;
+    AdvisorChoice choice = AdvisorChoice::None;
+    /** Registry scheme implementing the choice: "natural", "dbg", or
+     *  "metis-32" — the deterministic member of the paper's top
+     *  avg-gap tier (see advisor.cpp for why not rcm). */
+    std::string scheme;
+    /** One-line human-readable justification. */
+    std::string rationale;
+};
+
+/**
+ * Probe @p g and recommend a scheme family.
+ *
+ * Deterministic: same graph, same report, at any thread count.
+ * Publishes the `advisor/` gauges (probe values + scores) and the
+ * `advisor/runs` counter to the obs metrics registry.
+ * Complexity: O(n + m); polls checkpoint("advisor/probe") between
+ * stages.
+ */
+AdvisorReport advise(const Csr& g);
+
+/** Outcome of an `auto` run: the recommendation plus the guarded run. */
+struct AutoRunResult
+{
+    AdvisorReport report;
+    GuardedRunResult run;
+};
+
+/**
+ * `reorder --scheme auto` in library form: advise(g), then run the
+ * recommended scheme under run_guarded with @p opt (budgets, validation
+ * and fallback chains all apply; the probe itself runs before the
+ * budget clock starts).
+ */
+Expected<AutoRunResult> run_auto(const Csr& g,
+                                 const GuardedRunOptions& opt = {});
+
+/** "none" / "lightweight" / "heavyweight" (static string, never null). */
+const char* advisor_choice_name(AdvisorChoice c);
+
+} // namespace graphorder

@@ -1,0 +1,45 @@
+#include "order/dbg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/cancel.hpp"
+#include "util/parallel.hpp"
+
+namespace graphorder {
+
+Permutation
+dbg_order(const Csr& g, const DbgOptions& opt)
+{
+    const vid_t n = g.num_vertices();
+    if (n == 0)
+        return Permutation::identity(0);
+    checkpoint("order/dbg");
+
+    double cut = opt.degree_threshold;
+    if (cut <= 0.0)
+        cut = static_cast<double>(g.num_arcs()) / static_cast<double>(n);
+    if (cut <= 0.0)
+        return Permutation::identity(n); // edgeless graph: nothing is hot
+
+    const unsigned hot_bins = std::max(1u, opt.max_hot_bins);
+    // Key layout: 0 = hottest bin, ..., hot_bins - 1 = coolest hot bin,
+    // hot_bins = the cold bin.  stable_order_by_key sorts ascending keys,
+    // so hot vertices land first and the cold majority keeps its natural
+    // relative order at the tail.
+    const double inv_log2 = 1.0 / std::log(2.0);
+    auto key = [&](vid_t v) -> unsigned {
+        const double d = static_cast<double>(g.degree(v));
+        if (d <= cut)
+            return hot_bins;
+        const auto bin = static_cast<unsigned>(
+            std::min(std::log(d / cut) * inv_log2,
+                     static_cast<double>(hot_bins - 1)));
+        return hot_bins - 1 - bin;
+    };
+    auto order = stable_order_by_key<vid_t>(n, hot_bins + 1, key);
+    checkpoint("order/dbg");
+    return Permutation::from_order(order);
+}
+
+} // namespace graphorder

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Degree-Based Grouping (Faldu, Diamond & Grot, "A Closer Look at
+ * Lightweight Graph Reordering", IISWC 2019).
+ *
+ * DBG coarsens Hub Sort: instead of fully sorting hot vertices by degree
+ * (which scatters vertices that were adjacent in the original order), it
+ * assigns each vertex to one of a small number of power-of-two *hotness
+ * bins* relative to the average degree and concatenates the bins from
+ * hottest to coldest.  Within a bin every vertex keeps its original
+ * relative position, so existing spatial locality inside a hotness class
+ * survives — the property that makes DBG the best-behaved lightweight
+ * scheme in Faldu et al.'s study.
+ */
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/permutation.hpp"
+
+namespace graphorder {
+
+/** Tuning knobs for dbg_order. */
+struct DbgOptions
+{
+    /**
+     * Vertices with degree > threshold are "hot" and are split into
+     * log2-spaced bins; 0 = use the average degree (the paper's default).
+     */
+    double degree_threshold = 0.0;
+    /**
+     * Cap on the number of hot bins.  Faldu et al. use 8 groups total;
+     * bins beyond the cap collapse into the hottest bin.  Must be >= 1.
+     */
+    unsigned max_hot_bins = 7;
+};
+
+/**
+ * Degree-Based Grouping ordering.
+ *
+ * Bin assignment for a vertex of degree d with threshold t:
+ * degrees <= t land in the single cold bin (placed last); hot degrees
+ * land in bin floor(log2(d / t)), clamped to `max_hot_bins - 1`, with
+ * higher bins placed earlier.  The permutation is produced by one
+ * parallel stable counting sort over bin keys
+ * (stable_order_by_key, util/parallel.hpp).
+ *
+ * Determinism: bit-identical output for any thread count — the key
+ * function depends only on the graph, and the counting sort is stable by
+ * construction.  Cost: O(n + m) work, one checkpoint() poll per phase so
+ * run_guarded deadlines and cancellation apply.
+ */
+Permutation dbg_order(const Csr& g, const DbgOptions& opt = {});
+
+} // namespace graphorder

@@ -4,22 +4,36 @@
 #include <numeric>
 
 #include "order/basic.hpp"
+#include "util/cancel.hpp"
 #include "util/parallel.hpp"
 
 namespace graphorder {
 
-namespace {
-
 double
-effective_threshold(const Csr& g, double threshold)
+effective_hub_threshold(const Csr& g, double degree_threshold)
 {
-    if (threshold > 0.0)
-        return threshold;
+    if (degree_threshold > 0.0)
+        return degree_threshold;
     const vid_t n = g.num_vertices();
     return n == 0
         ? 0.0
         : static_cast<double>(g.num_arcs()) / static_cast<double>(n);
 }
+
+vid_t
+count_hubs(const Csr& g, double degree_threshold)
+{
+    const vid_t n = g.num_vertices();
+    const double cut = effective_hub_threshold(g, degree_threshold);
+    vid_t hubs = 0;
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static) reduction(+ : hubs)
+    for (vid_t v = 0; v < n; ++v)
+        hubs += static_cast<double>(g.degree(v)) > cut ? 1 : 0;
+    return hubs;
+}
+
+namespace {
 
 Permutation
 hub_pack(const Csr& g, double threshold, bool sort_hubs)
@@ -27,7 +41,8 @@ hub_pack(const Csr& g, double threshold, bool sort_hubs)
     const vid_t n = g.num_vertices();
     if (n == 0)
         return Permutation::identity(0);
-    const double cut = effective_threshold(g, threshold);
+    checkpoint("order/hub");
+    const double cut = effective_hub_threshold(g, threshold);
 
     // Stable two-key counting sort = parallel stable partition: hubs
     // first, natural relative order preserved on both sides.
@@ -35,6 +50,7 @@ hub_pack(const Csr& g, double threshold, bool sort_hubs)
         return static_cast<double>(g.degree(v)) > cut ? 0u : 1u;
     });
     if (sort_hubs) {
+        checkpoint("order/hub");
         vid_t num_hubs = 0;
         while (num_hubs < n
                && static_cast<double>(g.degree(order[num_hubs])) > cut)

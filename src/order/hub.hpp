@@ -1,12 +1,21 @@
 /**
  * @file
- * Hub-based lightweight orderings (paper §III-B).
+ * Hub-based lightweight orderings (paper §III-B; Faldu et al., "A Closer
+ * Look at Lightweight Graph Reordering", IISWC 2019).
  *
  * Hub Sort (Zhang et al. 2016) packs the high-degree "hub" vertices first,
  * sorted by non-increasing degree; the remaining vertices keep their
  * natural relative order.  Hub Clustering (Balaji & Lucia 2018) is the
- * cheaper variant that packs hubs contiguously *without* sorting them.
- * The hub threshold is the average degree, as in the original papers.
+ * cheaper variant that packs hubs contiguously *without* sorting them, so
+ * hubs that were close in the original order stay close — i.e. hubs are
+ * clustered per cache block instead of scattered by the sort.  The hub
+ * threshold is the average degree, as in the original papers.
+ *
+ * Both run in O(n + m) via one parallel stable counting sort
+ * (stable_order_by_key, util/parallel.hpp) and are bit-identical at any
+ * thread count.  For the binned middle ground between these two, see
+ * dbg_order (order/dbg.hpp).  Each poll checkpoint() at phase
+ * boundaries, so run_guarded deadlines and cancellation apply.
  */
 #pragma once
 
@@ -14,6 +23,16 @@
 #include "graph/permutation.hpp"
 
 namespace graphorder {
+
+/**
+ * Resolve the hub degree cut actually used by the hub family and DBG:
+ * @p degree_threshold when positive, otherwise the average degree
+ * (num_arcs / n); 0 for an empty graph.
+ */
+double effective_hub_threshold(const Csr& g, double degree_threshold = 0.0);
+
+/** Number of hubs, i.e. vertices with degree > effective threshold. */
+vid_t count_hubs(const Csr& g, double degree_threshold = 0.0);
 
 /**
  * Hub Sort.  Parallel (counting-sort based), deterministic for any

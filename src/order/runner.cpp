@@ -71,9 +71,26 @@ run_guarded(const OrderingScheme& scheme, const Csr& g,
     }
 
     // The attempt chain: the requested scheme, then its fallback names.
-    // Every chain terminates in a baseline ("natural" when nothing else
-    // is registered); names resolve lazily so one bad entry only costs
-    // its own attempt.
+    //
+    // Walk semantics (the contract docs/scheme-selection.md publishes
+    // per scheme):
+    //  - Chain source precedence: opt.fallback_override when non-empty,
+    //    else the scheme's registered `fallback` metadata, else the
+    //    {"natural"} terminator — so every chain terminates even for
+    //    schemes registered without metadata.
+    //  - opt.allow_fallback == false leaves the chain empty: the
+    //    requested scheme gets exactly one attempt.
+    //  - Names resolve lazily, one at a time: an unregistered entry is
+    //    recorded as an InvalidInput AttemptFailure and the walk simply
+    //    continues, so one bad entry only costs its own attempt.
+    //  - Each attempt gets a *fresh* CancelToken (attempt_once), i.e.
+    //    the full deadline/memory budget — a fallback is not penalized
+    //    for the time its predecessor burned.
+    //  - The chain is not followed transitively: only the requested
+    //    scheme's own chain is walked, never the fallbacks' fallbacks.
+    //  - `fell_back` is true only when the *successful* scheme differs
+    //    from the requested one ("natural" falling back to "natural"
+    //    after a one-shot fault counts as a plain success).
     std::vector<std::string> chain;
     if (opt.allow_fallback) {
         chain = !opt.fallback_override.empty() ? opt.fallback_override

@@ -80,6 +80,14 @@ struct GuardedRunResult
  * Run @p scheme on @p g under the budgets in @p opt, falling back down
  * the scheme's chain on failure.
  *
+ * Fallback-chain walk: the chain is opt.fallback_override when
+ * non-empty, else the scheme's registered `fallback` list, else
+ * {"natural"}; it is walked in order, one *fresh* budget per attempt,
+ * unknown names skipped as InvalidInput failures, and never followed
+ * transitively (a fallback's own chain is ignored).  See the annotated
+ * walk in runner.cpp and the per-scheme chains in
+ * docs/scheme-selection.md (regenerable via `reorder --list --json`).
+ *
  * @return the result, or — when every attempt failed (or fallback was
  *         disabled) — the *first* failure's status with the attempted
  *         chain appended as context.

@@ -9,6 +9,7 @@
 #include "order/boba.hpp"
 #include "order/cdfs.hpp"
 #include "order/community_order.hpp"
+#include "order/dbg.hpp"
 #include "order/gorder.hpp"
 #include "order/hybrid.hpp"
 #include "order/hub.hpp"
@@ -109,6 +110,13 @@ build_all_schemes()
 {
     using C = SchemeCategory;
     auto v = build_paper_schemes();
+    // DBG (Faldu et al. 2019) joins the degree/hub family but not the
+    // paper roster: the §V study predates it.
+    v.push_back({"dbg", C::DegreeHub,
+                 [](const Csr& g, std::uint64_t) {
+                     return dbg_order(g);
+                 },
+                 true});
     v.push_back({"bfs", C::Extension,
                  [](const Csr& g, std::uint64_t) { return bfs_order(g); },
                  true});
@@ -154,19 +162,23 @@ FaultPoint fp_order_scheme{
     "ordering run aborts as if the scheme hit an internal error"};
 
 /**
- * Attach the run_guarded fallback chains (order/runner.hpp).  Policy:
- * each scheme degrades to the cheapest member of a similar flavor, then
- * to a baseline — e.g. window/partitioning schemes retreat to degree
- * sort (keeps some hub locality at sort cost), fill-reducing schemes to
- * their BFS-flavored kin.  "natural" falls back to itself: faults fire
- * exactly once, so the retry succeeds and the chain still terminates.
+ * Attach the run_guarded fallback chains (order/runner.hpp) and the
+ * cost-class metadata.  Fallback policy: each scheme degrades to the
+ * cheapest member of a similar flavor, then to a baseline — e.g.
+ * window/partitioning schemes retreat to degree sort (keeps some hub
+ * locality at sort cost), fill-reducing schemes to their BFS-flavored
+ * kin, and DBG to the cheaper hub packing it refines.  "natural" falls
+ * back to itself: faults fire exactly once, so the retry succeeds and
+ * the chain still terminates.
  */
 std::vector<OrderingScheme>
-assign_fallbacks(std::vector<OrderingScheme> v)
+assign_metadata(std::vector<OrderingScheme> v)
 {
     for (auto& s : v) {
         if (s.name == "natural")
             s.fallback = {"natural"};
+        else if (s.name == "dbg")
+            s.fallback = {"hubcluster", "degree", "natural"};
         else if (s.name == "slashburn")
             s.fallback = {"hubcluster", "degree", "natural"};
         else if (s.name == "rcm")
@@ -181,12 +193,21 @@ assign_fallbacks(std::vector<OrderingScheme> v)
             s.fallback = {"degree", "natural"};
         else
             s.fallback = {"natural"};
-        // Rough cost classes from the paper's Figure 4 timings: the
-        // super-linear schemes get a generous hint, the rest none.
+        // Cost classes from the paper's Figure 4 timings (and our fig4
+        // measurements for the extensions): the super-linear tier gets a
+        // generous deadline hint, the rest none.
         if (s.name == "gorder" || s.name == "slashburn"
             || s.name == "minla-sa" || s.name == "mindeg"
-            || s.name == "nd")
+            || s.name == "nd") {
+            s.cost_class = CostClass::SuperLinear;
             s.deadline_hint_ms = 600000; // 10 min — qualitative-only tier
+        } else if (s.name == "rcm" || s.name == "hybrid-rcm"
+                   || s.name == "rabbit" || s.name == "metis-32"
+                   || s.name == "grappolo" || s.name == "grappolo-rcm") {
+            s.cost_class = CostClass::Linearithmic;
+        } else {
+            s.cost_class = CostClass::NearLinear;
+        }
     }
     return v;
 }
@@ -230,7 +251,7 @@ const std::vector<OrderingScheme>&
 paper_schemes()
 {
     static const auto schemes =
-        instrument_schemes(assign_fallbacks(build_paper_schemes()));
+        instrument_schemes(assign_metadata(build_paper_schemes()));
     return schemes;
 }
 
@@ -238,7 +259,7 @@ const std::vector<OrderingScheme>&
 all_schemes()
 {
     static const auto schemes =
-        instrument_schemes(assign_fallbacks(build_all_schemes()));
+        instrument_schemes(assign_metadata(build_all_schemes()));
     return schemes;
 }
 
@@ -274,6 +295,17 @@ category_name(SchemeCategory c)
       case SchemeCategory::Partitioning: return "partitioning";
       case SchemeCategory::FillReducing: return "fill-reducing";
       case SchemeCategory::Extension: return "extension";
+    }
+    return "?";
+}
+
+const char*
+cost_class_name(CostClass c)
+{
+    switch (c) {
+      case CostClass::NearLinear: return "near-linear";
+      case CostClass::Linearithmic: return "linearithmic";
+      case CostClass::SuperLinear: return "super-linear";
     }
     return "?";
 }

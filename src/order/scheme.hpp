@@ -29,6 +29,20 @@ enum class SchemeCategory
     Extension,    ///< schemes beyond the paper's 11 (bfs, boba, minla-sa)
 };
 
+/**
+ * Asymptotic cost tier of a scheme, from the paper's Figure 4 timings
+ * (and our own fig4/ablation measurements for the extensions).  This is
+ * the "can I afford it?" half of the metadata the ordering advisor and
+ * `reorder --list` surface; `docs/scheme-selection.md` groups its
+ * playbook tables by this tier.
+ */
+enum class CostClass
+{
+    NearLinear,   ///< O(n + m): counting sorts, single traversals
+    Linearithmic, ///< sort/refinement-bound: RCM, partitioners, Louvain
+    SuperLinear,  ///< qualitative-study only: Gorder, SlashBurn, ND, SA
+};
+
 /** A named reordering scheme. */
 struct OrderingScheme
 {
@@ -75,6 +89,12 @@ struct OrderingScheme
      * this is advisory metadata for harnesses that budget whole figures.
      */
     double deadline_hint_ms = 0;
+    /**
+     * Cost tier backing deadline_hint_ms, surfaced by `reorder --list`
+     * and `--list --json` so the scheme-selection playbook can be
+     * regenerated from the binary.  Assigned by the registry builders.
+     */
+    CostClass cost_class = CostClass::NearLinear;
 };
 
 /**
@@ -110,5 +130,9 @@ const OrderingScheme& scheme_by_name(const std::string& name);
 
 /** Human-readable category label (static string, never null). */
 const char* category_name(SchemeCategory c);
+
+/** Human-readable cost-class label ("near-linear", "linearithmic",
+ *  "super-linear"; static string, never null). */
+const char* cost_class_name(CostClass c);
 
 } // namespace graphorder

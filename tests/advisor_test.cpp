@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests of the structural ordering advisor: probe determinism across
+ * thread counts, the family recommendations on archetypal synthetic
+ * graphs, and the `--scheme auto` path end to end through run_guarded.
+ */
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "obs/metrics.hpp"
+#include "order/advisor.hpp"
+#include "testutil.hpp"
+#include "util/parallel.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::grid_graph;
+
+constexpr int kSweep[] = {1, 2, 8};
+
+/** RAII thread-override guard so a failing test can't leak a setting. */
+struct ThreadGuard
+{
+    explicit ThreadGuard(int n) { set_default_threads(n); }
+    ~ThreadGuard() { set_default_threads(0); }
+};
+
+bool
+same_probe(const AdvisorProbe& a, const AdvisorProbe& b)
+{
+    // Exact equality on purpose: the determinism contract is
+    // bit-identical probes for any thread count, not merely close ones.
+    return a.num_vertices == b.num_vertices && a.num_edges == b.num_edges
+        && a.mean_degree == b.mean_degree && a.max_degree == b.max_degree
+        && a.degree_cv == b.degree_cv && a.hub_fraction == b.hub_fraction
+        && a.hub_mass == b.hub_mass && a.hub_packing == b.hub_packing
+        && a.num_components == b.num_components
+        && a.eff_diameter == b.eff_diameter
+        && a.diameter_ratio == b.diameter_ratio
+        && a.natural_avg_gap == b.natural_avg_gap
+        && a.gap_ratio == b.gap_ratio && a.gap_floor == b.gap_floor;
+}
+
+TEST(Advisor, ProbeBitIdenticalAcrossThreads)
+{
+    const auto g = gen_social(3000, 15000, 11);
+    ThreadGuard g1(1);
+    const auto base = advise(g);
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        const auto r = advise(g);
+        EXPECT_TRUE(same_probe(base.probe, r.probe)) << "threads=" << t;
+        EXPECT_EQ(r.scores.locality, base.scores.locality)
+            << "threads=" << t;
+        EXPECT_EQ(r.scores.skew, base.scores.skew) << "threads=" << t;
+        EXPECT_EQ(r.scores.potential, base.scores.potential)
+            << "threads=" << t;
+        EXPECT_EQ(r.choice, base.choice) << "threads=" << t;
+        EXPECT_EQ(r.scheme, base.scheme) << "threads=" << t;
+    }
+}
+
+TEST(Advisor, EmptyGraphRecommendsNatural)
+{
+    GraphBuilder b(0);
+    const auto r = advise(b.finalize());
+    EXPECT_EQ(r.choice, AdvisorChoice::None);
+    EXPECT_EQ(r.scheme, "natural");
+    EXPECT_DOUBLE_EQ(r.scores.none, 1.0);
+}
+
+TEST(Advisor, EdgelessGraphRecommendsNatural)
+{
+    GraphBuilder b(64);
+    const auto r = advise(b.finalize());
+    EXPECT_EQ(r.choice, AdvisorChoice::None);
+    EXPECT_EQ(r.scheme, "natural");
+}
+
+TEST(Advisor, ExpanderRecommendsNone)
+{
+    // A dense uniform-random graph is an expander: diameter 2, no
+    // degree skew, so no linear arrangement beats random by much.  The
+    // achievability floor sits near the natural gap and the advisor
+    // must not recommend paying for a reorder.
+    const auto g = gen_erdos_renyi(400, 16000, 5);
+    const auto r = advise(g);
+    EXPECT_EQ(r.choice, AdvisorChoice::None);
+    EXPECT_EQ(r.scheme, "natural");
+    EXPECT_LT(r.scores.potential, 0.5);
+}
+
+TEST(Advisor, SkewScoreSeparatesPowerLawFromMesh)
+{
+    // The skew probe must rank a hub-dominated graph far above a
+    // bounded-degree mesh — the signal that gates the lightweight
+    // family.
+    const auto hubs = gen_hub_forest(4000, 12000, 5, 3);
+    const auto mesh = gen_mesh(4000, 0, 3);
+    const auto rh = advise(hubs);
+    const auto rm = advise(mesh);
+    EXPECT_GT(rh.scores.skew, 2.0 * rm.scores.skew);
+    EXPECT_GT(rh.probe.degree_cv, rm.probe.degree_cv);
+    EXPECT_GT(rh.probe.hub_mass - rh.probe.hub_fraction,
+              rm.probe.hub_mass - rm.probe.hub_fraction);
+    // A mesh has no hub mass to segregate: lightweight must never win.
+    EXPECT_NE(rm.choice, AdvisorChoice::Lightweight);
+}
+
+TEST(Advisor, FanForestWithNaturalLocalityGoesLightweight)
+{
+    // 40 disconnected fan blocks of 100 consecutive ids with the hub at
+    // the block head: strong skew (hub degree 99 vs. leaf degree 1) and
+    // preserved locality (no edge spans more than 99 ids) over a low
+    // achievability floor — the Faldu et al. zone where hot/cold
+    // segregation wins and a rebuild would only destroy the layout.
+    GraphBuilder b(4000);
+    for (vid_t blk = 0; blk < 40; ++blk)
+        for (vid_t v = 1; v < 100; ++v)
+            b.add_edge(blk * 100, blk * 100 + v);
+    const auto g = b.finalize();
+    const auto r = advise(g);
+    EXPECT_EQ(r.choice, AdvisorChoice::Lightweight);
+    EXPECT_EQ(r.scheme, "dbg");
+    EXPECT_GT(r.scores.lightweight, r.scores.heavyweight);
+}
+
+TEST(Advisor, LongDiameterMeshGoesHeavyweight)
+{
+    // A road-like skeleton has huge diameter, a low floor and no skew:
+    // the payoff is real but only a heavyweight rebuild captures it.
+    const auto g = gen_road(3000, 4000, 7);
+    const auto r = advise(g);
+    EXPECT_EQ(r.choice, AdvisorChoice::Heavyweight);
+    EXPECT_EQ(r.scheme, "metis-32");
+    EXPECT_GT(r.probe.diameter_ratio, 1.0);
+}
+
+TEST(Advisor, AutoRunEndToEnd)
+{
+    const auto g = gen_road(1500, 2000, 9);
+    const auto res = run_auto(g);
+    ASSERT_TRUE(res.has_value()) << res.status().message();
+    EXPECT_TRUE(res->run.perm.is_valid());
+    EXPECT_EQ(res->run.perm.size(), g.num_vertices());
+    // No faults injected: the guarded run must execute the advisor's
+    // pick, not a fallback.
+    EXPECT_EQ(res->run.scheme_used, res->report.scheme);
+    EXPECT_FALSE(res->run.fell_back);
+}
+
+TEST(Advisor, AutoRunPropagatesGuardedFailure)
+{
+    // An impossible deadline with fallback disabled: the guarded run's
+    // BudgetExceeded must surface through run_auto's Expected.
+    const auto g = gen_road(1500, 2000, 9);
+    GuardedRunOptions opt;
+    opt.deadline_ms = 1e-9;
+    opt.allow_fallback = false;
+    const auto res = run_auto(g, opt);
+    ASSERT_FALSE(res.has_value());
+    EXPECT_EQ(res.status().code(), StatusCode::BudgetExceeded);
+}
+
+TEST(Advisor, PublishesProbeGaugesAndRunCounter)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    const auto before = reg.counter("advisor/runs").value();
+    const auto r = advise(grid_graph(20, 20));
+    EXPECT_EQ(reg.counter("advisor/runs").value(), before + 1);
+    EXPECT_DOUBLE_EQ(reg.gauge("advisor/eff_diameter").value(),
+                     static_cast<double>(r.probe.eff_diameter));
+    EXPECT_DOUBLE_EQ(reg.gauge("advisor/gap_ratio").value(),
+                     r.probe.gap_ratio);
+    EXPECT_DOUBLE_EQ(reg.gauge("advisor/potential").value(),
+                     r.scores.potential);
+    EXPECT_DOUBLE_EQ(reg.gauge("advisor/choice").value(),
+                     static_cast<double>(static_cast<int>(r.choice)));
+}
+
+TEST(Advisor, ChoiceNames)
+{
+    EXPECT_STREQ(advisor_choice_name(AdvisorChoice::None), "none");
+    EXPECT_STREQ(advisor_choice_name(AdvisorChoice::Lightweight),
+                 "lightweight");
+    EXPECT_STREQ(advisor_choice_name(AdvisorChoice::Heavyweight),
+                 "heavyweight");
+}
+
+} // namespace
+} // namespace graphorder

@@ -11,6 +11,7 @@
 #include "la/gap_measures.hpp"
 #include "order/basic.hpp"
 #include "order/community_order.hpp"
+#include "order/dbg.hpp"
 #include "order/gorder.hpp"
 #include "order/hub.hpp"
 #include "order/minla_sa.hpp"
@@ -153,6 +154,59 @@ TEST(Hub, NonHubsKeepRelativeOrder)
     const auto pi = hub_sort_order(g);
     for (vid_t v = 1; v < 30; ++v)
         EXPECT_LT(pi.rank(v), pi.rank(v + 1));
+}
+
+// ------------------------------------------------------------------ DBG
+
+TEST(Dbg, HotVertexFirstColdTailKeepsNaturalOrder)
+{
+    // star: center degree 30 >> avg (~1.9), leaves degree 1 are cold.
+    const auto g = star_graph(30);
+    const auto pi = dbg_order(g);
+    EXPECT_EQ(pi.rank(0), 0u);
+    for (vid_t v = 1; v < 30; ++v)
+        EXPECT_LT(pi.rank(v), pi.rank(v + 1));
+}
+
+TEST(Dbg, HotterBinsPrecedeCoolerBins)
+{
+    // cut = 1.5: deg-64 vertex lands in a far hotter power-of-two bin
+    // than the deg-2 pair, despite its higher id.
+    GraphBuilder b(80);
+    for (vid_t v = 11; v < 75; ++v)
+        b.add_edge(10, v); // deg(10) = 64
+    b.add_edge(2, 3);      // deg(2) = deg(3) = 2: coolest hot bin
+    b.add_edge(2, 4);
+    b.add_edge(3, 5);
+    const auto g = b.finalize();
+    const auto pi = dbg_order(g, {1.5, 7});
+    EXPECT_EQ(pi.rank(10), 0u);
+    // Same bin: stable, natural id order preserved.
+    EXPECT_EQ(pi.rank(2), 1u);
+    EXPECT_EQ(pi.rank(3), 2u);
+}
+
+TEST(Dbg, StableWithinBinsByNaturalId)
+{
+    // Two equal-degree hubs: the lower id must keep its lead (DBG's
+    // intra-bin stability is the property HubSort gives up).
+    GraphBuilder b(30);
+    for (vid_t v = 10; v < 20; ++v)
+        b.add_edge(2, v); // deg(2) = 10
+    for (vid_t v = 20; v < 30; ++v)
+        b.add_edge(7, v); // deg(7) = 10
+    const auto g = b.finalize();
+    const auto pi = dbg_order(g);
+    EXPECT_EQ(pi.rank(2), 0u);
+    EXPECT_EQ(pi.rank(7), 1u);
+}
+
+TEST(Dbg, EdgelessGraphIsIdentity)
+{
+    GraphBuilder b(6);
+    const auto pi = dbg_order(b.finalize());
+    for (vid_t v = 0; v < 6; ++v)
+        EXPECT_EQ(pi.rank(v), v);
 }
 
 // ------------------------------------------------------------------ RCM
@@ -411,6 +465,35 @@ TEST(Registry, CategoriesNamed)
     EXPECT_STREQ(category_name(SchemeCategory::Window), "window");
     EXPECT_STREQ(category_name(SchemeCategory::FillReducing),
                  "fill-reducing");
+}
+
+TEST(Registry, DbgMetadata)
+{
+    const auto& s = scheme_by_name("dbg");
+    EXPECT_EQ(s.category, SchemeCategory::DegreeHub);
+    EXPECT_TRUE(s.scalable);
+    EXPECT_TRUE(s.deterministic);
+    EXPECT_EQ(s.cost_class, CostClass::NearLinear);
+    const std::vector<std::string> chain{"hubcluster", "degree",
+                                         "natural"};
+    EXPECT_EQ(s.fallback, chain);
+    // DBG postdates the paper's §V study: registered as an extension to
+    // all_schemes(), never in the paper roster.
+    for (const auto& p : paper_schemes())
+        EXPECT_NE(p.name, "dbg");
+}
+
+TEST(Registry, CostClassesSpanTheTiers)
+{
+    EXPECT_EQ(scheme_by_name("degree").cost_class, CostClass::NearLinear);
+    EXPECT_EQ(scheme_by_name("rcm").cost_class, CostClass::Linearithmic);
+    EXPECT_EQ(scheme_by_name("metis-32").cost_class,
+              CostClass::Linearithmic);
+    EXPECT_EQ(scheme_by_name("gorder").cost_class, CostClass::SuperLinear);
+    EXPECT_STREQ(cost_class_name(CostClass::NearLinear), "near-linear");
+    EXPECT_STREQ(cost_class_name(CostClass::Linearithmic),
+                 "linearithmic");
+    EXPECT_STREQ(cost_class_name(CostClass::SuperLinear), "super-linear");
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include "la/gap_measures.hpp"
 #include "order/basic.hpp"
 #include "order/boba.hpp"
+#include "order/dbg.hpp"
 #include "order/hub.hpp"
 #include "order/partition_order.hpp"
 #include "order/scheme.hpp"
@@ -154,6 +155,19 @@ TEST(ParallelDeterminism, HubSortThreadSweep)
         EXPECT_EQ(hub_sort_order(g).ranks(), base) << "threads=" << t;
         EXPECT_EQ(hub_cluster_order(g).ranks(), base_cluster)
             << "threads=" << t;
+    }
+}
+
+TEST(ParallelDeterminism, DbgThreadSweep)
+{
+    const vid_t n = 1500;
+    const auto g = build_csr(n, random_edges(n, 8000, 19));
+    ThreadGuard g1(1);
+    const auto base = dbg_order(g).ranks();
+    ASSERT_TRUE(dbg_order(g).is_valid());
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(dbg_order(g).ranks(), base) << "threads=" << t;
     }
 }
 

@@ -39,6 +39,7 @@
 #include "obs/perf_counters.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "order/advisor.hpp"
 #include "order/runner.hpp"
 #include "order/scheme.hpp"
 #include "util/log.hpp"
@@ -60,7 +61,11 @@ usage(const char* argv0)
         "                   #/%% comments) or METIS .graph\n"
         "  --format F       input format: edges | metis (default: by\n"
         "                   extension, .graph/.metis = metis)\n"
-        "  --scheme NAME    ordering scheme (default rcm); see --list\n"
+        "  --scheme NAME    ordering scheme (default rcm); see --list.\n"
+        "                   'auto' probes the graph and lets the\n"
+        "                   structural advisor pick (order/advisor.hpp)\n"
+        "  --advise         probe only: print the advisor's scored\n"
+        "                   recommendation and exit without reordering\n"
         "  --seed N         RNG seed for randomized schemes (default 42)\n"
         "  --output FILE    write the reordered edge list\n"
         "  --deadline-ms X  wall-clock budget for the ordering run; a\n"
@@ -91,21 +96,65 @@ usage(const char* argv0)
         "                   denies perf_event_open), RSS peak, memsim-vs-\n"
         "                   hardware LLC-miss ratio and a full metrics\n"
         "                   snapshot — the input to tools/benchdiff\n"
-        "  --list           list registered schemes and exit\n"
+        "  --list           list registered schemes (name, category,\n"
+        "                   cost class, determinism, fallback chain) and\n"
+        "                   exit; with --json, a machine-readable dump\n"
+        "                   docs/scheme-selection.md is checked against\n"
         "exit codes: 0 ok; 1 usage error; 2 invalid input; 3 budget\n"
         "exceeded or cancelled; 4 internal error/invariant violation\n",
         argv0);
 }
 
-void
-list_schemes()
+std::string
+fallback_chain_str(const OrderingScheme& s, const char* sep)
 {
+    std::string out;
+    for (const auto& f : s.fallback)
+        out += (out.empty() ? "" : sep) + f;
+    return out;
+}
+
+/**
+ * `reorder --list [--json]`.  The JSON dump is the machine-readable
+ * registry: docs/scheme-selection.md's tables are regenerated from it
+ * and CI fails when the playbook misses a registered scheme.
+ */
+void
+list_schemes(bool json)
+{
+    if (json) {
+        std::printf("{\"schemes\": [");
+        bool first = true;
+        for (const auto& s : all_schemes()) {
+            std::printf("%s\n  {\"name\": \"%s\", \"category\": \"%s\", "
+                        "\"cost_class\": \"%s\", "
+                        "\"deadline_hint_ms\": %.6g, "
+                        "\"scalable\": %s, \"deterministic\": %s, "
+                        "\"fallback\": [",
+                        first ? "" : ",", s.name.c_str(),
+                        category_name(s.category),
+                        cost_class_name(s.cost_class),
+                        s.deadline_hint_ms,
+                        s.scalable ? "true" : "false",
+                        s.deterministic ? "true" : "false");
+            for (std::size_t i = 0; i < s.fallback.size(); ++i)
+                std::printf("%s\"%s\"", i ? ", " : "",
+                            s.fallback[i].c_str());
+            std::printf("]}");
+            first = false;
+        }
+        std::printf("\n]}\n");
+        return;
+    }
     Table t("registered ordering schemes");
-    t.header({"name", "category", "large-graph safe", "deterministic"});
+    t.header({"name", "category", "cost class", "large-graph safe",
+              "deterministic", "fallback chain"});
     for (const auto& s : all_schemes())
         t.row({s.name, category_name(s.category),
+               cost_class_name(s.cost_class),
                s.scalable ? "yes" : "no",
-               s.deterministic ? "yes" : "no"});
+               s.deterministic ? "yes" : "no",
+               fallback_chain_str(s, " > ")});
     t.print();
 }
 
@@ -130,6 +179,55 @@ print_gap_json(std::FILE* f, const GapMetrics& m)
                  "\"total_gap\": %.6g, \"envelope\": %.6g}",
                  m.avg_gap, static_cast<unsigned long long>(m.bandwidth),
                  m.avg_bandwidth, m.log_gap, m.total_gap, m.envelope);
+}
+
+void
+print_advisor_json(std::FILE* f, const AdvisorReport& r)
+{
+    std::fprintf(
+        f,
+        "{\"choice\": \"%s\", \"scheme\": \"%s\", "
+        "\"rationale\": \"%s\",\n"
+        "  \"probe\": {\"mean_degree\": %.6g, \"max_degree\": %u, "
+        "\"degree_cv\": %.6g, \"hub_fraction\": %.6g, "
+        "\"hub_mass\": %.6g, \"hub_packing\": %.6g, "
+        "\"num_components\": %u, \"eff_diameter\": %u, "
+        "\"diameter_ratio\": %.6g, \"natural_avg_gap\": %.6g, "
+        "\"gap_ratio\": %.6g, \"gap_floor\": %.6g},\n"
+        "  \"scores\": {\"locality\": %.6g, \"skew\": %.6g, "
+        "\"potential\": %.6g, \"none\": %.6g, \"lightweight\": %.6g, "
+        "\"heavyweight\": %.6g}}",
+        advisor_choice_name(r.choice), r.scheme.c_str(),
+        json_escape(r.rationale).c_str(), r.probe.mean_degree,
+        r.probe.max_degree, r.probe.degree_cv, r.probe.hub_fraction,
+        r.probe.hub_mass, r.probe.hub_packing, r.probe.num_components,
+        r.probe.eff_diameter, r.probe.diameter_ratio,
+        r.probe.natural_avg_gap, r.probe.gap_ratio, r.probe.gap_floor,
+        r.scores.locality, r.scores.skew, r.scores.potential,
+        r.scores.none, r.scores.lightweight, r.scores.heavyweight);
+}
+
+void
+print_advisor_table(const AdvisorReport& r)
+{
+    Table t("ordering advisor");
+    t.header({"probe / score", "value"});
+    t.row({"degree cv", Table::num(r.probe.degree_cv, 3)});
+    t.row({"hub mass", Table::num(r.probe.hub_mass, 3)});
+    t.row({"hub packing", Table::num(r.probe.hub_packing, 2)});
+    t.row({"components", Table::num(std::uint64_t{r.probe.num_components})});
+    t.row({"eff diameter", Table::num(std::uint64_t{r.probe.eff_diameter})});
+    t.row({"diameter ratio", Table::num(r.probe.diameter_ratio, 2)});
+    t.row({"natural avg gap", Table::num(r.probe.natural_avg_gap, 1)});
+    t.row({"gap ratio", Table::num(r.probe.gap_ratio, 3)});
+    t.row({"gap floor", Table::num(r.probe.gap_floor, 1)});
+    t.row({"score: none", Table::num(r.scores.none, 3)});
+    t.row({"score: lightweight", Table::num(r.scores.lightweight, 3)});
+    t.row({"score: heavyweight", Table::num(r.scores.heavyweight, 3)});
+    t.print();
+    std::printf("advisor: %s -> %s (%s)\n",
+                advisor_choice_name(r.choice), r.scheme.c_str(),
+                r.rationale.c_str());
 }
 
 /**
@@ -175,6 +273,7 @@ struct CliOptions
     std::uint64_t mem_budget_mb = 0;
     bool fallback = false;
     bool metrics_all = false, stats = false, json = false;
+    bool advise = false, list = false;
 #ifndef NDEBUG
     bool check = true; ///< Debug builds always validate
 #else
@@ -233,6 +332,28 @@ run_cli(const CliOptions& opt)
     const std::uint64_t seed = opt.seed;
     const bool json = opt.json;
 
+    if (opt.advise) {
+        const AdvisorReport rep = advise(g);
+        if (json) {
+            std::printf("{\"input\": \"%s\", \"vertices\": %u, "
+                        "\"edges\": %llu, \"threads\": %d, "
+                        "\"advisor\": ",
+                        json_escape(opt.input).c_str(), g.num_vertices(),
+                        static_cast<unsigned long long>(g.num_edges()),
+                        default_threads());
+            print_advisor_json(stdout, rep);
+            std::printf("}\n");
+        } else {
+            print_advisor_table(rep);
+        }
+        if (!opt.report_file.empty()) {
+            obs::RunReport& r = obs::exit_run_report();
+            r.scheme = "advise:" + rep.scheme;
+            obs::sample_rss_peak();
+        }
+        return 0;
+    }
+
     if (opt.metrics_all) {
         struct Row
         {
@@ -288,31 +409,57 @@ run_cli(const CliOptions& opt)
         return 0;
     }
 
-    const auto& scheme = scheme_by_name(opt.scheme_name);
+    const bool auto_scheme = opt.scheme_name == "auto";
     GuardedRunOptions gro;
     gro.seed = seed;
     gro.deadline_ms = opt.deadline_ms;
     gro.mem_budget_mb = opt.mem_budget_mb;
     gro.validate = opt.check;
     gro.allow_fallback = opt.fallback;
-    auto guarded = [&] {
+    AdvisorReport advisor_report;
+    auto guarded = [&]() -> Expected<GuardedRunResult> {
         // Hardware profile of the ordering phase itself: publishes
         // hw/cli/reorder/* deltas and, with --trace, a span whose args
         // carry the cycles/misses the ordering cost.
         obs::PerfDomain hw("cli/reorder");
-        return run_guarded(scheme, g, gro);
+        if (auto_scheme) {
+            auto ar = run_auto(g, gro);
+            if (!ar)
+                return ar.status();
+            advisor_report = std::move(ar->report);
+            return std::move(ar->run);
+        }
+        return run_guarded(scheme_by_name(opt.scheme_name), g, gro);
     }();
     obs::sample_rss_peak();
     if (!guarded)
         throw GraphorderError(guarded.status());
-    if (!opt.report_file.empty())
-        obs::exit_run_report().scheme = guarded->scheme_used;
+    const std::string requested =
+        auto_scheme ? advisor_report.scheme : opt.scheme_name;
+    if (!opt.report_file.empty()) {
+        obs::RunReport& r = obs::exit_run_report();
+        r.scheme = guarded->scheme_used;
+        if (auto_scheme) {
+            // Record the advisor's verdict in the manifest params (its
+            // probe values ride along in the metrics snapshot as
+            // advisor/* gauges).
+            r.params += (r.params.empty() ? "" : " ")
+                + std::string("advisor=")
+                + advisor_choice_name(advisor_report.choice)
+                + ":" + advisor_report.scheme;
+        }
+    }
     const auto& pi = guarded->perm;
     const double reorder_secs = guarded->elapsed_s;
     if (!json) {
+        if (auto_scheme)
+            std::printf("advisor: %s -> %s (%s)\n",
+                        advisor_choice_name(advisor_report.choice),
+                        advisor_report.scheme.c_str(),
+                        advisor_report.rationale.c_str());
         if (guarded->fell_back)
             std::printf("warning: %s failed (%s); fell back to %s\n",
-                        scheme.name.c_str(),
+                        requested.c_str(),
                         guarded->failures.front().status.to_string()
                             .c_str(),
                         guarded->scheme_used.c_str());
@@ -333,13 +480,19 @@ run_cli(const CliOptions& opt)
                     static_cast<unsigned long long>(g.num_edges()),
                     guarded->scheme_used.c_str(),
                     guarded->fell_back ? "true" : "false",
-                    scheme.deterministic ? "true" : "false",
+                    scheme_by_name(guarded->scheme_used).deterministic
+                        ? "true" : "false",
                     default_threads(),
                     static_cast<unsigned long long>(seed), reorder_secs);
         print_gap_json(stdout, before);
         std::printf(", \"reordered\": ");
         print_gap_json(stdout, after);
-        std::printf("}}\n");
+        std::printf("}");
+        if (auto_scheme) {
+            std::printf(",\n \"advisor\": ");
+            print_advisor_json(stdout, advisor_report);
+        }
+        std::printf("}\n");
     } else {
         Table t("gap metrics");
         t.header({"", "avg gap", "bandwidth", "avg bandwidth", "log gap"});
@@ -424,9 +577,10 @@ main(int argc, char** argv)
             opt.stats = true;
         } else if (a == "--json") {
             opt.json = true;
+        } else if (a == "--advise") {
+            opt.advise = true;
         } else if (a == "--list") {
-            list_schemes();
-            return 0;
+            opt.list = true; // rendered after the loop: --json may follow
         } else if (a == "--help" || a == "-h") {
             usage(argv[0]);
             return 0;
@@ -434,6 +588,10 @@ main(int argc, char** argv)
             usage(argv[0]);
             fatal("unknown argument: " + a);
         }
+    }
+    if (opt.list) {
+        list_schemes(opt.json);
+        return 0;
     }
     if (opt.input.empty()) {
         usage(argv[0]);
