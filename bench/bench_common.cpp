@@ -210,6 +210,29 @@ trace_neighbor_scan(const Csr& g, const CacheHierarchyConfig& cfg,
     return tracer.metrics();
 }
 
+MemoryMetrics
+trace_neighbor_scan(const GraphView& g, const CacheHierarchyConfig& cfg,
+                    const std::string& publish_prefix)
+{
+    CacheTracer tracer(cfg);
+    GraphView::Scratch scratch;
+    const bool trace_entries = !g.compressed();
+    std::vector<double> x(g.num_vertices(), 1.0);
+    double acc = 0.0;
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+        const auto nbrs = g.neighbors(v, scratch, &tracer);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            if (trace_entries)
+                tracer.load(&nbrs[i], sizeof(vid_t));
+            tracer.load(&x[nbrs[i]], sizeof(double));
+            acc += x[nbrs[i]];
+        }
+    }
+    (void)acc;
+    tracer.publish_metrics(publish_prefix);
+    return tracer.metrics();
+}
+
 void
 print_memsim_scan_table(const Instance& inst,
                         const std::vector<OrderingScheme>& schemes,

@@ -33,6 +33,7 @@
 
 #include "gen/datasets.hpp"
 #include "graph/csr.hpp"
+#include "graph/graph_view.hpp"
 #include "influence/imm.hpp"
 #include "memsim/cache.hpp"
 #include "order/scheme.hpp"
@@ -143,6 +144,17 @@ ImmOptions influence_figure_options(const BenchOptions& opt);
  * memory behaviour.
  */
 MemoryMetrics trace_neighbor_scan(const Csr& g,
+                                  const CacheHierarchyConfig& cfg,
+                                  const std::string& publish_prefix);
+
+/**
+ * Backend-neutral neighbor scan: same gather kernel through GraphView.
+ * For a flat view the traced stream equals the Csr overload's; for a
+ * compressed view the adjacency-entry loads are replaced by the encoded
+ * varint/mask byte loads at their at-rest addresses — the
+ * compressed-traversal access stream of bench/fig_compress.cpp.
+ */
+MemoryMetrics trace_neighbor_scan(const GraphView& g,
                                   const CacheHierarchyConfig& cfg,
                                   const std::string& publish_prefix);
 

@@ -1,0 +1,396 @@
+#include "graph/compressed_csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "memsim/cache.hpp"
+#include "util/parallel.hpp"
+#include "util/status.hpp"
+
+namespace graphorder {
+
+namespace varint {
+
+unsigned
+encode(std::uint64_t x, std::uint8_t* out)
+{
+    unsigned i = 0;
+    while (x >= 0x80) {
+        out[i++] = static_cast<std::uint8_t>(x) | 0x80;
+        x >>= 7;
+    }
+    out[i++] = static_cast<std::uint8_t>(x);
+    return i;
+}
+
+unsigned
+decode(const std::uint8_t* p, std::uint64_t* x)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0, i = 0;
+    while (p[i] & 0x80) {
+        v |= static_cast<std::uint64_t>(p[i] & 0x7f) << shift;
+        shift += 7;
+        ++i;
+    }
+    v |= static_cast<std::uint64_t>(p[i]) << shift;
+    *x = v;
+    return i + 1;
+}
+
+unsigned
+length(std::uint64_t x)
+{
+    unsigned len = 1;
+    while (x >= 0x80) {
+        x >>= 7;
+        ++len;
+    }
+    return len;
+}
+
+} // namespace varint
+
+namespace {
+
+/** Block grain of the encoder: references never cross block boundaries,
+ *  and boundaries depend only on n, so the encoding is thread-count
+ *  independent (see util/parallel.hpp). */
+constexpr std::size_t kEncodeGrain = 4096;
+
+void
+emit(std::vector<std::uint8_t>& out, std::uint64_t x)
+{
+    std::uint8_t buf[varint::kMaxBytes];
+    const unsigned len = varint::encode(x, buf);
+    out.insert(out.end(), buf, buf + len);
+}
+
+/** Varint bytes of a sorted list coded as (zigzag first delta from
+ *  @p anchor, then gap-1); 0 for an empty list. */
+std::uint64_t
+gap_coded_size(std::span<const vid_t> list, vid_t anchor)
+{
+    if (list.empty())
+        return 0;
+    std::uint64_t sz = varint::length(varint::zigzag(
+        static_cast<std::int64_t>(list[0])
+        - static_cast<std::int64_t>(anchor)));
+    for (std::size_t i = 1; i < list.size(); ++i)
+        sz += varint::length(list[i] - list[i - 1] - 1);
+    return sz;
+}
+
+void
+emit_gap_coded(std::vector<std::uint8_t>& out,
+               std::span<const vid_t> list, vid_t anchor)
+{
+    if (list.empty())
+        return;
+    emit(out, varint::zigzag(static_cast<std::int64_t>(list[0])
+                             - static_cast<std::int64_t>(anchor)));
+    for (std::size_t i = 1; i < list.size(); ++i)
+        emit(out, list[i] - list[i - 1] - 1);
+}
+
+/** Per-block encoder output, combined in block order. */
+struct BlockOut
+{
+    std::vector<std::uint8_t> bytes;
+    CompressedSizeBreakdown breakdown;
+};
+
+} // namespace
+
+CompressedCsr
+CompressedCsr::encode(const Csr& g, EncodeOptions opt)
+{
+    if (g.weighted())
+        throw GraphorderError(
+            StatusCode::InvalidInput,
+            "compressed csr: weighted graphs are not supported");
+
+    CompressedCsr c;
+    c.max_ref_chain_ = opt.max_ref_chain;
+    const vid_t n = g.num_vertices();
+    c.degrees_.resize(n);
+    c.byte_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+    c.arcs_ = g.num_arcs();
+    if (n == 0)
+        return c;
+
+    const std::size_t nb = num_blocks(n, kEncodeGrain);
+    std::vector<BlockOut> blocks(nb);
+    // Per-vertex encoded sizes; prefix-summed into byte_offsets_ below.
+    std::vector<eid_t> sizes(n, 0);
+    Status first_error = Status::ok();
+
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        BlockOut& out = blocks[b];
+        // Reference-chain length per vertex of this block (0 = gap
+        // mode); a vertex is a usable reference only while its chain
+        // stays under the cap, bounding decode recursion.
+        std::vector<unsigned> chain(hi - lo, 0);
+        std::vector<vid_t> residual;
+        for (std::size_t sv = lo; sv < hi; ++sv) {
+            const vid_t v = static_cast<vid_t>(sv);
+            c.degrees_[v] = g.degree(v);
+            const auto nbrs = g.neighbors(v);
+            for (std::size_t i = 0; i < nbrs.size(); ++i) {
+                if (nbrs[i] == v
+                    || (i > 0 && nbrs[i] <= nbrs[i - 1])) {
+                    #pragma omp critical(go_compress_error)
+                    if (first_error.is_ok())
+                        first_error = Status(
+                            StatusCode::InvalidInput,
+                            "compressed csr: neighbor list of vertex "
+                                + std::to_string(v)
+                                + " is not sorted/simple");
+                }
+            }
+            if (nbrs.empty())
+                continue; // degree 0: zero bytes
+            const std::uint64_t gap_size = gap_coded_size(nbrs, v);
+            const std::uint64_t standalone =
+                varint::length(0) + gap_size;
+
+            // Best reference in the window, nearest first so ties keep
+            // the cheapest header; candidates never leave the block.
+            vid_t best_ref = kNoVertex;
+            std::uint64_t best_size = standalone;
+            std::uint64_t best_res_size = 0;
+            const std::size_t wlo =
+                sv - lo >= opt.ref_window ? sv - opt.ref_window : lo;
+            for (std::size_t sr = sv; sr-- > wlo;) {
+                if (chain[sr - lo] >= opt.max_ref_chain)
+                    continue;
+                const vid_t r = static_cast<vid_t>(sr);
+                const auto rn = g.neighbors(r);
+                if (rn.empty())
+                    continue;
+                // N(v) \ N(r) by sorted merge.
+                residual.clear();
+                std::size_t i = 0, j = 0;
+                while (i < nbrs.size()) {
+                    if (j == rn.size() || nbrs[i] < rn[j])
+                        residual.push_back(nbrs[i++]);
+                    else if (rn[j] < nbrs[i])
+                        ++j;
+                    else {
+                        ++i;
+                        ++j;
+                    }
+                }
+                const std::uint64_t res_size =
+                    gap_coded_size(residual, v);
+                const std::uint64_t sz = varint::length(v - r)
+                    + (rn.size() + 7) / 8 + res_size;
+                if (sz < best_size) {
+                    best_size = sz;
+                    best_ref = r;
+                    best_res_size = res_size;
+                }
+            }
+
+            const std::size_t start = out.bytes.size();
+            if (best_ref == kNoVertex) {
+                emit(out.bytes, 0);
+                out.breakdown.reference_bytes += varint::length(0);
+                emit_gap_coded(out.bytes, nbrs, v);
+                out.breakdown.gap_bytes += gap_size;
+            } else {
+                const vid_t r = best_ref;
+                const auto rn = g.neighbors(r);
+                emit(out.bytes, v - r);
+                // Copy mask over r's list, LSB-first.
+                const std::size_t mask_len = (rn.size() + 7) / 8;
+                const std::size_t mask_at = out.bytes.size();
+                out.bytes.resize(mask_at + mask_len, 0);
+                residual.clear();
+                std::size_t i = 0, j = 0;
+                while (i < nbrs.size()) {
+                    if (j == rn.size() || nbrs[i] < rn[j])
+                        residual.push_back(nbrs[i++]);
+                    else if (rn[j] < nbrs[i])
+                        ++j;
+                    else {
+                        out.bytes[mask_at + j / 8] |=
+                            static_cast<std::uint8_t>(1u << (j % 8));
+                        ++i;
+                        ++j;
+                    }
+                }
+                emit_gap_coded(out.bytes, residual, v);
+                out.breakdown.reference_bytes +=
+                    varint::length(v - r) + mask_len;
+                out.breakdown.residual_bytes += best_res_size;
+                ++out.breakdown.ref_vertices;
+                chain[sv - lo] = chain[best_ref - lo] + 1;
+            }
+            sizes[sv] = out.bytes.size() - start;
+        }
+    }
+    if (!first_error.is_ok())
+        throw GraphorderError(first_error);
+
+    // Global byte offsets (prefix sum depends only on the sizes) and a
+    // block-order combine of the breakdown counters.
+    const eid_t total = exclusive_prefix_sum(sizes);
+    for (vid_t v = 0; v < n; ++v)
+        c.byte_offsets_[v] = sizes[v];
+    c.byte_offsets_[n] = total;
+    for (const auto& blk : blocks) {
+        c.breakdown_.gap_bytes += blk.breakdown.gap_bytes;
+        c.breakdown_.reference_bytes += blk.breakdown.reference_bytes;
+        c.breakdown_.residual_bytes += blk.breakdown.residual_bytes;
+        c.breakdown_.ref_vertices += blk.breakdown.ref_vertices;
+    }
+
+    c.bytes_.resize(total);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        (void)hi;
+        std::copy(blocks[b].bytes.begin(), blocks[b].bytes.end(),
+                  c.bytes_.begin()
+                      + static_cast<std::ptrdiff_t>(c.byte_offsets_[lo]));
+    }
+    return c;
+}
+
+void
+CompressedCsr::decode_into(vid_t v, unsigned depth,
+                           std::vector<vid_t>& out,
+                           DecodeScratch& scratch,
+                           AccessTracer* tracer) const
+{
+    out.clear();
+    const vid_t d = degrees_[v];
+    if (d == 0)
+        return;
+    out.reserve(d);
+    const std::uint8_t* p = bytes_.data() + byte_offsets_[v];
+
+    std::uint64_t ref_delta = 0;
+    unsigned len = varint::decode(p, &ref_delta);
+    if (tracer)
+        tracer->load(p, len);
+    p += len;
+
+    if (ref_delta == 0) {
+        std::uint64_t u = 0;
+        len = varint::decode(p, &u);
+        if (tracer)
+            tracer->load(p, len);
+        p += len;
+        std::int64_t cur =
+            static_cast<std::int64_t>(v) + varint::unzigzag(u);
+        out.push_back(static_cast<vid_t>(cur));
+        for (vid_t i = 1; i < d; ++i) {
+            len = varint::decode(p, &u);
+            if (tracer)
+                tracer->load(p, len);
+            p += len;
+            cur += static_cast<std::int64_t>(u) + 1;
+            out.push_back(static_cast<vid_t>(cur));
+        }
+        return;
+    }
+
+    // Reference mode: materialize r's list (bounded recursion), read the
+    // copy mask, decode the residuals, then merge the two sorted runs.
+    // The scratch pools were pre-sized in neighbors() — growing them
+    // here would invalidate the buffer references held by outer frames.
+    const vid_t r = v - static_cast<vid_t>(ref_delta);
+    decode_into(r, depth + 1, scratch.ref[depth], scratch, tracer);
+    std::vector<vid_t>& rl = scratch.ref[depth];
+    std::vector<vid_t>& res = scratch.res[depth];
+
+    const std::uint8_t* mask = p;
+    const std::size_t mask_len = (rl.size() + 7) / 8;
+    if (tracer)
+        tracer->load(mask, static_cast<unsigned>(mask_len));
+    p += mask_len;
+
+    vid_t copied = 0;
+    for (std::size_t j = 0; j < rl.size(); ++j)
+        copied += (mask[j / 8] >> (j % 8)) & 1u;
+
+    res.clear();
+    if (d > copied) {
+        std::uint64_t u = 0;
+        len = varint::decode(p, &u);
+        if (tracer)
+            tracer->load(p, len);
+        p += len;
+        std::int64_t cur =
+            static_cast<std::int64_t>(v) + varint::unzigzag(u);
+        res.push_back(static_cast<vid_t>(cur));
+        for (vid_t i = 1; i < d - copied; ++i) {
+            len = varint::decode(p, &u);
+            if (tracer)
+                tracer->load(p, len);
+            p += len;
+            cur += static_cast<std::int64_t>(u) + 1;
+            res.push_back(static_cast<vid_t>(cur));
+        }
+    }
+
+    std::size_t j = 0, k = 0;
+    for (std::size_t i = 0; i < rl.size(); ++i) {
+        if (!((mask[i / 8] >> (i % 8)) & 1u))
+            continue;
+        while (k < res.size() && res[k] < rl[i])
+            out.push_back(res[k++]);
+        out.push_back(rl[i]);
+        ++j;
+    }
+    while (k < res.size())
+        out.push_back(res[k++]);
+    assert(out.size() == d);
+    (void)j;
+}
+
+std::span<const vid_t>
+CompressedCsr::neighbors(vid_t v, DecodeScratch& scratch,
+                         AccessTracer* tracer) const
+{
+    if (scratch.ref.size() <= max_ref_chain_) {
+        scratch.ref.resize(max_ref_chain_ + 1);
+        scratch.res.resize(max_ref_chain_ + 1);
+    }
+    decode_into(v, 0, scratch.out, scratch, tracer);
+    return {scratch.out.data(), scratch.out.size()};
+}
+
+Csr
+CompressedCsr::decode() const
+{
+    const vid_t n = num_vertices();
+    std::vector<eid_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+    for (vid_t v = 0; v < n; ++v)
+        offsets[v + 1] = offsets[v] + degrees_[v];
+    std::vector<vid_t> adjacency(offsets[n]);
+
+    const std::size_t nb = num_blocks(n, kEncodeGrain);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b) {
+        const auto [lo, hi] = block_range(n, nb, b);
+        DecodeScratch scratch;
+        for (std::size_t sv = lo; sv < hi; ++sv) {
+            const vid_t v = static_cast<vid_t>(sv);
+            const auto nbrs = neighbors(v, scratch);
+            std::copy(nbrs.begin(), nbrs.end(),
+                      adjacency.begin()
+                          + static_cast<std::ptrdiff_t>(offsets[v]));
+        }
+    }
+    return Csr(std::move(offsets), std::move(adjacency));
+}
+
+} // namespace graphorder

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Compressed CSR: delta-gap / reference-encoded neighbor lists.
+ *
+ * The paper's gap measures (la/gap_measures.hpp) score an ordering by
+ * |Pi(i) - Pi(j)| over the edges; the same quantity is what a
+ * delta-encoded adjacency pays in bytes, so every ordering scheme in the
+ * registry has a second, directly measurable payoff: bits per edge of
+ * the at-rest graph.  This backend stores each vertex's sorted neighbor
+ * list as LEB128 varint gaps, optionally reference-encoded against a
+ * recent preceding vertex's list (copy-mask + residuals, the
+ * community-aware WebGraph idiom), picking per vertex whichever is
+ * smaller.  Kernels traverse it through GraphView (graph/graph_view.hpp)
+ * with byte-identical results to the flat Csr.
+ *
+ * Format (per vertex v with sorted neighbors n_0 < n_1 < ... < n_{d-1};
+ * see DESIGN.md §14 for the full spec):
+ *  - d == 0: zero bytes.
+ *  - header varint R (counted as reference bytes):
+ *     - R == 0 (gap mode): d varints follow — zigzag(n_0 - v), then
+ *       n_i - n_{i-1} - 1 for i >= 1 (gap bytes).
+ *     - R > 0 (reference mode): r = v - R must precede v in the same
+ *       encode block.  ceil(deg(r)/8) copy-mask bytes follow (bit i,
+ *       LSB first, means r's i-th neighbor is also a neighbor of v;
+ *       reference bytes), then the residual list N(v) \ N(r) coded like
+ *       gap mode (residual bytes).
+ *
+ * Determinism contract: encoding decisions are made sequentially inside
+ * fixed vertex blocks whose boundaries depend only on n (util/parallel
+ * block-indexed decomposition), references never cross a block boundary,
+ * and reference chains are capped — so the encoded bytes are identical
+ * for any thread count, and decode cost per vertex is bounded by
+ * max_ref_chain + 1 list decodes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace graphorder {
+
+class AccessTracer;
+
+/**
+ * LEB128 varint + zigzag primitives of the compressed format, exposed
+ * for the boundary-value round-trip tests (tests/compress_test.cpp).
+ */
+namespace varint {
+
+/** Longest possible encoding of a uint64 (ceil(64/7) groups). */
+inline constexpr unsigned kMaxBytes = 10;
+
+/** Encode @p x little-endian base-128; returns bytes written (1..10). */
+unsigned encode(std::uint64_t x, std::uint8_t* out);
+
+/** Decode one varint at @p p; returns bytes consumed. */
+unsigned decode(const std::uint8_t* p, std::uint64_t* x);
+
+/** Encoded length of @p x without materializing the bytes. */
+unsigned length(std::uint64_t x);
+
+/** Map a signed delta onto unsigned so small |s| stays small. */
+inline std::uint64_t
+zigzag(std::int64_t s)
+{
+    return (static_cast<std::uint64_t>(s) << 1)
+        ^ static_cast<std::uint64_t>(s >> 63);
+}
+
+/** Inverse of zigzag(). */
+inline std::int64_t
+unzigzag(std::uint64_t u)
+{
+    return static_cast<std::int64_t>(u >> 1)
+        ^ -static_cast<std::int64_t>(u & 1);
+}
+
+} // namespace varint
+
+/** Byte accounting of one encoded graph, split by format component. */
+struct CompressedSizeBreakdown
+{
+    /** Varint bytes of gap-coded neighbors in gap-mode lists. */
+    std::uint64_t gap_bytes = 0;
+    /** Header varints (every non-empty list) + copy-mask bytes. */
+    std::uint64_t reference_bytes = 0;
+    /** Varint bytes of residual neighbors in reference-mode lists. */
+    std::uint64_t residual_bytes = 0;
+    /** Vertices that chose reference mode. */
+    vid_t ref_vertices = 0;
+
+    std::uint64_t total_bytes() const
+    {
+        return gap_bytes + reference_bytes + residual_bytes;
+    }
+};
+
+/**
+ * Immutable compressed adjacency of an unweighted undirected graph.
+ * Construction sorts nothing: it requires the Csr contract every
+ * builder path in this repo already guarantees (sorted, deduplicated,
+ * self-loop-free neighbor lists) and throws InvalidInput otherwise.
+ * Weighted graphs are rejected — the format carries no weights.
+ */
+class CompressedCsr
+{
+  public:
+    struct EncodeOptions
+    {
+        /** Candidate references: the window [v-ref_window, v) clipped
+         *  to v's encode block.  0 disables reference encoding. */
+        unsigned ref_window = 8;
+        /** Longest allowed chain of reference-mode decodes; bounds the
+         *  per-vertex decode cost at max_ref_chain + 1 list decodes. */
+        unsigned max_ref_chain = 4;
+    };
+
+    CompressedCsr() = default;
+
+    /**
+     * Encode @p g.  Parallel over fixed vertex blocks, sequential and
+     * greedy inside each block; bit-identical bytes at any thread
+     * count.  O(|V| + |E| * ref_window) work.
+     * @throws GraphorderError(InvalidInput) for weighted graphs or
+     *         unsorted/duplicate neighbor lists.
+     */
+    static CompressedCsr encode(const Csr& g, EncodeOptions opt);
+    static CompressedCsr encode(const Csr& g)
+    {
+        // Overload instead of a default argument: nested-class default
+        // member initializers are not usable as default args inside the
+        // enclosing class definition.
+        return encode(g, EncodeOptions());
+    }
+
+    vid_t num_vertices() const
+    {
+        return degrees_.empty()
+            ? 0 : static_cast<vid_t>(degrees_.size());
+    }
+    eid_t num_edges() const { return arcs_ / 2; }
+    eid_t num_arcs() const { return arcs_; }
+    vid_t degree(vid_t v) const { return degrees_[v]; }
+
+    /** Encoded adjacency bytes (the at-rest payload). */
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+    /** Byte slice [offsets[v], offsets[v+1]) holding v's list. */
+    std::span<const std::uint8_t> encoded_list(vid_t v) const
+    {
+        return {bytes_.data() + byte_offsets_[v],
+                bytes_.data() + byte_offsets_[v + 1]};
+    }
+
+    const CompressedSizeBreakdown& breakdown() const { return breakdown_; }
+
+    /** Encoded payload bits per adjacency arc (2|E| arcs). */
+    double bits_per_edge() const
+    {
+        return arcs_ == 0
+            ? 0.0
+            : 8.0 * static_cast<double>(breakdown_.total_bytes())
+                / static_cast<double>(arcs_);
+    }
+
+    /** Reusable per-thread decode buffers; one per concurrent caller. */
+    struct DecodeScratch
+    {
+        std::vector<vid_t> out;
+        /** Per-recursion-depth buffers for referenced lists/residuals. */
+        std::vector<std::vector<vid_t>> ref;
+        std::vector<std::vector<vid_t>> res;
+    };
+
+    /**
+     * Decode v's neighbor list (ascending) into @p scratch and return a
+     * span over it — valid until the next call with the same scratch.
+     * With @p tracer set, every encoded byte actually read (v's slice,
+     * referenced slices down the chain, copy masks) is traced as a load
+     * at its real address, varint-granular — the compressed-path access
+     * stream of the memsim benches.  Thread-safe for distinct scratch
+     * objects.
+     */
+    std::span<const vid_t> neighbors(vid_t v, DecodeScratch& scratch,
+                                     AccessTracer* tracer = nullptr) const;
+
+    /**
+     * Round-trip to a flat Csr (parallel per vertex).  Byte-identical
+     * CSR arrays — equal fingerprint (csr.hpp) — to the encode() input.
+     */
+    Csr decode() const;
+
+  private:
+    void decode_into(vid_t v, unsigned depth, std::vector<vid_t>& out,
+                     DecodeScratch& scratch, AccessTracer* tracer) const;
+
+    std::vector<std::uint8_t> bytes_;
+    std::vector<eid_t> byte_offsets_; ///< n+1 offsets into bytes_
+    std::vector<vid_t> degrees_;      ///< O(1) degree / decode count
+    eid_t arcs_ = 0;
+    unsigned max_ref_chain_ = 4;      ///< sizes the scratch pools
+    CompressedSizeBreakdown breakdown_;
+};
+
+} // namespace graphorder

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Backend-neutral traversal view over a flat Csr or a CompressedCsr.
+ *
+ * The application kernels (kernels, graph/traversal.hpp parallel_bfs)
+ * are written against this view so one implementation serves both
+ * storage backends with byte-identical outputs: flat neighbor spans are
+ * returned in place, compressed lists are decoded on traverse into a
+ * caller-owned scratch.  Both backends yield ascending neighbor ids
+ * (the Csr builder contract), so floating-point accumulation order —
+ * and hence every kernel result bit — is independent of the backend.
+ *
+ * Tracing contract: for the compressed backend, neighbors() replays the
+ * *encoded byte* reads (varint-granular, including referenced lists and
+ * copy masks) into the tracer — the real at-rest addresses.  For the
+ * flat backend neighbors() traces nothing; kernels trace the adjacency
+ * entries themselves per neighbor, preserving the exact access streams
+ * the memsim baselines were recorded with.
+ */
+#pragma once
+
+#include <span>
+
+#include "graph/compressed_csr.hpp"
+#include "graph/csr.hpp"
+
+namespace graphorder {
+
+/** Non-owning view; the referenced backend must outlive it. */
+class GraphView
+{
+  public:
+    /*implicit*/ GraphView(const Csr& g) : flat_(&g) {}
+    /*implicit*/ GraphView(const CompressedCsr& c) : comp_(&c) {}
+
+    bool compressed() const { return comp_ != nullptr; }
+
+    vid_t num_vertices() const
+    {
+        return comp_ ? comp_->num_vertices() : flat_->num_vertices();
+    }
+    eid_t num_edges() const
+    {
+        return comp_ ? comp_->num_edges() : flat_->num_edges();
+    }
+    eid_t num_arcs() const
+    {
+        return comp_ ? comp_->num_arcs() : flat_->num_arcs();
+    }
+    vid_t degree(vid_t v) const
+    {
+        return comp_ ? comp_->degree(v) : flat_->degree(v);
+    }
+
+    /** Per-caller decode buffers; unused by the flat backend. */
+    using Scratch = CompressedCsr::DecodeScratch;
+
+    /**
+     * Neighbors of @p v, ascending.  Flat: a span into the adjacency
+     * array, valid for the graph's lifetime.  Compressed: decoded into
+     * @p scratch (valid until the next call with the same scratch),
+     * tracing the encoded bytes when @p tracer is set.
+     */
+    std::span<const vid_t> neighbors(vid_t v, Scratch& scratch,
+                                     AccessTracer* tracer = nullptr) const
+    {
+        return comp_ ? comp_->neighbors(v, scratch, tracer)
+                     : flat_->neighbors(v);
+    }
+
+    /** Edge weights parallel to neighbors(v); always empty for the
+     *  compressed backend (it stores unweighted graphs only). */
+    std::span<const weight_t> neighbor_weights(vid_t v) const
+    {
+        return comp_ ? std::span<const weight_t>{}
+                     : flat_->neighbor_weights(v);
+    }
+
+    const Csr* flat() const { return flat_; }
+    const CompressedCsr* comp() const { return comp_; }
+
+  private:
+    const Csr* flat_ = nullptr;
+    const CompressedCsr* comp_ = nullptr;
+};
+
+} // namespace graphorder

@@ -74,10 +74,23 @@ estimate_effective_diameter(const Csr& g, unsigned sweeps)
     const vid_t n = g.num_vertices();
     if (n == 0)
         return 0;
-    vid_t src = 0;
-    for (vid_t v = 1; v < n; ++v)
-        if (g.degree(v) > g.degree(src))
+    // Seed inside the largest connected component (lowest component id on
+    // size ties); the global max-degree vertex may sit in a small side
+    // component, which caps every sweep at that component's diameter.
+    vid_t num_comp = 0;
+    const auto comp = connected_components(g, &num_comp);
+    const auto sizes = component_sizes(comp, num_comp);
+    vid_t big = 0;
+    for (vid_t c = 1; c < num_comp; ++c)
+        if (sizes[c] > sizes[big])
+            big = c;
+    vid_t src = kNoVertex;
+    for (vid_t v = 0; v < n; ++v) {
+        if (comp[v] != big)
+            continue;
+        if (src == kNoVertex || g.degree(v) > g.degree(src))
             src = v;
+    }
     vid_t best = 0;
     for (unsigned s = 0; s < sweeps; ++s) {
         const auto r = parallel_bfs(g, src);

@@ -50,11 +50,15 @@ double hub_mass_fraction(const Csr& g, double degree_threshold = 0.0);
 
 /**
  * Cheap diameter estimate: repeated double-sweep BFS (at most @p sweeps
- * sweeps) starting from the lowest-id maximum-degree vertex, returning
- * the largest eccentricity seen.  A lower bound on the true diameter of
- * that vertex's component; in practice within a few hops for road/mesh
- * graphs and exact for trees.  Each sweep is one parallel_bfs — O(m)
- * work, deterministic at any thread count.
+ * sweeps) starting from the lowest-id maximum-degree vertex of the
+ * *largest connected component* (lowest component id on size ties),
+ * returning the largest eccentricity seen.  A lower bound on the true
+ * diameter of that component; in practice within a few hops for
+ * road/mesh graphs and exact for trees.  Seeding inside the largest
+ * component matters on disconnected graphs: a global max-degree hub in
+ * a small side component would cap the estimate at that fragment's
+ * diameter.  Each sweep is one parallel_bfs — O(m) work, deterministic
+ * at any thread count.
  */
 vid_t estimate_effective_diameter(const Csr& g, unsigned sweeps = 4);
 

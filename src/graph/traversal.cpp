@@ -35,7 +35,7 @@ bfs(const Csr& g, vid_t source)
 }
 
 BfsResult
-parallel_bfs(const Csr& g, vid_t source)
+parallel_bfs(const GraphView& g, vid_t source)
 {
     const vid_t n = g.num_vertices();
     const int threads = default_threads();
@@ -61,9 +61,10 @@ parallel_bfs(const Csr& g, vid_t source)
             schedule(dynamic, 1)
         for (std::size_t b = 0; b < nb; ++b) {
             auto& out = claimed[b];
+            GraphView::Scratch scratch; // per-block decode buffers
             const auto [lo, hi] = block_range(fs, nb, b);
             for (std::size_t i = lo; i < hi; ++i) {
-                for (vid_t w : g.neighbors(frontier[i])) {
+                for (vid_t w : g.neighbors(frontier[i], scratch)) {
                     std::atomic_ref<vid_t> slot(r.distance[w]);
                     vid_t expect = BfsResult::kUnreached;
                     if (slot.load(std::memory_order_relaxed)
@@ -91,6 +92,12 @@ parallel_bfs(const Csr& g, vid_t source)
         frontier = std::move(next);
     }
     return r;
+}
+
+BfsResult
+parallel_bfs(const Csr& g, vid_t source)
+{
+    return parallel_bfs(GraphView(g), source);
 }
 
 std::vector<vid_t>

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/graph_view.hpp"
 #include "graph/types.hpp"
 
 namespace graphorder {
@@ -39,6 +40,10 @@ BfsResult bfs(const Csr& g, vid_t source);
  * the serial FIFO order.  Runs on default_threads().
  */
 BfsResult parallel_bfs(const Csr& g, vid_t source);
+
+/** parallel_bfs against either storage backend (flat or compressed);
+ *  results are identical across backends for any thread count. */
+BfsResult parallel_bfs(const GraphView& g, vid_t source);
 
 /**
  * Connected components via repeated BFS.

@@ -9,7 +9,7 @@
 namespace graphorder {
 
 BcResult
-betweenness_centrality(const Csr& g, const BcOptions& opt)
+betweenness_centrality(const GraphView& g, const BcOptions& opt)
 {
     const vid_t n = g.num_vertices();
     BcResult res;
@@ -40,6 +40,10 @@ betweenness_centrality(const Csr& g, const BcOptions& opt)
     std::vector<double> sigma(n, 0.0);  // shortest-path counts
     std::vector<double> delta(n, 0.0);  // dependencies
     AccessTracer* tracer = opt.tracer;
+    // Flat lists are traced per adjacency entry below; compressed lists
+    // are traced at their encoded-byte addresses by neighbors() itself.
+    const bool trace_entries = tracer && !g.compressed();
+    GraphView::Scratch scratch;
 
     for (vid_t s : sources) {
         order.clear();
@@ -52,11 +56,12 @@ betweenness_centrality(const Csr& g, const BcOptions& opt)
         order.push_back(s);
         for (std::size_t head = 0; head < order.size(); ++head) {
             const vid_t v = order[head];
-            const auto nbrs = g.neighbors(v);
+            const auto nbrs = g.neighbors(v, scratch, tracer);
             for (std::size_t i = 0; i < nbrs.size(); ++i) {
                 const vid_t u = nbrs[i];
                 if (tracer) {
-                    tracer->load(&nbrs[i], sizeof(vid_t));
+                    if (trace_entries)
+                        tracer->load(&nbrs[i], sizeof(vid_t));
                     tracer->load(&dist[u], sizeof(std::int64_t));
                 }
                 ++res.edges_traversed;
@@ -73,11 +78,12 @@ betweenness_centrality(const Csr& g, const BcOptions& opt)
         // access stream).
         for (std::size_t i = order.size(); i-- > 1;) {
             const vid_t w = order[i];
-            const auto nbrs = g.neighbors(w);
+            const auto nbrs = g.neighbors(w, scratch, tracer);
             for (std::size_t j = 0; j < nbrs.size(); ++j) {
                 const vid_t v = nbrs[j];
                 if (tracer) {
-                    tracer->load(&nbrs[j], sizeof(vid_t));
+                    if (trace_entries)
+                        tracer->load(&nbrs[j], sizeof(vid_t));
                     tracer->load(&dist[v], sizeof(std::int64_t));
                 }
                 if (dist[v] == dist[w] - 1 && sigma[w] > 0) {
@@ -92,6 +98,12 @@ betweenness_centrality(const Csr& g, const BcOptions& opt)
         c /= 2.0;
     res.total_time_s = timer.elapsed_s();
     return res;
+}
+
+BcResult
+betweenness_centrality(const Csr& g, const BcOptions& opt)
+{
+    return betweenness_centrality(GraphView(g), opt);
 }
 
 } // namespace graphorder

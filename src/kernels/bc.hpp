@@ -15,10 +15,9 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/graph_view.hpp"
 
 namespace graphorder {
-
-class AccessTracer;
 
 /** Betweenness-centrality options. */
 struct BcOptions
@@ -39,5 +38,10 @@ struct BcResult
 
 /** Brandes BC on an unweighted graph (sampled when num_sources > 0). */
 BcResult betweenness_centrality(const Csr& g, const BcOptions& opt = {});
+
+/** Brandes BC against either storage backend; results are bit-identical
+ *  across backends (both iterate neighbors ascending). */
+BcResult betweenness_centrality(const GraphView& g,
+                                const BcOptions& opt = {});
 
 } // namespace graphorder

@@ -8,7 +8,7 @@
 namespace graphorder {
 
 PageRankResult
-pagerank(const Csr& g, const PageRankOptions& opt)
+pagerank(const GraphView& g, const PageRankOptions& opt)
 {
     const vid_t n = g.num_vertices();
     PageRankResult res;
@@ -23,6 +23,10 @@ pagerank(const Csr& g, const PageRankOptions& opt)
     timer.start();
     const double base = (1.0 - opt.damping) / n;
     AccessTracer* tracer = opt.tracer;
+    // Flat lists are traced per adjacency entry below; compressed lists
+    // are traced at their encoded-byte addresses by neighbors() itself.
+    const bool trace_entries = tracer && !g.compressed();
+    GraphView::Scratch scratch;
 
     for (int it = 0; it < opt.max_iterations; ++it) {
         double dangling = 0.0;
@@ -38,14 +42,15 @@ pagerank(const Csr& g, const PageRankOptions& opt)
         double delta = 0.0;
         for (vid_t v = 0; v < n; ++v) {
             double acc = 0.0;
-            const auto nbrs = g.neighbors(v);
+            const auto nbrs = g.neighbors(v, scratch, tracer);
             for (std::size_t i = 0; i < nbrs.size(); ++i) {
                 const vid_t u = nbrs[i];
                 if (tracer) {
                     // Trace the CSR adjacency entry itself (a streaming
                     // access) and the gathered contribution (the random
                     // access reordering is meant to tame).
-                    tracer->load(&nbrs[i], sizeof(vid_t));
+                    if (trace_entries)
+                        tracer->load(&nbrs[i], sizeof(vid_t));
                     tracer->load(&contrib[u], sizeof(double));
                 }
                 acc += contrib[u];
@@ -61,6 +66,12 @@ pagerank(const Csr& g, const PageRankOptions& opt)
     }
     res.total_time_s = timer.elapsed_s();
     return res;
+}
+
+PageRankResult
+pagerank(const Csr& g, const PageRankOptions& opt)
+{
+    return pagerank(GraphView(g), opt);
 }
 
 } // namespace graphorder

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/graph_view.hpp"
 
 namespace graphorder {
 
@@ -41,6 +42,15 @@ struct PageRankResult
         return iterations ? total_time_s / iterations : 0.0;
     }
 };
+
+/**
+ * Run pull-based PageRank against either storage backend.  Results are
+ * bit-identical across backends (both iterate neighbors ascending); the
+ * compressed backend decodes on traverse and, when traced, replays the
+ * encoded-byte reads instead of flat adjacency entries.
+ */
+PageRankResult pagerank(const GraphView& g,
+                        const PageRankOptions& opt = {});
 
 /** Run pull-based PageRank on an undirected graph. */
 PageRankResult pagerank(const Csr& g, const PageRankOptions& opt = {});

@@ -11,16 +11,15 @@ namespace graphorder {
 namespace {
 
 inline double
-edge_weight(const Csr& g, vid_t v, std::size_t i)
+edge_weight(std::span<const weight_t> ws, std::size_t i)
 {
-    const auto ws = g.neighbor_weights(v);
     return ws.empty() ? 1.0 : ws[i];
 }
 
 } // namespace
 
 SsspResult
-sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
+sssp_dijkstra(const GraphView& g, vid_t source, AccessTracer* tracer)
 {
     const vid_t n = g.num_vertices();
     SsspResult res;
@@ -30,6 +29,8 @@ sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
 
     Timer timer;
     timer.start();
+    const bool trace_entries = tracer && !g.compressed();
+    GraphView::Scratch scratch;
     using Entry = std::pair<double, vid_t>; // (distance, vertex)
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
     res.distance[source] = 0.0;
@@ -39,12 +40,14 @@ sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
         heap.pop();
         if (dist > res.distance[v])
             continue; // stale entry
-        const auto nbrs = g.neighbors(v);
+        const auto nbrs = g.neighbors(v, scratch, tracer);
+        const auto ws = g.neighbor_weights(v);
         for (std::size_t i = 0; i < nbrs.size(); ++i) {
             const vid_t u = nbrs[i];
-            const double cand = dist + edge_weight(g, v, i);
+            const double cand = dist + edge_weight(ws, i);
             if (tracer) {
-                tracer->load(&nbrs[i], sizeof(vid_t));
+                if (trace_entries)
+                    tracer->load(&nbrs[i], sizeof(vid_t));
                 tracer->load(&res.distance[u], sizeof(double));
             }
             ++res.edges_relaxed;
@@ -59,7 +62,13 @@ sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
 }
 
 SsspResult
-sssp_delta_stepping(const Csr& g, vid_t source, double delta,
+sssp_dijkstra(const Csr& g, vid_t source, AccessTracer* tracer)
+{
+    return sssp_dijkstra(GraphView(g), source, tracer);
+}
+
+SsspResult
+sssp_delta_stepping(const GraphView& g, vid_t source, double delta,
                     AccessTracer* tracer)
 {
     const vid_t n = g.num_vertices();
@@ -70,8 +79,10 @@ sssp_delta_stepping(const Csr& g, vid_t source, double delta,
 
     if (delta <= 0.0) {
         // Default: mean edge weight (1.0 for unweighted graphs).
-        delta = g.num_arcs()
-            ? g.total_arc_weight() / static_cast<double>(g.num_arcs())
+        const Csr* flat = g.flat();
+        delta = flat && flat->num_arcs()
+            ? flat->total_arc_weight()
+                / static_cast<double>(flat->num_arcs())
             : 1.0;
         if (delta <= 0.0)
             delta = 1.0;
@@ -79,6 +90,8 @@ sssp_delta_stepping(const Csr& g, vid_t source, double delta,
 
     Timer timer;
     timer.start();
+    const bool trace_entries = tracer && !g.compressed();
+    GraphView::Scratch scratch;
     std::vector<std::vector<vid_t>> buckets(1);
     auto bucket_of = [&](double d) {
         return static_cast<std::size_t>(d / delta);
@@ -103,12 +116,14 @@ sssp_delta_stepping(const Csr& g, vid_t source, double delta,
                 const double dv = res.distance[v];
                 if (bucket_of(dv) != b)
                     continue; // settled in an earlier bucket since
-                const auto nbrs = g.neighbors(v);
+                const auto nbrs = g.neighbors(v, scratch, tracer);
+                const auto ws = g.neighbor_weights(v);
                 for (std::size_t i = 0; i < nbrs.size(); ++i) {
                     const vid_t u = nbrs[i];
-                    const double cand = dv + edge_weight(g, v, i);
+                    const double cand = dv + edge_weight(ws, i);
                     if (tracer) {
-                        tracer->load(&nbrs[i], sizeof(vid_t));
+                        if (trace_entries)
+                            tracer->load(&nbrs[i], sizeof(vid_t));
                         tracer->load(&res.distance[u], sizeof(double));
                     }
                     ++res.edges_relaxed;
@@ -123,6 +138,13 @@ sssp_delta_stepping(const Csr& g, vid_t source, double delta,
     }
     res.total_time_s = timer.elapsed_s();
     return res;
+}
+
+SsspResult
+sssp_delta_stepping(const Csr& g, vid_t source, double delta,
+                    AccessTracer* tracer)
+{
+    return sssp_delta_stepping(GraphView(g), source, delta, tracer);
 }
 
 } // namespace graphorder

@@ -18,10 +18,9 @@
 #include <vector>
 
 #include "graph/csr.hpp"
+#include "graph/graph_view.hpp"
 
 namespace graphorder {
-
-class AccessTracer;
 
 /** Result of an SSSP run. */
 struct SsspResult
@@ -37,8 +36,20 @@ struct SsspResult
 SsspResult sssp_dijkstra(const Csr& g, vid_t source,
                          AccessTracer* tracer = nullptr);
 
+/** Dijkstra against either storage backend; results are bit-identical
+ *  across backends (unit weights on the compressed backend). */
+SsspResult sssp_dijkstra(const GraphView& g, vid_t source,
+                         AccessTracer* tracer = nullptr);
+
 /** Delta-stepping. @p delta bucket width (0 = mean edge weight). */
 SsspResult sssp_delta_stepping(const Csr& g, vid_t source,
+                               double delta = 0.0,
+                               AccessTracer* tracer = nullptr);
+
+/** Delta-stepping against either storage backend.  With delta = 0 the
+ *  compressed backend defaults the bucket width to 1.0 (its graphs are
+ *  unweighted, so this equals the flat backend's mean edge weight). */
+SsspResult sssp_delta_stepping(const GraphView& g, vid_t source,
                                double delta = 0.0,
                                AccessTracer* tracer = nullptr);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "graph/compressed_csr.hpp"
 #include "util/parallel.hpp"
 
 namespace graphorder {
@@ -151,6 +152,50 @@ vertex_bandwidths(const Csr& g, const Permutation& pi)
         for (vid_t w : g.neighbors(v))
             bw[v] = std::max(bw[v], edge_gap(pi, v, w));
     return bw;
+}
+
+namespace {
+
+CompressionStats
+stats_from_encode(const Csr& g)
+{
+    // The coder carries no weights; stats describe the unweighted
+    // structure, so strip them rather than reject weighted inputs.
+    const CompressedCsr c = g.weighted()
+        ? CompressedCsr::encode(Csr(g.offsets(), g.adjacency()))
+        : CompressedCsr::encode(g);
+    const auto& b = c.breakdown();
+    CompressionStats s;
+    s.encoded_bytes = b.total_bytes();
+    const vid_t n = g.num_vertices();
+    if (const double arcs = static_cast<double>(g.num_arcs()); arcs > 0) {
+        s.bits_per_edge = 8.0 * static_cast<double>(b.total_bytes()) / arcs;
+        s.gap_bits_per_edge = 8.0 * static_cast<double>(b.gap_bytes) / arcs;
+        s.ref_bits_per_edge =
+            8.0 * static_cast<double>(b.reference_bytes) / arcs;
+        s.res_bits_per_edge =
+            8.0 * static_cast<double>(b.residual_bytes) / arcs;
+    }
+    if (n > 0)
+        s.ref_vertex_fraction = static_cast<double>(b.ref_vertices)
+            / static_cast<double>(n);
+    return s;
+}
+
+} // namespace
+
+CompressionStats
+compute_compression_stats(const Csr& g, const Permutation& pi)
+{
+    if (pi.size() != g.num_vertices())
+        throw std::invalid_argument("compression stats: permutation size");
+    return stats_from_encode(apply_permutation(g, pi));
+}
+
+CompressionStats
+compute_compression_stats(const Csr& g)
+{
+    return stats_from_encode(g);
 }
 
 GapDistribution

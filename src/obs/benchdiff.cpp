@@ -30,6 +30,16 @@ default_diff_rules()
         // nondeterminism (Louvain-backed schemes at >1 thread).
         {"counters/memsim/*", 0.05, 64.0, false},
         {"gauges/memsim/*", 0.05, 0.25, false},
+        // Compressed-path metrics (bench/fig_compress): the encoder is
+        // deterministic at any thread count, so bits/edge must match the
+        // baseline exactly — any growth is a real coding regression.
+        // Order matters: this rule precedes the gauges/compress catch-all
+        // (first match wins).
+        {"gauges/compress/*bits_per_edge*", 0.0, 0.0, false},
+        // Simulated traversal cycles over the encoded bytes: same
+        // tolerances as the memsim family.
+        {"counters/compress/*", 0.05, 64.0, false},
+        {"gauges/compress/*", 0.05, 0.25, false},
     };
 }
 

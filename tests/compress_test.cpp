@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests of the compressed CSR backend: varint/zigzag boundary values,
+ * encode/decode round trips, reference-mode selection, thread-count
+ * byte-identity of the encoder, byte-identical kernel results across
+ * backends, and the encoded-byte tracing contract.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/compressed_csr.hpp"
+#include "graph/graph_view.hpp"
+#include "graph/traversal.hpp"
+#include "kernels/bc.hpp"
+#include "kernels/pagerank.hpp"
+#include "kernels/sssp.hpp"
+#include "la/gap_measures.hpp"
+#include "memsim/cache.hpp"
+#include "testutil.hpp"
+#include "util/parallel.hpp"
+
+namespace graphorder {
+namespace {
+
+using testing::complete_graph;
+using testing::cycle_graph;
+using testing::grid_graph;
+using testing::path_graph;
+using testing::star_graph;
+using testing::test_menagerie;
+using testing::two_cliques;
+
+std::uint64_t
+roundtrip(std::uint64_t x, unsigned* len_out = nullptr)
+{
+    std::uint8_t buf[varint::kMaxBytes];
+    const unsigned wrote = varint::encode(x, buf);
+    EXPECT_EQ(wrote, varint::length(x));
+    std::uint64_t back = 0;
+    const unsigned read = varint::decode(buf, &back);
+    EXPECT_EQ(read, wrote);
+    if (len_out)
+        *len_out = wrote;
+    return back;
+}
+
+TEST(Varint, BoundaryValuesRoundTrip)
+{
+    // Group boundaries of base-128 continuation coding.
+    const std::uint64_t cases[] = {
+        0,       1,       127,        128,
+        16383,   16384,   (1u << 21) - 1, (1u << 21),
+        std::uint64_t{kNoVertex} - 1,   // 2^32 - 2: neighbor-id range
+        std::uint64_t{kNoVertex},       // 2^32 - 1
+        std::uint64_t{kNoVertex} + 1,   // 2^32: zigzagged first deltas
+        ~std::uint64_t{0} >> 1,         // max int64
+        ~std::uint64_t{0},              // max uint64 (10-byte encoding)
+    };
+    for (std::uint64_t x : cases) {
+        unsigned len = 0;
+        EXPECT_EQ(roundtrip(x, &len), x) << x;
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, varint::kMaxBytes);
+    }
+    EXPECT_EQ(varint::length(0), 1u);
+    EXPECT_EQ(varint::length(127), 1u);
+    EXPECT_EQ(varint::length(128), 2u);
+    EXPECT_EQ(varint::length(~std::uint64_t{0}), varint::kMaxBytes);
+}
+
+TEST(Varint, ZigzagRoundTripsSignedDeltas)
+{
+    const std::int64_t cases[] = {
+        0,  1,  -1, 63, -63, 64, -64,
+        static_cast<std::int64_t>(kNoVertex),
+        -static_cast<std::int64_t>(kNoVertex),
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t s : cases)
+        EXPECT_EQ(varint::unzigzag(varint::zigzag(s)), s) << s;
+    // Small magnitudes must stay in one byte either sign.
+    EXPECT_EQ(varint::length(varint::zigzag(-1)), 1u);
+    EXPECT_EQ(varint::length(varint::zigzag(63)), 1u);
+}
+
+TEST(CompressedCsr, EmptyAndDegreeBoundaries)
+{
+    // Empty graph.
+    const Csr empty;
+    const auto ce = CompressedCsr::encode(empty);
+    EXPECT_EQ(ce.num_vertices(), 0u);
+    EXPECT_EQ(ce.num_arcs(), 0u);
+    EXPECT_EQ(ce.bits_per_edge(), 0.0);
+
+    // Degree-0 vertices encode to zero bytes; degree-1 lists and
+    // neighbor id 0 survive the zigzagged first delta.
+    const Csr g({0, 0, 1, 2}, {2, 1}); // vertex 0 isolated, edge 1-2
+    const auto c = CompressedCsr::encode(g);
+    EXPECT_EQ(c.degree(0), 0u);
+    EXPECT_EQ(c.encoded_list(0).size(), 0u);
+    CompressedCsr::DecodeScratch s;
+    EXPECT_TRUE(c.neighbors(0, s).empty());
+    ASSERT_EQ(c.neighbors(1, s).size(), 1u);
+    EXPECT_EQ(c.neighbors(1, s)[0], 2u);
+
+    // Neighbor id 0 (negative first delta from every v > 0).
+    const auto star = star_graph(5); // center 0
+    const auto cs = CompressedCsr::encode(star);
+    for (vid_t v = 1; v <= 5; ++v) {
+        ASSERT_EQ(cs.neighbors(v, s).size(), 1u);
+        EXPECT_EQ(cs.neighbors(v, s)[0], 0u);
+    }
+}
+
+TEST(CompressedCsr, RoundTripsMenagerieWithEqualFingerprint)
+{
+    for (const auto& [name, g] : test_menagerie()) {
+        const auto c = CompressedCsr::encode(g);
+        EXPECT_EQ(c.num_vertices(), g.num_vertices()) << name;
+        EXPECT_EQ(c.num_arcs(), g.num_arcs()) << name;
+        const Csr back = c.decode();
+        EXPECT_EQ(fingerprint(back), fingerprint(g)) << name;
+        // Per-vertex spot check through the span API too.
+        CompressedCsr::DecodeScratch s;
+        for (vid_t v = 0; v < g.num_vertices(); ++v) {
+            const auto nb = c.neighbors(v, s);
+            ASSERT_EQ(nb.size(), g.neighbors(v).size()) << name;
+            EXPECT_TRUE(std::equal(nb.begin(), nb.end(),
+                                   g.neighbors(v).begin()))
+                << name << " v=" << v;
+        }
+    }
+}
+
+TEST(CompressedCsr, ReferenceModeFallsBackWhenNoPriorVertexHelps)
+{
+    // Path neighbor lists {v-1, v+1} share nothing profitable with their
+    // predecessors: gap coding must win everywhere.
+    const auto c = CompressedCsr::encode(path_graph(64));
+    EXPECT_EQ(c.breakdown().ref_vertices, 0u);
+    EXPECT_EQ(c.breakdown().residual_bytes, 0u);
+
+    // A clique's lists overlap almost fully: reference mode must be
+    // taken, and still decode correctly.
+    const auto k = complete_graph(16);
+    const auto ck = CompressedCsr::encode(k);
+    EXPECT_GT(ck.breakdown().ref_vertices, 0u);
+    EXPECT_EQ(fingerprint(ck.decode()), fingerprint(k));
+
+    // ref_window = 0 disables reference mode outright.
+    CompressedCsr::EncodeOptions no_ref;
+    no_ref.ref_window = 0;
+    const auto cg = CompressedCsr::encode(k, no_ref);
+    EXPECT_EQ(cg.breakdown().ref_vertices, 0u);
+    EXPECT_EQ(fingerprint(cg.decode()), fingerprint(k));
+    // Reference coding never loses to its own fallback.
+    EXPECT_LE(ck.breakdown().total_bytes(), cg.breakdown().total_bytes());
+}
+
+TEST(CompressedCsr, EncoderBytesAreThreadCountInvariant)
+{
+    const int saved = default_threads();
+    for (const auto& [name, g] : test_menagerie()) {
+        set_default_threads(1);
+        const auto c1 = CompressedCsr::encode(g);
+        set_default_threads(2);
+        const auto c2 = CompressedCsr::encode(g);
+        set_default_threads(8);
+        const auto c8 = CompressedCsr::encode(g);
+        EXPECT_EQ(c1.bytes(), c2.bytes()) << name;
+        EXPECT_EQ(c1.bytes(), c8.bytes()) << name;
+    }
+    set_default_threads(saved);
+}
+
+TEST(CompressedCsr, RejectsWeightedGraphs)
+{
+    const Csr w({0, 1, 2}, {1, 0}, {1.5, 1.5});
+    EXPECT_THROW(CompressedCsr::encode(w), GraphorderError);
+}
+
+TEST(CompressedCsr, TracerSeesOnlyEncodedBytes)
+{
+    struct Recorder : AccessTracer
+    {
+        std::vector<std::pair<const std::uint8_t*, unsigned>> loads;
+        void load(const void* addr, unsigned bytes) override
+        {
+            loads.emplace_back(static_cast<const std::uint8_t*>(addr),
+                               bytes);
+        }
+    };
+    const auto g = two_cliques(8);
+    const auto c = CompressedCsr::encode(g);
+    Recorder rec;
+    CompressedCsr::DecodeScratch s;
+    std::uint64_t traced = 0;
+    for (vid_t v = 0; v < c.num_vertices(); ++v)
+        c.neighbors(v, s, &rec);
+    const auto* lo = c.bytes().data();
+    const auto* hi = lo + c.bytes().size();
+    for (const auto& [addr, bytes] : rec.loads) {
+        EXPECT_GE(addr, lo);
+        EXPECT_LE(addr + bytes, hi);
+        traced += bytes;
+    }
+    // Every at-rest byte is read at least once (each list decoded once,
+    // referenced lists possibly more).
+    EXPECT_GE(traced, c.bytes().size());
+}
+
+TEST(GraphView, KernelsAreByteIdenticalAcrossBackends)
+{
+    for (const auto& [name, g] : test_menagerie()) {
+        if (g.num_vertices() == 0)
+            continue;
+        const auto c = CompressedCsr::encode(g);
+        const GraphView fv(g), cv(c);
+
+        const auto bf = parallel_bfs(fv, 0);
+        const auto bcmp = parallel_bfs(cv, 0);
+        EXPECT_EQ(bf.distance, bcmp.distance) << name;
+        EXPECT_EQ(bf.visit_order, bcmp.visit_order) << name;
+
+        const auto pf = pagerank(fv);
+        const auto pc = pagerank(cv);
+        EXPECT_EQ(pf.iterations, pc.iterations) << name;
+        EXPECT_EQ(pf.rank, pc.rank) << name; // bitwise, not approximate
+
+        const auto sf = sssp_dijkstra(fv, 0);
+        const auto sc = sssp_dijkstra(cv, 0);
+        EXPECT_EQ(sf.distance, sc.distance) << name;
+
+        const auto df = sssp_delta_stepping(fv, 0);
+        const auto dc = sssp_delta_stepping(cv, 0);
+        EXPECT_EQ(df.distance, dc.distance) << name;
+
+        BcOptions bo;
+        bo.num_sources = 4;
+        const auto cf = betweenness_centrality(fv, bo);
+        const auto cc = betweenness_centrality(cv, bo);
+        EXPECT_EQ(cf.centrality, cc.centrality) << name;
+        EXPECT_EQ(cf.edges_traversed, cc.edges_traversed) << name;
+    }
+}
+
+TEST(CompressionStats, MatchesEncoderAndScoresOrderings)
+{
+    const auto g = grid_graph(12, 12);
+    const auto s = compute_compression_stats(g);
+    const auto c = CompressedCsr::encode(g);
+    EXPECT_DOUBLE_EQ(s.bits_per_edge, c.bits_per_edge());
+    EXPECT_EQ(s.encoded_bytes, c.breakdown().total_bytes());
+    EXPECT_NEAR(s.bits_per_edge,
+                s.gap_bits_per_edge + s.ref_bits_per_edge
+                    + s.res_bits_per_edge,
+                1e-9);
+
+    // A scrambling permutation inflates the gaps and hence the bytes.
+    std::vector<vid_t> ranks(g.num_vertices());
+    for (vid_t v = 0; v < g.num_vertices(); ++v)
+        ranks[v] = (v * 37u) % g.num_vertices(); // 37 coprime to 144
+    const auto worse = compute_compression_stats(
+        g, Permutation::from_ranks(std::move(ranks)));
+    EXPECT_GT(worse.bits_per_edge, s.bits_per_edge);
+
+    EXPECT_THROW(compute_compression_stats(
+                     g, Permutation::identity(g.num_vertices() - 1)),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace graphorder

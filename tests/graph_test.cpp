@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "graph/coarsen.hpp"
@@ -170,6 +171,38 @@ TEST(Stats, ClusteringOfClique)
 {
     const auto s = compute_stats(complete_graph(6));
     EXPECT_DOUBLE_EQ(s.avg_clustering, 1.0);
+}
+
+TEST(Stats, HubMassFractionGuardsDegenerateGraphs)
+{
+    // Regression: edgeless (and empty) graphs must yield 0, not NaN
+    // from a 0/0 — the advisor divides and compares this value.
+    EXPECT_EQ(hub_mass_fraction(Csr()), 0.0);
+    const Csr edgeless({0, 0, 0, 0}, {}); // 3 isolated vertices
+    EXPECT_EQ(hub_mass_fraction(edgeless), 0.0);
+    EXPECT_FALSE(std::isnan(hub_mass_fraction(edgeless)));
+    // Sanity on a star: every arc touches the hub once.
+    EXPECT_NEAR(hub_mass_fraction(star_graph(10)), 0.5, 1e-12);
+}
+
+TEST(Stats, EffectiveDiameterSeedsFromLargestComponent)
+{
+    // Disjoint union: a high-degree star (small diameter) next to a long
+    // path (the largest component).  Seeding from the global max-degree
+    // vertex — the star center — would report the star's eccentricity 1;
+    // the estimate must come from the path instead.
+    GraphBuilder b(8 + 50);
+    for (vid_t leaf = 1; leaf < 8; ++leaf)
+        b.add_edge(0, leaf); // star: center 0, degree 7
+    for (vid_t v = 8; v < 8 + 49; ++v)
+        b.add_edge(v, v + 1); // path of 50 vertices, diameter 49
+    const auto g = b.finalize();
+    EXPECT_EQ(compute_stats(g).num_components, 2u);
+    EXPECT_EQ(estimate_effective_diameter(g), 49u);
+    // Connected graphs are unaffected by the component scan.
+    EXPECT_EQ(estimate_effective_diameter(path_graph(30)), 29u);
+    EXPECT_EQ(estimate_effective_diameter(star_graph(6)), 2u);
+    EXPECT_EQ(estimate_effective_diameter(Csr()), 0u);
 }
 
 TEST(Permutation, IdentityRoundTrips)

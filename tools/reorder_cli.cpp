@@ -182,6 +182,33 @@ print_gap_json(std::FILE* f, const GapMetrics& m)
 }
 
 void
+print_compress_json(std::FILE* f, const CompressionStats& c)
+{
+    std::fprintf(f,
+                 "{\"bits_per_edge\": %.6g, \"gap_bits_per_edge\": %.6g, "
+                 "\"ref_bits_per_edge\": %.6g, \"res_bits_per_edge\": %.6g, "
+                 "\"encoded_bytes\": %llu, \"ref_vertex_fraction\": %.6g}",
+                 c.bits_per_edge, c.gap_bits_per_edge, c.ref_bits_per_edge,
+                 c.res_bits_per_edge,
+                 static_cast<unsigned long long>(c.encoded_bytes),
+                 c.ref_vertex_fraction);
+}
+
+/** Publish compression stats as compress/<tag>/* gauges so a --report
+ *  manifest snapshots them alongside the memsim/hw metric families. */
+void
+publish_compression(const std::string& tag, const CompressionStats& c)
+{
+    auto& reg = obs::MetricsRegistry::instance();
+    const std::string p = "compress/" + tag + "/";
+    reg.gauge(p + "bits_per_edge").set(c.bits_per_edge);
+    reg.gauge(p + "gap_bits_per_edge").set(c.gap_bits_per_edge);
+    reg.gauge(p + "ref_bits_per_edge").set(c.ref_bits_per_edge);
+    reg.gauge(p + "res_bits_per_edge").set(c.res_bits_per_edge);
+    reg.gauge(p + "ref_vertex_fraction").set(c.ref_vertex_fraction);
+}
+
+void
 print_advisor_json(std::FILE* f, const AdvisorReport& r)
 {
     std::fprintf(
@@ -360,6 +387,7 @@ run_cli(const CliOptions& opt)
             std::string name;
             bool deterministic;
             GapMetrics m;
+            CompressionStats c;
             double secs;
         };
         std::vector<Row> rows;
@@ -369,9 +397,11 @@ run_cli(const CliOptions& opt)
                 Timer timer;
                 timer.start();
                 const auto pi = s.run(g, seed);
+                const double secs = timer.elapsed_s();
+                const auto cs = compute_compression_stats(g, pi);
+                publish_compression(s.name, cs);
                 rows.push_back({s.name, s.deterministic,
-                                compute_gap_metrics(g, pi),
-                                timer.elapsed_s()});
+                                compute_gap_metrics(g, pi), cs, secs});
                 obs::sample_rss_peak();
             }
         }
@@ -391,18 +421,21 @@ run_cli(const CliOptions& opt)
                             rows[i].deterministic ? "true" : "false",
                             rows[i].secs);
                 print_gap_json(stdout, rows[i].m);
+                std::printf(", \"compression\": ");
+                print_compress_json(stdout, rows[i].c);
                 std::printf("}");
             }
             std::printf("\n]}\n");
         } else {
             Table t("gap metrics per scheme (lower is better)");
             t.header({"scheme", "avg gap", "bandwidth", "avg bandwidth",
-                      "log gap", "reorder time (s)"});
+                      "log gap", "bits/edge", "reorder time (s)"});
             for (const auto& r : rows)
                 t.row({r.name, Table::num(r.m.avg_gap, 1),
                        Table::num(std::uint64_t{r.m.bandwidth}),
                        Table::num(r.m.avg_bandwidth, 1),
                        Table::num(r.m.log_gap, 2),
+                       Table::num(r.c.bits_per_edge, 2),
                        Table::num(r.secs, 3)});
             t.print();
         }
@@ -468,6 +501,10 @@ run_cli(const CliOptions& opt)
     }
     const auto before = compute_gap_metrics(g);
     const auto after = compute_gap_metrics(g, pi);
+    const auto cbefore = compute_compression_stats(g);
+    const auto cafter = compute_compression_stats(g, pi);
+    publish_compression("natural", cbefore);
+    publish_compression(guarded->scheme_used, cafter);
 
     if (json) {
         std::printf("{\"input\": \"%s\", \"vertices\": %u, "
@@ -487,6 +524,10 @@ run_cli(const CliOptions& opt)
         print_gap_json(stdout, before);
         std::printf(", \"reordered\": ");
         print_gap_json(stdout, after);
+        std::printf("},\n \"compression\": {\"natural\": ");
+        print_compress_json(stdout, cbefore);
+        std::printf(", \"reordered\": ");
+        print_compress_json(stdout, cafter);
         std::printf("}");
         if (auto_scheme) {
             std::printf(",\n \"advisor\": ");
@@ -495,15 +536,18 @@ run_cli(const CliOptions& opt)
         std::printf("}\n");
     } else {
         Table t("gap metrics");
-        t.header({"", "avg gap", "bandwidth", "avg bandwidth", "log gap"});
+        t.header({"", "avg gap", "bandwidth", "avg bandwidth", "log gap",
+                  "bits/edge"});
         t.row({"natural", Table::num(before.avg_gap, 1),
                Table::num(std::uint64_t{before.bandwidth}),
                Table::num(before.avg_bandwidth, 1),
-               Table::num(before.log_gap, 2)});
+               Table::num(before.log_gap, 2),
+               Table::num(cbefore.bits_per_edge, 2)});
         t.row({guarded->scheme_used, Table::num(after.avg_gap, 1),
                Table::num(std::uint64_t{after.bandwidth}),
                Table::num(after.avg_bandwidth, 1),
-               Table::num(after.log_gap, 2)});
+               Table::num(after.log_gap, 2),
+               Table::num(cafter.bits_per_edge, 2)});
         t.print();
     }
 
