@@ -6,7 +6,8 @@
  *
  *  1. Kernel sweep — every parallelized stage (CSR build, transpose,
  *     permutation application, degree sort, hub sort, BOBA, parallel
- *     BFS, gap metrics) is timed at 1/2/4/8 threads on the largest
+ *     BFS, gap metrics, and the heavyweight schemes Gorder / SlashBurn
+ *     / RCM / Rabbit) is timed at 1/2/4/8 threads on the largest
  *     generated instance.  Each run's output is hashed and compared to
  *     the 1-thread baseline: the deterministic kernels must be
  *     bit-identical at every thread count, and the table prints that
@@ -38,7 +39,11 @@
 #include "la/gap_measures.hpp"
 #include "order/basic.hpp"
 #include "order/boba.hpp"
+#include "order/gorder.hpp"
 #include "order/hub.hpp"
+#include "order/rabbit.hpp"
+#include "order/rcm.hpp"
+#include "order/slashburn.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -187,6 +192,21 @@ main(int argc, char** argv)
              f.f64(m.envelope);
              f.bytes(&m.bandwidth, sizeof(m.bandwidth));
              return f.h;
+         }},
+        // The heavyweight tier: full scheme runs, not isolated kernels,
+        // so the hashes also cover the serial glue between the parallel
+        // phases.  Gorder forces blocks = 4 so the partition-parallel
+        // greedy runs even at smoke scale (auto would pick 1 block below
+        // 16k vertices and the sweep would only exercise the serial
+        // path).
+        {"rcm", [&] { return hash_perm(rcm_order(g)); }},
+        {"slashburn", [&] { return hash_perm(slashburn_order(g)); }},
+        {"rabbit", [&] { return hash_perm(rabbit_order(g)); }},
+        {"gorder",
+         [&] {
+             GorderOptions gopt;
+             gopt.blocks = 4;
+             return hash_perm(gorder_order(g, gopt));
          }},
     };
 

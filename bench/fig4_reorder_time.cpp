@@ -9,10 +9,33 @@
  * Paper finding: Degree Sort and RCM are the cheap schemes; Grappolo and
  * METIS are substantially more expensive but comparable to each other.
  * The hub/DBG counting sorts should sit at or below Degree Sort.
+ *
+ * Two side-tables extend the paper figure now that the heavyweight tier
+ * (Gorder, SlashBurn, RCM, Rabbit) runs under the shared --threads knob:
+ *
+ *  - Thread sweep: reorder wall time at 1/2/4/8 threads on a
+ *    representative instance.  The kernels are deterministic, so only
+ *    the time moves — never the permutation.  (On a single-core host
+ *    the speedups degenerate to ~1x; the table is still the regression
+ *    gate input, see below.)
+ *  - Amortization: reorder time at 8 threads over the per-iteration
+ *    traversal time the new layout saves, with the saving taken from
+ *    the cache simulator's neighbor-scan cycles (natural vs reordered)
+ *    at an assumed 2 GHz clock.  This is the "after how many PageRank
+ *    iterations has the reorder paid for itself" number the paper's
+ *    cost/benefit discussion asks for.
+ *
+ * With --report, the per-scheme `order/<name>/time_s` histograms these
+ * runs populate are the benchdiff input gating reorder-time regressions
+ * (see bench/baselines/BENCH_fig4.json and obs/benchdiff.cpp).
  */
+#include <cmath>
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "graph/permutation.hpp"
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 using namespace graphorder;
@@ -75,5 +98,92 @@ main(int argc, char** argv)
     raw.print();
     print_profile("compute-time profile over 9 large inputs",
                   build_profile(in));
-    return 0;
+
+    // ---- Heavyweight thread sweep -----------------------------------
+    // Smallest instance by edge count: Gorder's per-block greedy is the
+    // super-linear outlier of the tier, and the sweep runs every scheme
+    // four times.
+    std::size_t rep = 0;
+    for (std::size_t i = 1; i < instances.size(); ++i)
+        if (instances[i].graph.num_edges()
+            < instances[rep].graph.num_edges())
+            rep = i;
+    const Csr& hg = instances[rep].graph;
+    const std::vector<std::string> heavy{"gorder", "slashburn", "rcm",
+                                         "rabbit"};
+    const std::vector<int> sweep{1, 2, 4, 8};
+
+    Table hs("heavyweight reorder time vs threads (instance: "
+             + instances[rep].spec->name + ")");
+    hs.header({"scheme", "t=1 (s)", "t=2 (s)", "t=4 (s)", "t=8 (s)",
+               "speedup@8"});
+    std::vector<double> secs_at8(heavy.size(), 0.0);
+    std::vector<Permutation> perm_at8;
+    auto& reg = obs::MetricsRegistry::instance();
+    for (std::size_t s = 0; s < heavy.size(); ++s) {
+        const auto& sch = scheme_by_name(heavy[s]);
+        std::vector<std::string> row{heavy[s]};
+        double base_s = 0.0;
+        Permutation pi;
+        for (int th : sweep) {
+            set_default_threads(th);
+            Timer t;
+            t.start();
+            pi = sch.run(hg, opt.seed);
+            const double secs = t.elapsed_s();
+            if (th == 1)
+                base_s = secs;
+            row.push_back(Table::num(secs, 3));
+            reg.gauge("order/fig4/" + heavy[s] + "/time_s_t"
+                      + std::to_string(th))
+                .set(secs);
+            if (th == sweep.back())
+                secs_at8[s] = secs;
+        }
+        perm_at8.push_back(std::move(pi));
+        row.push_back(
+            Table::num(base_s / std::max(secs_at8[s], 1e-9), 2));
+        hs.row(row);
+    }
+    set_default_threads(opt.threads); // back to the CLI setting
+    hs.print();
+
+    // ---- Amortization -----------------------------------------------
+    // How many neighbor-scan iterations (the PageRank-shaped kernel of
+    // Figures 5/6) must run before the 8-thread reorder cost is repaid
+    // by the simulated cycles the new layout saves.
+    constexpr double kClockHz = 2e9;
+    const auto cfg = CacheHierarchyConfig::cascade_lake_scaled(16);
+    const auto base = trace_neighbor_scan(hg, cfg, "memsim/fig4");
+    const double base_iter_s =
+        static_cast<double>(base.total_cycles) / kClockHz;
+    Table am("amortization: 8-thread reorder cost vs per-iteration "
+             "scan saving");
+    am.header({"scheme", "reorder@8t (s)", "scan (ms/iter)",
+               "saved (ms/iter)", "iters to amortize"});
+    for (std::size_t s = 0; s < heavy.size(); ++s) {
+        const auto h = apply_permutation(hg, perm_at8[s]);
+        const auto m = trace_neighbor_scan(h, cfg, "memsim/fig4");
+        const double iter_s =
+            static_cast<double>(m.total_cycles) / kClockHz;
+        const double saved_s = base_iter_s - iter_s;
+        std::vector<std::string> row{
+            heavy[s], Table::num(secs_at8[s], 3),
+            Table::num(iter_s * 1e3, 3), Table::num(saved_s * 1e3, 3)};
+        if (saved_s > 0.0) {
+            const double iters = secs_at8[s] / saved_s;
+            row.push_back(Table::num(iters, 1));
+            reg.gauge("order/fig4/" + heavy[s] + "/amortize_iters")
+                .set(iters);
+        } else {
+            row.push_back("never"); // layout no better than natural
+        }
+        am.row(row);
+    }
+    am.print();
+    std::printf("(scan cycles from the cache simulator at %.1f GHz; "
+                "'never' = the scheme did not beat the natural order "
+                "on this instance)\n",
+                kClockHz / 1e9);
+    return bench_exit_code();
 }

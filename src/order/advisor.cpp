@@ -9,7 +9,9 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "order/hub.hpp"
+#include "order/scheme.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
@@ -68,6 +70,43 @@ publish(const AdvisorReport& r)
     reg.gauge("advisor/score_heavyweight").set(r.scores.heavyweight);
     reg.gauge("advisor/choice")
         .set(static_cast<double>(static_cast<int>(r.choice)));
+    reg.gauge("advisor/parallel_budget")
+        .set(static_cast<double>(r.cost.threads));
+    reg.gauge("advisor/cost_serial_passes").set(r.cost.serial_passes);
+    reg.gauge("advisor/cost_parallel_passes")
+        .set(r.cost.parallel_passes);
+}
+
+/**
+ * Fill the cost model for the picked scheme.  Pass coefficients per
+ * cost class are order-of-magnitude calibrations against fig4 timings
+ * normalized to one O(m) neighbor scan; the point is the *ratio* the
+ * parallel budget buys, not absolute seconds.  Thread scaling applies
+ * only to schemes whose kernels run under the shared --threads knob
+ * (OrderingScheme::parallel), and never changes the family scores —
+ * the pick stays machine-independent.
+ */
+void
+fill_cost_model(AdvisorReport& r)
+{
+    double passes = 2.0; // near-linear: counting sorts, one traversal
+    bool parallel = false;
+    for (const auto& s : all_schemes()) {
+        if (s.name != r.scheme)
+            continue;
+        parallel = s.parallel;
+        switch (s.cost_class) {
+          case CostClass::NearLinear: passes = 2.0; break;
+          case CostClass::Linearithmic: passes = 12.0; break;
+          case CostClass::SuperLinear: passes = 80.0; break;
+        }
+        break;
+    }
+    r.cost.threads = default_threads();
+    r.cost.parallel_scheme = parallel;
+    r.cost.serial_passes = passes;
+    r.cost.parallel_passes =
+        parallel ? passes / static_cast<double>(r.cost.threads) : passes;
 }
 
 } // namespace
@@ -86,6 +125,7 @@ advise(const Csr& g)
         r.scheme = "natural";
         r.rationale = "empty or edgeless graph: nothing to reorder";
         r.scores.none = 1.0;
+        fill_cost_model(r);
         publish(r);
         return r;
     }
@@ -189,6 +229,7 @@ advise(const Csr& g)
            << "): rebuild the order with " << r.scheme;
         r.rationale = os.str();
     }
+    fill_cost_model(r);
     publish(r);
     return r;
 }

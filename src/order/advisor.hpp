@@ -98,6 +98,25 @@ struct AdvisorScores
     double heavyweight = 0.0;
 };
 
+/**
+ * Cost model behind a recommendation: the picked scheme's estimated
+ * reorder cost in units of O(m) neighbor-scan passes (coefficients per
+ * cost class, calibrated against bench/fig4), and the same cost after
+ * dividing by the parallel budget when the scheme's kernels run under
+ * the shared --threads knob.  Since the heavyweight tier went parallel,
+ * the amortization horizon the advisor reasons about shrinks with the
+ * thread count — surfaced here and as `advisor/cost_*` gauges rather
+ * than baked into the family scores, which stay thread-independent so
+ * the same graph yields the same pick on any machine.
+ */
+struct AdvisorCostModel
+{
+    int threads = 1;             ///< parallel budget at probe time
+    bool parallel_scheme = false; ///< pick runs under --threads
+    double serial_passes = 0.0;   ///< est. O(m) passes at 1 thread
+    double parallel_passes = 0.0; ///< est. O(m) passes at `threads`
+};
+
 /** A scored recommendation. */
 struct AdvisorReport
 {
@@ -108,6 +127,8 @@ struct AdvisorReport
      *  "metis-32" — the deterministic member of the paper's top
      *  avg-gap tier (see advisor.cpp for why not rcm). */
     std::string scheme;
+    /** Estimated cost of running the pick (see AdvisorCostModel). */
+    AdvisorCostModel cost;
     /** One-line human-readable justification. */
     std::string rationale;
 };

@@ -1,28 +1,64 @@
 #include "order/gorder.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
-#include <queue>
+#include <numeric>
 #include <unordered_set>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "part/partition.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
 namespace {
 
-/** Lazy max-heap keyed by an external key array. */
+/**
+ * Lazy max-heap keyed by an external key array, with periodic
+ * compaction.  Entries are (key, item) pairs on a binary heap; bumps
+ * mutate the key array (pushing a fresh entry on increments), and pops
+ * re-check each entry against the live key.
+ *
+ * Pop semantics are canonical: a popped entry whose recorded key went
+ * stale is re-filed at the item's *current* key (when positive), so
+ * pop_max() always returns the unplaced item with the maximum
+ * (current key, id) among items holding at least one entry — a value
+ * that depends only on the key array and the set of items present,
+ * never on entry duplication or heap layout.  (Discarding stale
+ * entries instead would make the result history-dependent: a stale
+ * entry becomes live again when its item's key decrements back to the
+ * recorded value, and decrements never push.)
+ *
+ * Compaction exploits that canonicity: every increment pushes, so an
+ * unplaced item with a positive key always holds an entry, and the
+ * heap can be rebuilt as exactly one entry per such item — same item
+ * set, same keys, hence the same pop sequence and the same Gorder
+ * output — with the memory bound improved from O(window events) to
+ * O(items).
+ */
 class LazyMaxHeap
 {
   public:
-    explicit LazyMaxHeap(vid_t n) : key_(n, 0), placed_(n, 0) {}
+    explicit LazyMaxHeap(vid_t n, bool compaction)
+        : key_(n, 0), placed_(n, 0), compaction_(compaction)
+    {
+    }
 
     void bump(vid_t v, int delta)
     {
         key_[v] += delta;
-        if (!placed_[v] && delta > 0)
-            heap_.emplace(key_[v], v);
+        if (!placed_[v] && delta > 0) {
+            heap_.emplace_back(key_[v], v);
+            std::push_heap(heap_.begin(), heap_.end());
+            if (heap_.size() > peak_)
+                peak_ = heap_.size();
+            if (compaction_ && heap_.size() >= next_compact_)
+                compact();
+        }
         // Decrements leave stale (too-high) entries; pops re-check.
     }
 
@@ -30,77 +66,133 @@ class LazyMaxHeap
     bool placed(vid_t v) const { return placed_[v]; }
     int key(vid_t v) const { return key_[v]; }
 
-    /** Pop the unplaced vertex with the highest current key, or kNoVertex. */
+    /** Pop the unplaced item with the highest current key, or kNoVertex.
+     *  Key ties break toward the larger item id (max (key, id) pair). */
     vid_t pop_max()
     {
         while (!heap_.empty()) {
-            const auto [k, v] = heap_.top();
-            if (placed_[v] || k != key_[v]) {
-                heap_.pop();
-                continue; // stale
+            const auto [k, v] = heap_.front();
+            std::pop_heap(heap_.begin(), heap_.end());
+            heap_.pop_back();
+            if (placed_[v])
+                continue;
+            if (k != key_[v]) {
+                // Stale: re-file at the current key and keep looking.
+                if (key_[v] > 0) {
+                    heap_.emplace_back(key_[v], v);
+                    std::push_heap(heap_.begin(), heap_.end());
+                }
+                continue;
             }
-            heap_.pop();
             return v;
         }
         return kNoVertex;
     }
 
+    std::size_t peak_size() const { return peak_; }
+    std::size_t compactions() const { return compactions_; }
+
   private:
+    void compact()
+    {
+        heap_.clear();
+        const vid_t n = static_cast<vid_t>(key_.size());
+        for (vid_t v = 0; v < n; ++v)
+            if (!placed_[v] && key_[v] > 0)
+                heap_.emplace_back(key_[v], v);
+        std::make_heap(heap_.begin(), heap_.end());
+        // Re-arm at ~2x the live size, floored at a fraction of the
+        // item count so the O(items) rebuild scan amortizes to O(1)
+        // per push even when few items are live.
+        next_compact_ = std::max<std::size_t>(2 * heap_.size() + 64,
+                                              key_.size() / 4);
+        ++compactions_;
+    }
+
     std::vector<int> key_;
     std::vector<std::uint8_t> placed_;
-    std::priority_queue<std::pair<int, vid_t>> heap_;
+    std::vector<std::pair<int, vid_t>> heap_;
+    bool compaction_;
+    std::size_t next_compact_ = 64;
+    std::size_t peak_ = 0;
+    std::size_t compactions_ = 0;
 };
 
-} // namespace
-
-Permutation
-gorder_order(const Csr& g, const GorderOptions& opt)
+struct HeapStats
 {
-    const vid_t n = g.num_vertices();
-    const vid_t w = std::max<vid_t>(opt.window, 1);
-    LazyMaxHeap heap(n);
+    std::size_t peak = 0;
+    std::size_t compactions = 0;
+};
+
+/**
+ * Windowed greedy over the members of one block.  @p members maps the
+ * block-local index to the global vertex id (ascending); @p local maps
+ * global id to block-local index (valid only for block members).  When
+ * @p part is empty the block is the whole graph; otherwise scoring is
+ * restricted to in-block vertices (propagation still walks through
+ * out-of-block intermediaries, so shared out-of-block neighbors count).
+ *
+ * @p poll is called every 256 emits; returning true abandons the block
+ * (cooperative cancellation — the caller rethrows).
+ */
+template <typename PollFn>
+std::vector<vid_t>
+greedy_block(const Csr& g, const GorderOptions& opt,
+             const std::vector<vid_t>& members,
+             const std::vector<vid_t>& local,
+             const std::vector<vid_t>& part, vid_t b, PollFn&& poll,
+             HeapStats& stats)
+{
+    const vid_t bn = static_cast<vid_t>(members.size());
+    const std::size_t w =
+        static_cast<std::size_t>(std::max<vid_t>(opt.window, 1));
+    LazyMaxHeap heap(bn, opt.heap_compaction);
+    auto in_block = [&](vid_t v) { return part.empty() || part[v] == b; };
 
     // Apply GScore key updates caused by @p v entering/leaving the window.
     auto window_event = [&](vid_t v, int delta) {
         for (vid_t u : g.neighbors(v)) {
-            heap.bump(u, delta); // S_n: direct edge to v
+            if (in_block(u))
+                heap.bump(local[u], delta); // S_n: direct edge to v
             if (opt.hub_cutoff && g.degree(u) > opt.hub_cutoff)
                 continue; // bound hub fan-out (see header)
             for (vid_t s : g.neighbors(u))
-                if (s != v)
-                    heap.bump(s, delta); // S_s: shares neighbor u with v
+                if (s != v && in_block(s))
+                    heap.bump(local[s], delta); // S_s: shares neighbor u
         }
     };
 
-    std::vector<vid_t> order;
-    order.reserve(n);
-    std::deque<vid_t> window;
-
     // Seed order for fresh starts: by decreasing degree (Wei et al. start
     // from the max-degree vertex).
-    std::vector<vid_t> by_degree(n);
-    for (vid_t v = 0; v < n; ++v)
-        by_degree[v] = v;
+    std::vector<vid_t> by_degree(members);
     std::stable_sort(by_degree.begin(), by_degree.end(),
-                     [&](vid_t a, vid_t b) {
-                         return g.degree(a) > g.degree(b);
+                     [&](vid_t a, vid_t c) {
+                         return g.degree(a) > g.degree(c);
                      });
+
+    std::vector<vid_t> order;
+    order.reserve(bn);
+    std::deque<vid_t> window;
     std::size_t seed_scan = 0;
 
-    while (order.size() < n) {
+    while (order.size() < bn) {
         // Stride the poll: the emit loop runs once per vertex, which is
         // too hot to check the clock every iteration.
-        if ((order.size() & 0xFF) == 0)
-            checkpoint("gorder/emit");
-        vid_t next = heap.pop_max();
-        if (next == kNoVertex) {
-            while (seed_scan < n && heap.placed(by_degree[seed_scan]))
+        if ((order.size() & 0xFF) == 0 && poll())
+            break; // cancelled; caller rethrows
+        const vid_t nl = heap.pop_max();
+        vid_t next;
+        if (nl == kNoVertex) {
+            while (seed_scan < bn
+                   && heap.placed(local[by_degree[seed_scan]]))
                 ++seed_scan;
-            if (seed_scan >= n)
+            if (seed_scan >= bn)
                 break;
             next = by_degree[seed_scan];
+        } else {
+            next = members[nl];
         }
-        heap.mark_placed(next);
+        heap.mark_placed(local[next]);
         order.push_back(next);
         window.push_back(next);
         window_event(next, +1);
@@ -109,7 +201,117 @@ gorder_order(const Csr& g, const GorderOptions& opt)
             window.pop_front();
         }
     }
-    return Permutation::from_order(order);
+    stats.peak = heap.peak_size();
+    stats.compactions = heap.compactions();
+    return order;
+}
+
+/** Resolve the block count: explicit option, else env override, else
+ *  size-derived (never thread-derived — see GorderOptions::blocks). */
+vid_t
+resolve_blocks(const GorderOptions& opt, vid_t n)
+{
+    if (opt.blocks > 0)
+        return opt.blocks;
+    if (const char* env = std::getenv("GRAPHORDER_GORDER_BLOCKS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<vid_t>(v);
+    }
+    return static_cast<vid_t>(
+        num_blocks(static_cast<std::size_t>(n), std::size_t{1} << 14, 64));
+}
+
+} // namespace
+
+Permutation
+gorder_order(const Csr& g, const GorderOptions& opt)
+{
+    const vid_t n = g.num_vertices();
+    const vid_t nblocks = std::min<vid_t>(std::max<vid_t>(n, 1),
+                                          resolve_blocks(opt, n));
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.gauge("order/gorder/parallel_blocks")
+        .set(static_cast<double>(nblocks));
+
+    std::vector<vid_t> identity(n);
+    std::iota(identity.begin(), identity.end(), vid_t{0});
+
+    if (nblocks <= 1) {
+        // Exact serial Gorder; throwing checkpoints are fine here.
+        HeapStats stats;
+        auto order = greedy_block(g, opt, identity, identity, {}, 0,
+                                  [] {
+                                      checkpoint("gorder/emit");
+                                      return false;
+                                  },
+                                  stats);
+        reg.gauge("order/gorder/heap_peak")
+            .set(static_cast<double>(stats.peak));
+        reg.counter("order/gorder/heap_compactions")
+            .add(stats.compactions);
+        return Permutation::from_order(order);
+    }
+
+    // Block formation: multilevel k-way partition with a fixed seed, so
+    // the blocks (and hence the output) depend only on (graph, options).
+    std::vector<vid_t> part;
+    {
+        GO_TRACE_SCOPE("gorder/partition");
+        PartitionOptions popt;
+        popt.seed = opt.partition_seed;
+        part = partition_kway(g, nblocks, popt).part;
+    }
+    checkpoint("gorder/partition");
+
+    // Members of block b = vertices with part[v] == b, ascending id;
+    // local[v] = index of v within its block's member list.
+    auto grouped = stable_order_by_key<vid_t>(
+        n, static_cast<std::size_t>(nblocks),
+        [&](vid_t v) { return static_cast<std::size_t>(part[v]); });
+    std::vector<vid_t> offsets(static_cast<std::size_t>(nblocks) + 1, 0);
+    for (vid_t v = 0; v < n; ++v)
+        ++offsets[part[v] + 1];
+    for (std::size_t b = 0; b + 1 < offsets.size(); ++b)
+        offsets[b + 1] += offsets[b];
+    std::vector<vid_t> local(n, 0);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (vid_t b = 0; b < nblocks; ++b)
+        for (vid_t i = offsets[b]; i < offsets[b + 1]; ++i)
+            local[grouped[i]] = i - offsets[b];
+
+    // Independent per-block greedy; token captured before the region so
+    // workers can poll cancellation without touching thread-local state.
+    std::vector<std::vector<vid_t>> block_order(nblocks);
+    std::vector<HeapStats> stats(nblocks);
+    ParallelCheckpoint cp("gorder/emit");
+    {
+        GO_TRACE_SCOPE("gorder/greedy");
+        #pragma omp parallel for num_threads(default_threads()) \
+            schedule(dynamic)
+        for (vid_t b = 0; b < nblocks; ++b) {
+            if (cp.stop())
+                continue;
+            std::vector<vid_t> members(
+                grouped.begin() + offsets[b],
+                grouped.begin() + offsets[b + 1]);
+            block_order[b] =
+                greedy_block(g, opt, members, local, part, b,
+                             [&cp] { return cp.stop(); }, stats[b]);
+        }
+    }
+    cp.rethrow();
+
+    std::size_t peak = 0, compactions = 0;
+    for (const auto& s : stats) {
+        peak = std::max(peak, s.peak);
+        compactions += s.compactions;
+    }
+    reg.gauge("order/gorder/heap_peak").set(static_cast<double>(peak));
+    reg.counter("order/gorder/heap_compactions").add(compactions);
+
+    return Permutation::from_order(concat_blocks(block_order));
 }
 
 double

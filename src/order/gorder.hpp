@@ -30,6 +30,32 @@ struct GorderOptions
      * 0 = no cutoff.
      */
     vid_t hub_cutoff = 2048;
+    /**
+     * Block count for the partition-parallel greedy.  Blocks are formed
+     * by the multilevel partitioner (src/part), the windowed greedy runs
+     * independently per block, and the block orders are concatenated in
+     * block-index order.  The permutation is a function of the *block
+     * count* — never the thread count — so any thread count produces
+     * bit-identical output (DESIGN.md §15).
+     *
+     * 0 = auto: the `GRAPHORDER_GORDER_BLOCKS` environment variable if
+     * set, else derived from the vertex count alone (one block per 16k
+     * vertices, capped at 64 — small graphs get the exact serial
+     * algorithm).  1 = the exact serial Gorder of Wei et al.
+     */
+    vid_t blocks = 0;
+    /** Seed of the partitioner forming the blocks (blocks > 1). */
+    std::uint64_t partition_seed = 12345;
+    /**
+     * Periodically rebuild the lazy max-heap to one entry per unplaced
+     * positive-key vertex once stale entries (decremented or
+     * already-placed keys) outnumber live ones ~2:1.  Compaction never
+     * changes the emitted order — the rebuilt entry set is exactly the
+     * set pops can return (see LazyMaxHeap in gorder.cpp) — but bounds
+     * the heap to O(block vertices) instead of O(window events) on
+     * hub-heavy graphs.  Off only for tests.
+     */
+    bool heap_compaction = true;
 };
 
 /** Compute the Gorder permutation. */

@@ -1,24 +1,37 @@
 #include "order/rabbit.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
-#include <unordered_map>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
 namespace {
 
-/** Union-find with path halving. */
-vid_t
-find_root(std::vector<vid_t>& parent, vid_t v)
+/**
+ * One round's merge decisions: each active super-vertex points at the
+ * neighbor with the best positive modularity gain, under a strict total
+ * order on *edges* — (gain desc, min endpoint asc, max endpoint asc).
+ * Gain is symmetric, so along any pointer cycle the chosen edge
+ * priorities strictly increase, which is only possible for 2-cycles;
+ * breaking those (root = larger weighted degree, tie smaller id, so hubs
+ * stay community roots as in Arai et al. §III) leaves a forest and the
+ * merge set is schedule-independent.
+ */
+struct RoundGraph
 {
-    while (parent[v] != v) {
-        parent[v] = parent[parent[v]];
-        v = parent[v];
-    }
-    return v;
-}
+    std::vector<vid_t> active;      ///< rep ids, ascending
+    std::vector<std::size_t> off;   ///< active.size() + 1 arc offsets
+    std::vector<vid_t> src;         ///< arc source rep (parallel to dst)
+    std::vector<vid_t> dst;         ///< arc target rep
+    std::vector<double> w;          ///< aggregated arc weight
+};
 
 } // namespace
 
@@ -27,77 +40,248 @@ rabbit_order(const Csr& g)
 {
     const vid_t n = g.num_vertices();
     const double two_m = std::max<double>(g.total_arc_weight(), 1.0);
+    const int threads = default_threads();
 
-    // Super-vertex state: adjacency maps (root -> accumulated weight) and
-    // total weighted degree.  Merging moves the smaller map into the
-    // larger one.
-    std::vector<std::unordered_map<vid_t, double>> adj(n);
     std::vector<double> wdeg(n);
     std::vector<vid_t> parent(n);
     std::iota(parent.begin(), parent.end(), vid_t{0});
-    // Dendrogram: children recorded in merge order.
+    // Dendrogram: children recorded in merge (round, id) order.
     std::vector<std::vector<vid_t>> children(n);
 
+    // Round 0 graph = the input: every vertex active, arcs as in the CSR.
+    RoundGraph rg;
+    rg.active.resize(n);
+    std::iota(rg.active.begin(), rg.active.end(), vid_t{0});
+    rg.off.resize(static_cast<std::size_t>(n) + 1, 0);
     for (vid_t v = 0; v < n; ++v) {
         wdeg[v] = g.weighted_degree(v);
+        rg.off[static_cast<std::size_t>(v) + 1] =
+            rg.off[v] + g.degree(v);
+    }
+    rg.src.resize(rg.off[n]);
+    rg.dst.resize(rg.off[n]);
+    rg.w.resize(rg.off[n]);
+    #pragma omp parallel for num_threads(threads) schedule(static)
+    for (vid_t v = 0; v < n; ++v) {
         const auto nbrs = g.neighbors(v);
         const auto ws = g.neighbor_weights(v);
-        for (std::size_t i = 0; i < nbrs.size(); ++i)
-            adj[v][nbrs[i]] += ws.empty() ? 1.0 : ws[i];
+        std::size_t p = rg.off[v];
+        for (std::size_t i = 0; i < nbrs.size(); ++i, ++p) {
+            rg.src[p] = v;
+            rg.dst[p] = nbrs[i];
+            rg.w[p] = ws.empty() ? 1.0 : ws[i];
+        }
     }
 
-    // Increasing-degree scan (Arai et al. §III: small vertices first so
-    // hubs become community roots).
-    std::vector<vid_t> scan(n);
-    std::iota(scan.begin(), scan.end(), vid_t{0});
-    std::stable_sort(scan.begin(), scan.end(), [&](vid_t a, vid_t b) {
-        return g.degree(a) < g.degree(b);
-    });
+    // Scratch indexed by rep id.
+    std::vector<vid_t> aidx(n, 0);   // rep -> active index
+    std::vector<vid_t> jmp(n), jmp2(n);
+    std::vector<vid_t> choice, merged_to;
+    std::size_t rounds = 0, total_merges = 0;
 
-    for (vid_t v : scan) {
-        const vid_t rv = find_root(parent, v);
-        if (rv != v)
-            continue; // already absorbed into another super-vertex
+    while (!rg.active.empty()) {
+        checkpoint("rabbit/round");
+        const std::size_t na = rg.active.size();
+        for (std::size_t i = 0; i < na; ++i)
+            aidx[rg.active[i]] = static_cast<vid_t>(i);
 
-        // Rebuild v's adjacency onto current roots.
-        std::unordered_map<vid_t, double> onto_roots;
-        onto_roots.reserve(adj[rv].size());
-        for (const auto& [u, w] : adj[rv]) {
-            const vid_t ru = find_root(parent, u);
-            if (ru != rv)
-                onto_roots[ru] += w;
-        }
-        adj[rv] = std::move(onto_roots);
-
-        // Best positive modularity gain:
+        // Best positive-gain neighbor per active super-vertex:
         // dQ(v -> u) = w(v,u)/m - wdeg(v)*wdeg(u)/(2 m^2)  (x2 constant
         // dropped; comparisons unaffected).
-        vid_t best = kNoVertex;
-        double best_gain = 0.0;
-        for (const auto& [ru, w] : adj[rv]) {
-            const double gain =
-                w / two_m - (wdeg[rv] * wdeg[ru]) / (two_m * two_m);
-            if (gain > best_gain
-                || (gain == best_gain && best != kNoVertex && ru < best)) {
-                best_gain = gain;
-                best = ru;
+        choice.assign(na, kNoVertex);
+        {
+            GO_TRACE_SCOPE("rabbit/aggregate");
+            #pragma omp parallel for num_threads(threads) \
+                schedule(static)
+            for (std::size_t i = 0; i < na; ++i) {
+                const vid_t v = rg.active[i];
+                vid_t best = kNoVertex;
+                double best_gain = 0.0;
+                for (std::size_t e = rg.off[i]; e < rg.off[i + 1]; ++e) {
+                    const vid_t u = rg.dst[e];
+                    const double gain = rg.w[e] / two_m
+                        - (wdeg[v] * wdeg[u]) / (two_m * two_m);
+                    if (gain <= 0.0)
+                        continue;
+                    bool take = best == kNoVertex;
+                    if (!take) {
+                        if (gain != best_gain) {
+                            take = gain > best_gain;
+                        } else {
+                            const vid_t mn1 = std::min(v, u);
+                            const vid_t mx1 = std::max(v, u);
+                            const vid_t mn2 = std::min(v, best);
+                            const vid_t mx2 = std::max(v, best);
+                            take = mn1 != mn2 ? mn1 < mn2 : mx1 < mx2;
+                        }
+                    }
+                    if (take) {
+                        best = u;
+                        best_gain = gain;
+                    }
+                }
+                choice[i] = best;
             }
         }
-        if (best == kNoVertex || best_gain <= 0.0)
-            continue; // v stays a root
 
-        // Merge rv into best: move adjacency (small into large).
-        auto& src = adj[rv];
-        auto& dst = adj[best];
-        for (const auto& [u, w] : src) {
-            if (u != best)
-                dst[u] += w;
+        // Break mutual pairs: the larger-wdeg endpoint (tie: smaller id)
+        // stays a root.  choice[] is read-only here; merged_to[] is the
+        // resolved pointer.
+        merged_to.assign(na, kNoVertex);
+        #pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::size_t i = 0; i < na; ++i) {
+            const vid_t t = choice[i];
+            if (t == kNoVertex)
+                continue;
+            const vid_t v = rg.active[i];
+            if (choice[aidx[t]] == v) {
+                const bool v_is_root = wdeg[v] != wdeg[t]
+                                           ? wdeg[v] > wdeg[t]
+                                           : v < t;
+                if (v_is_root)
+                    continue;
+            }
+            merged_to[i] = t;
         }
-        src.clear();
-        dst.erase(rv);
-        wdeg[best] += wdeg[rv];
-        parent[rv] = best;
-        children[best].push_back(rv);
+
+        std::size_t merges = 0;
+        for (std::size_t i = 0; i < na; ++i)
+            if (merged_to[i] != kNoVertex)
+                ++merges;
+        if (merges == 0)
+            break;
+        ++rounds;
+        total_merges += merges;
+
+        // Record the round's merges in ascending-id order: dendrogram
+        // children, final parents, and the root pointer for jumping.
+        for (std::size_t i = 0; i < na; ++i) {
+            const vid_t v = rg.active[i];
+            const vid_t t = merged_to[i];
+            jmp[v] = t == kNoVertex ? v : t;
+            if (t != kNoVertex) {
+                parent[v] = t;
+                children[t].push_back(v);
+            }
+        }
+
+        // Pointer-jump merge chains to their round roots (the pointer
+        // graph is a forest, so this converges; double-buffered for
+        // determinism under any schedule).
+        for (bool changed = true; changed;) {
+            std::atomic<int> any{0};
+            #pragma omp parallel for num_threads(threads) \
+                schedule(static)
+            for (std::size_t i = 0; i < na; ++i) {
+                const vid_t v = rg.active[i];
+                const vid_t r = jmp[jmp[v]];
+                jmp2[v] = r;
+                if (r != jmp[v])
+                    any.store(1, std::memory_order_relaxed);
+            }
+            for (std::size_t i = 0; i < na; ++i) {
+                const vid_t v = rg.active[i];
+                jmp[v] = jmp2[v];
+            }
+            changed = any.load(std::memory_order_relaxed) != 0;
+        }
+
+        // Fold merged weighted degrees into their roots in ascending-id
+        // order — a fixed FP summation order, so results are bit-equal
+        // for any thread count.
+        for (std::size_t i = 0; i < na; ++i) {
+            const vid_t v = rg.active[i];
+            if (merged_to[i] != kNoVertex)
+                wdeg[jmp[v]] += wdeg[v];
+        }
+
+        // Contract: survivors keep their rep id; arcs re-point to round
+        // roots, drop intra-community arcs, and aggregate duplicates.
+        GO_TRACE_SCOPE("rabbit/contract");
+        std::vector<vid_t> survivors;
+        survivors.reserve(na - merges);
+        for (std::size_t i = 0; i < na; ++i)
+            if (merged_to[i] == kNoVertex)
+                survivors.push_back(rg.active[i]);
+        const std::size_t ns = survivors.size();
+        for (std::size_t i = 0; i < ns; ++i)
+            aidx[survivors[i]] = static_cast<vid_t>(i);
+
+        // Sort arcs by (new source, new target, arc index) with two
+        // stable counting sorts; the trailing arc-index tie-break fixes
+        // the within-pair summation order, keeping the aggregated
+        // weights deterministic.
+        const std::size_t ne = rg.src.size();
+        auto by_dst = stable_order_by_key<std::size_t>(
+            ne, ns, [&](std::size_t e) {
+                return static_cast<std::size_t>(aidx[jmp[rg.dst[e]]]);
+            });
+        // Stable sort of the by_dst sequence by source key: reuse
+        // stable_order_by_key over positions in by_dst.
+        auto by_src_pos = stable_order_by_key<std::size_t>(
+            ne, ns, [&](std::size_t p) {
+                return static_cast<std::size_t>(
+                    aidx[jmp[rg.src[by_dst[p]]]]);
+            });
+
+        // Per-source segment boundaries from a deterministic histogram.
+        std::vector<std::size_t> seg(ns + 1, 0);
+        for (std::size_t e = 0; e < ne; ++e)
+            ++seg[aidx[jmp[rg.src[e]]] + 1];
+        for (std::size_t i = 0; i < ns; ++i)
+            seg[i + 1] += seg[i];
+
+        // Pass 1: count surviving (deduplicated, non-self) arcs per
+        // source; pass 2: fill.  Both walk each segment in sorted order.
+        std::vector<std::size_t> new_off(ns + 1, 0);
+        #pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::size_t i = 0; i < ns; ++i) {
+            const vid_t self = survivors[i];
+            std::size_t cnt = 0;
+            vid_t prev = kNoVertex;
+            for (std::size_t p = seg[i]; p < seg[i + 1]; ++p) {
+                const vid_t ru = jmp[rg.dst[by_dst[by_src_pos[p]]]];
+                if (ru == self)
+                    continue;
+                if (ru != prev) {
+                    ++cnt;
+                    prev = ru;
+                }
+            }
+            new_off[i + 1] = cnt;
+        }
+        for (std::size_t i = 0; i < ns; ++i)
+            new_off[i + 1] += new_off[i];
+
+        std::vector<vid_t> new_src(new_off[ns]), new_dst(new_off[ns]);
+        std::vector<double> new_w(new_off[ns]);
+        #pragma omp parallel for num_threads(threads) schedule(static)
+        for (std::size_t i = 0; i < ns; ++i) {
+            const vid_t self = survivors[i];
+            std::size_t out = new_off[i];
+            vid_t prev = kNoVertex;
+            for (std::size_t p = seg[i]; p < seg[i + 1]; ++p) {
+                const std::size_t e = by_dst[by_src_pos[p]];
+                const vid_t ru = jmp[rg.dst[e]];
+                if (ru == self)
+                    continue;
+                if (ru != prev) {
+                    new_src[out] = self;
+                    new_dst[out] = ru;
+                    new_w[out] = rg.w[e];
+                    prev = ru;
+                    ++out;
+                } else {
+                    new_w[out - 1] += rg.w[e];
+                }
+            }
+        }
+
+        rg.active.swap(survivors);
+        rg.off.swap(new_off);
+        rg.src.swap(new_src);
+        rg.dst.swap(new_dst);
+        rg.w.swap(new_w);
     }
 
     // DFS over each dendrogram tree; trees in natural root order.
@@ -120,6 +304,9 @@ rabbit_order(const Csr& g)
             }
         }
     }
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("order/rabbit/parallel_rounds").add(rounds);
+    reg.counter("order/rabbit/parallel_merges").add(total_merges);
     return Permutation::from_order(order);
 }
 

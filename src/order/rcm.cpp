@@ -1,14 +1,34 @@
 #include "order/rcm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <numeric>
 
 #include "graph/traversal.hpp"
+#include "obs/metrics.hpp"
+#include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
 namespace {
 
+/**
+ * Cuthill–McKee visit order, computed level-set-parallel but
+ * bit-identical to the textbook serial algorithm ("append each vertex's
+ * unvisited neighbors in non-decreasing degree order").
+ *
+ * Equivalence: with CSR adjacency sorted ascending, the serial per-parent
+ * stable sort appends children in (degree, id) order, and a child is
+ * appended by the *first* of its parents processed — i.e. the parent at
+ * the minimum position in the previous level.  The serial level order is
+ * therefore exactly ascending (first-parent position, degree, id).  The
+ * parallel version discovers each level with a CAS-min claim on the
+ * first-parent position and materializes that order with one sort per
+ * level, so any thread count reproduces the serial visitation exactly
+ * (asserted against a serial reference in tests/order_test.cpp).
+ */
 std::vector<vid_t>
 cuthill_mckee(const Csr& g)
 {
@@ -19,43 +39,113 @@ cuthill_mckee(const Csr& g)
 
     // Component start vertices: smallest degree first (paper: "the search
     // resumes with another unvisited vertex of the smallest current
-    // degree").
-    std::vector<vid_t> by_degree(n);
-    std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
-    std::stable_sort(by_degree.begin(), by_degree.end(),
-                     [&](vid_t a, vid_t b) {
-                         return g.degree(a) < g.degree(b);
-                     });
+    // degree"), ties by ascending id — the stable_sort order.
+    struct MaxVid
+    {
+        vid_t v = 0;
+        MaxVid& operator+=(const MaxVid& o)
+        {
+            v = std::max(v, o.v);
+            return *this;
+        }
+    };
+    const vid_t max_deg =
+        chunk_ordered_reduce<MaxVid>(
+            n, std::size_t{1} << 15,
+            [&](std::size_t lo, std::size_t hi) {
+                MaxVid m;
+                for (std::size_t i = lo; i < hi; ++i)
+                    m.v = std::max(m.v,
+                                   g.degree(static_cast<vid_t>(i)));
+                return m;
+            })
+            .v;
+    const auto by_degree = stable_order_by_key<vid_t>(
+        n, static_cast<std::size_t>(max_deg) + 1,
+        [&](vid_t v) { return static_cast<std::size_t>(g.degree(v)); });
 
-    std::vector<vid_t> scratch;
+    // first_parent[u]: position (within the current frontier) of the
+    // first parent to discover u; kNoVertex = unclaimed.  Claimed
+    // vertices become visited the same level, so entries never need
+    // resetting across levels or components.
+    std::unique_ptr<std::atomic<vid_t>[]> first_parent(
+        new std::atomic<vid_t>[n]);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (vid_t v = 0; v < n; ++v)
+        first_parent[v].store(kNoVertex, std::memory_order_relaxed);
+
+    std::vector<vid_t> frontier, next_level;
+    std::vector<std::vector<vid_t>> bufs;
+    std::size_t levels = 0;
+
     for (vid_t cand : by_degree) {
         if (visited[cand])
             continue;
         const vid_t start = pseudo_peripheral_vertex(g, cand);
 
-        // BFS appending each vertex's unvisited neighbors in
-        // non-decreasing degree order.
-        std::size_t head = order.size();
         visited[start] = 1;
         order.push_back(start);
-        while (head < order.size()) {
-            const vid_t v = order[head++];
-            scratch.clear();
-            for (vid_t u : g.neighbors(v))
-                if (!visited[u])
-                    scratch.push_back(u);
-            std::stable_sort(scratch.begin(), scratch.end(),
-                             [&](vid_t a, vid_t b) {
-                                 return g.degree(a) < g.degree(b);
-                             });
-            for (vid_t u : scratch) {
-                if (!visited[u]) { // scratch may contain duplicates
-                    visited[u] = 1;
-                    order.push_back(u);
+        frontier.assign(1, start);
+        while (!frontier.empty()) {
+            checkpoint("rcm/level");
+            ++levels;
+            const std::size_t f = frontier.size();
+            const std::size_t nb = num_blocks(f, 512);
+            bufs.assign(nb, {});
+            // Claim each unvisited neighbor for its minimum-position
+            // parent; exactly one CAS observes the unclaimed state, so
+            // every discovered vertex lands in exactly one buffer.
+            // visited[] is only written between levels, so the reads
+            // here are race-free.
+            #pragma omp parallel for num_threads(default_threads()) \
+                schedule(static)
+            for (std::size_t b = 0; b < nb; ++b) {
+                const auto [lo, hi] = block_range(f, nb, b);
+                auto& out = bufs[b];
+                for (std::size_t i = lo; i < hi; ++i) {
+                    const vid_t pos = static_cast<vid_t>(i);
+                    for (vid_t u : g.neighbors(frontier[i])) {
+                        if (visited[u])
+                            continue;
+                        vid_t cur = first_parent[u].load(
+                            std::memory_order_relaxed);
+                        while (pos < cur) {
+                            if (first_parent[u].compare_exchange_weak(
+                                    cur, pos,
+                                    std::memory_order_relaxed)) {
+                                if (cur == kNoVertex)
+                                    out.push_back(u);
+                                break;
+                            }
+                        }
+                    }
                 }
             }
+            next_level = concat_blocks(bufs);
+            // Serial-equivalent level order (see the function comment).
+            std::sort(next_level.begin(), next_level.end(),
+                      [&](vid_t a, vid_t b) {
+                          const vid_t pa = first_parent[a].load(
+                              std::memory_order_relaxed);
+                          const vid_t pb = first_parent[b].load(
+                              std::memory_order_relaxed);
+                          if (pa != pb)
+                              return pa < pb;
+                          if (g.degree(a) != g.degree(b))
+                              return g.degree(a) < g.degree(b);
+                          return a < b;
+                      });
+            for (vid_t u : next_level) {
+                visited[u] = 1;
+                order.push_back(u);
+            }
+            frontier.swap(next_level);
         }
     }
+    obs::MetricsRegistry::instance()
+        .counter("order/rcm/parallel_levels")
+        .add(levels);
     return order;
 }
 

@@ -195,19 +195,38 @@ assign_metadata(std::vector<OrderingScheme> v)
             s.fallback = {"natural"};
         // Cost classes from the paper's Figure 4 timings (and our fig4
         // measurements for the extensions): the super-linear tier gets a
-        // generous deadline hint, the rest none.
-        if (s.name == "gorder" || s.name == "slashburn"
-            || s.name == "minla-sa" || s.name == "mindeg"
-            || s.name == "nd") {
+        // generous deadline hint, the rest none.  SlashBurn graduated to
+        // the linearithmic tier when its burn phase moved from serial
+        // BFS to parallel label-propagation CC (O((n+m) log n) a round);
+        // Gorder's per-block greedy is still super-linear in the block
+        // size, but the partition-parallel blocks shrink the practical
+        // deadline by an order of magnitude.
+        if (s.name == "gorder" || s.name == "minla-sa"
+            || s.name == "mindeg" || s.name == "nd") {
             s.cost_class = CostClass::SuperLinear;
-            s.deadline_hint_ms = 600000; // 10 min — qualitative-only tier
+            s.deadline_hint_ms =
+                s.name == "gorder" ? 120000 : 600000;
         } else if (s.name == "rcm" || s.name == "hybrid-rcm"
                    || s.name == "rabbit" || s.name == "metis-32"
-                   || s.name == "grappolo" || s.name == "grappolo-rcm") {
+                   || s.name == "grappolo" || s.name == "grappolo-rcm"
+                   || s.name == "slashburn") {
             s.cost_class = CostClass::Linearithmic;
+            if (s.name == "slashburn")
+                s.deadline_hint_ms = 120000;
         } else {
             s.cost_class = CostClass::NearLinear;
         }
+        // Threaded kernels: every scheme whose dominant work runs under
+        // the shared --threads knob.  The multilevel partitioner behind
+        // metis-32/nd is still serial (only the final packing is
+        // threaded), so those stay false; likewise the purely serial
+        // baselines and refinement extensions.
+        s.parallel = s.name == "degree" || s.name == "hubsort"
+            || s.name == "hubcluster" || s.name == "dbg"
+            || s.name == "boba" || s.name == "slashburn"
+            || s.name == "gorder" || s.name == "rcm"
+            || s.name == "rabbit" || s.name == "grappolo"
+            || s.name == "grappolo-rcm" || s.name == "hybrid-rcm";
     }
     return v;
 }

@@ -39,8 +39,8 @@ enum class SchemeCategory
 enum class CostClass
 {
     NearLinear,   ///< O(n + m): counting sorts, single traversals
-    Linearithmic, ///< sort/refinement-bound: RCM, partitioners, Louvain
-    SuperLinear,  ///< qualitative-study only: Gorder, SlashBurn, ND, SA
+    Linearithmic, ///< sort/refinement-bound: RCM, SlashBurn, partitioners
+    SuperLinear,  ///< qualitative-study only: Gorder, ND, SA, MinDeg
 };
 
 /** A named reordering scheme. */
@@ -74,6 +74,16 @@ struct OrderingScheme
      * deterministic ones.
      */
     bool deterministic = true;
+    /**
+     * True when the scheme's dominant work runs under the shared
+     * `--threads`/`GRAPHORDER_THREADS` knob (util/parallel.hpp).  All
+     * parallel schemes except the Louvain-backed ones are also
+     * deterministic: their kernels decompose work by input size, never
+     * thread count, so any team size yields the same permutation
+     * (DESIGN.md §15 covers the heavyweight tier).  Assigned by the
+     * registry builders, not by positional init.
+     */
+    bool parallel = false;
     /**
      * Fallback chain walked by run_guarded (order/runner.hpp) when this
      * scheme fails or blows its budget: cheaper schemes of a similar

@@ -1,21 +1,27 @@
 #include "order/slashburn.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 
 namespace graphorder {
 
 namespace {
 
-/** Degrees restricted to alive vertices. */
+/** Degrees restricted to alive vertices (parallel, per-vertex writes). */
 void
 alive_degrees(const Csr& g, const std::vector<std::uint8_t>& alive,
               std::vector<vid_t>& deg)
 {
     const vid_t n = g.num_vertices();
     deg.assign(n, 0);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
     for (vid_t v = 0; v < n; ++v) {
         if (!alive[v])
             continue;
@@ -27,33 +33,83 @@ alive_degrees(const Csr& g, const std::vector<std::uint8_t>& alive,
     }
 }
 
-/** Connected components of the alive subgraph. */
-vid_t
+/** Max accumulator for chunk_ordered_reduce. */
+struct MaxVid
+{
+    vid_t v = 0;
+    MaxVid& operator+=(const MaxVid& o)
+    {
+        v = std::max(v, o.v);
+        return *this;
+    }
+};
+
+/**
+ * Connected components of the alive subgraph by deterministic min-label
+ * propagation: every alive vertex starts labelled with its own id, each
+ * sweep pulls the minimum label over alive neighbors (double-buffered),
+ * then pointer-jumps labels to their current fixed point so long paths
+ * converge in O(log n) sweeps instead of O(diameter).  The fixed point —
+ * each vertex labelled with the minimum id of its component — is unique,
+ * so the result is schedule- and thread-count-independent.
+ *
+ * @return number of label-propagation + jump iterations (telemetry).
+ */
+std::size_t
 alive_components(const Csr& g, const std::vector<std::uint8_t>& alive,
-                 std::vector<vid_t>& comp)
+                 std::vector<vid_t>& comp, std::vector<vid_t>& next)
 {
     const vid_t n = g.num_vertices();
     comp.assign(n, kNoVertex);
-    vid_t next = 0;
-    std::vector<vid_t> stack;
-    for (vid_t s = 0; s < n; ++s) {
-        if (!alive[s] || comp[s] != kNoVertex)
-            continue;
-        comp[s] = next;
-        stack.push_back(s);
-        while (!stack.empty()) {
-            const vid_t v = stack.back();
-            stack.pop_back();
-            for (vid_t u : g.neighbors(v)) {
-                if (alive[u] && comp[u] == kNoVertex) {
-                    comp[u] = next;
-                    stack.push_back(u);
-                }
-            }
+    next.assign(n, kNoVertex);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (vid_t v = 0; v < n; ++v)
+        if (alive[v])
+            comp[v] = v;
+
+    std::size_t iters = 0;
+    for (bool changed = true; changed;) {
+        checkpoint("slashburn/cc");
+        ++iters;
+        std::atomic<int> any{0};
+        #pragma omp parallel for num_threads(default_threads()) \
+            schedule(static)
+        for (vid_t v = 0; v < n; ++v) {
+            if (!alive[v])
+                continue;
+            vid_t m = comp[v];
+            for (vid_t u : g.neighbors(v))
+                if (alive[u] && comp[u] < m)
+                    m = comp[u];
+            next[v] = m;
+            if (m != comp[v])
+                any.store(1, std::memory_order_relaxed);
         }
-        ++next;
+        comp.swap(next);
+        changed = any.load(std::memory_order_relaxed) != 0;
+
+        // Pointer jumping: labels are alive vertex ids, so comp[comp[v]]
+        // is defined; iterate to the current fixed point.
+        for (bool jumped = true; jumped;) {
+            std::atomic<int> jmp{0};
+            #pragma omp parallel for num_threads(default_threads()) \
+                schedule(static)
+            for (vid_t v = 0; v < n; ++v) {
+                if (!alive[v])
+                    continue;
+                const vid_t r = comp[comp[v]];
+                next[v] = r;
+                if (r != comp[v])
+                    jmp.store(1, std::memory_order_relaxed);
+            }
+            comp.swap(next);
+            jumped = jmp.load(std::memory_order_relaxed) != 0;
+            if (jumped)
+                ++iters;
+        }
     }
-    return next;
+    return iters;
 }
 
 } // namespace
@@ -71,75 +127,116 @@ slashburn_order(const Csr& g, vid_t k)
     vid_t back = n;        // one past the next high id (spokes)
     vid_t alive_count = n;
 
-    std::vector<vid_t> deg, comp, ids;
+    std::vector<vid_t> deg, comp, scratch, sizes, spoke_rank;
+    std::size_t rounds = 0, cc_iters = 0;
+
+    // Alive vertices by (degree desc, id asc) — the slash order.  Dead
+    // vertices key past the degree range so the first alive_count
+    // entries are exactly the alive set in slash order; this reproduces
+    // std::stable_sort by descending alive-degree via one deterministic
+    // parallel counting sort.
+    auto slash_order = [&](vid_t max_deg) {
+        return stable_order_by_key<vid_t>(
+            n, static_cast<std::size_t>(max_deg) + 2, [&](vid_t v) {
+                return alive[v]
+                           ? static_cast<std::size_t>(max_deg - deg[v])
+                           : static_cast<std::size_t>(max_deg) + 1;
+            });
+    };
+
     while (alive_count > 0) {
         checkpoint("slashburn/round");
+        ++rounds;
+
+        GO_TRACE_SCOPE("slashburn/round");
+        alive_degrees(g, alive, deg);
+        const vid_t max_deg =
+            chunk_ordered_reduce<MaxVid>(
+                n, std::size_t{1} << 15,
+                [&](std::size_t lo, std::size_t hi) {
+                    MaxVid m;
+                    for (std::size_t i = lo; i < hi; ++i)
+                        m.v = std::max(m.v, deg[i]);
+                    return m;
+                })
+                .v;
+        const auto by_deg = slash_order(max_deg);
+
         if (alive_count <= k) {
             // Terminal round: remaining vertices become hubs up front.
-            ids.clear();
-            for (vid_t v = 0; v < n; ++v)
-                if (alive[v])
-                    ids.push_back(v);
-            alive_degrees(g, alive, deg);
-            std::stable_sort(ids.begin(), ids.end(), [&](vid_t a, vid_t b) {
-                return deg[a] > deg[b];
-            });
-            for (vid_t v : ids)
-                rank[v] = front++;
+            for (vid_t i = 0; i < alive_count; ++i)
+                rank[by_deg[i]] = front++;
             break;
         }
 
         // Slash: remove the k highest-degree alive vertices.
-        alive_degrees(g, alive, deg);
-        ids.clear();
-        for (vid_t v = 0; v < n; ++v)
-            if (alive[v])
-                ids.push_back(v);
-        std::stable_sort(ids.begin(), ids.end(), [&](vid_t a, vid_t b) {
-            return deg[a] > deg[b];
-        });
         for (vid_t i = 0; i < k; ++i) {
-            const vid_t hub = ids[i];
+            const vid_t hub = by_deg[i];
             rank[hub] = front++;
             alive[hub] = 0;
             --alive_count;
         }
 
         // Burn: spokes (all but the giant component) go to the back,
-        // ordered by decreasing component size.
-        const vid_t ncomp = alive_components(g, alive, comp);
-        if (ncomp == 0)
-            break;
-        std::vector<vid_t> sizes(ncomp, 0);
-        for (vid_t v = 0; v < n; ++v)
-            if (alive[v])
-                ++sizes[comp[v]];
-        vid_t giant = 0;
-        for (vid_t c = 1; c < ncomp; ++c)
-            if (sizes[c] > sizes[giant])
-                giant = c;
+        // ordered by decreasing component size (smallest deepest).
+        cc_iters += alive_components(g, alive, comp, scratch);
+        sizes.assign(n, 0);
+        #pragma omp parallel for num_threads(default_threads()) \
+            schedule(static)
+        for (vid_t v = 0; v < n; ++v) {
+            if (!alive[v])
+                continue;
+            #pragma omp atomic
+            ++sizes[comp[v]];
+        }
 
-        std::vector<vid_t> spoke_comps;
-        for (vid_t c = 0; c < ncomp; ++c)
-            if (c != giant)
-                spoke_comps.push_back(c);
-        std::stable_sort(spoke_comps.begin(), spoke_comps.end(),
-                         [&](vid_t a, vid_t b) {
-                             return sizes[a] < sizes[b];
-                         });
-        // Smallest component placed last (deepest at the back): assign
-        // from the back in increasing size order.
-        for (vid_t c : spoke_comps) {
-            // Members in natural order, assigned a contiguous back block.
-            back -= sizes[c];
-            vid_t slot = back;
-            for (vid_t v = 0; v < n; ++v) {
-                if (alive[v] && comp[v] == c) {
-                    rank[v] = slot++;
-                    alive[v] = 0;
-                    --alive_count;
-                }
+        // Roots in ascending label order; giant = max size, tie min label.
+        std::vector<vid_t> roots;
+        for (vid_t v = 0; v < n; ++v)
+            if (alive[v] && comp[v] == v)
+                roots.push_back(v);
+        if (roots.empty())
+            break; // unreachable: alive_count > 0 after the slash
+        vid_t giant = roots.front();
+        for (vid_t r : roots)
+            if (sizes[r] > sizes[giant])
+                giant = r;
+
+        // Address-ascending spoke order: (size desc, label asc).
+        std::vector<vid_t> spokes;
+        for (vid_t r : roots)
+            if (r != giant)
+                spokes.push_back(r);
+        std::sort(spokes.begin(), spokes.end(), [&](vid_t a, vid_t b) {
+            return sizes[a] != sizes[b] ? sizes[a] > sizes[b] : a < b;
+        });
+        vid_t total_spokes = 0;
+        spoke_rank.assign(n, 0);
+        for (std::size_t i = 0; i < spokes.size(); ++i) {
+            spoke_rank[spokes[i]] = static_cast<vid_t>(i);
+            total_spokes += sizes[spokes[i]];
+        }
+        if (total_spokes > 0) {
+            // One counting sort groups every spoke vertex by its
+            // component's address rank, members ascending-id within.
+            const std::size_t nspokes = spokes.size();
+            const auto grouped = stable_order_by_key<vid_t>(
+                n, nspokes + 1, [&](vid_t v) {
+                    return (alive[v] && comp[v] != giant)
+                               ? static_cast<std::size_t>(
+                                     spoke_rank[comp[v]])
+                               : nspokes;
+                });
+            const vid_t base = back - total_spokes;
+            #pragma omp parallel for num_threads(default_threads()) \
+                schedule(static)
+            for (vid_t i = 0; i < total_spokes; ++i) {
+                const vid_t v = grouped[i];
+                rank[v] = base + i;
+                alive[v] = 0;
             }
+            back = base;
+            alive_count -= total_spokes;
         }
     }
 
@@ -147,6 +244,10 @@ slashburn_order(const Csr& g, vid_t k)
     for (vid_t v = 0; v < n; ++v)
         if (rank[v] == kNoVertex)
             rank[v] = front++;
+
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("order/slashburn/parallel_rounds").add(rounds);
+    reg.counter("order/slashburn/parallel_cc_iters").add(cc_iters);
     return Permutation::from_ranks(std::move(rank));
 }
 

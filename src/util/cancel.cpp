@@ -105,4 +105,30 @@ checkpoint(const char* site)
         t->poll(site);
 }
 
+ParallelCheckpoint::ParallelCheckpoint(const char* site)
+    : site_(site), token_(t_current_token)
+{
+}
+
+bool
+ParallelCheckpoint::stop() const
+{
+    if (!token_)
+        return false;
+    if (stop_.load(std::memory_order_relaxed))
+        return true;
+    if (!token_->check(site_).is_ok()) {
+        stop_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+void
+ParallelCheckpoint::rethrow() const
+{
+    if (token_)
+        token_->poll(site_);
+}
+
 } // namespace graphorder

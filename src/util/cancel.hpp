@@ -84,6 +84,49 @@ class ScopedCancelToken
 CancelToken* current_cancel_token();
 
 /**
+ * Cancellation bridge for OpenMP parallel regions.
+ *
+ * The token pointer is thread-local, so a bare `checkpoint()` inside a
+ * parallel-for body silently reads no token on worker threads — and an
+ * exception thrown there could not legally escape the region anyway.
+ * ParallelCheckpoint captures the installing thread's token *before* the
+ * region; workers poll the non-throwing stop() and bail out early; the
+ * serial code after the region calls rethrow(), which re-polls on the
+ * installing thread and throws the typed error.  Deadline and memory
+ * violations are persistent (they re-trigger on every poll), and manual
+ * cancel() latches, so the serial re-poll always reproduces the
+ * condition a worker observed.
+ *
+ * Usage:
+ *   ParallelCheckpoint cp("scheme/phase");
+ *   #pragma omp parallel for ...
+ *   for (...) { if (cp.stop()) continue; ... }
+ *   cp.rethrow(); // throws GraphorderError if cancelled mid-region
+ */
+class ParallelCheckpoint
+{
+  public:
+    explicit ParallelCheckpoint(const char* site);
+
+    /**
+     * Non-throwing poll, safe from any thread.  Latches true once the
+     * captured token reports a blown budget (budget checks read the
+     * clock / RSS, so stride calls in hot loops).  False when no token
+     * is installed.
+     */
+    bool stop() const;
+
+    /** Serial-side: rethrow the cancellation as a typed error (no-op
+     *  when no budget is blown).  Call after the parallel region. */
+    void rethrow() const;
+
+  private:
+    const char* site_;
+    CancelToken* token_;
+    mutable std::atomic<bool> stop_{false};
+};
+
+/**
  * Cooperative checkpoint: polls the installed token (if any), throwing
  * GraphorderError(Cancelled | BudgetExceeded) when a budget is blown.
  * @p site names the checkpoint in the error message.

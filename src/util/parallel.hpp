@@ -20,6 +20,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -211,6 +212,27 @@ stable_order_by_key(Index n, std::size_t num_keys, KeyFn key)
         }
     }
     return order;
+}
+
+/**
+ * Deterministic concatenation of per-block buffers in block order.
+ * The output layout depends only on the buffer contents (never the
+ * thread count); the copies run in parallel.  Buffers are left intact.
+ */
+template <typename T>
+std::vector<T>
+concat_blocks(const std::vector<std::vector<T>>& bufs)
+{
+    const std::size_t nb = bufs.size();
+    std::vector<std::size_t> off(nb + 1, 0);
+    for (std::size_t b = 0; b < nb; ++b)
+        off[b + 1] = off[b] + bufs[b].size();
+    std::vector<T> out(off[nb]);
+    #pragma omp parallel for num_threads(default_threads()) \
+        schedule(static)
+    for (std::size_t b = 0; b < nb; ++b)
+        std::copy(bufs[b].begin(), bufs[b].end(), out.begin() + off[b]);
+    return out;
 }
 
 } // namespace graphorder

@@ -9,6 +9,7 @@
 
 #include "gen/generators.hpp"
 #include "la/gap_measures.hpp"
+#include "obs/metrics.hpp"
 #include "order/basic.hpp"
 #include "order/community_order.hpp"
 #include "order/dbg.hpp"
@@ -259,6 +260,50 @@ TEST(Rcm, HandlesDisconnectedComponents)
     EXPECT_EQ(compute_gap_metrics(g, pi).bandwidth, 1u);
 }
 
+TEST(Rcm, LevelParallelKernelMatchesSerialQueueReference)
+{
+    // The level-set kernel promises exact serial Cuthill-McKee
+    // visitation: the classic FIFO queue where each dequeued parent
+    // appends its unvisited neighbors sorted by (degree, id).  Replay
+    // that textbook loop — seeded with the component starts the library
+    // picked — and require the full orders to match vertex for vertex.
+    for (const auto& ng : testing::test_menagerie()) {
+        const auto& g = ng.graph;
+        const vid_t n = g.num_vertices();
+        const auto cm = cm_order(g).order();
+        ASSERT_EQ(cm.size(), n) << ng.name;
+        std::vector<char> visited(n, 0);
+        std::vector<vid_t> ref;
+        ref.reserve(n);
+        while (ref.size() < n) {
+            // Each new component's start is wherever the library's
+            // order resumes; the reference only re-derives everything
+            // that follows from it.
+            const vid_t start = cm[ref.size()];
+            ASSERT_FALSE(visited[start]) << ng.name;
+            std::vector<vid_t> queue{start};
+            visited[start] = 1;
+            for (std::size_t head = 0; head < queue.size(); ++head) {
+                const vid_t v = queue[head];
+                const auto nbrs = g.neighbors(v);
+                std::vector<vid_t> kids(nbrs.begin(), nbrs.end());
+                std::stable_sort(kids.begin(), kids.end(),
+                                 [&](vid_t a, vid_t b) {
+                                     return g.degree(a) < g.degree(b);
+                                 });
+                for (vid_t u : kids) {
+                    if (!visited[u]) {
+                        visited[u] = 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            ref.insert(ref.end(), queue.begin(), queue.end());
+        }
+        EXPECT_EQ(ref, cm) << ng.name;
+    }
+}
+
 // ------------------------------------------------------------ SlashBurn
 
 TEST(SlashBurn, HubGetsLowestId)
@@ -326,6 +371,36 @@ TEST(Gorder, KeepsCliqueVerticesTogether)
     // Both cliques contiguous => avg gap far below random.
     const auto rnd = compute_gap_metrics(g, random_order(g, 1));
     EXPECT_LT(m.avg_gap, rnd.avg_gap);
+}
+
+TEST(Gorder, HeapCompactionBoundsStarGraphPeak)
+{
+    // A star with hub propagation enabled (hub_cutoff = 0) is the worst
+    // case for the lazy heap: every leaf placement re-bumps every other
+    // unplaced leaf through the center, so entries pile up quadratically
+    // and decay to stale as the window slides.  With compaction off the
+    // heap peaks near the total event count; with it on the peak stays
+    // within ~2x the live leaf count — and the emitted order must not
+    // move, because compaction only drops entries a pop would have
+    // discarded anyway.
+    const auto g = star_graph(1000);
+    auto& reg = obs::MetricsRegistry::instance();
+    GorderOptions opt;
+    opt.hub_cutoff = 0;
+    opt.heap_compaction = false;
+    const auto pi_off = gorder_order(g, opt);
+    const double peak_off = reg.gauge("order/gorder/heap_peak").value();
+    const auto compactions_before =
+        reg.counter("order/gorder/heap_compactions").value();
+    opt.heap_compaction = true;
+    const auto pi_on = gorder_order(g, opt);
+    const double peak_on = reg.gauge("order/gorder/heap_peak").value();
+    const auto compactions_after =
+        reg.counter("order/gorder/heap_compactions").value();
+    EXPECT_EQ(pi_on.ranks(), pi_off.ranks());
+    EXPECT_GT(compactions_after, compactions_before);
+    EXPECT_LT(peak_on, peak_off / 2.0)
+        << "peak_on=" << peak_on << " peak_off=" << peak_off;
 }
 
 // ------------------------------------------------- partition / community

@@ -16,9 +16,13 @@
 #include "order/basic.hpp"
 #include "order/boba.hpp"
 #include "order/dbg.hpp"
+#include "order/gorder.hpp"
 #include "order/hub.hpp"
 #include "order/partition_order.hpp"
+#include "order/rabbit.hpp"
+#include "order/rcm.hpp"
 #include "order/scheme.hpp"
+#include "order/slashburn.hpp"
 #include "testutil.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -344,6 +348,143 @@ TEST(ParallelPrimitives, ThreadKnobResolution)
     EXPECT_EQ(resolve_threads(5), 5);
     set_default_threads(0);
     EXPECT_GE(default_threads(), 1);
+}
+
+TEST(ParallelPrimitives, ConcatBlocksPreservesBlockOrder)
+{
+    const std::vector<std::vector<vid_t>> bufs{
+        {3, 1}, {}, {4, 1, 5}, {9}};
+    const std::vector<vid_t> expect{3, 1, 4, 1, 5, 9};
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(concat_blocks(bufs), expect) << "threads=" << t;
+    }
+    EXPECT_TRUE(concat_blocks(std::vector<std::vector<vid_t>>{})
+                    .empty());
+}
+
+// ------------------------------------------------- heavyweight schemes
+// The CI sanitizer job re-runs every test whose name contains
+// "Heavyweight" at OMP_NUM_THREADS 1 and 4 — keep that token in any
+// test added below (see .github/workflows/ci.yml).
+
+/** The four heavyweight schemes by their library entry points. */
+const std::vector<
+    std::pair<std::string, Permutation (*)(const Csr&)>>&
+heavyweight_runners()
+{
+    static const std::vector<
+        std::pair<std::string, Permutation (*)(const Csr&)>>
+        runners{
+            {"gorder",
+             +[](const Csr& g) { return gorder_order(g); }},
+            {"slashburn",
+             +[](const Csr& g) { return slashburn_order(g); }},
+            {"rcm", +[](const Csr& g) { return rcm_order(g); }},
+            {"rabbit", +[](const Csr& g) { return rabbit_order(g); }},
+        };
+    return runners;
+}
+
+/** Disconnected graph: a path, a clique, a star and isolated tails —
+ *  the shapes that stress SlashBurn's CC rounds and RCM's per-component
+ *  restart. */
+Csr
+disconnected_graph()
+{
+    GraphBuilder b(64); // vertices 50..63 stay isolated
+    for (vid_t v = 0; v + 1 < 16; ++v)
+        b.add_edge(v, v + 1); // path on 0..15
+    for (vid_t u = 20; u < 28; ++u)
+        for (vid_t v = u + 1; v < 28; ++v)
+            b.add_edge(u, v); // clique on 20..27
+    for (vid_t v = 31; v < 44; ++v)
+        b.add_edge(30, v); // star centered at 30
+    return b.finalize();
+}
+
+TEST(HeavyweightDeterminism, ThreadSweepBitIdenticalOnMenagerie)
+{
+    for (const auto& [gname, g] : testing::test_menagerie()) {
+        for (const auto& [sname, run] : heavyweight_runners()) {
+            ThreadGuard g1(1);
+            const auto base = run(g);
+            ASSERT_TRUE(base.is_valid()) << gname << "/" << sname;
+            for (int t : kSweep) {
+                ThreadGuard gt(t);
+                EXPECT_EQ(run(g).ranks(), base.ranks())
+                    << gname << "/" << sname << " threads=" << t;
+            }
+        }
+    }
+}
+
+TEST(HeavyweightDeterminism, ThreadSweepBitIdenticalOnDisconnected)
+{
+    const auto g = disconnected_graph();
+    for (const auto& [sname, run] : heavyweight_runners()) {
+        ThreadGuard g1(1);
+        const auto base = run(g);
+        ASSERT_TRUE(base.is_valid()) << sname;
+        for (int t : kSweep) {
+            ThreadGuard gt(t);
+            EXPECT_EQ(run(g).ranks(), base.ranks())
+                << sname << " threads=" << t;
+        }
+    }
+}
+
+TEST(HeavyweightDeterminism, GorderForcedBlocksThreadSweep)
+{
+    // The menagerie graphs are below the auto-block threshold, so they
+    // only cover Gorder's serial path; force 4 blocks on a graph large
+    // enough that every block holds real work, so the partition +
+    // per-block greedy + concat pipeline runs under a real team.
+    const vid_t n = 3000;
+    const auto g = build_csr(n, random_edges(n, 15000, 83));
+    GorderOptions opt;
+    opt.blocks = 4;
+    ThreadGuard g1(1);
+    const auto base = gorder_order(g, opt);
+    ASSERT_TRUE(base.is_valid());
+    for (int t : kSweep) {
+        ThreadGuard gt(t);
+        EXPECT_EQ(gorder_order(g, opt).ranks(), base.ranks())
+            << "threads=" << t;
+    }
+    // The block count (not the thread count) is the semantic knob:
+    // a different count is a different — still valid — permutation
+    // contract, while the same count is bit-stable at any team size.
+    opt.blocks = 1;
+    ThreadGuard g8(8);
+    EXPECT_TRUE(gorder_order(g, opt).is_valid());
+}
+
+TEST(HeavyweightDeterminism, RegistryFlagsCoverTheParallelTier)
+{
+    for (const char* name : {"gorder", "slashburn", "rcm", "rabbit"}) {
+        const auto& s = scheme_by_name(name);
+        EXPECT_TRUE(s.parallel) << name;
+        EXPECT_TRUE(s.deterministic) << name;
+    }
+    // The Louvain-backed schemes are parallel but *not* deterministic;
+    // the serial baselines are neither.
+    EXPECT_TRUE(scheme_by_name("grappolo").parallel);
+    EXPECT_FALSE(scheme_by_name("grappolo").deterministic);
+    EXPECT_FALSE(scheme_by_name("natural").parallel);
+    EXPECT_FALSE(scheme_by_name("metis-32").parallel);
+    // Every parallel-flagged scheme that also claims determinism must
+    // honor it on a real graph: flag combinations are contract, not
+    // documentation.
+    const auto g = testing::two_cliques(10);
+    for (const auto& s : all_schemes()) {
+        if (!s.parallel || !s.deterministic)
+            continue;
+        ThreadGuard g1(1);
+        const auto base = s.run(g, 2020).ranks();
+        ThreadGuard g8(8);
+        EXPECT_EQ(s.run(g, 2020).ranks(), base) << s.name;
+    }
 }
 
 } // namespace

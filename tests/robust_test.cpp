@@ -22,11 +22,13 @@
 #include "influence/imm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "order/gorder.hpp"
 #include "order/runner.hpp"
 #include "order/scheme.hpp"
 #include "testutil.hpp"
 #include "util/cancel.hpp"
 #include "util/faultpoint.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
 
@@ -422,6 +424,94 @@ TEST(CancelToken, ManualCancellation)
 TEST(CancelToken, CheckpointIsANoOpWithoutAToken)
 {
     EXPECT_NO_THROW(checkpoint("anywhere"));
+}
+
+// ----------------------------------------- cancellation under parallelism
+
+namespace {
+
+/** RAII thread-override guard (mirrors tests/parallel_test.cpp). */
+struct ThreadGuard
+{
+    explicit ThreadGuard(int n) { set_default_threads(n); }
+    ~ThreadGuard() { set_default_threads(0); }
+};
+
+} // namespace
+
+TEST(CancelToken, ParallelCheckpointLatchesAndRethrows)
+{
+    CancelToken token({0, 0});
+    ScopedCancelToken scope(token);
+    ParallelCheckpoint cp("test/region");
+    EXPECT_FALSE(cp.stop());
+    EXPECT_NO_THROW(cp.rethrow());
+    token.cancel(); // as if another thread cancelled mid-region
+    EXPECT_TRUE(cp.stop());
+    EXPECT_TRUE(cp.stop()); // latched
+    try {
+        cp.rethrow();
+        FAIL() << "expected Cancelled";
+    } catch (const GraphorderError& e) {
+        EXPECT_EQ(e.code(), StatusCode::Cancelled);
+        EXPECT_NE(std::string(e.what()).find("test/region"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(CancelToken, ParallelCheckpointIsANoOpWithoutAToken)
+{
+    ParallelCheckpoint cp("test/region");
+    EXPECT_FALSE(cp.stop());
+    EXPECT_NO_THROW(cp.rethrow());
+}
+
+TEST(CancelToken, HeavyweightSchemesObserveCancelUnderParallelism)
+{
+    // A pre-cancelled token must stop every heavyweight scheme even
+    // when its kernels run on a real OpenMP team: the serial round
+    // checkpoints and the ParallelCheckpoint bridges both feed off the
+    // installing thread's token.
+    const auto g = two_cliques(12);
+    for (const char* name : {"gorder", "slashburn", "rcm", "rabbit"}) {
+        CancelToken token({0, 0});
+        token.cancel();
+        ScopedCancelToken scope(token);
+        ThreadGuard tg(4);
+        EXPECT_THROW(scheme_by_name(name).run(g, 2020),
+                     GraphorderError)
+            << name;
+    }
+}
+
+TEST(CancelToken, GorderBlockedEmitStopsOnExpiredDeadline)
+{
+    // Force the partition-parallel Gorder path (blocks = 4) on a graph
+    // big enough that the greedy emit cannot finish inside a 1 ms
+    // budget: the run must die with BudgetExceeded whichever side
+    // observes it first — the serial partition checkpoint or the
+    // ParallelCheckpoint rethrow after the block loop.
+    Rng rng(17);
+    GraphBuilder b(20000);
+    for (int i = 0; i < 80000; ++i) {
+        const auto u = static_cast<vid_t>(rng.next_below(20000));
+        const auto v = static_cast<vid_t>(rng.next_below(20000));
+        if (u != v)
+            b.add_edge(u, v);
+    }
+    const Csr g = b.finalize();
+    GorderOptions opt;
+    opt.blocks = 4;
+    CancelToken token({1.0, 0});
+    ScopedCancelToken scope(token);
+    ThreadGuard tg(4);
+    try {
+        gorder_order(g, opt);
+        FAIL() << "expected BudgetExceeded";
+    } catch (const GraphorderError& e) {
+        EXPECT_EQ(e.code(), StatusCode::BudgetExceeded) << e.what();
+    }
 }
 
 // -------------------------------------------------------- parser messages

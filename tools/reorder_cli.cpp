@@ -97,7 +97,8 @@ usage(const char* argv0)
         "                   hardware LLC-miss ratio and a full metrics\n"
         "                   snapshot — the input to tools/benchdiff\n"
         "  --list           list registered schemes (name, category,\n"
-        "                   cost class, determinism, fallback chain) and\n"
+        "                   cost class, determinism, parallelism,\n"
+        "                   fallback chain) and\n"
         "                   exit; with --json, a machine-readable dump\n"
         "                   docs/scheme-selection.md is checked against\n"
         "exit codes: 0 ok; 1 usage error; 2 invalid input; 3 budget\n"
@@ -130,13 +131,15 @@ list_schemes(bool json)
                         "\"cost_class\": \"%s\", "
                         "\"deadline_hint_ms\": %.6g, "
                         "\"scalable\": %s, \"deterministic\": %s, "
+                        "\"parallel\": %s, "
                         "\"fallback\": [",
                         first ? "" : ",", s.name.c_str(),
                         category_name(s.category),
                         cost_class_name(s.cost_class),
                         s.deadline_hint_ms,
                         s.scalable ? "true" : "false",
-                        s.deterministic ? "true" : "false");
+                        s.deterministic ? "true" : "false",
+                        s.parallel ? "true" : "false");
             for (std::size_t i = 0; i < s.fallback.size(); ++i)
                 std::printf("%s\"%s\"", i ? ", " : "",
                             s.fallback[i].c_str());
@@ -148,12 +151,13 @@ list_schemes(bool json)
     }
     Table t("registered ordering schemes");
     t.header({"name", "category", "cost class", "large-graph safe",
-              "deterministic", "fallback chain"});
+              "deterministic", "parallel", "fallback chain"});
     for (const auto& s : all_schemes())
         t.row({s.name, category_name(s.category),
                cost_class_name(s.cost_class),
                s.scalable ? "yes" : "no",
                s.deterministic ? "yes" : "no",
+               s.parallel ? "yes" : "no",
                fallback_chain_str(s, " > ")});
     t.print();
 }
