@@ -1,0 +1,473 @@
+/**
+ * @file
+ * `service_load` — load generator and resilience harness for the
+ * reorder service (DESIGN.md §16).
+ *
+ * Three phases, each a fresh ReorderService instance:
+ *
+ *   steady    N concurrent clients (socketpair + the real wire
+ *             protocol, pipelining depth 4) issue a deterministic
+ *             mixed light/heavy schedule.  Reports client-observed
+ *             p50/p95/p99 latency and throughput, and the cache hit
+ *             rate.  The *deterministic* identities — requests, OK
+ *             responses, unique (graph, scheme, seed) keys — are
+ *             published as exact-gated counters; timing-dependent
+ *             rates are gauges.
+ *
+ *   overload  1 worker, tiny queue, a pipelined no_cache burst: the
+ *             bounded queue must reject (`Overloaded`) rather than
+ *             grow, and every admitted job must still complete —
+ *             `rejected + completed == burst` is asserted, not just
+ *             reported.
+ *
+ *   chaos     sustained fault injection (`service.*` and `order.*`
+ *             sites, the `N+`/`*` spec modes) under 8 concurrent
+ *             submitters.  Asserts exactly one response per request
+ *             and that the service kept answering (degraded or typed
+ *             errors, never silence).
+ *
+ * Extra flags (before the common bench flags): --clients N,
+ * --requests N (per client, steady phase), --service-workers N.
+ *
+ * Exit: 0 when every phase's invariants held, else 4.
+ */
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/faultpoint.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+using namespace graphorder;
+
+namespace {
+
+struct LoadOptions
+{
+    int clients = 8;
+    int requests = 40; ///< per client, steady phase
+    int service_workers = 4;
+};
+
+std::uint64_t
+counter_value(const char* name)
+{
+    return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+/** Deterministic steady-phase schedule: client c's i-th request. */
+std::string
+steady_request(int c, int i)
+{
+    // 3 graphs x 4 schemes; the heavy scheme (rcm on the larger
+    // instance) appears every 8th slot so light traffic dominates, as
+    // in the paper's advisor playbook.
+    static const char* kGraphs[] = {"pgp", "euroroad", "openflights"};
+    static const char* kSchemes[] = {"degree", "natural", "dbg", "rcm"};
+    const int slot = c * 7919 + i; // distinct per-client phase
+    const char* graph = kGraphs[slot % 3];
+    const char* scheme = kSchemes[(slot / 3) % 4];
+    return std::string("ORDER graph=") + graph + " scheme=" + scheme
+           + " id=c" + std::to_string(c) + "r" + std::to_string(i);
+}
+
+/** One steady-phase client over a socketpair: pipelining depth 4. */
+struct ClientResult
+{
+    int sent = 0;
+    int ok = 0;
+    int err = 0;
+    std::vector<double> latencies_ms; ///< server-reported total_ms
+};
+
+ClientResult
+run_client(service::ReorderService& svc, int c, int requests)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        std::perror("socketpair");
+        return {};
+    }
+    std::thread server([&svc, fd = fds[1]] {
+        svc.serve_fd(fd, fd);
+        ::close(fd);
+    });
+
+    ClientResult res;
+    service::LineReader reader(fds[0]);
+    std::string line;
+    constexpr int kWindow = 4;
+    int inflight = 0, next = 0;
+    auto send_one = [&] {
+        const std::string req = steady_request(c, next++);
+        std::string framed = req + "\n";
+        (void)!::write(fds[0], framed.data(), framed.size());
+        ++res.sent;
+        ++inflight;
+    };
+    auto recv_one = [&] {
+        if (reader.next(line) != service::LineReader::Result::kLine)
+            return false;
+        --inflight;
+        try {
+            const auto r = service::parse_response(line);
+            if (r.ok) {
+                ++res.ok;
+                const std::string ms = r.get("total_ms", "0");
+                res.latencies_ms.push_back(std::atof(ms.c_str()));
+            } else {
+                ++res.err;
+            }
+        } catch (...) {
+            ++res.err;
+        }
+        return true;
+    };
+    while (next < requests || inflight > 0) {
+        while (next < requests && inflight < kWindow)
+            send_one();
+        if (!recv_one())
+            break;
+    }
+    ::shutdown(fds[0], SHUT_WR); // EOF to the server thread
+    server.join();
+    ::close(fds[0]);
+    return res;
+}
+
+int
+phase_steady(const LoadOptions& lopt, const bench::BenchOptions& opt)
+{
+    std::printf("== steady: %d clients x %d requests, %d workers ==\n",
+                lopt.clients, lopt.requests, lopt.service_workers);
+    service::ServiceOptions sopt;
+    sopt.workers = lopt.service_workers;
+    sopt.queue_capacity = 256;
+    sopt.cache_capacity = 256;
+    service::ReorderService svc(sopt);
+    for (const char* g : {"pgp", "euroroad", "openflights"}) {
+        const Status st = svc.gen_graph(g, g);
+        if (!st.is_ok()) {
+            std::printf("FAILED to generate %s: %s\n", g,
+                        st.to_string().c_str());
+            return 1;
+        }
+    }
+
+    const std::uint64_t misses0 = counter_value("service/cache_misses");
+    Timer t;
+    std::vector<std::thread> threads;
+    std::vector<ClientResult> results(
+        static_cast<std::size_t>(lopt.clients));
+    for (int c = 0; c < lopt.clients; ++c)
+        threads.emplace_back([&, c] {
+            results[static_cast<std::size_t>(c)] =
+                run_client(svc, c, lopt.requests);
+        });
+    for (auto& th : threads)
+        th.join();
+    const double elapsed_s = t.elapsed_s();
+    svc.stop();
+
+    ClientResult total;
+    std::vector<double> lat;
+    for (const auto& r : results) {
+        total.sent += r.sent;
+        total.ok += r.ok;
+        total.err += r.err;
+        lat.insert(lat.end(), r.latencies_ms.begin(),
+                   r.latencies_ms.end());
+    }
+    std::sort(lat.begin(), lat.end());
+    auto pct = [&](double p) {
+        if (lat.empty())
+            return 0.0;
+        const auto idx = static_cast<std::size_t>(
+            p * static_cast<double>(lat.size() - 1));
+        return lat[idx];
+    };
+    const std::uint64_t unique =
+        counter_value("service/cache_misses") - misses0;
+    // Hits and coalesced rides split nondeterministically, but their
+    // sum is exact: everything that was not one of the `unique`
+    // leader computations was answered without recomputing.
+    const double hit_rate =
+        total.sent == 0 ? 0.0
+                        : 1.0
+                              - static_cast<double>(unique)
+                                    / static_cast<double>(total.sent);
+    const double rps =
+        elapsed_s > 0 ? static_cast<double>(total.sent) / elapsed_s
+                      : 0.0;
+
+    std::printf("requests %d  ok %d  err %d  unique %llu\n",
+                total.sent, total.ok, total.err,
+                static_cast<unsigned long long>(unique));
+    std::printf(
+        "latency p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+        "throughput %.0f req/s  hit-rate %.3f\n",
+        pct(0.50), pct(0.95), pct(0.99), rps, hit_rate);
+
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("service_load/steady_requests")
+        .add(static_cast<std::uint64_t>(total.sent));
+    reg.counter("service_load/steady_ok")
+        .add(static_cast<std::uint64_t>(total.ok));
+    reg.counter("service_load/steady_unique_keys").add(unique);
+    reg.gauge("service_load/cache_hit_rate").set(hit_rate);
+    reg.gauge("service_load/throughput_rps").set(rps);
+    reg.gauge("service_load/steady_p95_ms").set(pct(0.95));
+    auto& h = reg.histogram("service_load/latency_s");
+    for (const double ms : lat)
+        h.observe(ms / 1000.0);
+    (void)opt;
+
+    if (total.ok != total.sent) {
+        std::printf("FAILED: %d of %d steady requests errored\n",
+                    total.err, total.sent);
+        return 1;
+    }
+    return 0;
+}
+
+int
+phase_overload(const LoadOptions& lopt)
+{
+    // Two deterministic halves.  (a) Admission control: with no
+    // workers draining, a burst against a 4-slot queue must admit
+    // exactly 4 jobs and reject the other 60 as Overloaded — no
+    // timing in the split, so the counters diff exactly against the
+    // committed baseline.  (b) Completion: with workers running, every
+    // admitted job completes.  A single service with one worker would
+    // interleave draining with submission and make the admitted count
+    // (and the underlying scheme-run histograms) timing-dependent.
+    constexpr int kBurst = 64;
+    constexpr int kAdmitted = 8;
+    std::printf("== overload: burst %d, 0 workers, queue 4 ==\n",
+                kBurst);
+    std::atomic<int> ok{0}, overloaded{0}, other{0};
+    std::atomic<int> responses{0};
+    {
+        service::ServiceOptions sopt;
+        sopt.workers = 0;
+        sopt.queue_capacity = 4;
+        service::ReorderService svc(sopt);
+        Status st = svc.gen_graph("pgp", "pgp");
+        if (!st.is_ok()) {
+            std::printf("FAILED: %s\n", st.to_string().c_str());
+            return 1;
+        }
+        // no_cache so neither the cache nor single-flight can absorb
+        // the burst: every request passes admission individually.
+        for (int i = 0; i < kBurst; ++i) {
+            service::Request req;
+            req.verb = service::Verb::kOrder;
+            req.graph = "pgp";
+            req.scheme = "rcm";
+            req.no_cache = true;
+            req.id = "b" + std::to_string(i);
+            svc.submit(req, [&](const service::OrderOutcome& o) {
+                if (o.status.is_ok())
+                    ++ok;
+                else if (o.status.code() == StatusCode::Overloaded)
+                    ++overloaded;
+                else
+                    ++other;
+                ++responses;
+            });
+        }
+        // stop() answers the 4 queued-but-unrun jobs as Unavailable;
+        // they count as neither completed nor rejected.
+        svc.stop();
+    }
+    std::printf("ok %d  overloaded %d  other %d  (of %d)\n", ok.load(),
+                overloaded.load(), other.load(), kBurst);
+
+    std::printf("== overload: %d admitted jobs, 2 workers ==\n",
+                kAdmitted);
+    std::atomic<int> completed{0};
+    {
+        service::ServiceOptions sopt;
+        sopt.workers = 2;
+        sopt.queue_capacity = 64;
+        service::ReorderService svc(sopt);
+        Status st = svc.gen_graph("pgp", "pgp");
+        if (!st.is_ok()) {
+            std::printf("FAILED: %s\n", st.to_string().c_str());
+            return 1;
+        }
+        std::atomic<int> answered{0};
+        for (int i = 0; i < kAdmitted; ++i) {
+            service::Request req;
+            req.verb = service::Verb::kOrder;
+            req.graph = "pgp";
+            req.scheme = "rcm";
+            req.no_cache = true;
+            req.id = "c" + std::to_string(i);
+            svc.submit(req, [&](const service::OrderOutcome& o) {
+                if (o.status.is_ok())
+                    ++completed;
+                ++responses;
+                ++answered;
+            });
+        }
+        // stop() sheds queued-but-unrun jobs as Unavailable, so wait
+        // for every callback before tearing the service down.
+        while (answered.load() < kAdmitted)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        svc.stop();
+    }
+    std::printf("completed %d (of %d)\n", completed.load(), kAdmitted);
+
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("service_load/overload_rejected")
+        .add(static_cast<std::uint64_t>(overloaded.load()));
+    reg.counter("service_load/overload_completed")
+        .add(static_cast<std::uint64_t>(completed.load()));
+    reg.counter("service_load/overload_responses")
+        .add(static_cast<std::uint64_t>(responses.load()));
+
+    if (responses.load() != kBurst + kAdmitted) {
+        std::printf("FAILED: %d responses for %d requests\n",
+                    responses.load(), kBurst + kAdmitted);
+        return 1;
+    }
+    if (overloaded.load() != kBurst - 4 || other.load() != 4) {
+        std::printf("FAILED: admission split %d/%d, expected %d/4\n",
+                    overloaded.load(), other.load(), kBurst - 4);
+        return 1;
+    }
+    if (completed.load() != kAdmitted) {
+        std::printf("FAILED: only %d of %d admitted jobs completed\n",
+                    completed.load(), kAdmitted);
+        return 1;
+    }
+    (void)lopt;
+    return 0;
+}
+
+int
+phase_chaos(const LoadOptions& lopt)
+{
+    const std::vector<std::string> kSweeps = {
+        "service.worker.exec:3+",
+        "service.admit:5+",
+        "service.cache.lookup:*",
+        "order.scheme:2+",
+    };
+    constexpr int kPerClient = 10;
+    int rc = 0;
+    for (const auto& spec : kSweeps) {
+        std::printf("== chaos: %s, %d clients x %d ==\n", spec.c_str(),
+                    lopt.clients, kPerClient);
+        service::ServiceOptions sopt;
+        sopt.workers = lopt.service_workers;
+        sopt.queue_capacity = 64;
+        service::ReorderService svc(sopt);
+        Status st = svc.gen_graph("pgp", "pgp");
+        if (!st.is_ok()) {
+            std::printf("FAILED: %s\n", st.to_string().c_str());
+            return 1;
+        }
+        clear_faults();
+        apply_fault_spec(spec);
+
+        std::atomic<int> responses{0}, oks{0}, errs{0};
+        std::vector<std::thread> threads;
+        for (int c = 0; c < lopt.clients; ++c)
+            threads.emplace_back([&, c] {
+                for (int i = 0; i < kPerClient; ++i) {
+                    service::Request req;
+                    req.verb = service::Verb::kOrder;
+                    req.graph = "pgp";
+                    req.scheme = "degree";
+                    req.seed = static_cast<std::uint64_t>(
+                        c * kPerClient + i); // distinct keys
+                    req.id = "x";
+                    const auto o = svc.order(req);
+                    ++responses;
+                    if (o.status.is_ok())
+                        ++oks;
+                    else
+                        ++errs;
+                }
+            });
+        for (auto& th : threads)
+            th.join();
+        clear_faults();
+        svc.stop();
+
+        const int expect = lopt.clients * kPerClient;
+        std::printf("responses %d  ok %d  err %d  queue_depth %zu\n",
+                    responses.load(), oks.load(), errs.load(),
+                    svc.queue_depth());
+        obs::MetricsRegistry::instance()
+            .counter("service_load/chaos_responses")
+            .add(static_cast<std::uint64_t>(responses.load()));
+        obs::MetricsRegistry::instance()
+            .counter("service_load/chaos_requests")
+            .add(static_cast<std::uint64_t>(expect));
+        if (responses.load() != expect || svc.queue_depth() != 0) {
+            std::printf("FAILED: lost responses or stuck jobs under "
+                        "%s\n",
+                        spec.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    // Pull out the service_load-specific flags, then hand the rest to
+    // the common parser (which fatals on anything it does not know).
+    LoadOptions lopt;
+    std::vector<char*> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--clients" && i + 1 < argc)
+            lopt.clients = std::atoi(argv[++i]);
+        else if (a == "--requests" && i + 1 < argc)
+            lopt.requests = std::atoi(argv[++i]);
+        else if (a == "--service-workers" && i + 1 < argc)
+            lopt.service_workers = std::atoi(argv[++i]);
+        else
+            rest.push_back(argv[i]);
+    }
+    const auto opt = bench::parse_args(static_cast<int>(rest.size()),
+                                       rest.data());
+    if (opt.smoke || opt.quick)
+        lopt.requests = std::min(lopt.requests, 16);
+
+    bench::print_header("service_load",
+                        "reorder service load, overload and chaos",
+                        opt);
+
+    int rc = 0;
+    rc |= phase_steady(lopt, opt);
+    rc |= phase_overload(lopt);
+    rc |= phase_chaos(lopt);
+    std::printf(rc == 0 ? "service_load: all phases passed\n"
+                        : "service_load: FAILURES above\n");
+    return rc == 0 ? 0 : exit_code_for(StatusCode::Internal);
+}

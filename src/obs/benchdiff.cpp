@@ -40,6 +40,26 @@ default_diff_rules()
         // tolerances as the memsim family.
         {"counters/compress/*", 0.05, 64.0, false},
         {"gauges/compress/*", 0.05, 0.25, false},
+        // Service-load request accounting (bench/service_load): the
+        // steady/overload/chaos phases use fixed request counts and a
+        // deterministic request mix, so sent/ok/unique-key counters
+        // must reproduce exactly at any thread count.
+        {"counters/service_load/*", 0.0, 0.0, false},
+        // Cache hit rate is 1 - unique_keys/sent (misses == unique keys
+        // by the single-flight invariant): deterministic up to the
+        // hit-vs-coalesced split, which this gauge does not separate.
+        // Higher is better; 2% absolute absorbs nothing today but keeps
+        // the rule valid if the mix ever gains a timing-split metric.
+        {"gauges/service_load/cache_hit_rate", 0.10, 0.02, true},
+        // Throughput is hardware-bound: only flag a collapse (>90%
+        // drop), not machine-to-machine variance.  Higher is better.
+        {"gauges/service_load/throughput_rps", 0.90, 0.0, true},
+        // End-to-end request latency under concurrency: wall-clock
+        // noise dominates at smoke scale (the `sum` field aggregates
+        // it over every sample), so only a blowup — 2x past a
+        // two-second floor — is a regression.
+        {"histograms/service/latency_s/*", 1.0, 2.0, false},
+        {"histograms/service_load/latency_s/*", 1.0, 2.0, false},
         // Reorder wall time per scheme (the fig4 heavyweight sweep runs
         // at a pinned GRAPHORDER_THREADS=8 in CI): 10% guards real
         // slowdowns in the parallel kernels; the quarter-second floor

@@ -1,0 +1,69 @@
+#include "service/cache.hpp"
+
+namespace graphorder::service {
+
+bool
+PermutationCache::lookup(const CacheKey& key, CacheEntry& out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    lru_.splice(lru_.begin(), lru_, it->second); // promote
+    out = it->second->second;
+    return true;
+}
+
+void
+PermutationCache::insert(const CacheKey& key, CacheEntry entry)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second->second = std::move(entry);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(entry));
+    map_[key] = lru_.begin();
+    while (map_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+}
+
+std::size_t
+PermutationCache::invalidate_fingerprint(std::uint64_t fingerprint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t removed = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+        if (it->first.fingerprint == fingerprint) {
+            map_.erase(it->first);
+            it = lru_.erase(it);
+            ++removed;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+void
+PermutationCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+}
+
+std::size_t
+PermutationCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+} // namespace graphorder::service

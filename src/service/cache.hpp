@@ -1,0 +1,94 @@
+/**
+ * @file
+ * LRU permutation cache of the reorder service.
+ *
+ * Keyed by (graph fingerprint, scheme, params): the *fingerprint* — not
+ * the graph name — so re-LOADing a graph under the same name can never
+ * serve a stale permutation (the new fingerprint simply misses), and two
+ * names bound to identical graphs share entries.  `invalidate` by
+ * fingerprint still exists for eager reclamation on reload/DROP.
+ *
+ * Entries hold shared_ptr<const Permutation>; a hit hands out the same
+ * immutable object concurrently without copying the rank vector.
+ * Single-flight coalescing of concurrent identical misses lives in the
+ * server (it needs the job machinery), not here — this class is a plain
+ * bounded map under one mutex.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "graph/permutation.hpp"
+
+namespace graphorder::service {
+
+struct CacheKey
+{
+    std::uint64_t fingerprint = 0; ///< graph fingerprint (csr.hpp)
+    std::string scheme;            ///< *requested* scheme name
+    std::string params;            ///< canonical extras, e.g. "seed=42"
+
+    bool operator==(const CacheKey& o) const
+    {
+        return fingerprint == o.fingerprint && scheme == o.scheme
+               && params == o.params;
+    }
+};
+
+struct CacheKeyHash
+{
+    std::size_t operator()(const CacheKey& k) const
+    {
+        std::size_t h = std::hash<std::uint64_t>{}(k.fingerprint);
+        h ^= std::hash<std::string>{}(k.scheme) + 0x9e3779b9
+             + (h << 6) + (h >> 2);
+        h ^= std::hash<std::string>{}(k.params) + 0x9e3779b9
+             + (h << 6) + (h >> 2);
+        return h;
+    }
+};
+
+struct CacheEntry
+{
+    std::shared_ptr<const Permutation> perm;
+    std::string scheme_used; ///< may differ from key when degraded
+    std::uint64_t perm_fnv = 0;
+};
+
+class PermutationCache
+{
+  public:
+    explicit PermutationCache(std::size_t capacity)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Copy of the entry (shared perm), promoting it to most-recent. */
+    bool lookup(const CacheKey& key, CacheEntry& out);
+
+    /** Insert or overwrite; evicts least-recently-used past capacity.
+     *  A capacity of 0 disables the cache entirely. */
+    void insert(const CacheKey& key, CacheEntry entry);
+
+    /** Drop every entry for @p fingerprint (graph reloaded/dropped).
+     *  @return entries removed. */
+    std::size_t invalidate_fingerprint(std::uint64_t fingerprint);
+
+    void clear();
+    std::size_t size() const;
+
+  private:
+    using LruList = std::list<std::pair<CacheKey, CacheEntry>>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    LruList lru_; ///< front = most recent
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+};
+
+} // namespace graphorder::service

@@ -1,0 +1,449 @@
+#include "service/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "util/faultpoint.hpp"
+
+namespace graphorder::service {
+
+namespace {
+
+// Chaos-test hook: makes "the parser itself blew up" an injectable
+// event, distinct from genuinely malformed input.  The connection loop
+// answers either with a per-request ERR line and carries on.
+FaultPoint fp_proto_parse{
+    "service.proto.parse", StatusCode::InvalidInput,
+    "request line fails to parse regardless of its content"};
+
+[[noreturn]] void
+bad(const std::string& what)
+{
+    throw GraphorderError(StatusCode::InvalidInput,
+                          "protocol: " + what);
+}
+
+/** Split on single spaces; empty tokens (runs of spaces) are skipped. */
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        const std::size_t sp = line.find(' ', pos);
+        const std::size_t end = sp == std::string::npos ? line.size() : sp;
+        if (end > pos)
+            out.push_back(line.substr(pos, end - pos));
+        if (out.size() > kMaxFields)
+            bad("too many fields (max "
+                + std::to_string(kMaxFields) + ")");
+        pos = end + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parse_u64(const std::string& key, const std::string& value)
+{
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE
+        || value[0] == '-')
+        bad("field '" + key + "': not a non-negative integer: '" + value
+            + "'");
+    return v;
+}
+
+double
+parse_double(const std::string& key, const std::string& value)
+{
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || !(v >= 0)
+        || !(v < 1e18))
+        bad("field '" + key + "': not a finite non-negative number: '"
+            + value + "'");
+    return v;
+}
+
+bool
+parse_bool(const std::string& key, const std::string& value)
+{
+    if (value == "1")
+        return true;
+    if (value == "0")
+        return false;
+    bad("field '" + key + "': expected 0 or 1, got '" + value + "'");
+}
+
+const std::map<std::string, Verb>&
+verb_table()
+{
+    static const std::map<std::string, Verb> t = {
+        {"ORDER", Verb::kOrder},   {"LOAD", Verb::kLoad},
+        {"GEN", Verb::kGen},       {"DROP", Verb::kDrop},
+        {"STATS", Verb::kStats},   {"PING", Verb::kPing},
+        {"QUIT", Verb::kQuit},     {"SHUTDOWN", Verb::kShutdown},
+    };
+    return t;
+}
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+ms_str(double ms)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+    return buf;
+}
+
+/** Reverse of status_code_name; Internal for unknown labels (a client
+ *  talking to a newer server must not crash on a new code). */
+StatusCode
+status_code_from_name(const std::string& name)
+{
+    static const StatusCode all[] = {
+        StatusCode::Ok,           StatusCode::InvalidInput,
+        StatusCode::Truncated,    StatusCode::BudgetExceeded,
+        StatusCode::Cancelled,    StatusCode::InvariantViolation,
+        StatusCode::Internal,     StatusCode::Overloaded,
+        StatusCode::Unavailable,
+    };
+    for (StatusCode c : all)
+        if (name == status_code_name(c))
+            return c;
+    return StatusCode::Internal;
+}
+
+} // namespace
+
+const char*
+verb_name(Verb v)
+{
+    switch (v) {
+      case Verb::kOrder: return "ORDER";
+      case Verb::kLoad: return "LOAD";
+      case Verb::kGen: return "GEN";
+      case Verb::kDrop: return "DROP";
+      case Verb::kStats: return "STATS";
+      case Verb::kPing: return "PING";
+      case Verb::kQuit: return "QUIT";
+      case Verb::kShutdown: return "SHUTDOWN";
+    }
+    return "?";
+}
+
+Request
+parse_request(const std::string& raw)
+{
+    fp_proto_parse.maybe_fire();
+
+    std::string line = raw;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    if (line.size() > kMaxLineBytes)
+        bad("line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+    for (char c : line)
+        if (c == '\0' || (static_cast<unsigned char>(c) < 0x20
+                          && c != ' '))
+            bad("control byte in request line");
+
+    const auto tokens = tokenize(line);
+    if (tokens.empty())
+        bad("empty request");
+    const auto vit = verb_table().find(tokens[0]);
+    if (vit == verb_table().end())
+        bad("unknown verb '" + tokens[0] + "'");
+
+    Request req;
+    req.verb = vit->second;
+
+    std::map<std::string, std::string> kv;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string& tok = tokens[i];
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            bad("expected key=value, got '" + tok + "'");
+        std::string key = tok.substr(0, eq);
+        std::string value = tok.substr(eq + 1);
+        if (value.size() > kMaxValueBytes)
+            bad("field '" + key + "': value exceeds "
+                + std::to_string(kMaxValueBytes) + " bytes");
+        if (!kv.emplace(std::move(key), std::move(value)).second)
+            bad("duplicate field '" + tok.substr(0, eq) + "'");
+    }
+
+    // Per-verb schema: every present key must be known, and required
+    // keys must be present.  Unknown keys are rejected rather than
+    // ignored so a typo ("schem=") cannot silently pick defaults.
+    auto take = [&kv](const char* key) {
+        auto it = kv.find(key);
+        if (it == kv.end())
+            return std::pair<bool, std::string>{false, {}};
+        std::pair<bool, std::string> out{true, std::move(it->second)};
+        kv.erase(it);
+        return out;
+    };
+    auto require = [&take](const char* key) {
+        auto [present, value] = take(key);
+        if (!present || value.empty())
+            bad(std::string("missing required field '") + key + "'");
+        return value;
+    };
+
+    if (auto [p, v] = take("id"); p)
+        req.id = v;
+
+    switch (req.verb) {
+      case Verb::kOrder: {
+          req.graph = require("graph");
+          req.scheme = require("scheme");
+          if (auto [p, v] = take("seed"); p)
+              req.seed = parse_u64("seed", v);
+          if (auto [p, v] = take("deadline_ms"); p)
+              req.deadline_ms = parse_double("deadline_ms", v);
+          if (auto [p, v] = take("priority"); p) {
+              if (v == "high")
+                  req.priority = 0;
+              else if (v == "normal")
+                  req.priority = 1;
+              else if (v == "low")
+                  req.priority = 2;
+              else
+                  bad("field 'priority': expected high|normal|low, got '"
+                      + v + "'");
+          }
+          if (auto [p, v] = take("no_cache"); p)
+              req.no_cache = parse_bool("no_cache", v);
+          if (auto [p, v] = take("output"); p)
+              req.output = v;
+          break;
+      }
+      case Verb::kLoad: {
+          req.graph = require("graph");
+          req.path = require("path");
+          if (auto [p, v] = take("format"); p) {
+              if (v != "edges" && v != "metis" && v != "auto")
+                  bad("field 'format': expected edges|metis|auto, got '"
+                      + v + "'");
+              req.format = v;
+          }
+          break;
+      }
+      case Verb::kGen: {
+          req.graph = require("graph");
+          req.dataset = require("dataset");
+          if (auto [p, v] = take("scale"); p) {
+              req.scale = parse_double("scale", v);
+              if (req.scale < 1.0)
+                  bad("field 'scale': must be >= 1");
+          }
+          break;
+      }
+      case Verb::kDrop:
+          req.graph = require("graph");
+          break;
+      case Verb::kStats:
+      case Verb::kPing:
+      case Verb::kQuit:
+      case Verb::kShutdown:
+          break;
+    }
+
+    if (!kv.empty())
+        bad("unknown field '" + kv.begin()->first + "' for "
+            + verb_name(req.verb));
+    return req;
+}
+
+std::string
+format_outcome(const OrderOutcome& o)
+{
+    if (!o.status.is_ok())
+        return format_err(o.id, o.status);
+    std::string s = "OK id=";
+    s += o.id.empty() ? "-" : o.id;
+    s += " scheme=" + o.scheme_used;
+    s += " n=" + std::to_string(o.n);
+    s += " perm_fnv=" + hex64(o.perm_fnv);
+    s += std::string(" cached=") + (o.cached ? "1" : "0");
+    s += std::string(" coalesced=") + (o.coalesced ? "1" : "0");
+    s += std::string(" degraded=") + (o.degraded ? "1" : "0");
+    s += std::string(" fell_back=") + (o.fell_back ? "1" : "0");
+    s += " attempts=" + std::to_string(o.attempts);
+    s += " queue_ms=" + ms_str(o.queue_ms);
+    s += " run_ms=" + ms_str(o.run_ms);
+    s += " total_ms=" + ms_str(o.total_ms);
+    return s;
+}
+
+std::string
+format_ok(const std::vector<std::pair<std::string, std::string>>& kv)
+{
+    std::string s = "OK";
+    for (const auto& [k, v] : kv)
+        s += " " + k + "=" + (v.empty() ? "-" : v);
+    return s;
+}
+
+std::string
+format_err(const std::string& id, const Status& st)
+{
+    std::string s = "ERR id=";
+    s += id.empty() ? "-" : id;
+    s += " code=";
+    s += status_code_name(st.code());
+    // msg is the final field by contract: it runs to end of line, so the
+    // human-readable text (which may contain spaces) needs no quoting.
+    std::string text = st.to_string();
+    for (char& c : text)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    s += " msg=" + text;
+    return s;
+}
+
+const std::string&
+Response::get(const std::string& key, const std::string& fallback) const
+{
+    for (const auto& [k, v] : kv)
+        if (k == key)
+            return v;
+    return fallback;
+}
+
+Response
+parse_response(const std::string& raw)
+{
+    std::string line = raw;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+
+    Response r;
+    std::size_t pos;
+    if (line.rfind("OK", 0) == 0
+        && (line.size() == 2 || line[2] == ' ')) {
+        r.ok = true;
+        pos = 2;
+    } else if (line.rfind("ERR", 0) == 0
+               && (line.size() == 3 || line[3] == ' ')) {
+        r.ok = false;
+        pos = 3;
+    } else {
+        bad("response line is neither OK nor ERR: '" + line + "'");
+    }
+
+    while (pos < line.size()) {
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        if (pos >= line.size())
+            break;
+        if (line.compare(pos, 4, "msg=") == 0) {
+            r.msg = line.substr(pos + 4); // runs to end of line
+            break;
+        }
+        const std::size_t sp = line.find(' ', pos);
+        const std::size_t end = sp == std::string::npos ? line.size() : sp;
+        const std::string tok = line.substr(pos, end - pos);
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            bad("response token is not key=value: '" + tok + "'");
+        r.kv.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+        pos = end;
+    }
+    if (!r.ok)
+        r.code = status_code_from_name(r.get("code", "internal"));
+    return r;
+}
+
+std::uint64_t
+fnv1a64(const void* data, std::size_t len)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+permutation_fnv(const Permutation& p)
+{
+    const auto& ranks = p.ranks();
+    return fnv1a64(ranks.data(), ranks.size() * sizeof(ranks[0]));
+}
+
+LineReader::Result
+LineReader::next(std::string& out)
+{
+    out.clear();
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            if (discarding_) { // tail of an oversized frame
+                discarding_ = false;
+                continue;
+            }
+            if (line.size() > kMaxLineBytes) {
+                // The newline arrived in the same chunk that blew the
+                // cap: still an oversized frame, already resynced.
+                return Result::kOversized;
+            }
+            out = std::move(line);
+            return Result::kLine;
+        }
+        if (!discarding_ && buf_.size() > kMaxLineBytes) {
+            // Frame too long: report once, then swallow bytes through
+            // the next newline so the stream resynchronizes.
+            buf_.clear();
+            discarding_ = true;
+            return Result::kOversized;
+        }
+        char chunk[4096];
+        ssize_t n;
+        do {
+            n = ::read(fd_, chunk, sizeof chunk);
+        } while (n < 0 && errno == EINTR);
+        if (n < 0)
+            return Result::kEof; // connection error == end of stream
+        if (n == 0) {
+            if (!buf_.empty() && !discarding_) {
+                out = std::move(buf_); // unterminated final line
+                buf_.clear();
+                return Result::kLine;
+            }
+            return Result::kEof;
+        }
+        if (discarding_) {
+            // Only keep bytes from the resync newline onward.
+            const char* p =
+                static_cast<const char*>(memchr(chunk, '\n', n));
+            if (p != nullptr) {
+                discarding_ = false;
+                buf_.append(p + 1, chunk + n - (p + 1));
+            }
+            continue;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace graphorder::service

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Line protocol of the multi-tenant reorder service
+ * (`graphorder.service.v1`).
+ *
+ * Newline-delimited ASCII, one request or response per line, so the
+ * daemon is equally drivable over TCP, a socketpair, or a Unix pipe
+ * (`reorderd --stdio`).  Requests are `VERB key=value key=value ...`;
+ * responses are `OK key=value ...` or `ERR id=<id> code=<status-name>
+ * msg=<text to end of line>`.  `msg` is always the *last* response
+ * field and runs to end of line, so error text needs no quoting.
+ *
+ * Verbs:
+ *   ORDER graph=G scheme=S [seed=N] [deadline_ms=X]
+ *         [priority=high|normal|low] [id=TAG] [no_cache=1] [output=PATH]
+ *   LOAD  graph=G path=FILE [format=edges|metis|auto]   (re-LOAD of an
+ *         existing name swaps the graph and invalidates its cache)
+ *   GEN   graph=G dataset=NAME [scale=S]
+ *   DROP  graph=G
+ *   STATS | PING | QUIT | SHUTDOWN
+ *
+ * Hardening contract (mirrors the PR 5 parser hardening): every parse
+ * failure — malformed verb, unknown/duplicate/oversized field, bad
+ * number, truncated frame — throws GraphorderError(InvalidInput), which
+ * the connection loop answers with a per-request `ERR` line and keeps
+ * the connection (and the daemon) alive.  The 400-trial mutation fuzz
+ * in tests/service_test.cpp pins this.  Fault site `service.proto.parse`
+ * injects a parse failure for the chaos tests.
+ *
+ * Responses deliberately carry a permutation *fingerprint* (FNV-1a over
+ * the rank vector), not the permutation itself: multi-megabyte rank
+ * dumps do not belong on the control channel.  Clients that want the
+ * ranks pass `output=PATH` and the daemon writes them server-side.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/permutation.hpp"
+#include "util/status.hpp"
+
+namespace graphorder::service {
+
+/** Hard cap on one protocol line (bytes, excluding the newline);
+ *  longer frames are answered `ERR code=invalid-input` and skipped. */
+inline constexpr std::size_t kMaxLineBytes = 4096;
+/** Hard cap on one `key=value` value. */
+inline constexpr std::size_t kMaxValueBytes = 1024;
+/** Hard cap on fields per request. */
+inline constexpr std::size_t kMaxFields = 64;
+
+enum class Verb
+{
+    kOrder,
+    kLoad,
+    kGen,
+    kDrop,
+    kStats,
+    kPing,
+    kQuit,
+    kShutdown,
+};
+
+/** Wire name of a verb ("ORDER", ...); static, never null. */
+const char* verb_name(Verb v);
+
+/** One parsed request; fields beyond the verb's schema keep defaults. */
+struct Request
+{
+    Verb verb = Verb::kPing;
+    std::string id; ///< optional client tag, echoed in the response
+
+    // ORDER
+    std::string graph;
+    std::string scheme;
+    std::uint64_t seed = 42;
+    double deadline_ms = 0; ///< 0 = service default / none
+    /** Queue lane: 0 high, 1 normal, 2 low; -1 = derive from the
+     *  scheme's registered cost class. */
+    int priority = -1;
+    bool no_cache = false; ///< bypass cache and coalescing
+    std::string output;    ///< server-side rank-dump path; empty = none
+
+    // LOAD / GEN / DROP
+    std::string path;
+    std::string format = "auto"; ///< edges | metis | auto
+    std::string dataset;
+    double scale = 1.0;
+};
+
+/**
+ * Parse one request line (no trailing newline; a trailing '\r' is
+ * stripped).  @throws GraphorderError(InvalidInput) on any malformation;
+ * the message names the offending token.
+ */
+Request parse_request(const std::string& line);
+
+/** Everything an ORDER answer carries; also the in-process result type
+ *  of ReorderService::order(). */
+struct OrderOutcome
+{
+    Status status; ///< Ok, or why the request failed
+    std::string id;
+    std::string scheme_used; ///< scheme that produced the permutation
+    std::uint64_t perm_fnv = 0; ///< FNV-1a over the rank vector
+    std::uint64_t n = 0;        ///< vertices in the permutation
+    bool cached = false;    ///< answered from the permutation cache
+    bool coalesced = false; ///< rode an identical in-flight request
+    bool degraded = false;  ///< fallback-chain / cached-lightweight answer
+    bool fell_back = false; ///< scheme_used != requested scheme
+    int attempts = 0;       ///< execution attempts (retries + 1)
+    double queue_ms = 0;    ///< admission -> worker pickup
+    double run_ms = 0;      ///< successful attempt wall time
+    double total_ms = 0;    ///< admission -> response
+    /** The permutation itself (in-process consumers only; never on the
+     *  wire). */
+    std::shared_ptr<const Permutation> perm;
+};
+
+/** Serialize an outcome as one `OK ...` / `ERR ...` line (no '\n'). */
+std::string format_outcome(const OrderOutcome& o);
+
+/** `OK k=v k=v ...` from explicit pairs (control-verb answers). */
+std::string
+format_ok(const std::vector<std::pair<std::string, std::string>>& kv);
+
+/** `ERR id=<id> code=<name> msg=<text>`; empty id becomes "-". */
+std::string format_err(const std::string& id, const Status& st);
+
+/** Client-side view of one response line. */
+struct Response
+{
+    bool ok = false;
+    StatusCode code = StatusCode::Ok; ///< parsed from `code=` on ERR
+    std::vector<std::pair<std::string, std::string>> kv;
+    std::string msg; ///< ERR trailing text
+
+    /** First value for @p key, or @p fallback. */
+    const std::string& get(const std::string& key,
+                           const std::string& fallback = "") const;
+};
+
+/**
+ * Parse one response line.  @throws GraphorderError(InvalidInput) when
+ * the line is neither `OK ...` nor `ERR ...`.
+ */
+Response parse_response(const std::string& line);
+
+/** FNV-1a over raw bytes (the hash behind `perm_fnv`). */
+std::uint64_t fnv1a64(const void* data, std::size_t len);
+
+/** FNV-1a over a permutation's rank vector. */
+std::uint64_t permutation_fnv(const Permutation& p);
+
+/**
+ * Incremental newline framing over a file descriptor, enforcing
+ * kMaxLineBytes: an overlong frame is reported once as kOversized and
+ * the stream resynchronizes at the next newline.  A final unterminated
+ * line before EOF is delivered as a normal line (pipes end that way).
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    enum class Result
+    {
+        kLine,
+        kEof,
+        kOversized,
+    };
+
+    /** Blocking read of the next frame into @p out. */
+    Result next(std::string& out);
+
+  private:
+    int fd_;
+    std::string buf_;
+    bool discarding_ = false;
+};
+
+} // namespace graphorder::service

@@ -1,0 +1,102 @@
+#include "service/queue.hpp"
+
+namespace graphorder::service {
+
+namespace {
+
+/** Four high slots, two normal, one low per cycle. */
+constexpr int kSchedule[] = {0, 0, 0, 1, 0, 1, 2};
+constexpr std::size_t kScheduleLen = sizeof(kSchedule) / sizeof(int);
+
+} // namespace
+
+JobQueue::Push
+JobQueue::push(std::shared_ptr<JobBase> job,
+               std::vector<std::shared_ptr<JobBase>>& shed_out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_)
+        return Push::kStopped;
+    if (size_ >= capacity_) {
+        // Make room by shedding queued jobs whose deadline already
+        // passed: they would be dropped by the worker anyway, so evict
+        // them now and let a servable job in.
+        const auto now = std::chrono::steady_clock::now();
+        for (auto& lane : lanes_) {
+            for (auto it = lane.begin();
+                 it != lane.end() && size_ >= capacity_;) {
+                if ((*it)->expired(now)) {
+                    shed_out.push_back(std::move(*it));
+                    it = lane.erase(it);
+                    --size_;
+                } else {
+                    ++it;
+                }
+            }
+        }
+        if (size_ >= capacity_)
+            return Push::kFull;
+    }
+    const int lane = job->lane < 0          ? 1
+                     : job->lane >= kLanes ? kLanes - 1
+                                           : job->lane;
+    lanes_[lane].push_back(std::move(job));
+    ++size_;
+    cv_.notify_one();
+    return Push::kOk;
+}
+
+std::shared_ptr<JobBase>
+JobQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return size_ > 0 || stopped_; });
+    if (size_ == 0)
+        return nullptr; // stopped and empty
+    // Advance the round-robin schedule; fall through to the next
+    // non-empty lane so a slot for an empty lane is never wasted.
+    const int want = kSchedule[schedule_pos_ % kScheduleLen];
+    ++schedule_pos_;
+    for (int off = 0; off < kLanes; ++off) {
+        const int lane = (want + off) % kLanes;
+        if (!lanes_[lane].empty()) {
+            auto job = std::move(lanes_[lane].front());
+            lanes_[lane].pop_front();
+            --size_;
+            return job;
+        }
+    }
+    return nullptr; // unreachable: size_ > 0 implies a non-empty lane
+}
+
+void
+JobQueue::stop()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<JobBase>>
+JobQueue::drain()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<JobBase>> out;
+    out.reserve(size_);
+    for (auto& lane : lanes_) {
+        for (auto& j : lane)
+            out.push_back(std::move(j));
+        lane.clear();
+    }
+    size_ = 0;
+    return out;
+}
+
+std::size_t
+JobQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_;
+}
+
+} // namespace graphorder::service

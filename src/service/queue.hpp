@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bounded, lane-prioritized job queue — the admission-control core of
+ * the reorder service.
+ *
+ * Three lanes keyed by scheme cost class (0 = near-linear, 1 =
+ * linearithmic, 2 = super-linear), so a burst of Gorder requests cannot
+ * starve cheap degree-sort traffic.  Capacity is a hard bound across all
+ * lanes: a full queue first evicts already-expired queued jobs (their
+ * deadline passed while waiting — serving them would waste a worker on
+ * an answer nobody can use) and only then rejects the newcomer, which
+ * the service surfaces as `Overloaded`.  That is the textbook
+ * reject-new / drop-expired combination: bounded memory, no silent
+ * tail-latency collapse.
+ *
+ * Pop order is a fixed weighted round-robin over the lanes
+ * ({0,0,0,1,0,1,2}: four high slots, two normal, one low per cycle),
+ * falling through to any non-empty lane, so low priority means "served
+ * less often", never "served never".
+ */
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace graphorder::service {
+
+/** Queueable unit; the server's Job derives from this. */
+struct JobBase
+{
+    virtual ~JobBase() = default;
+
+    int lane = 1; ///< 0 high, 1 normal, 2 low
+    std::uint64_t job_id = 0;
+    std::chrono::steady_clock::time_point enqueued{};
+    bool has_deadline = false;
+    /** Absolute point after which the job is not worth running. */
+    std::chrono::steady_clock::time_point deadline{};
+
+    bool expired(std::chrono::steady_clock::time_point now) const
+    {
+        return has_deadline && now >= deadline;
+    }
+};
+
+class JobQueue
+{
+  public:
+    static constexpr int kLanes = 3;
+
+    explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    enum class Push
+    {
+        kOk,
+        kFull,    ///< rejected: queue at capacity with no expired slack
+        kStopped, ///< rejected: queue is shutting down
+    };
+
+    /**
+     * Admit @p job (jobs are shared with the server's in-flight map,
+     * hence shared_ptr).  When full, expired queued jobs are moved into
+     * @p shed_out (the caller answers them `Overloaded`) to make room;
+     * kFull is returned only if no room could be made.
+     */
+    Push push(std::shared_ptr<JobBase> job,
+              std::vector<std::shared_ptr<JobBase>>& shed_out);
+
+    /**
+     * Block until a job is available or the queue is stopped.
+     * @return the next job by lane schedule, or nullptr after stop().
+     */
+    std::shared_ptr<JobBase> pop();
+
+    /** Wake all poppers; subsequent push() returns kStopped. */
+    void stop();
+
+    /** Remove and return every queued job (used at shutdown to answer
+     *  them `Unavailable`). */
+    std::vector<std::shared_ptr<JobBase>> drain();
+
+    std::size_t depth() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<std::shared_ptr<JobBase>> lanes_[kLanes];
+    std::size_t size_ = 0;
+    std::size_t schedule_pos_ = 0;
+    bool stopped_ = false;
+};
+
+} // namespace graphorder::service

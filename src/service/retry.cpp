@@ -1,0 +1,30 @@
+#include "service/retry.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace graphorder::service {
+
+double
+RetryPolicy::delay_ms(int attempt, std::uint64_t job_id) const
+{
+    if (attempt <= 1)
+        return 0;
+    double full = base_ms;
+    for (int i = 2; i < attempt; ++i)
+        full = std::min(full * multiplier, max_delay_ms);
+    full = std::min(full, max_delay_ms);
+
+    // Chain splitmix64 over (salt, job, attempt): the same triple always
+    // yields the same jitter, independent of call order or thread.
+    std::uint64_t state = jitter_seed;
+    state ^= splitmix64(state) + job_id;
+    state ^= splitmix64(state) + static_cast<std::uint64_t>(attempt);
+    const std::uint64_t draw = splitmix64(state);
+    const double unit =
+        static_cast<double>(draw >> 11) * 0x1.0p-53; // [0, 1)
+    return full / 2 + unit * (full / 2);
+}
+
+} // namespace graphorder::service

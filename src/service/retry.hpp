@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Retry policy of the reorder service: bounded attempts with
+ * exponential backoff and deterministic equal jitter.
+ *
+ * Only *transient* taxonomy categories are retried: Internal (the bucket
+ * injected faults and unexpected kernel errors land in) and
+ * BudgetExceeded (a deadline blown under momentary contention can
+ * succeed on a quieter queue).  InvalidInput / InvariantViolation are
+ * deterministic — retrying them burns a worker for the same answer — and
+ * Cancelled / Overloaded / Unavailable mean the caller or the service
+ * itself asked us to stop.
+ *
+ * Jitter is derived from splitmix64 over (seed, job id, attempt), not
+ * from a global RNG or the clock, so a chaos run replays with identical
+ * sleep schedules and the tests can assert exact delays.  The "equal
+ * jitter" shape (half the exponential delay fixed, half uniform) keeps a
+ * floor under the spread so retries never stampede at t=0.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.hpp"
+
+namespace graphorder::service {
+
+struct RetryPolicy
+{
+    int max_attempts = 3;       ///< total attempts (first try included)
+    double base_ms = 5;         ///< delay before attempt 2
+    double multiplier = 2;      ///< exponential growth per attempt
+    double max_delay_ms = 250;  ///< cap on any single delay
+    std::uint64_t jitter_seed = 0x5e77ce; ///< service-wide jitter salt
+
+    /** Should a failure with @p code be retried at all? */
+    static bool retryable(StatusCode code)
+    {
+        return code == StatusCode::Internal
+               || code == StatusCode::BudgetExceeded;
+    }
+
+    /**
+     * Deterministic backoff before attempt @p attempt (2-based: the
+     * delay slept after attempt N failed is delay_ms(N+1, ...)) of job
+     * @p job_id.  Equal jitter: half of min(base * mult^(attempt-2),
+     * max_delay) fixed, half drawn uniformly via splitmix64.
+     */
+    double delay_ms(int attempt, std::uint64_t job_id) const;
+};
+
+} // namespace graphorder::service

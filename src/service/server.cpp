@@ -1,0 +1,922 @@
+#include "service/server.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "gen/datasets.hpp"
+#include "graph/io.hpp"
+#include "obs/metrics.hpp"
+#include "order/runner.hpp"
+#include "order/scheme.hpp"
+#include "util/faultpoint.hpp"
+
+namespace graphorder::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- fault sites ----------------------------------------------------
+// service.proto.parse lives in protocol.cpp; these three cover the
+// remaining stages of the request path.
+FaultPoint fp_admit{"service.admit", StatusCode::Overloaded,
+                    "admission control rejects the request"};
+FaultPoint fp_worker_exec{
+    "service.worker.exec", StatusCode::Internal,
+    "worker execution attempt fails before the scheme runs"};
+FaultPoint fp_cache_lookup{
+    "service.cache.lookup", StatusCode::Internal,
+    "permutation cache lookup fails (absorbed: treated as a miss)"};
+
+// ---- metrics --------------------------------------------------------
+obs::CachedCounter c_requests{"service/requests_total"};
+obs::CachedCounter c_accepted{"service/accepted"};
+obs::CachedCounter c_rejected{"service/rejected"};
+obs::CachedCounter c_shed{"service/shed"};
+obs::CachedCounter c_retries{"service/retries"};
+obs::CachedCounter c_degraded{"service/degraded"};
+obs::CachedCounter c_cache_hits{"service/cache_hits"};
+obs::CachedCounter c_cache_misses{"service/cache_misses"};
+obs::CachedCounter c_cache_errors{"service/cache_errors"};
+obs::CachedCounter c_coalesced{"service/coalesced"};
+obs::CachedCounter c_completed{"service/completed"};
+obs::CachedCounter c_failed{"service/failed"};
+obs::CachedCounter c_unavailable{"service/unavailable"};
+obs::CachedCounter c_proto_errors{"service/proto_errors"};
+obs::CachedGauge g_queue_depth{"service/queue_depth"};
+
+obs::Histogram&
+h_latency()
+{
+    static obs::Histogram& h =
+        obs::MetricsRegistry::instance().histogram("service/latency_s");
+    return h;
+}
+
+obs::Histogram&
+h_queue_wait()
+{
+    static obs::Histogram& h = obs::MetricsRegistry::instance().histogram(
+        "service/queue_wait_s");
+    return h;
+}
+
+obs::Histogram&
+h_run()
+{
+    static obs::Histogram& h =
+        obs::MetricsRegistry::instance().histogram("service/run_s");
+    return h;
+}
+
+double
+ms_since(Clock::time_point start, Clock::time_point end)
+{
+    return std::chrono::duration<double, std::milli>(end - start)
+        .count();
+}
+
+int
+lane_for(CostClass c)
+{
+    switch (c) {
+      case CostClass::NearLinear: return 0;
+      case CostClass::Linearithmic: return 1;
+      case CostClass::SuperLinear: return 2;
+    }
+    return 1;
+}
+
+bool
+write_ranks(const std::string& path, const Permutation& p)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    for (const auto r : p.ranks())
+        f << r << '\n';
+    f.flush();
+    return static_cast<bool>(f);
+}
+
+} // namespace
+
+// ---- job ------------------------------------------------------------
+
+struct ReorderService::Job : JobBase
+{
+    struct Waiter
+    {
+        std::string id;
+        std::string output;
+        Callback cb;
+    };
+
+    CacheKey key;
+    bool tracked = false; ///< present in the in-flight map
+    bool no_cache = false;
+    std::shared_ptr<const Csr> graph;
+    const OrderingScheme* scheme = nullptr;
+    std::uint64_t seed = 42;
+
+    std::mutex mu; ///< guards waiters (always acquired under inflight_mu_)
+    std::vector<Waiter> waiters;
+};
+
+// ---- lifecycle ------------------------------------------------------
+
+ReorderService::ReorderService(ServiceOptions opt)
+    : opt_(opt), queue_(opt.queue_capacity), cache_(opt.cache_capacity)
+{
+    workers_.reserve(static_cast<std::size_t>(
+        opt_.workers < 0 ? 0 : opt_.workers));
+    for (int i = 0; i < opt_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ReorderService::~ReorderService()
+{
+    stop();
+}
+
+void
+ReorderService::stop()
+{
+    std::call_once(stop_once_, [this] {
+        draining_.store(true, std::memory_order_relaxed);
+        queue_.stop();
+        {
+            std::lock_guard<std::mutex> lock(stop_mu_);
+        }
+        stop_cv_.notify_all(); // interrupt backoff sleepers
+        // Queued-but-never-picked jobs are answered, not dropped: every
+        // submit gets exactly one outcome even across shutdown.
+        for (auto& jb : queue_.drain()) {
+            c_unavailable.add();
+            OrderOutcome o;
+            o.status = Status(StatusCode::Unavailable,
+                              "service stopped before the job ran");
+            finish(std::static_pointer_cast<Job>(jb), std::move(o));
+        }
+        for (auto& t : workers_)
+            t.join();
+        workers_.clear();
+        update_depth_gauge();
+    });
+}
+
+void
+ReorderService::update_depth_gauge()
+{
+    g_queue_depth.set(static_cast<double>(queue_.depth()));
+}
+
+// ---- graph registry -------------------------------------------------
+
+Status
+ReorderService::add_graph(const std::string& name, Csr g)
+{
+    if (name.empty())
+        return Status(StatusCode::InvalidInput, "graph name is empty");
+    GraphRec rec;
+    rec.g = std::make_shared<const Csr>(std::move(g));
+    rec.fp = fingerprint(*rec.g);
+    std::uint64_t old_fp = 0;
+    bool replaced = false;
+    {
+        std::lock_guard<std::mutex> lock(graphs_mu_);
+        auto it = graphs_.find(name);
+        if (it != graphs_.end()) {
+            replaced = true;
+            old_fp = it->second.fp;
+        }
+        graphs_[name] = rec;
+    }
+    // Reload invalidation: entries of the replaced graph could never be
+    // *served* for the new one (keys carry the fingerprint), but they
+    // would pin dead rank vectors in the LRU until natural eviction.
+    if (replaced && old_fp != rec.fp)
+        cache_.invalidate_fingerprint(old_fp);
+    return Status::ok();
+}
+
+Status
+ReorderService::load_graph(const std::string& name,
+                           const std::string& path,
+                           const std::string& format)
+{
+    try {
+        std::string fmt = format;
+        if (fmt == "auto") {
+            const auto dot = path.rfind('.');
+            const std::string ext =
+                dot == std::string::npos ? "" : path.substr(dot + 1);
+            fmt = (ext == "metis" || ext == "graph") ? "metis" : "edges";
+        }
+        Csr g;
+        if (fmt == "metis")
+            g = load_metis(path);
+        else if (fmt == "edges")
+            g = load_edge_list(path);
+        else
+            return Status(StatusCode::InvalidInput,
+                          "unknown graph format '" + format + "'");
+        return add_graph(name, std::move(g));
+    } catch (...) {
+        return status_from_current_exception().with_context(
+            "while loading graph '" + name + "' from " + path);
+    }
+}
+
+Status
+ReorderService::gen_graph(const std::string& name,
+                          const std::string& dataset, double scale)
+{
+    try {
+        const Dataset& ds = dataset_by_name(dataset);
+        return add_graph(name, ds.make(scale));
+    } catch (const std::out_of_range&) {
+        return Status(StatusCode::InvalidInput,
+                      "unknown dataset '" + dataset + "'");
+    } catch (...) {
+        return status_from_current_exception().with_context(
+            "while generating dataset '" + dataset + "'");
+    }
+}
+
+Status
+ReorderService::drop_graph(const std::string& name)
+{
+    std::uint64_t fp = 0;
+    {
+        std::lock_guard<std::mutex> lock(graphs_mu_);
+        auto it = graphs_.find(name);
+        if (it == graphs_.end())
+            return Status(StatusCode::InvalidInput,
+                          "unknown graph '" + name + "'");
+        fp = it->second.fp;
+        graphs_.erase(it);
+    }
+    cache_.invalidate_fingerprint(fp);
+    return Status::ok();
+}
+
+Status
+ReorderService::graph_info(const std::string& name, std::uint64_t& n,
+                           std::uint64_t& m) const
+{
+    std::lock_guard<std::mutex> lock(graphs_mu_);
+    const auto it = graphs_.find(name);
+    if (it == graphs_.end())
+        return Status(StatusCode::InvalidInput,
+                      "unknown graph '" + name + "'");
+    n = it->second.g->num_vertices();
+    m = it->second.g->num_edges();
+    return Status::ok();
+}
+
+Status
+ReorderService::prewarm(const std::string& name,
+                        const std::string& scheme, std::uint64_t seed)
+{
+    GraphRec rec;
+    {
+        std::lock_guard<std::mutex> lock(graphs_mu_);
+        const auto it = graphs_.find(name);
+        if (it == graphs_.end())
+            return Status(StatusCode::InvalidInput,
+                          "unknown graph '" + name + "'");
+        rec = it->second;
+    }
+    GuardedRunOptions gopt;
+    gopt.seed = seed;
+    gopt.validate = opt_.validate;
+    gopt.allow_fallback = false;
+    auto r = run_guarded(scheme, *rec.g, gopt);
+    if (!r)
+        return r.status().with_context("while prewarming '" + scheme
+                                       + "' on '" + name + "'");
+    auto perm = std::make_shared<const Permutation>(std::move(r->perm));
+    CacheEntry entry{perm, r->scheme_used, permutation_fnv(*perm)};
+    cache_.insert({rec.fp, scheme, "seed=" + std::to_string(seed)},
+                  std::move(entry));
+    return Status::ok();
+}
+
+// ---- cache ----------------------------------------------------------
+
+bool
+ReorderService::cache_lookup_guarded(const CacheKey& key, CacheEntry& out)
+{
+    // A flaky cache must degrade the service to "compute it again",
+    // never take it down: the injected failure is absorbed as a miss.
+    try {
+        fp_cache_lookup.maybe_fire();
+    } catch (...) {
+        c_cache_errors.add();
+        return false;
+    }
+    return cache_.lookup(key, out);
+}
+
+// ---- submission -----------------------------------------------------
+
+void
+ReorderService::submit(const Request& req, Callback cb)
+{
+    c_requests.add();
+    const auto submit_tp = Clock::now();
+
+    auto respond_err = [&](StatusCode code, std::string msg) {
+        OrderOutcome o;
+        o.status = Status(code, std::move(msg));
+        o.id = req.id;
+        o.total_ms = ms_since(submit_tp, Clock::now());
+        cb(o);
+    };
+
+    if (draining_.load(std::memory_order_relaxed)) {
+        c_unavailable.add();
+        respond_err(StatusCode::Unavailable, "service is draining");
+        return;
+    }
+
+    GraphRec rec;
+    bool have_graph = false;
+    {
+        std::lock_guard<std::mutex> lock(graphs_mu_);
+        const auto it = graphs_.find(req.graph);
+        if (it != graphs_.end()) {
+            rec = it->second;
+            have_graph = true;
+        }
+    }
+    if (!have_graph) {
+        respond_err(StatusCode::InvalidInput,
+                    "unknown graph '" + req.graph
+                        + "' (LOAD or GEN it first)");
+        return;
+    }
+    const OrderingScheme* scheme = nullptr;
+    try {
+        scheme = &scheme_by_name(req.scheme);
+    } catch (const std::out_of_range&) {
+        respond_err(StatusCode::InvalidInput,
+                    "unknown scheme '" + req.scheme + "'");
+        return;
+    }
+
+    const CacheKey key{rec.fp, req.scheme,
+                       "seed=" + std::to_string(req.seed)};
+    auto job = std::make_shared<Job>();
+
+    if (!req.no_cache) {
+        // Cache check and single-flight resolution are one critical
+        // section: finish() inserts into the cache *before* retiring
+        // the in-flight entry, so whichever state a concurrent
+        // identical request observes here, it gets an answer without
+        // recomputing.
+        std::unique_lock<std::mutex> lock(inflight_mu_);
+        CacheEntry e;
+        if (cache_lookup_guarded(key, e)) {
+            lock.unlock();
+            c_cache_hits.add();
+            c_completed.add();
+            OrderOutcome o;
+            o.id = req.id;
+            o.scheme_used = e.scheme_used;
+            o.perm = e.perm;
+            o.perm_fnv = e.perm_fnv;
+            o.n = e.perm->size();
+            o.cached = true;
+            o.fell_back = e.scheme_used != req.scheme;
+            if (!req.output.empty()
+                && !write_ranks(req.output, *e.perm))
+                o.status = Status(StatusCode::InvalidInput,
+                                  "cannot write output file "
+                                      + req.output);
+            o.total_ms = ms_since(submit_tp, Clock::now());
+            cb(o);
+            return;
+        }
+        const auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            {
+                std::lock_guard<std::mutex> jl(it->second->mu);
+                it->second->waiters.push_back(
+                    {req.id, req.output, std::move(cb)});
+            }
+            c_coalesced.add();
+            return;
+        }
+        // This request is the leader for its key: the *unique* miss.
+        c_cache_misses.add();
+        job->tracked = true;
+        inflight_[key] = job;
+    }
+
+    job->key = key;
+    job->no_cache = req.no_cache;
+    job->graph = rec.g;
+    job->scheme = scheme;
+    job->seed = req.seed;
+    job->job_id =
+        next_job_id_.fetch_add(1, std::memory_order_relaxed);
+    job->lane =
+        req.priority >= 0 ? req.priority : lane_for(scheme->cost_class);
+    job->enqueued = submit_tp;
+    const double dl = req.deadline_ms > 0 ? req.deadline_ms
+                                          : opt_.default_deadline_ms;
+    if (dl > 0) {
+        job->has_deadline = true;
+        job->deadline =
+            submit_tp
+            + std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(dl));
+    }
+    job->waiters.push_back({req.id, req.output, std::move(cb)});
+
+    try {
+        fp_admit.maybe_fire();
+    } catch (...) {
+        Status st = status_from_current_exception();
+        if (st.code() == StatusCode::Overloaded)
+            c_rejected.add();
+        OrderOutcome o;
+        o.status = std::move(st);
+        finish(job, std::move(o));
+        return;
+    }
+
+    std::vector<std::shared_ptr<JobBase>> shed;
+    const auto res = queue_.push(job, shed);
+    for (auto& sb : shed) {
+        c_shed.add();
+        OrderOutcome o;
+        o.status = Status(StatusCode::Overloaded,
+                          "shed: deadline expired while queued");
+        finish(std::static_pointer_cast<Job>(sb), std::move(o));
+    }
+    switch (res) {
+      case JobQueue::Push::kOk:
+          c_accepted.add();
+          update_depth_gauge();
+          return;
+      case JobQueue::Push::kStopped: {
+          c_unavailable.add();
+          OrderOutcome o;
+          o.status =
+              Status(StatusCode::Unavailable, "service is draining");
+          finish(job, std::move(o));
+          return;
+      }
+      case JobQueue::Push::kFull: {
+          // Last resort before rejecting: a cached permutation from the
+          // scheme's own fallback chain is a *useful* answer under
+          // overload — worse locality than asked for, but available
+          // now and honestly flagged degraded.
+          if (opt_.allow_degraded && !req.no_cache) {
+              auto chain = scheme->fallback;
+              if (chain.empty())
+                  chain = {"natural"};
+              for (const auto& fb : chain) {
+                  CacheEntry e;
+                  if (!cache_lookup_guarded(
+                          {key.fingerprint, fb, key.params}, e))
+                      continue;
+                  c_cache_hits.add();
+                  c_degraded.add();
+                  OrderOutcome o;
+                  o.scheme_used = e.scheme_used;
+                  o.perm = e.perm;
+                  o.perm_fnv = e.perm_fnv;
+                  o.n = e.perm->size();
+                  o.cached = true;
+                  o.degraded = true;
+                  o.fell_back = true;
+                  finish(job, std::move(o));
+                  return;
+              }
+          }
+          c_rejected.add();
+          OrderOutcome o;
+          o.status = Status(
+              StatusCode::Overloaded,
+              "queue full ("
+                  + std::to_string(queue_.capacity())
+                  + " queued); retry later or lower the request rate");
+          finish(job, std::move(o));
+          return;
+      }
+    }
+}
+
+OrderOutcome
+ReorderService::order(const Request& req)
+{
+    struct Sync
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        OrderOutcome out;
+    };
+    auto s = std::make_shared<Sync>();
+    submit(req, [s](const OrderOutcome& o) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        s->out = o;
+        s->done = true;
+        s->cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->cv.wait(lock, [&] { return s->done; });
+    return s->out;
+}
+
+// ---- execution ------------------------------------------------------
+
+void
+ReorderService::worker_loop()
+{
+    while (auto jb = queue_.pop()) {
+        update_depth_gauge();
+        auto job = std::static_pointer_cast<Job>(jb);
+        if (job->expired(Clock::now())) {
+            c_shed.add();
+            OrderOutcome o;
+            o.status = Status(StatusCode::Overloaded,
+                              "shed: deadline expired while queued");
+            o.queue_ms = ms_since(job->enqueued, Clock::now());
+            finish(job, std::move(o));
+            continue;
+        }
+        execute(job);
+    }
+}
+
+bool
+ReorderService::backoff_sleep(double ms)
+{
+    std::unique_lock<std::mutex> lock(stop_mu_);
+    return !stop_cv_.wait_for(
+        lock, std::chrono::duration<double, std::milli>(ms), [this] {
+            return draining_.load(std::memory_order_relaxed);
+        });
+}
+
+void
+ReorderService::execute(const std::shared_ptr<Job>& job)
+{
+    OrderOutcome out;
+    const auto picked = Clock::now();
+    out.queue_ms = ms_since(job->enqueued, picked);
+    h_queue_wait().observe(out.queue_ms / 1000.0);
+
+    Status first_failure;
+    bool success = false;
+    int attempts = 0;
+    for (int a = 1; a <= opt_.retry.max_attempts; ++a) {
+        if (draining_.load(std::memory_order_relaxed)) {
+            if (first_failure.is_ok())
+                first_failure = Status(StatusCode::Unavailable,
+                                       "service stopped mid-retry");
+            break;
+        }
+        ++attempts;
+        Status st;
+        try {
+            fp_worker_exec.maybe_fire();
+            GuardedRunOptions gopt;
+            gopt.seed = job->seed;
+            gopt.mem_budget_mb = opt_.mem_budget_mb;
+            gopt.validate = opt_.validate;
+            gopt.allow_fallback = false; // degradation is ours, below
+            if (job->has_deadline) {
+                const double rem =
+                    ms_since(Clock::now(), job->deadline);
+                if (rem <= 0)
+                    throw GraphorderError(
+                        StatusCode::BudgetExceeded,
+                        "deadline expired before attempt "
+                            + std::to_string(a));
+                gopt.deadline_ms = rem;
+            }
+            auto r = run_guarded(*job->scheme, *job->graph, gopt);
+            if (r) {
+                out.perm = std::make_shared<const Permutation>(
+                    std::move(r->perm));
+                out.scheme_used = r->scheme_used;
+                out.fell_back = r->fell_back;
+                out.run_ms = r->elapsed_s * 1000.0;
+                success = true;
+                break;
+            }
+            st = r.status();
+        } catch (...) {
+            st = status_from_current_exception();
+        }
+        if (first_failure.is_ok())
+            first_failure = st;
+        if (!RetryPolicy::retryable(st.code())
+            || a == opt_.retry.max_attempts)
+            break;
+        const double delay = opt_.retry.delay_ms(a + 1, job->job_id);
+        if (job->has_deadline
+            && ms_since(Clock::now(), job->deadline) <= delay)
+            break; // the backoff alone would blow the deadline
+        c_retries.add();
+        if (!backoff_sleep(delay))
+            break; // interrupted by stop()
+    }
+    out.attempts = attempts;
+
+    if (!success && opt_.allow_degraded
+        && first_failure.code() != StatusCode::Unavailable)
+        success = degrade(job, out);
+
+    if (!success)
+        out.status = first_failure.is_ok()
+                         ? Status(StatusCode::Internal,
+                                  "no attempt executed")
+                         : first_failure;
+    finish(job, std::move(out));
+}
+
+bool
+ReorderService::degrade(const std::shared_ptr<Job>& job,
+                        OrderOutcome& out)
+{
+    auto chain = job->scheme->fallback;
+    if (chain.empty())
+        chain = {"natural"};
+
+    // Rung 1: actually run the (cheaper) fallback chain, fresh budget
+    // per attempt — the same policy run_guarded applies, but here each
+    // rung is also behind the service's own fault accounting.
+    for (const auto& name : chain) {
+        if (name == job->scheme->name)
+            continue;
+        if (draining_.load(std::memory_order_relaxed))
+            return false;
+        try {
+            GuardedRunOptions gopt;
+            gopt.seed = job->seed;
+            gopt.mem_budget_mb = opt_.mem_budget_mb;
+            gopt.validate = opt_.validate;
+            gopt.allow_fallback = false;
+            auto r = run_guarded(name, *job->graph, gopt);
+            if (!r)
+                continue;
+            out.perm = std::make_shared<const Permutation>(
+                std::move(r->perm));
+            out.scheme_used = name;
+            out.fell_back = true;
+            out.degraded = true;
+            out.run_ms = r->elapsed_s * 1000.0;
+            c_degraded.add();
+            return true;
+        } catch (...) {
+            // a fallback rung failing is just the next rung's turn
+        }
+    }
+
+    // Rung 2: any cached permutation of a chain scheme — stale-but-
+    // usable beats unavailable.
+    for (const auto& name : chain) {
+        CacheEntry e;
+        if (!cache_lookup_guarded(
+                {job->key.fingerprint, name, job->key.params}, e))
+            continue;
+        out.perm = e.perm;
+        out.scheme_used = e.scheme_used;
+        out.perm_fnv = e.perm_fnv;
+        out.cached = true;
+        out.fell_back = true;
+        out.degraded = true;
+        c_degraded.add();
+        return true;
+    }
+    return false;
+}
+
+void
+ReorderService::finish(const std::shared_ptr<Job>& job,
+                       OrderOutcome base)
+{
+    if (base.status.is_ok() && base.perm) {
+        base.n = base.perm->size();
+        if (base.perm_fnv == 0)
+            base.perm_fnv = permutation_fnv(*base.perm);
+        // Insert *before* retiring the in-flight entry: a concurrent
+        // identical submit that misses the in-flight map below is
+        // guaranteed to hit the cache (see submit()).
+        if (!job->no_cache && !base.cached)
+            cache_.insert(job->key, {base.perm, base.scheme_used,
+                                     base.perm_fnv});
+    }
+
+    std::vector<Job::Waiter> waiters;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        if (job->tracked) {
+            const auto it = inflight_.find(job->key);
+            if (it != inflight_.end() && it->second == job)
+                inflight_.erase(it);
+        }
+        std::lock_guard<std::mutex> jl(job->mu);
+        waiters = std::move(job->waiters);
+        job->waiters.clear();
+    }
+
+    base.total_ms = ms_since(job->enqueued, Clock::now());
+    h_latency().observe(base.total_ms / 1000.0);
+    if (base.run_ms > 0)
+        h_run().observe(base.run_ms / 1000.0);
+    if (base.status.is_ok())
+        c_completed.add();
+    else
+        c_failed.add();
+
+    bool first = true;
+    for (auto& w : waiters) {
+        OrderOutcome o = base; // shares the permutation
+        o.id = w.id;
+        o.coalesced = !first;
+        first = false;
+        if (o.status.is_ok() && !w.output.empty() && o.perm
+            && !write_ranks(w.output, *o.perm))
+            o.status = Status(StatusCode::InvalidInput,
+                              "cannot write output file " + w.output);
+        if (w.cb)
+            w.cb(o);
+    }
+}
+
+// ---- wire protocol --------------------------------------------------
+
+ReorderService::ServeResult
+ReorderService::serve_fd(int in_fd, int out_fd)
+{
+    struct Conn
+    {
+        int fd;
+        std::mutex mu;
+        std::condition_variable cv;
+        int outstanding = 0;
+
+        void write_line(const std::string& s)
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            std::string line = s;
+            line += '\n';
+            const char* p = line.data();
+            std::size_t left = line.size();
+            while (left > 0) {
+                const ssize_t n = ::write(fd, p, left);
+                if (n < 0 && errno == EINTR)
+                    continue;
+                if (n <= 0)
+                    break; // peer gone; orders still drain
+                p += n;
+                left -= static_cast<std::size_t>(n);
+            }
+        }
+    };
+    auto conn = std::make_shared<Conn>();
+    conn->fd = out_fd;
+
+    auto wait_drained = [&conn] {
+        std::unique_lock<std::mutex> lock(conn->mu);
+        conn->cv.wait(lock, [&] { return conn->outstanding == 0; });
+    };
+    auto reply_status = [&](const Request& req, const Status& st,
+                            std::vector<std::pair<std::string,
+                                                  std::string>> kv) {
+        if (st.is_ok()) {
+            kv.insert(kv.begin(), {"id", req.id.empty() ? "-" : req.id});
+            conn->write_line(format_ok(kv));
+        } else {
+            conn->write_line(format_err(req.id, st));
+        }
+    };
+
+    LineReader reader(in_fd);
+    std::string line;
+    for (;;) {
+        const auto res = reader.next(line);
+        if (res == LineReader::Result::kEof) {
+            wait_drained();
+            return ServeResult::kEof;
+        }
+        if (res == LineReader::Result::kOversized) {
+            c_proto_errors.add();
+            conn->write_line(format_err(
+                "-", Status(StatusCode::InvalidInput,
+                            "request line exceeds "
+                                + std::to_string(kMaxLineBytes)
+                                + " bytes")));
+            continue;
+        }
+        if (line.find_first_not_of(" \r") == std::string::npos)
+            continue; // blank line (interactive use)
+
+        Request req;
+        try {
+            req = parse_request(line);
+        } catch (...) {
+            c_proto_errors.add();
+            conn->write_line(
+                format_err("-", status_from_current_exception()));
+            continue;
+        }
+
+        switch (req.verb) {
+          case Verb::kPing:
+              reply_status(req, Status::ok(), {{"pong", "1"}});
+              break;
+          case Verb::kStats: {
+              std::size_t n_graphs;
+              {
+                  std::lock_guard<std::mutex> lock(graphs_mu_);
+                  n_graphs = graphs_.size();
+              }
+              reply_status(
+                  req, Status::ok(),
+                  {{"graphs", std::to_string(n_graphs)},
+                   {"queue_depth", std::to_string(queue_.depth())},
+                   {"cache_size", std::to_string(cache_.size())},
+                   {"accepted",
+                    std::to_string(c_accepted.get().value())},
+                   {"rejected",
+                    std::to_string(c_rejected.get().value())},
+                   {"shed", std::to_string(c_shed.get().value())},
+                   {"retries", std::to_string(c_retries.get().value())},
+                   {"degraded",
+                    std::to_string(c_degraded.get().value())},
+                   {"cache_hits",
+                    std::to_string(c_cache_hits.get().value())},
+                   {"cache_misses",
+                    std::to_string(c_cache_misses.get().value())},
+                   {"coalesced",
+                    std::to_string(c_coalesced.get().value())}});
+              break;
+          }
+          case Verb::kLoad: {
+              const Status st =
+                  load_graph(req.graph, req.path, req.format);
+              std::uint64_t n = 0, m = 0;
+              if (st.is_ok())
+                  graph_info(req.graph, n, m);
+              reply_status(req, st,
+                           {{"graph", req.graph},
+                            {"n", std::to_string(n)},
+                            {"m", std::to_string(m)}});
+              break;
+          }
+          case Verb::kGen: {
+              const Status st =
+                  gen_graph(req.graph, req.dataset, req.scale);
+              std::uint64_t n = 0, m = 0;
+              if (st.is_ok())
+                  graph_info(req.graph, n, m);
+              reply_status(req, st,
+                           {{"graph", req.graph},
+                            {"n", std::to_string(n)},
+                            {"m", std::to_string(m)}});
+              break;
+          }
+          case Verb::kDrop:
+              reply_status(req, drop_graph(req.graph),
+                           {{"graph", req.graph}});
+              break;
+          case Verb::kOrder: {
+              {
+                  std::lock_guard<std::mutex> lock(conn->mu);
+                  ++conn->outstanding;
+              }
+              submit(req, [conn](const OrderOutcome& o) {
+                  conn->write_line(format_outcome(o));
+                  std::lock_guard<std::mutex> lock(conn->mu);
+                  --conn->outstanding;
+                  conn->cv.notify_all();
+              });
+              break;
+          }
+          case Verb::kQuit:
+              wait_drained();
+              reply_status(req, Status::ok(), {{"bye", "1"}});
+              return ServeResult::kQuit;
+          case Verb::kShutdown:
+              wait_drained();
+              reply_status(req, Status::ok(), {{"bye", "1"}});
+              return ServeResult::kShutdown;
+        }
+    }
+}
+
+} // namespace graphorder::service

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * ReorderService: the resilient multi-tenant reorder daemon core.
+ *
+ * Request path (DESIGN.md §16):
+ *
+ *   submit ─▶ cache lookup ─▶ single-flight coalesce ─▶ admission
+ *          (hit: answer)    (ride identical in-flight)  (bounded queue,
+ *                                                        priority lanes,
+ *                                                        shed expired,
+ *                                                        else Overloaded)
+ *          ─▶ worker: run_guarded under per-request deadline/memory
+ *             budgets, retry transient failures with exponential
+ *             backoff + deterministic jitter
+ *          ─▶ on exhausted retries: degrade — run the fallback chain,
+ *             else answer a cached lightweight permutation, always
+ *             flagged `degraded=1`
+ *          ─▶ deliver to every coalesced waiter; successful leaders
+ *             populate the permutation cache.
+ *
+ * All tenant state (named graphs, cache, queue) lives in the service
+ * object: tests run several isolated instances in one process, the
+ * daemon (`tools/reorderd`) runs one.  Thread-safety: every public
+ * method is safe to call concurrently; callbacks run on worker threads
+ * (or the submitting thread for immediate answers) and must not block
+ * for long.
+ *
+ * Fault sites `service.{admit,worker.exec,cache.lookup,proto.parse}`
+ * plus the preexisting `order.*` sites make the whole ladder chaos-
+ * testable: tests/service_test.cpp sweeps them under concurrent load
+ * and asserts no crash, no stuck job, and counter deltas matching the
+ * injected faults.
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/retry.hpp"
+#include "util/status.hpp"
+
+namespace graphorder::service {
+
+struct ServiceOptions
+{
+    int workers = 2;
+    std::size_t queue_capacity = 64;
+    std::size_t cache_capacity = 256;
+    RetryPolicy retry;
+    /** Applied to requests that carry no deadline_ms; 0 = none. */
+    double default_deadline_ms = 0;
+    /** Per-attempt memory budget handed to run_guarded; 0 = none. */
+    std::uint64_t mem_budget_mb = 0;
+    bool validate = true;
+    /** Degrade (fallback chain, cached lightweight) instead of failing
+     *  when retries are exhausted or admission is impossible. */
+    bool allow_degraded = true;
+};
+
+class ReorderService
+{
+  public:
+    explicit ReorderService(ServiceOptions opt = {});
+    ~ReorderService(); ///< stop()s if still running
+
+    ReorderService(const ReorderService&) = delete;
+    ReorderService& operator=(const ReorderService&) = delete;
+
+    // ---- tenant graph registry --------------------------------------
+    /** Load from file; re-LOAD of an existing name swaps the graph and
+     *  invalidates its cache entries.  format: edges|metis|auto. */
+    Status load_graph(const std::string& name, const std::string& path,
+                      const std::string& format = "auto");
+    /** Generate a named synthetic instance (gen/datasets.hpp). */
+    Status gen_graph(const std::string& name, const std::string& dataset,
+                     double scale = 1.0);
+    /** Register an already-built graph (tests, bench, prewarm). */
+    Status add_graph(const std::string& name, Csr g);
+    Status drop_graph(const std::string& name);
+    /** Vertices/edges of a registered graph; InvalidInput when absent. */
+    Status graph_info(const std::string& name, std::uint64_t& n,
+                      std::uint64_t& m) const;
+
+    /**
+     * Synchronously compute (scheme, seed) on @p name and populate the
+     * cache — seeds the degraded-answer path and daemon warmup.
+     */
+    Status prewarm(const std::string& name, const std::string& scheme,
+                   std::uint64_t seed = 42);
+
+    // ---- ordering ----------------------------------------------------
+    using Callback = std::function<void(const OrderOutcome&)>;
+
+    /**
+     * Asynchronous ORDER.  Exactly one callback per submit, always —
+     * rejected, shed, drained and failed requests all get an outcome
+     * whose status says why.  The callback may run on the submitting
+     * thread (cache hit / rejection) or a worker thread.
+     */
+    void submit(const Request& req, Callback cb);
+
+    /** Synchronous wrapper around submit(). */
+    OrderOutcome order(const Request& req);
+
+    // ---- wire protocol ----------------------------------------------
+    enum class ServeResult
+    {
+        kEof,      ///< peer closed the stream
+        kQuit,     ///< client sent QUIT (connection ends, daemon lives)
+        kShutdown, ///< client sent SHUTDOWN (daemon should stop)
+    };
+
+    /**
+     * Serve one connection: read request lines from @p in_fd, write one
+     * response line per request to @p out_fd.  Malformed lines get an
+     * `ERR` and the connection survives.  Blocks until EOF / QUIT /
+     * SHUTDOWN, then waits for this connection's in-flight orders.
+     */
+    ServeResult serve_fd(int in_fd, int out_fd);
+
+    /**
+     * Drain and stop: new submits answer `Unavailable`, queued jobs are
+     * answered `Unavailable`, running jobs finish, workers join.
+     * Idempotent.
+     */
+    void stop();
+
+    std::size_t queue_depth() const { return queue_.depth(); }
+    const ServiceOptions& options() const { return opt_; }
+
+  private:
+    struct Job;
+    struct GraphRec
+    {
+        std::shared_ptr<const Csr> g;
+        std::uint64_t fp = 0;
+    };
+
+    void worker_loop();
+    void execute(const std::shared_ptr<Job>& job);
+    /** Answer every waiter and retire the job from the in-flight map. */
+    void finish(const std::shared_ptr<Job>& job, OrderOutcome base);
+    bool degrade(const std::shared_ptr<Job>& job, OrderOutcome& out);
+    /** Cache lookup with the service.cache.lookup fault absorbed. */
+    bool cache_lookup_guarded(const CacheKey& key, CacheEntry& out);
+    /** Sleep @p ms unless stop() interrupts; false when interrupted. */
+    bool backoff_sleep(double ms);
+    void update_depth_gauge();
+
+    ServiceOptions opt_;
+    JobQueue queue_;
+    PermutationCache cache_;
+
+    mutable std::mutex graphs_mu_;
+    std::unordered_map<std::string, GraphRec> graphs_;
+
+    std::mutex inflight_mu_;
+    std::unordered_map<CacheKey, std::shared_ptr<Job>, CacheKeyHash>
+        inflight_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> next_job_id_{1};
+    std::mutex stop_mu_;
+    std::condition_variable stop_cv_;
+    std::vector<std::thread> workers_;
+    std::once_flag stop_once_;
+};
+
+} // namespace graphorder::service

@@ -13,7 +13,10 @@ std::atomic<int> g_armed_faults{0};
 
 struct FaultPointAdmin
 {
-    static void arm(FaultPoint& p, std::uint64_t nth) { p.arm(nth); }
+    static void arm(FaultPoint& p, std::uint64_t nth, bool repeat)
+    {
+        p.arm(nth, repeat);
+    }
     static void disarm(FaultPoint& p) { p.disarm(); }
 };
 
@@ -27,17 +30,25 @@ namespace {
  * dynamic initialization (and be looked up at process exit) regardless
  * of TU init/destruction order.
  */
+/** Parsed arming request: the Nth-hit trigger plus the repeat flag. */
+struct ArmSpec
+{
+    std::uint64_t nth = 1;
+    bool repeat = false;
+};
+
 struct Registry
 {
     std::mutex mu;
     std::vector<FaultPoint*> points;
     std::unordered_map<std::string, FaultPoint*> by_name;
     /** Specs naming not-yet-registered sites; applied on registration. */
-    std::unordered_map<std::string, std::uint64_t> pending;
+    std::unordered_map<std::string, ArmSpec> pending;
 };
 
 void
-arm_impl(Registry& r, const std::string& name, std::uint64_t nth);
+arm_impl(Registry& r, const std::string& name, std::uint64_t nth,
+         bool repeat);
 
 std::size_t
 apply_spec_impl(Registry& r, const std::string& spec);
@@ -68,7 +79,8 @@ registry()
 }
 
 void
-arm_impl(Registry& r, const std::string& name, std::uint64_t nth)
+arm_impl(Registry& r, const std::string& name, std::uint64_t nth,
+         bool repeat)
 {
     if (nth == 0)
         throw GraphorderError(StatusCode::InvalidInput,
@@ -77,9 +89,9 @@ arm_impl(Registry& r, const std::string& name, std::uint64_t nth)
     std::lock_guard<std::mutex> lock(r.mu);
     const auto it = r.by_name.find(name);
     if (it != r.by_name.end())
-        detail::FaultPointAdmin::arm(*it->second, nth);
+        detail::FaultPointAdmin::arm(*it->second, nth, repeat);
     else
-        r.pending[name] = nth; // applied if the site registers later
+        r.pending[name] = {nth, repeat}; // applied on registration
 }
 
 std::size_t
@@ -99,17 +111,31 @@ apply_spec_impl(Registry& r, const std::string& spec)
         if (colon == std::string::npos || colon == 0)
             throw GraphorderError(
                 StatusCode::InvalidInput,
-                "fault spec entry '" + entry + "': expected name:N");
+                "fault spec entry '" + entry
+                    + "': expected name:N, name:N+ or name:*");
         const std::string name = entry.substr(0, colon);
+        const std::string trigger = entry.substr(colon + 1);
+        if (trigger == "*") { // every hit == 1+
+            arm_impl(r, name, 1, /*repeat=*/true);
+            ++applied;
+            continue;
+        }
+        bool repeat = false;
+        std::string digits = trigger;
+        if (!digits.empty() && digits.back() == '+') {
+            repeat = true;
+            digits.pop_back();
+        }
         char* parse_end = nullptr;
-        const char* num = entry.c_str() + colon + 1;
-        const unsigned long long nth = std::strtoull(num, &parse_end, 10);
-        if (parse_end == num || *parse_end != '\0' || nth == 0)
+        const unsigned long long nth =
+            std::strtoull(digits.c_str(), &parse_end, 10);
+        if (digits.empty() || parse_end == digits.c_str()
+            || *parse_end != '\0' || nth == 0)
             throw GraphorderError(
                 StatusCode::InvalidInput,
                 "fault spec entry '" + entry
-                    + "': hit count must be a positive integer");
-        arm_impl(r, name, nth);
+                    + "': hit count must be a positive integer, N+ or *");
+        arm_impl(r, name, nth, repeat);
         ++applied;
     }
     return applied;
@@ -129,19 +155,21 @@ FaultPoint::FaultPoint(std::string name, StatusCode code,
     r.by_name[name_] = this;
     const auto it = r.pending.find(name_);
     if (it != r.pending.end()) {
-        detail::FaultPointAdmin::arm(*this, it->second);
+        detail::FaultPointAdmin::arm(*this, it->second.nth,
+                                     it->second.repeat);
         r.pending.erase(it);
     }
 }
 
 void
-FaultPoint::arm(std::uint64_t nth)
+FaultPoint::arm(std::uint64_t nth, bool repeat)
 {
     const bool was_armed =
         fire_at_.load(std::memory_order_relaxed) != 0
         && !fired_.load(std::memory_order_relaxed);
     fire_at_.store(hits_.load(std::memory_order_relaxed) + nth,
                    std::memory_order_relaxed);
+    repeat_.store(repeat, std::memory_order_relaxed);
     fired_.store(false, std::memory_order_relaxed);
     if (!was_armed)
         detail::g_armed_faults.fetch_add(1, std::memory_order_relaxed);
@@ -154,6 +182,7 @@ FaultPoint::disarm()
         fire_at_.load(std::memory_order_relaxed) != 0
         && !fired_.load(std::memory_order_relaxed);
     fire_at_.store(0, std::memory_order_relaxed);
+    repeat_.store(false, std::memory_order_relaxed);
     fired_.store(false, std::memory_order_relaxed);
     if (was_armed)
         detail::g_armed_faults.fetch_sub(1, std::memory_order_relaxed);
@@ -167,6 +196,14 @@ FaultPoint::fire_slow()
     const std::uint64_t at = fire_at_.load(std::memory_order_relaxed);
     if (at == 0 || hit < at)
         return;
+    if (repeat_.load(std::memory_order_relaxed)) {
+        // Sustained mode (`site:*` / `site:N+`): fire on every
+        // qualifying hit, never self-disarm — the global armed count
+        // stays up until clear_faults()/disarm().
+        throw GraphorderError(
+            code_, "injected fault at '" + name_ + "' (hit "
+                       + std::to_string(hit) + ", sustained)");
+    }
     if (fired_.exchange(true, std::memory_order_relaxed))
         return; // already fired (e.g. a fallback retry re-entered)
     detail::g_armed_faults.fetch_sub(1, std::memory_order_relaxed);
@@ -191,9 +228,9 @@ find_fault_point(const std::string& name)
 }
 
 void
-arm_fault(const std::string& name, std::uint64_t nth)
+arm_fault(const std::string& name, std::uint64_t nth, bool repeat)
 {
-    arm_impl(registry(), name, nth);
+    arm_impl(registry(), name, nth, repeat);
 }
 
 void

@@ -3,13 +3,20 @@
  * Deterministic fault injection.
  *
  * A FaultPoint is a named site planted in a failure-prone code path (IO
- * parsing, CSR build, each ordering run, Louvain phases, IMM rounds).
- * Armed via `GRAPHORDER_FAULTS=io.metis.truncate:1,order.scheme:3` (fire
- * on the Nth hit of the named site) or programmatically (`arm_fault`),
- * a site throws a GraphorderError with its declared StatusCode exactly
- * once — the substrate for the fault-matrix tests proving every failure
- * path surfaces a typed error, and that `run_guarded` fallback always
+ * parsing, CSR build, each ordering run, Louvain phases, IMM rounds,
+ * service admission/execution).  Armed via
+ * `GRAPHORDER_FAULTS=io.metis.truncate:1,order.scheme:3` (fire on the
+ * Nth hit of the named site) or programmatically (`arm_fault`), a site
+ * throws a GraphorderError with its declared StatusCode exactly once —
+ * the substrate for the fault-matrix tests proving every failure path
+ * surfaces a typed error, and that `run_guarded` fallback always
  * recovers.
+ *
+ * Sustained-failure variants (for chaos tests of the reorder service,
+ * where a one-shot fault is always healed by the first retry):
+ * `site:*` fires on *every* hit and `site:N+` fires on every hit from
+ * the Nth onward; neither disarms after firing.  Plain `site:N` keeps
+ * its original fire-exactly-once semantics byte for byte.
  *
  * Disarmed cost: `maybe_fire()` is one relaxed atomic load and a
  * predictable branch — safe to leave in release hot paths at the round /
@@ -67,8 +74,9 @@ class FaultPoint
 
     /**
      * The injection site.  Disarmed: one atomic load + branch.  Armed:
-     * counts the hit and, on the configured Nth hit, fires exactly once
-     * by throwing GraphorderError(code(), ...).
+     * counts the hit and, on the configured Nth hit, fires by throwing
+     * GraphorderError(code(), ...) — exactly once in one-shot mode,
+     * on every qualifying hit in repeat mode (`site:*` / `site:N+`).
      */
     void maybe_fire()
     {
@@ -81,7 +89,7 @@ class FaultPoint
     friend struct detail::FaultPointAdmin;
 
     void fire_slow();
-    void arm(std::uint64_t nth);
+    void arm(std::uint64_t nth, bool repeat);
     void disarm();
 
     std::string name_;
@@ -89,6 +97,7 @@ class FaultPoint
     std::string description_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> fire_at_{0}; ///< 0 = disarmed
+    std::atomic<bool> repeat_{false}; ///< fire on every hit >= fire_at_
     std::atomic<bool> fired_{false};
 };
 
@@ -100,16 +109,22 @@ FaultPoint* find_fault_point(const std::string& name);
 
 /**
  * Arm @p name to fire on its @p nth hit counted from now (nth >= 1).
- * Unknown names are remembered and applied if the site registers later.
+ * One-shot by default; with @p repeat the site fires on *every* hit
+ * from the nth onward and never disarms itself (the `site:N+` /
+ * `site:*` semantics).  Unknown names are remembered and applied if the
+ * site registers later.
  * @throws GraphorderError(InvalidInput) when nth == 0.
  */
-void arm_fault(const std::string& name, std::uint64_t nth);
+void arm_fault(const std::string& name, std::uint64_t nth,
+               bool repeat = false);
 
 /** Disarm every site and forget pending specs; hit counters keep. */
 void clear_faults();
 
 /**
- * Parse and apply a "name:N,name:N" spec (the GRAPHORDER_FAULTS format).
+ * Parse and apply a "name:SPEC,name:SPEC" list (the GRAPHORDER_FAULTS
+ * format).  SPEC is `N` (fire exactly once, on the Nth hit), `N+` (fire
+ * on every hit from the Nth onward) or `*` (every hit; same as `1+`).
  * @return number of entries applied.
  * @throws GraphorderError(InvalidInput) on malformed entries.
  */

@@ -13,6 +13,8 @@ status_code_name(StatusCode c)
       case StatusCode::Cancelled: return "cancelled";
       case StatusCode::InvariantViolation: return "invariant-violation";
       case StatusCode::Internal: return "internal";
+      case StatusCode::Overloaded: return "overloaded";
+      case StatusCode::Unavailable: return "unavailable";
     }
     return "?";
 }
@@ -28,6 +30,11 @@ exit_code_for(StatusCode c)
         return 2;
       case StatusCode::BudgetExceeded:
       case StatusCode::Cancelled:
+      // Overload and unavailability are transient resource pressure like
+      // a blown budget: the caller's remedy is "retry later", so they
+      // share exit 3 and the pre-existing codes keep their values.
+      case StatusCode::Overloaded:
+      case StatusCode::Unavailable:
         return 3;
       case StatusCode::InvariantViolation:
       case StatusCode::Internal:

@@ -30,6 +30,8 @@ enum class StatusCode
     Cancelled,          ///< cooperative cancellation requested (exit 3)
     InvariantViolation, ///< internal structure failed validation (exit 4)
     Internal,           ///< unexpected error / injected fault (exit 4)
+    Overloaded,         ///< admission rejected / load shed (exit 3)
+    Unavailable,        ///< service draining or unreachable (exit 3)
 };
 
 /** Stable kebab-case label ("invalid-input", ...); never null. */
@@ -37,9 +39,10 @@ const char* status_code_name(StatusCode c);
 
 /**
  * Documented process exit code for a failure category:
- * 0 ok, 2 invalid input (incl. truncated), 3 budget exceeded or
- * cancelled, 4 internal error or invariant violation.  (Exit 1 remains
- * the generic usage-error path of util/log.hpp's fatal().)
+ * 0 ok, 2 invalid input (incl. truncated), 3 budget exceeded, cancelled,
+ * overloaded or unavailable (transient — retry later), 4 internal error
+ * or invariant violation.  (Exit 1 remains the generic usage-error path
+ * of util/log.hpp's fatal().)
  */
 int exit_code_for(StatusCode c);
 

@@ -25,6 +25,8 @@
 #include "order/gorder.hpp"
 #include "order/runner.hpp"
 #include "order/scheme.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "testutil.hpp"
 #include "util/cancel.hpp"
 #include "util/faultpoint.hpp"
@@ -66,6 +68,13 @@ TEST(Status, ExitCodeMapping)
     EXPECT_EQ(exit_code_for(StatusCode::Cancelled), 3);
     EXPECT_EQ(exit_code_for(StatusCode::InvariantViolation), 4);
     EXPECT_EQ(exit_code_for(StatusCode::Internal), 4);
+    // The service codes are transient like a blown budget: exit 3, and
+    // the pre-existing codes above must keep their values forever.
+    EXPECT_EQ(exit_code_for(StatusCode::Overloaded), 3);
+    EXPECT_EQ(exit_code_for(StatusCode::Unavailable), 3);
+    EXPECT_STREQ(status_code_name(StatusCode::Overloaded), "overloaded");
+    EXPECT_STREQ(status_code_name(StatusCode::Unavailable),
+                 "unavailable");
 }
 
 TEST(Status, ToStringCarriesCodeMessageAndContext)
@@ -192,10 +201,42 @@ TEST(FaultPoints, SpecParsing)
     FaultGuard guard;
     EXPECT_EQ(apply_fault_spec("io.open:1,order.scheme:3"), 2u);
     clear_faults();
+    // Sustained modes ride the same grammar.
+    EXPECT_EQ(apply_fault_spec("io.open:*"), 1u);
+    clear_faults();
+    EXPECT_EQ(apply_fault_spec("io.open:2+,order.scheme:*"), 2u);
+    clear_faults();
     EXPECT_THROW(apply_fault_spec("io.open"), GraphorderError);
     EXPECT_THROW(apply_fault_spec("io.open:zero"), GraphorderError);
     EXPECT_THROW(apply_fault_spec("io.open:0"), GraphorderError);
     EXPECT_THROW(apply_fault_spec(":3"), GraphorderError);
+    EXPECT_THROW(apply_fault_spec("io.open:+"), GraphorderError);
+    EXPECT_THROW(apply_fault_spec("io.open:*2"), GraphorderError);
+    EXPECT_THROW(apply_fault_spec("io.open:0+"), GraphorderError);
+}
+
+TEST(FaultPoints, SustainedFiresOnEveryHit)
+{
+    FaultGuard guard;
+    auto* fp = find_fault_point("graph.csr.build");
+    ASSERT_NE(fp, nullptr);
+    arm_fault("graph.csr.build", 1, /*repeat=*/true);
+    EXPECT_THROW(fp->maybe_fire(), GraphorderError);
+    EXPECT_THROW(fp->maybe_fire(), GraphorderError); // never disarms
+    EXPECT_TRUE(faults_armed());
+    clear_faults();
+    EXPECT_NO_THROW(fp->maybe_fire());
+}
+
+TEST(FaultPoints, SustainedFromNthHitOnward)
+{
+    FaultGuard guard;
+    auto* fp = find_fault_point("graph.csr.build");
+    ASSERT_NE(fp, nullptr);
+    EXPECT_EQ(apply_fault_spec("graph.csr.build:2+"), 1u);
+    EXPECT_NO_THROW(fp->maybe_fire());                // hit 1: below N
+    EXPECT_THROW(fp->maybe_fire(), GraphorderError);  // hit 2 fires
+    EXPECT_THROW(fp->maybe_fire(), GraphorderError);  // ...and stays
 }
 
 TEST(FaultPoints, DisarmedWhenNoneArmed)
@@ -263,6 +304,47 @@ TEST(FaultMatrix, EveryRegisteredSiteFiresItsDeclaredCode)
              io.max_samples = 1u << 10;
              imm(g, io);
          }},
+        {"service.proto.parse",
+         [] { service::parse_request("PING"); }},
+        {"service.admit",
+         [&g] {
+             service::ServiceOptions so;
+             so.workers = 1;
+             service::ReorderService svc(so);
+             svc.add_graph("g", Csr(g));
+             service::Request req;
+             req.verb = service::Verb::kOrder;
+             req.graph = "g";
+             req.scheme = "natural";
+             const auto o = svc.order(req);
+             if (!o.status.is_ok())
+                 throw GraphorderError(o.status);
+         }},
+        {"service.worker.exec",
+         [&g] {
+             // One attempt, no degradation: the injected failure must
+             // surface instead of being healed by retry/fallback (that
+             // healing is service_test's subject).
+             service::ServiceOptions so;
+             so.workers = 1;
+             so.retry.max_attempts = 1;
+             so.allow_degraded = false;
+             service::ReorderService svc(so);
+             svc.add_graph("g", Csr(g));
+             service::Request req;
+             req.verb = service::Verb::kOrder;
+             req.graph = "g";
+             req.scheme = "natural";
+             const auto o = svc.order(req);
+             if (!o.status.is_ok())
+                 throw GraphorderError(o.status);
+         }},
+        // The real consumer (ReorderService::cache_lookup_guarded)
+        // *absorbs* this site's error as a cache miss — that contract
+        // is covered by service_test.  Direct fire keeps the matrix
+        // exhaustive, mirroring obs.perf.open above.
+        {"service.cache.lookup",
+         [] { find_fault_point("service.cache.lookup")->maybe_fire(); }},
     };
 
     for (const FaultPoint* fp : all_fault_points()) {

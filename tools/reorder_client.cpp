@@ -1,0 +1,178 @@
+/**
+ * @file
+ * `reorder-client` — thin CLI client for a running `reorderd`.
+ *
+ * Sends the request lines given on the command line (or piped on
+ * stdin with no positional arguments) to the daemon, prints each
+ * response line, and exits with the taxonomy exit code of the *worst*
+ * response — so shell scripts and CI can assert on failures without
+ * parsing:
+ *
+ *   reorder-client --connect 127.0.0.1:7733 \
+ *       "ORDER graph=web scheme=rcm id=a" \
+ *       "ORDER graph=web scheme=gorder deadline_ms=50 id=b"
+ *
+ * Exit codes: 0 every response OK; otherwise the exit_code_for() of
+ * the most severe ERR code seen (2 invalid input, 3 overloaded /
+ * budget / unavailable — including "connection refused", which is
+ * Unavailable — 4 internal).
+ */
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/log.hpp"
+#include "util/status.hpp"
+
+using namespace graphorder;
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::printf(
+        "usage: %s --connect HOST:PORT [REQUEST-LINE ...]\n"
+        "  with no request lines, reads them from stdin.\n"
+        "  --quit  append a QUIT after the requests (default)\n"
+        "  --no-quit  keep the connection open until EOF on stdin\n",
+        argv0);
+}
+
+int
+connect_to(const std::string& target)
+{
+    const auto colon = target.rfind(':');
+    if (colon == std::string::npos)
+        fatal("--connect expects HOST:PORT, got '" + target + "'");
+    const std::string host = target.substr(0, colon);
+    const int port = std::atoi(target.substr(colon + 1).c_str());
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal(std::string("socket: ") + std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        fatal("--connect expects a numeric IPv4 host, got '" + host
+              + "'");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr)
+        < 0) {
+        // The daemon being down is the Unavailable taxonomy case, not
+        // a generic usage error: scripts retry on exit 3.
+        std::fprintf(stderr, "reorder-client: connect %s: %s\n",
+                     target.c_str(), std::strerror(errno));
+        std::exit(exit_code_for(StatusCode::Unavailable));
+    }
+    return fd;
+}
+
+bool
+send_line(int fd, std::string line)
+{
+    line += '\n';
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return false;
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string target;
+    bool quit = true;
+    std::vector<std::string> requests;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--connect") {
+            if (i + 1 >= argc)
+                fatal("--connect expects an argument");
+            target = argv[++i];
+        } else if (a == "--quit") {
+            quit = true;
+        } else if (a == "--no-quit") {
+            quit = false;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            fatal("unknown flag '" + a + "' (try --help)");
+        } else {
+            requests.push_back(a);
+        }
+    }
+    if (target.empty()) {
+        usage(argv[0]);
+        fatal("--connect is required");
+    }
+
+    if (requests.empty()) {
+        std::string line;
+        while (std::getline(std::cin, line))
+            requests.push_back(line);
+    }
+
+    const int fd = connect_to(target);
+    std::size_t expected = 0;
+    for (const auto& r : requests) {
+        if (!send_line(fd, r))
+            fatal(std::string("write: ") + std::strerror(errno));
+        ++expected;
+    }
+    if (quit) {
+        send_line(fd, "QUIT");
+        ++expected;
+    }
+
+    int worst = 0;
+    service::LineReader reader(fd);
+    std::string line;
+    for (std::size_t got = 0; got < expected; ++got) {
+        const auto res = reader.next(line);
+        if (res != service::LineReader::Result::kLine) {
+            std::fprintf(stderr,
+                         "reorder-client: connection closed after %zu "
+                         "of %zu responses\n",
+                         got, expected);
+            ::close(fd);
+            return exit_code_for(StatusCode::Unavailable);
+        }
+        std::printf("%s\n", line.c_str());
+        try {
+            const auto resp = service::parse_response(line);
+            if (!resp.ok)
+                worst = std::max(worst, exit_code_for(resp.code));
+        } catch (...) {
+            worst = std::max(worst,
+                             exit_code_for(StatusCode::Internal));
+        }
+    }
+    ::close(fd);
+    return worst;
+}

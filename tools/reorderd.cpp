@@ -1,0 +1,217 @@
+/**
+ * @file
+ * `reorderd` — the resilient multi-tenant reorder daemon.
+ *
+ * Wraps service::ReorderService in a process: clients speak the
+ * newline-delimited `graphorder.service.v1` protocol (service/
+ * protocol.hpp) over TCP (`--port N`) or over stdin/stdout
+ * (`--stdio`, the mode CI and scripting use — no sockets, no races
+ * with port allocation).
+ *
+ * Usage:
+ *   reorderd --stdio [options]
+ *   reorderd --port N [options]
+ *     --workers N          worker threads (default 2)
+ *     --queue-capacity N   bounded admission queue (default 64)
+ *     --cache-capacity N   permutation cache entries (default 256)
+ *     --default-deadline-ms X  deadline for requests that carry none
+ *     --mem-budget-mb N    per-attempt memory budget
+ *     --max-attempts N     retry budget per job (default 3)
+ *     --no-degrade         fail instead of degrading
+ *     --gen NAME=DATASET[:SCALE]   pre-register a synthetic graph
+ *     --load NAME=PATH     pre-register a graph from file
+ *     --prewarm NAME=SCHEME        populate the cache at startup
+ *     --metrics FILE       dump the obs metrics registry at exit
+ *
+ * Exit codes: 0 clean shutdown (EOF / QUIT / SHUTDOWN), 1 usage error,
+ * 2 bad --gen/--load/--prewarm argument (taxonomy exit codes apply).
+ *
+ * Fault injection: GRAPHORDER_FAULTS sweeps the `service.*` and
+ * `order.*` sites exactly as in the library; a faulted daemon answers
+ * per-request ERR lines and still exits 0 — crash-freedom under the
+ * chaos sweep is asserted by CI.
+ */
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/server.hpp"
+#include "util/log.hpp"
+#include "util/status.hpp"
+
+using namespace graphorder;
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::printf("usage: %s --stdio | --port N [options]\n"
+                "  see the file header of tools/reorderd.cpp\n",
+                argv0);
+}
+
+/** Split "NAME=REST" or fatal. */
+std::pair<std::string, std::string>
+split_eq(const std::string& arg, const char* flag)
+{
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size())
+        fatal(std::string(flag) + " expects NAME=VALUE, got '" + arg
+              + "'");
+    return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+int
+serve_tcp(service::ReorderService& svc, int port)
+{
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        fatal(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr)
+        < 0)
+        fatal("bind 127.0.0.1:" + std::to_string(port) + ": "
+              + std::strerror(errno));
+    if (::listen(listen_fd, 64) < 0)
+        fatal(std::string("listen: ") + std::strerror(errno));
+    socklen_t alen = sizeof addr;
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                  &alen);
+    std::printf("reorderd listening on 127.0.0.1:%d\n",
+                ntohs(addr.sin_port));
+    std::fflush(stdout);
+
+    // Connections are served one at a time: multi-tenancy is in the
+    // service (queue lanes, per-request budgets), not in a connection
+    // scheduler.  Each connection still pipelines requests freely.
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal(std::string("accept: ")
+                  + std::strerror(errno));
+        }
+        const auto res = svc.serve_fd(fd, fd);
+        ::close(fd);
+        if (res == service::ReorderService::ServeResult::kShutdown)
+            break;
+    }
+    ::close(listen_fd);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    // A client vanishing mid-response must be an EPIPE write error we
+    // absorb, not a process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    bool stdio = false;
+    int port = -1;
+    service::ServiceOptions opt;
+    std::vector<std::pair<std::string, std::string>> gens, loads,
+        prewarms;
+    std::string metrics_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal(a + " expects an argument");
+            return argv[++i];
+        };
+        if (a == "--stdio")
+            stdio = true;
+        else if (a == "--port")
+            port = std::atoi(next().c_str());
+        else if (a == "--workers")
+            opt.workers = std::atoi(next().c_str());
+        else if (a == "--queue-capacity")
+            opt.queue_capacity =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        else if (a == "--cache-capacity")
+            opt.cache_capacity =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        else if (a == "--default-deadline-ms")
+            opt.default_deadline_ms = std::atof(next().c_str());
+        else if (a == "--mem-budget-mb")
+            opt.mem_budget_mb = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        else if (a == "--max-attempts")
+            opt.retry.max_attempts = std::atoi(next().c_str());
+        else if (a == "--no-degrade")
+            opt.allow_degraded = false;
+        else if (a == "--gen")
+            gens.push_back(split_eq(next(), "--gen"));
+        else if (a == "--load")
+            loads.push_back(split_eq(next(), "--load"));
+        else if (a == "--prewarm")
+            prewarms.push_back(split_eq(next(), "--prewarm"));
+        else if (a == "--metrics")
+            metrics_path = next();
+        else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            fatal("unknown flag '" + a + "' (try --help)");
+        }
+    }
+    if (stdio == (port >= 0)) {
+        usage(argv[0]);
+        fatal("pick exactly one of --stdio and --port");
+    }
+
+    service::ReorderService svc(opt);
+
+    auto check = [](const Status& st) {
+        if (st.is_ok())
+            return;
+        std::fprintf(stderr, "reorderd: %s\n", st.to_string().c_str());
+        std::exit(exit_code_for(st.code()));
+    };
+    for (const auto& [name, spec] : gens) {
+        const auto colon = spec.rfind(':');
+        const std::string ds =
+            colon == std::string::npos ? spec : spec.substr(0, colon);
+        const double scale =
+            colon == std::string::npos
+                ? 1.0
+                : std::atof(spec.substr(colon + 1).c_str());
+        check(svc.gen_graph(name, ds, scale));
+    }
+    for (const auto& [name, path] : loads)
+        check(svc.load_graph(name, path));
+    for (const auto& [name, scheme] : prewarms)
+        check(svc.prewarm(name, scheme));
+
+    int rc = 0;
+    if (stdio)
+        svc.serve_fd(0, 1); // EOF, QUIT and SHUTDOWN all end the run
+    else
+        rc = serve_tcp(svc, port);
+    svc.stop();
+    if (!metrics_path.empty())
+        obs::write_metrics_file(metrics_path);
+    return rc;
+}
